@@ -1,0 +1,222 @@
+//! Beaconing (Kommareddy, Shankar & Bhattacharjee, ICNP 2001).
+//!
+//! Infrastructure beacons track their latency to every peer. A joining
+//! peer measures its latency to each beacon; each beacon returns the
+//! peers whose stored latency is "about the same" as the joiner's, and
+//! the joiner probes the intersection-ish candidate set. Under the
+//! clustering condition most peers of a cluster have identical latency
+//! vectors to all beacons ("most end-networks would not have a beacon
+//! server deployed in them"), so the candidate set is the whole cluster
+//! — back to brute force, as §6 argues.
+
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_util::rng::rng_for;
+use np_util::Micros;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BeaconConfig {
+    /// Number of beacon servers (drawn from the member set — beacons are
+    /// infrastructure boxes co-located with some peers).
+    pub beacons: usize,
+    /// "About the same latency": relative half-width of the band.
+    pub band: f64,
+    /// Probe budget for the candidate set.
+    pub probe_budget: usize,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        BeaconConfig {
+            beacons: 7,
+            band: 0.15,
+            probe_budget: 24,
+        }
+    }
+}
+
+/// The built index.
+pub struct Beaconing {
+    cfg: BeaconConfig,
+    members: Vec<PeerId>,
+    beacons: Vec<PeerId>,
+    /// Per beacon: members sorted by stored latency (for band queries).
+    index: HashMap<PeerId, Vec<(Micros, PeerId)>>,
+}
+
+impl Beaconing {
+    /// Build: beacons measure every member (infrastructure cost, not
+    /// counted against queries — the paper's model).
+    pub fn build(
+        matrix: &LatencyMatrix,
+        members: Vec<PeerId>,
+        cfg: BeaconConfig,
+        seed: u64,
+    ) -> Beaconing {
+        assert!(!members.is_empty());
+        let mut rng = rng_for(seed, 0x42_43_4E); // "BCN"
+        let mut pool = members.clone();
+        pool.shuffle(&mut rng);
+        let beacons: Vec<PeerId> = pool[..cfg.beacons.min(pool.len())].to_vec();
+        let mut index = HashMap::new();
+        for &b in &beacons {
+            let mut v: Vec<(Micros, PeerId)> = members
+                .iter()
+                .filter(|&&p| p != b)
+                .map(|&p| (matrix.rtt(b, p), p))
+                .collect();
+            v.sort_unstable();
+            index.insert(b, v);
+        }
+        Beaconing {
+            cfg,
+            members,
+            beacons,
+            index,
+        }
+    }
+
+    /// The chosen beacon set (tests).
+    pub fn beacons(&self) -> &[PeerId] {
+        &self.beacons
+    }
+
+    fn band_query(&self, beacon: PeerId, lat: Micros) -> Vec<PeerId> {
+        let lo = lat.scale(1.0 - self.cfg.band);
+        let hi = lat.scale(1.0 + self.cfg.band);
+        let v = &self.index[&beacon];
+        let start = v.partition_point(|&(d, _)| d < lo);
+        v[start..]
+            .iter()
+            .take_while(|&&(d, _)| d <= hi)
+            .map(|&(_, p)| p)
+            .collect()
+    }
+}
+
+impl NearestPeerAlgo for Beaconing {
+    fn name(&self) -> &str {
+        "beaconing"
+    }
+
+    fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        // 1. Measure to every beacon (counted probes).
+        let lats: Vec<(PeerId, Micros)> = self
+            .beacons
+            .iter()
+            .map(|&b| (b, target.probe_from(b)))
+            .collect();
+        // 2. Candidates: peers in-band at every beacon (score by how many
+        // beacons vouch; take the highest scores first).
+        let mut score: HashMap<PeerId, usize> = HashMap::new();
+        for &(b, lat) in &lats {
+            for p in self.band_query(b, lat) {
+                *score.entry(p).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(usize, PeerId)> =
+            score.into_iter().map(|(p, s)| (s, p)).collect();
+        ranked.sort_by_key(|&(s, p)| (std::cmp::Reverse(s), p));
+        // 3. Probe the budgeted prefix (ties shuffled for fairness).
+        let cut = ranked.len().min(self.cfg.probe_budget);
+        let mut shortlist: Vec<PeerId> = ranked[..cut].iter().map(|&(_, p)| p).collect();
+        shortlist.shuffle(rng);
+        let mut best: Option<(Micros, PeerId)> = lats
+            .iter()
+            .map(|&(b, d)| (d, b))
+            .min_by_key(|&(d, p)| (d, p));
+        for p in shortlist {
+            let d = target.probe_from(p);
+            if best.map(|(bd, bp)| (d, p) < (bd, bp)).unwrap_or(true) {
+                best = Some((d, p));
+            }
+        }
+        let (rtt, found) = best.expect("beacons probed");
+        QueryOutcome {
+            found,
+            rtt_to_target: rtt,
+            probes: target.probes(),
+            hops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_worlds::{clustered, line};
+    use np_util::rng::rng_from;
+
+    #[test]
+    fn finds_close_peers_on_a_line() {
+        let (m, all) = line(128);
+        let members: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 2 == 0).collect();
+        let b = Beaconing::build(&m, members.clone(), BeaconConfig::default(), 1);
+        let mut rng = rng_from(2);
+        let mut close = 0;
+        let targets: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 2 == 1).step_by(3).collect();
+        for &t in &targets {
+            let tgt = Target::new(t, &m);
+            let out = b.find_nearest(&tgt, &mut rng);
+            if m.rtt(out.found, t) <= Micros::from_ms_u64(8) {
+                close += 1;
+            }
+        }
+        assert!(
+            close * 10 >= targets.len() * 6,
+            "beaconing too weak: {close}/{}",
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn cluster_members_are_indistinguishable() {
+        // All cluster peers sit in-band at every beacon: candidate sets
+        // are huge and success is luck-bounded by the probe budget.
+        let (m, _) = clustered(80);
+        let members: Vec<PeerId> = (2..160).map(PeerId).collect();
+        let b = Beaconing::build(&m, members, BeaconConfig::default(), 3);
+        let mut rng = rng_from(4);
+        let mut exact = 0;
+        for _ in 0..40 {
+            let tgt = Target::new(PeerId(0), &m);
+            if b.find_nearest(&tgt, &mut rng).found == PeerId(1) {
+                exact += 1;
+            }
+        }
+        // Budget 24 of ~158 candidates: expect ~15% exact hits at best.
+        assert!(exact < 16, "clustering should defeat beaconing: {exact}/40");
+    }
+
+    #[test]
+    fn probe_cost_is_beacons_plus_budget() {
+        let (m, members) = line(64);
+        let cfg = BeaconConfig::default();
+        let b = Beaconing::build(&m, members, cfg, 5);
+        let mut rng = rng_from(6);
+        let tgt = Target::new(PeerId(0), &m);
+        let out = b.find_nearest(&tgt, &mut rng);
+        assert!(out.probes <= (cfg.beacons + cfg.probe_budget) as u64);
+    }
+
+    #[test]
+    fn band_query_is_inclusive_window() {
+        let (m, members) = line(32);
+        let b = Beaconing::build(&m, members, BeaconConfig::default(), 7);
+        let beacon = b.beacons()[0];
+        for p in b.band_query(beacon, Micros::from_ms_u64(10)) {
+            let d = m.rtt(beacon, p);
+            assert!(
+                d >= Micros::from_ms(8.5) && d <= Micros::from_ms(11.5),
+                "out-of-band peer at {d}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # np-baselines
+//!
+//! The nearest-peer schemes the paper's §2.3 and §6 argue fail under the
+//! clustering condition, implemented so the argument can be tested
+//! empirically (extension experiment Ext A):
+//!
+//! * [`karger_ruhl`] — distance-based sampling (Karger & Ruhl, STOC'02):
+//!   per-scale samples, search by repeated improvement; correct under
+//!   growth-constrained metrics, brute-force under clustering,
+//! * [`tapestry`] — identifier-prefix levels with closest-eligible
+//!   neighbour selection (Hildrum et al., SPAA'02),
+//! * [`tiers`] — the hierarchical clustering scheme (Banerjee et al.,
+//!   Globecom'02): descend the hierarchy picking the closest
+//!   representative at each level,
+//! * [`beacon`] — Beaconing (Kommareddy et al., ICNP'01): infrastructure
+//!   beacons index peers by beacon-latency vectors.
+//!
+//! All implement [`np_metric::NearestPeerAlgo`] with honest probe
+//! accounting (only overlay-internal latencies are free).
+
+pub mod beacon;
+pub mod karger_ruhl;
+pub mod tapestry;
+pub mod tiers;
+
+pub use beacon::Beaconing;
+pub use karger_ruhl::KargerRuhl;
+pub use tapestry::Tapestry;
+pub use tiers::Tiers;
+
+#[cfg(test)]
+pub(crate) mod test_worlds {
+    use np_metric::{LatencyMatrix, PeerId};
+    use np_util::Micros;
+
+    /// Uniform line world: growth-constrained, algorithms should do well.
+    pub fn line(n: usize) -> (LatencyMatrix, Vec<PeerId>) {
+        let m = LatencyMatrix::build(n, |a, b| {
+            Micros::from_ms_u64((a.0 as i64 - b.0 as i64).unsigned_abs())
+        });
+        (m, (0..n as u32).map(PeerId).collect())
+    }
+
+    /// One cluster of `g` end-networks x 2 peers (the clustering
+    /// condition): 100 µs inside an EN, ~10 ms across.
+    pub fn clustered(g: usize) -> (LatencyMatrix, Vec<PeerId>) {
+        let m = LatencyMatrix::build(g * 2, |a, b| {
+            if a.idx() / 2 == b.idx() / 2 {
+                Micros::from_us(100)
+            } else {
+                let j = ((a.0 ^ b.0).wrapping_mul(2654435761) % 500) as u64;
+                Micros::from_ms_u64(10) + Micros::from_us(j)
+            }
+        });
+        (m, (0..(g * 2) as u32).map(PeerId).collect())
+    }
+}

@@ -1,0 +1,226 @@
+//! Tapestry-style prefix-level neighbour tables (Hildrum et al., SPAA'02).
+//!
+//! Peers carry random hex identifiers. Level `l` of a node's table
+//! holds, for each digit value, the *network-closest* peer whose id
+//! shares the node's first `l` digits and continues with that value —
+//! the construction that yields nearest-neighbour guarantees in
+//! growth-constrained metrics. A closest-peer search for a target walks
+//! the levels of the target's id from a random start, probing every
+//! table entry it consults; the best probed peer wins.
+
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_util::rng::rng_for;
+use np_util::Micros;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+const DIGITS: usize = 16; // id length in hex digits (u64)
+const BASE: usize = 16;
+
+fn digit(id: u64, level: usize) -> usize {
+    ((id >> (60 - 4 * level)) & 0xF) as usize
+}
+
+fn shares_prefix(a: u64, b: u64, levels: usize) -> bool {
+    if levels == 0 {
+        return true;
+    }
+    let shift = 64 - 4 * levels.min(16);
+    (a >> shift) == (b >> shift)
+}
+
+/// The built overlay.
+pub struct Tapestry<'m> {
+    /// Kept for API symmetry; only read during construction.
+    #[allow(dead_code)]
+    matrix: &'m LatencyMatrix,
+    members: Vec<PeerId>,
+    ids: HashMap<PeerId, u64>,
+    /// `table[peer][level][digit]` = closest matching peer, if any.
+    table: HashMap<PeerId, Vec<Vec<Option<PeerId>>>>,
+    max_hops: u32,
+}
+
+impl<'m> Tapestry<'m> {
+    /// Build with closest-eligible-neighbour tables from global
+    /// knowledge (what the iterative level-by-level construction
+    /// converges to in a static network).
+    pub fn build(matrix: &'m LatencyMatrix, members: Vec<PeerId>, seed: u64) -> Tapestry<'m> {
+        assert!(!members.is_empty());
+        let mut rng = rng_for(seed, 0x54_41_50); // "TAP"
+        let ids: HashMap<PeerId, u64> = members.iter().map(|&p| (p, rng.gen())).collect();
+        let mut table = HashMap::new();
+        for &p in &members {
+            let pid = ids[&p];
+            let mut levels = Vec::with_capacity(DIGITS);
+            for l in 0..DIGITS {
+                let mut row: Vec<Option<PeerId>> = vec![None; BASE];
+                for (&q, &qid) in &ids {
+                    if q == p || !shares_prefix(pid, qid, l) {
+                        continue;
+                    }
+                    let dgt = digit(qid, l);
+                    let better = match row[dgt] {
+                        None => true,
+                        Some(cur) => matrix.rtt(p, q) < matrix.rtt(p, cur),
+                    };
+                    if better {
+                        row[dgt] = Some(q);
+                    }
+                }
+                // Stop building levels once no peer shares the prefix.
+                let empty = row.iter().all(|e| e.is_none());
+                levels.push(row);
+                if empty {
+                    break;
+                }
+            }
+            table.insert(p, levels);
+        }
+        Tapestry {
+            matrix,
+            members,
+            ids,
+            table,
+            max_hops: 64,
+        }
+    }
+
+    /// The id assigned to a member (tests).
+    pub fn id_of(&self, p: PeerId) -> u64 {
+        self.ids[&p]
+    }
+}
+
+impl NearestPeerAlgo for Tapestry<'_> {
+    fn name(&self) -> &str {
+        "tapestry"
+    }
+
+    fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        // The joining target takes a random id and routes towards it,
+        // probing each surrogate; the closest probed peer at the lowest
+        // reachable level is the answer (the paper's §6 description).
+        let target_id: u64 = rng.gen();
+        let mut current = *self.members.choose(rng).expect("non-empty");
+        let mut best = (target.probe_from(current), current);
+        let mut hops = 0u32;
+        for level in 0..DIGITS {
+            if hops >= self.max_hops {
+                break;
+            }
+            let levels = &self.table[&current];
+            if level >= levels.len() {
+                break;
+            }
+            // The location service probes the whole row it consults (the
+            // row holds the closest eligible peer per digit — exactly the
+            // candidates Tapestry's nearest-neighbour search examines),
+            // then follows the target digit (surrogate = best probed).
+            let row = &levels[level];
+            let mut row_best: Option<(Micros, PeerId)> = None;
+            for &q in row.iter().flatten() {
+                let d = target.probe_from(q);
+                if d < best.0 || (d == best.0 && q < best.1) {
+                    best = (d, q);
+                }
+                if row_best.map(|(bd, bp)| (d, q) < (bd, bp)).unwrap_or(true) {
+                    row_best = Some((d, q));
+                }
+            }
+            let want = digit(target_id, level);
+            let next = row[want].or(row_best.map(|(_, q)| q));
+            let Some(next) = next else { break };
+            if next == current {
+                break;
+            }
+            current = next;
+            hops += 1;
+        }
+        QueryOutcome {
+            found: best.1,
+            rtt_to_target: best.0,
+            probes: target.probes(),
+            hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_worlds::{clustered, line};
+    use np_util::rng::rng_from;
+
+    #[test]
+    fn digits_and_prefixes() {
+        let id = 0xABCD_EF01_2345_6789u64;
+        assert_eq!(digit(id, 0), 0xA);
+        assert_eq!(digit(id, 1), 0xB);
+        assert_eq!(digit(id, 15), 0x9);
+        assert!(shares_prefix(id, id, 16));
+        assert!(shares_prefix(0xAB00, 0xABFF, 0));
+        assert!(!shares_prefix(0xA000_0000_0000_0000, 0xB000_0000_0000_0000, 1));
+    }
+
+    #[test]
+    fn tables_hold_closest_eligible() {
+        let (m, members) = line(32);
+        let t = Tapestry::build(&m, members.clone(), 1);
+        // Level-0 entries: for each digit, the entry must be the closest
+        // member whose id starts with that digit.
+        let p = members[5];
+        for d in 0..BASE {
+            if let Some(q) = t.table[&p][0][d] {
+                for &r in &members {
+                    if r != p && digit(t.id_of(r), 0) == d {
+                        assert!(m.rtt(p, q) <= m.rtt(p, r), "not closest for digit {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_reasonable_peers_on_a_line() {
+        let (m, all) = line(64);
+        let members: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 2 == 0).collect();
+        let t = Tapestry::build(&m, members.clone(), 3);
+        let mut rng = rng_from(4);
+        let mut close = 0;
+        let targets: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 2 == 1).collect();
+        for &tp in &targets {
+            let tgt = Target::new(tp, &m);
+            let out = t.find_nearest(&tgt, &mut rng);
+            // Tapestry has no absolute guarantee; accept landing within
+            // 8x the optimum (it must at least beat random's ~21 ms
+            // expectation).
+            if m.rtt(out.found, tp) <= Micros::from_ms_u64(8) {
+                close += 1;
+            }
+        }
+        assert!(close * 2 >= targets.len(), "tapestry too weak: {close}/{}", targets.len());
+    }
+
+    #[test]
+    fn rarely_finds_partner_under_clustering() {
+        let (m, _) = clustered(50);
+        let members: Vec<PeerId> = (2..100).map(PeerId).collect();
+        let t = Tapestry::build(&m, members, 5);
+        let mut rng = rng_from(6);
+        let mut exact = 0;
+        for _ in 0..40 {
+            let tgt = Target::new(PeerId(0), &m);
+            if t.find_nearest(&tgt, &mut rng).found == PeerId(1) {
+                exact += 1;
+            }
+        }
+        assert!(exact < 20, "clustering should defeat tapestry: {exact}/40");
+    }
+}

@@ -1,0 +1,225 @@
+//! Tiers (Banerjee, Kommareddy & Bhattacharjee, Globecom 2002).
+//!
+//! A multi-level hierarchy: level 0 holds every peer grouped into
+//! proximity clusters, each cluster elects a representative that joins
+//! the next level, and so on until a single top cluster remains. A
+//! search descends from the top, at each level probing the members of
+//! the chosen cluster and following the representative whose cluster
+//! looked closest. Under the clustering condition the representatives
+//! inside a PoP cluster are mutually equidistant and the descent reduces
+//! to random choice — the paper's §6 argument.
+
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_util::rng::rng_for;
+use np_util::Micros;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TiersConfig {
+    /// Max cluster size per level.
+    pub cluster_size: usize,
+}
+
+impl Default for TiersConfig {
+    fn default() -> Self {
+        TiersConfig { cluster_size: 16 }
+    }
+}
+
+/// One hierarchy level: clusters of member indices with representatives.
+struct Level {
+    /// member -> cluster id
+    cluster_of: HashMap<PeerId, usize>,
+    /// cluster id -> members
+    clusters: Vec<Vec<PeerId>>,
+    /// cluster id -> representative
+    reps: Vec<PeerId>,
+}
+
+/// The built hierarchy.
+pub struct Tiers<'m> {
+    /// Kept for API symmetry with overlays that re-measure; the direct
+    /// query path only reads it at build time.
+    #[allow(dead_code)]
+    matrix: &'m LatencyMatrix,
+    members: Vec<PeerId>,
+    levels: Vec<Level>,
+}
+
+impl<'m> Tiers<'m> {
+    /// Build bottom-up: clusters by nearest-representative assignment.
+    pub fn build(
+        matrix: &'m LatencyMatrix,
+        members: Vec<PeerId>,
+        cfg: TiersConfig,
+        seed: u64,
+    ) -> Tiers<'m> {
+        assert!(!members.is_empty());
+        assert!(cfg.cluster_size >= 2);
+        let mut rng = rng_for(seed, 0x54_49_45); // "TIE"
+        let mut levels = Vec::new();
+        let mut population = members.clone();
+        loop {
+            // Representatives: a 1/cluster_size random subset.
+            let mut shuffled = population.clone();
+            shuffled.shuffle(&mut rng);
+            let n_reps = population.len().div_ceil(cfg.cluster_size).max(1);
+            let reps: Vec<PeerId> = shuffled[..n_reps].to_vec();
+            let mut clusters: Vec<Vec<PeerId>> = vec![Vec::new(); n_reps];
+            let mut cluster_of = HashMap::new();
+            for &p in &population {
+                // Nearest representative (overlay-internal latencies are
+                // known to members).
+                let (ci, _) = reps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &r)| (matrix.rtt(p, r), r))
+                    .expect("non-empty reps");
+                clusters[ci].push(p);
+                cluster_of.insert(p, ci);
+            }
+            let done = n_reps == 1;
+            levels.push(Level {
+                cluster_of,
+                clusters,
+                reps: reps.clone(),
+            });
+            if done {
+                break;
+            }
+            population = reps;
+        }
+        levels.reverse(); // levels[0] = top
+        Tiers {
+            matrix,
+            members,
+            levels,
+        }
+    }
+
+    /// Hierarchy depth (levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl NearestPeerAlgo for Tiers<'_> {
+    fn name(&self) -> &str {
+        "tiers"
+    }
+
+    fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, _rng: &mut StdRng) -> QueryOutcome {
+        // Descend: at the top level probe the single cluster's members;
+        // then at each level probe the members of the cluster the chosen
+        // representative leads.
+        let mut best: Option<(Micros, PeerId)> = None;
+        let mut chosen: PeerId = self.levels[0].reps[0];
+        let mut hops = 0u32;
+        for (li, level) in self.levels.iter().enumerate() {
+            let cluster = if li == 0 {
+                &level.clusters[0]
+            } else {
+                let ci = level.cluster_of[&chosen];
+                &level.clusters[ci]
+            };
+            let mut local_best: Option<(Micros, PeerId)> = None;
+            for &p in cluster {
+                let d = target.probe_from(p);
+                if best.map(|(bd, bp)| (d, p) < (bd, bp)).unwrap_or(true) {
+                    best = Some((d, p));
+                }
+                if local_best.map(|(bd, bp)| (d, p) < (bd, bp)).unwrap_or(true) {
+                    local_best = Some((d, p));
+                }
+            }
+            chosen = local_best.expect("clusters are non-empty").1;
+            hops += 1;
+        }
+        let (rtt, found) = best.expect("probed at least one");
+        QueryOutcome {
+            found,
+            rtt_to_target: rtt,
+            probes: target.probes(),
+            hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_worlds::{clustered, line};
+    use np_util::rng::rng_from;
+
+    #[test]
+    fn hierarchy_shrinks_geometrically() {
+        let (m, members) = line(200);
+        let t = Tiers::build(&m, members, TiersConfig::default(), 1);
+        assert!(t.depth() >= 2, "depth {}", t.depth());
+        // Top level has exactly one cluster.
+        assert_eq!(t.levels[0].clusters.len(), 1);
+        // Every level's clusters partition its population.
+        for level in &t.levels {
+            let total: usize = level.clusters.iter().map(|c| c.len()).sum();
+            assert_eq!(total, level.cluster_of.len());
+            assert_eq!(level.clusters.len(), level.reps.len());
+        }
+    }
+
+    #[test]
+    fn finds_close_peers_on_a_line() {
+        let (m, all) = line(128);
+        let members: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 2 == 0).collect();
+        let t = Tiers::build(&m, members.clone(), TiersConfig::default(), 3);
+        let mut rng = rng_from(4);
+        let mut close = 0;
+        let targets: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 2 == 1).step_by(3).collect();
+        for &tp in &targets {
+            let tgt = Target::new(tp, &m);
+            let out = t.find_nearest(&tgt, &mut rng);
+            if m.rtt(out.found, tp) <= Micros::from_ms_u64(8) {
+                close += 1;
+            }
+        }
+        assert!(
+            close * 10 >= targets.len() * 6,
+            "tiers too weak: {close}/{}",
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn descent_randomises_under_clustering() {
+        let (m, _) = clustered(60);
+        let members: Vec<PeerId> = (2..120).map(PeerId).collect();
+        let t = Tiers::build(&m, members, TiersConfig::default(), 5);
+        let mut rng = rng_from(6);
+        let mut exact = 0;
+        for _ in 0..40 {
+            let tgt = Target::new(PeerId(0), &m);
+            if t.find_nearest(&tgt, &mut rng).found == PeerId(1) {
+                exact += 1;
+            }
+        }
+        assert!(exact < 20, "clustering should defeat tiers: {exact}/40");
+    }
+
+    #[test]
+    fn probe_cost_is_cluster_size_times_depth() {
+        let (m, members) = line(256);
+        let cfg = TiersConfig::default();
+        let t = Tiers::build(&m, members, cfg, 7);
+        let mut rng = rng_from(8);
+        let tgt = Target::new(PeerId(0), &m);
+        let out = t.find_nearest(&tgt, &mut rng);
+        let bound = (cfg.cluster_size * 3 * t.depth()) as u64;
+        assert!(out.probes <= bound, "probes {} > bound {bound}", out.probes);
+    }
+}

@@ -1,0 +1,191 @@
+//! Criterion microbenches for the performance-critical primitives.
+//!
+//! These are *performance* benches (the scientific "benches" are the
+//! `src/bin/fig*.rs` experiment binaries). Sizes are chosen so the whole
+//! suite completes in a few minutes on one core.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use np_meridian::{BuildMode, MeridianConfig, Overlay};
+use np_metric::graph::{Graph, NodeId};
+use np_metric::{PeerId, Target};
+use np_topology::{ClusterWorld, ClusterWorldSpec};
+use np_util::rng::rng_from;
+use np_util::Micros;
+use rand::Rng;
+
+fn world_500() -> ClusterWorld {
+    ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 10,
+            en_per_cluster: 25,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 10,
+        },
+        7,
+    )
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let w = world_500();
+    c.bench_function("latency_matrix_build_500", |b| {
+        b.iter(|| {
+            let m = w.to_matrix();
+            criterion::black_box(m.len())
+        })
+    });
+}
+
+fn bench_meridian_build(c: &mut Criterion) {
+    let w = world_500();
+    let m = w.to_matrix();
+    let members: Vec<PeerId> = w.peers().collect();
+    c.bench_function("meridian_build_500", |b| {
+        b.iter(|| {
+            let o = Overlay::build(
+                &m,
+                members.clone(),
+                MeridianConfig::default(),
+                BuildMode::Omniscient,
+                1,
+            );
+            criterion::black_box(o.total_ring_entries())
+        })
+    });
+}
+
+fn bench_meridian_query(c: &mut Criterion) {
+    let w = world_500();
+    let m = w.to_matrix();
+    let members: Vec<PeerId> = w.peers().skip(10).collect();
+    let overlay = Overlay::build(
+        &m,
+        members,
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        1,
+    );
+    c.bench_function("meridian_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let target = Target::new(PeerId(i % 10), &m);
+            i += 1;
+            let out = overlay.query_from(PeerId(100), &target);
+            criterion::black_box(out.probes)
+        })
+    });
+}
+
+fn bench_chord_lookup(c: &mut Criterion) {
+    let ring = np_dht::ChordRing::build(1024, 3);
+    let mut rng = rng_from(4);
+    c.bench_function("chord_lookup_1024", |b| {
+        b.iter(|| {
+            let key = np_dht::Key(rng.gen());
+            criterion::black_box(ring.lookup(key, &mut rng).hops)
+        })
+    });
+}
+
+fn bench_dijkstra_local(c: &mut Criterion) {
+    // A 10k-node random graph with local structure.
+    let mut rng = rng_from(5);
+    let n = 10_000u32;
+    let mut g = Graph::with_nodes(n as usize);
+    for i in 0..n {
+        for _ in 0..3 {
+            let j = (i + rng.gen_range(1..60)) % n;
+            g.add_edge(NodeId(i), NodeId(j), Micros::from_ms(rng.gen_range(0.3..3.0)));
+        }
+    }
+    c.bench_function("dijkstra_local_10ms_radius", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % n;
+            criterion::black_box(g.dijkstra_local(NodeId(i), Micros::from_ms_u64(10)).len())
+        })
+    });
+}
+
+fn bench_vivaldi(c: &mut Criterion) {
+    let w = world_500();
+    let m = w.to_matrix();
+    let members: Vec<PeerId> = w.peers().collect();
+    c.bench_function("vivaldi_build_500_10rounds", |b| {
+        b.iter(|| {
+            let sys = np_coords::VivaldiSystem::build(
+                &m,
+                members.clone(),
+                np_coords::vivaldi::VivaldiConfig {
+                    rounds: 10,
+                    ..Default::default()
+                },
+                1,
+            );
+            criterion::black_box(sys.mean_error_estimate())
+        })
+    });
+}
+
+fn bench_event_kernel(c: &mut Criterion) {
+    use np_netsim::kernel::{Ctx, Node, NodeAddr, Sim};
+    use np_netsim::link::ConstLink;
+    struct Bouncer {
+        left: u32,
+    }
+    impl Node<u32> for Bouncer {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeAddr, msg: u32) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+    c.bench_function("event_kernel_10k_messages", |b| {
+        b.iter_batched(
+            || {
+                let nodes = vec![Bouncer { left: 5_000 }, Bouncer { left: 5_000 }];
+                let mut sim = Sim::new(nodes, ConstLink(Micros::from_ms_u64(1)), 1);
+                sim.inject(NodeAddr(0), NodeAddr(1), 0);
+                sim
+            },
+            |mut sim| criterion::black_box(sim.run_to_completion()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let mut rng = rng_from(6);
+    let n = 20usize;
+    let pts: Vec<(f64, f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)))
+        .collect();
+    c.bench_function("ring_management_select_16_of_20", |b| {
+        b.iter(|| {
+            let dist = |i: usize, j: usize| {
+                let (a, bb) = (pts[i], pts[j]);
+                ((a.0 - bb.0).powi(2) + (a.1 - bb.1).powi(2) + (a.2 - bb.2).powi(2)).sqrt()
+            };
+            criterion::black_box(np_meridian::hypervolume::select_max_volume(n, 16, dist))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matrix_build, bench_meridian_build, bench_meridian_query,
+              bench_chord_lookup, bench_dijkstra_local, bench_vivaldi,
+              bench_event_kernel, bench_hypervolume
+}
+criterion_main!(benches);

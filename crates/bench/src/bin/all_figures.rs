@@ -1,0 +1,42 @@
+//! Run every figure binary in sequence (quick or paper scale) — the
+//! one-command regeneration entry point quoted by EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p np-bench --bin all_figures [-- --quick]`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig3_4",
+        "fig5",
+        "fig6_7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ucl_discovery",
+        "ext_baselines",
+        "ext_assumptions",
+        "ext_hybrid",
+        "ext_ablation",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall figures regenerated");
+}

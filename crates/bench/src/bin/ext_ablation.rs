@@ -1,0 +1,84 @@
+//! **Ext D** (beyond the paper): Meridian design-choice ablations.
+//!
+//! DESIGN.md calls out three choices worth isolating at the paper's
+//! δ=0.2 / 125-end-network configuration:
+//!
+//! * **β** — the annulus/acceptance threshold trades probes for
+//!   accuracy (the paper mentions this role for β explicitly);
+//! * **ring management** — does hypervolume maintenance matter at all
+//!   under clustering? (§2.3 predicts "no": all subsets look alike);
+//! * **construction** — omniscient fill (the authors' simulator) vs the
+//!   deployable gossip warm-up.
+
+use np_bench::{header, Args};
+use np_core::{run_queries, ClusterScenario};
+use np_meridian::{BuildMode, MeridianConfig, Overlay};
+use np_util::table::{fmt_f, fmt_prob, Table};
+
+fn main() {
+    let args = Args::parse();
+    header(
+        "Ext D — Meridian ablations at x=125, delta=0.2",
+        "beta trades probes for accuracy; ring management is ~neutral under clustering",
+        &args,
+    );
+    let n_queries = if args.quick { 300 } else { 2_000 };
+    let scenario = ClusterScenario::paper(125, 0.2, args.seed);
+    let mut table = Table::new(&[
+        "variant",
+        "P(correct closest)",
+        "P(correct cluster)",
+        "mean probes",
+        "mean hops",
+    ]);
+    let mut run = |label: &str, cfg: MeridianConfig, mode: BuildMode| {
+        let overlay = Overlay::build(
+            &scenario.matrix,
+            scenario.overlay.clone(),
+            cfg,
+            mode,
+            args.seed,
+        );
+        let m = run_queries(&overlay, &scenario, n_queries, args.seed);
+        table.row(&[
+            label.to_string(),
+            fmt_prob(m.p_correct_closest),
+            fmt_prob(m.p_correct_cluster),
+            fmt_f(m.mean_probes),
+            fmt_f(m.mean_hops),
+        ]);
+        eprintln!("{label} done");
+    };
+    let base = MeridianConfig::default();
+    run("baseline (beta=0.5, manage=2, omniscient)", base, BuildMode::Omniscient);
+    run(
+        "beta=0.25",
+        MeridianConfig { beta: 0.25, ..base },
+        BuildMode::Omniscient,
+    );
+    run(
+        "beta=0.75",
+        MeridianConfig { beta: 0.75, ..base },
+        BuildMode::Omniscient,
+    );
+    run(
+        "no ring management",
+        MeridianConfig {
+            manage_rounds: 0,
+            ..base
+        },
+        BuildMode::Omniscient,
+    );
+    run(
+        "gossip build (8 rounds, fanout 8)",
+        base,
+        BuildMode::Gossip {
+            rounds: 8,
+            fanout: 8,
+        },
+    );
+    println!("{}", table.render());
+    if args.csv {
+        println!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,67 @@
+//! **Ext B** (beyond the paper): §2.2's assumption violations measured.
+//!
+//! Growth constant, greedy doubling-cover size and Levina–Bickel
+//! intrinsic dimension over (a) a growth-friendly uniform world and
+//! (b) the paper's cluster worlds at increasing cluster sizes. The
+//! clustering condition must inflate all three.
+
+use np_bench::{header, Args};
+use np_core::ClusterScenario;
+use np_metric::diagnostics::assumption_report;
+use np_metric::{LatencyMatrix, PeerId};
+use np_util::rng::rng_for;
+use np_util::table::{fmt_f, Table};
+use np_util::Micros;
+
+fn main() {
+    let args = Args::parse();
+    header(
+        "Ext B — metric-space diagnostics under clustering",
+        "growth/doubling constants and intrinsic dimension blow up with cluster size",
+        &args,
+    );
+    let mut table = Table::new(&[
+        "world",
+        "growth max",
+        "growth p95",
+        "doubling (greedy)",
+        "intrinsic dim",
+    ]);
+    // Uniform reference world: peers on a 50x50 grid, 2 ms spacing.
+    let uniform = LatencyMatrix::build(900, |a, b| {
+        let (ax, ay) = (a.idx() % 30, a.idx() / 30);
+        let (bx, by) = (b.idx() % 30, b.idx() / 30);
+        Micros::from_ms(
+            (((ax as f64 - bx as f64).powi(2) + (ay as f64 - by as f64).powi(2)).sqrt() * 2.0)
+                .max(0.1),
+        )
+    });
+    let members: Vec<PeerId> = (0..900).map(PeerId).collect();
+    let mut rng = rng_for(args.seed, 1);
+    let r = assumption_report(&uniform, &members, &mut rng);
+    table.row(&[
+        "uniform grid".into(),
+        fmt_f(r.growth_max.unwrap_or(f64::NAN)),
+        fmt_f(r.growth_p95.unwrap_or(f64::NAN)),
+        r.doubling.to_string(),
+        fmt_f(r.intrinsic_dim.unwrap_or(f64::NAN)),
+    ]);
+    for &x in &[5usize, 25, 125] {
+        let scenario = ClusterScenario::paper(x, 0.2, args.seed.wrapping_add(x as u64));
+        let members: Vec<PeerId> = scenario.overlay.clone();
+        let mut rng = rng_for(args.seed, 2 + x as u64);
+        let r = assumption_report(&scenario.matrix, &members, &mut rng);
+        table.row(&[
+            format!("cluster world x={x}"),
+            fmt_f(r.growth_max.unwrap_or(f64::NAN)),
+            fmt_f(r.growth_p95.unwrap_or(f64::NAN)),
+            r.doubling.to_string(),
+            fmt_f(r.intrinsic_dim.unwrap_or(f64::NAN)),
+        ]);
+        eprintln!("x={x} done");
+    }
+    println!("{}", table.render());
+    if args.csv {
+        println!("{}", table.to_csv());
+    }
+}

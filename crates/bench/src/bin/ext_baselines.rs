@@ -1,0 +1,76 @@
+//! **Ext A** (beyond the paper): the §2.3/§6 analytical claims, tested
+//! empirically — every implemented nearest-peer algorithm runs over the
+//! same cluster worlds as Figure 8, and all of them should show the
+//! same collapse of P(correct closest) at large cluster sizes while
+//! brute force stays perfect.
+
+use np_baselines::{
+    beacon::BeaconConfig, karger_ruhl::KrConfig, tiers::TiersConfig, Beaconing, KargerRuhl,
+    Tapestry, Tiers,
+};
+use np_bench::{header, Args};
+use np_coords::walk::build_walk;
+use np_coords::CoordWalk;
+use np_core::{run_queries, ClusterScenario, PaperMetrics};
+use np_meridian::{BuildMode, MeridianConfig, Overlay};
+use np_metric::nearest::{BruteForce, RandomChoice};
+use np_util::table::{fmt_f, fmt_prob, Table};
+
+fn main() {
+    let args = Args::parse();
+    header(
+        "Ext A — all algorithms under the clustering condition",
+        "every latency-only scheme collapses at x=250; brute force does not",
+        &args,
+    );
+    let xs: &[usize] = if args.quick { &[25, 250] } else { &[5, 25, 250] };
+    let n_queries = if args.quick { 150 } else { 1_000 };
+    let mut table = Table::new(&[
+        "algorithm",
+        "end-nets/cluster",
+        "P(correct closest)",
+        "P(correct cluster)",
+        "mean probes",
+    ]);
+    for &x in xs {
+        let scenario = ClusterScenario::paper(x, 0.2, args.seed.wrapping_add(x as u64));
+        let run = |name: &str, m: PaperMetrics, table: &mut Table| {
+            table.row(&[
+                name.to_string(),
+                x.to_string(),
+                fmt_prob(m.p_correct_closest),
+                fmt_prob(m.p_correct_cluster),
+                fmt_f(m.mean_probes),
+            ]);
+        };
+        let seed = args.seed.wrapping_add(x as u64);
+        let meridian = Overlay::build(
+            &scenario.matrix,
+            scenario.overlay.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            seed,
+        );
+        run("meridian", run_queries(&meridian, &scenario, n_queries, seed), &mut table);
+        let kr = KargerRuhl::build(&scenario.matrix, scenario.overlay.clone(), KrConfig::default(), seed);
+        run("karger-ruhl", run_queries(&kr, &scenario, n_queries, seed), &mut table);
+        let tap = Tapestry::build(&scenario.matrix, scenario.overlay.clone(), seed);
+        run("tapestry", run_queries(&tap, &scenario, n_queries, seed), &mut table);
+        let tiers = Tiers::build(&scenario.matrix, scenario.overlay.clone(), TiersConfig::default(), seed);
+        run("tiers", run_queries(&tiers, &scenario, n_queries, seed), &mut table);
+        let bcn = Beaconing::build(&scenario.matrix, scenario.overlay.clone(), BeaconConfig::default(), seed);
+        run("beaconing", run_queries(&bcn, &scenario, n_queries, seed), &mut table);
+        let (vivaldi, wseed) = build_walk(&scenario.matrix, scenario.overlay.clone(), 3, seed);
+        let walk = CoordWalk::new(&vivaldi, 16, wseed);
+        run("coord-walk", run_queries(&walk, &scenario, n_queries, seed), &mut table);
+        let rnd = RandomChoice::new(&scenario.matrix, scenario.overlay.clone());
+        run("random", run_queries(&rnd, &scenario, n_queries, seed), &mut table);
+        let bf = BruteForce::new(&scenario.matrix, scenario.overlay.clone());
+        run("brute-force", run_queries(&bf, &scenario, n_queries / 5, seed), &mut table);
+        eprintln!("x={x} done");
+    }
+    println!("{}", table.render());
+    if args.csv {
+        println!("{}", table.to_csv());
+    }
+}

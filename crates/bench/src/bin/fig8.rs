@@ -1,0 +1,72 @@
+//! **Figure 8**: Meridian success rates vs. end-networks per cluster.
+//!
+//! Paper series (≈2.4 k overlay nodes, β = 0.5, δ = 0.2, 2 peers per
+//! end-network, 5,000 queries, medians of 3 runs):
+//!
+//! * P(correct closest peer): rises from ≈0.35 at x=5 to a peak ≈0.5 at
+//!   x=25, then falls to ≈0.1–0.15 at x=250 — the phase transition the
+//!   clustering condition causes;
+//! * P(correct cluster): increases monotonically towards ≈1.
+
+use np_bench::{band, header, Args};
+use np_core::{run_queries, sweep_three_runs, ClusterScenario};
+use np_meridian::{BuildMode, MeridianConfig, Overlay};
+use np_util::ascii::{Axis, Chart};
+use np_util::table::Table;
+
+fn main() {
+    let args = Args::parse();
+    header(
+        "Figure 8 — Meridian accuracy vs cluster size",
+        "closest-peer curve peaks near x=25 then collapses; cluster curve rises to ~1",
+        &args,
+    );
+    let xs: &[usize] = &[5, 25, 50, 125, 250];
+    let n_queries = if args.quick { 400 } else { 5_000 };
+    let mut table = Table::new(&[
+        "end-nets/cluster",
+        "P(correct closest) med [min,max]",
+        "P(correct cluster) med [min,max]",
+        "mean probes",
+        "mean hops",
+    ]);
+    let mut closest_pts = Vec::new();
+    let mut cluster_pts = Vec::new();
+    for &x in xs {
+        let bands = sweep_three_runs(args.seed.wrapping_add(x as u64), |seed| {
+            let scenario = ClusterScenario::paper(x, 0.2, seed);
+            let overlay = Overlay::build(
+                &scenario.matrix,
+                scenario.overlay.clone(),
+                MeridianConfig::default(),
+                BuildMode::Omniscient,
+                seed,
+            );
+            run_queries(&overlay, &scenario, n_queries, seed)
+        });
+        table.row(&[
+            x.to_string(),
+            band(bands.p_correct_closest),
+            band(bands.p_correct_cluster),
+            format!("{:.1}", bands.mean_probes.median),
+            format!("{:.2}", bands.mean_hops.median),
+        ]);
+        closest_pts.push((x as f64, bands.p_correct_closest.median));
+        cluster_pts.push((x as f64, bands.p_correct_cluster.median));
+        eprintln!("x={x} done");
+    }
+    println!("{}", table.render());
+    let chart = Chart::new(
+        "P(correct closest) [c]  /  P(correct cluster) [K]",
+        64,
+        14,
+    )
+    .axes(Axis::Log, Axis::Linear)
+    .labels("#end-networks in cluster", "prob")
+    .series('c', &closest_pts)
+    .series('K', &cluster_pts);
+    println!("{}", chart.render());
+    if args.csv {
+        println!("{}", table.to_csv());
+    }
+}

@@ -1,0 +1,73 @@
+//! **§5 claim**: UCL discovery rates vs. tracked-router count.
+//!
+//! Paper: "To discover peers closer than 5 ms, peers need to track 3
+//! upstream routers each for a 50% success rate (the median case) and
+//! about 6 routers each for a 75% success rate."
+//!
+//! This runs the *live* registry (not the hop-length proxy): peers
+//! insert their UCL mappings into the key-value map, query it, filter by
+//! the latency estimates, and success is checked against ground truth.
+//! `--chord` backs the registry with the real Chord ring instead of the
+//! perfect map and reports the lookup-hop cost.
+
+use np_bench::{header, Args};
+use np_dht::{ChordMap, PerfectMap};
+use np_remedies::ucl::discovery_study;
+use np_topology::{HostId, InternetModel, WorldParams};
+use np_util::table::{fmt_f, fmt_prob, Table};
+use np_util::Micros;
+
+fn main() {
+    let args = Args::parse();
+    header(
+        "UCL discovery study (paper Section 5)",
+        "~50% success at 3 tracked routers, ~75% at 6 (5 ms targets)",
+        &args,
+    );
+    let params = if args.quick {
+        WorldParams::quick_scale()
+    } else {
+        WorldParams::paper_scale()
+    };
+    let world = InternetModel::generate(params, args.seed);
+    // Evaluate over a subsample of responsive peers (registry inserts are
+    // O(peers x track); the paper's evaluation is also over its
+    // responsive set).
+    let step = if args.quick { 3 } else { 11 };
+    let peers: Vec<HostId> = world
+        .azureus_peers()
+        .filter(|&p| world.host(p).tcp_responsive || world.host(p).icmp_responsive)
+        .step_by(step)
+        .collect();
+    println!("evaluated peers: {}", peers.len());
+    let use_chord = args.rest.iter().any(|a| a == "--chord");
+    let target = Micros::from_ms_u64(5);
+    let mut t = Table::new(&["tracked routers", "success", "mean candidates", "after filter"]);
+    if use_chord {
+        let rows = discovery_study(&world, &peers, target, 8, || ChordMap::new(128, args.seed));
+        for r in &rows {
+            t.row(&[
+                r.track.to_string(),
+                fmt_prob(r.success),
+                fmt_f(r.mean_candidates),
+                fmt_f(r.mean_filtered),
+            ]);
+        }
+        println!("backend: chord (128 nodes)");
+    } else {
+        let rows = discovery_study(&world, &peers, target, 8, PerfectMap::new);
+        for r in &rows {
+            t.row(&[
+                r.track.to_string(),
+                fmt_prob(r.success),
+                fmt_f(r.mean_candidates),
+                fmt_f(r.mean_filtered),
+            ]);
+        }
+        println!("backend: perfect map (the paper's assumption)");
+    }
+    println!("{}", t.render());
+    if args.csv {
+        println!("{}", t.to_csv());
+    }
+}

@@ -1,0 +1,105 @@
+//! # np-bench
+//!
+//! The experiment harness: one binary per paper figure (under
+//! `src/bin/`), Criterion microbenches (under `benches/`), and this
+//! small shared library — CLI parsing and report formatting.
+//!
+//! Every figure binary supports:
+//!
+//! * `--quick` — a scaled-down run for smoke checks (CI-sized),
+//! * `--seed N` — override the base seed (default [`np_util::rng::DEFAULT_SEED`]),
+//! * `--csv` — additionally emit the series as CSV to stdout.
+//!
+//! Binaries print (a) the experiment header with the paper's expected
+//! shape, (b) the regenerated series as an aligned table, (c) an ASCII
+//! chart of the shape, so EXPERIMENTS.md can quote them directly.
+
+use np_util::rng::DEFAULT_SEED;
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub quick: bool,
+    pub seed: u64,
+    pub csv: bool,
+    /// Leftover positional/unknown flags for binary-specific handling.
+    pub rest: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args()`, panicking on malformed `--seed`.
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args {
+            quick: false,
+            seed: DEFAULT_SEED,
+            csv: false,
+            rest: Vec::new(),
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                "--seed" => {
+                    let v = it.next().expect("--seed requires a value");
+                    out.seed = v.parse().expect("--seed must be a u64");
+                }
+                _ => out.rest.push(a),
+            }
+        }
+        out
+    }
+}
+
+/// Print the standard experiment header.
+pub fn header(figure: &str, paper_shape: &str, args: &Args) {
+    println!("=== {figure} ===");
+    println!("paper shape: {paper_shape}");
+    println!(
+        "mode: {}, base seed: {:#x}",
+        if args.quick { "quick" } else { "paper-scale" },
+        args.seed
+    );
+    println!();
+}
+
+/// Format a `RunBand` as `median [min, max]`.
+pub fn band(b: np_util::stats::RunBand) -> String {
+    format!("{:.3} [{:.3}, {:.3}]", b.median, b.min, b.max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        let a = Args::from_iter(
+            ["--quick", "--seed", "42", "--csv", "extra"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(a.quick && a.csv);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.rest, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::from_iter(std::iter::empty());
+        assert!(!a.quick && !a.csv);
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed requires a value")]
+    fn seed_needs_value() {
+        Args::from_iter(["--seed".to_string()]);
+    }
+}

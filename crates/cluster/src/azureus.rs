@@ -1,0 +1,330 @@
+//! The Azureus clustering study (paper §3.2, Figures 6–7).
+//!
+//! > "We track each peer's closest upstream router using traceroutes
+//! > from multiple vantage points spread across the globe, produce
+//! > clusters of peers that all have the same upstream router, identify
+//! > the common upstream router as the cluster-hubs, measure latencies
+//! > between the cluster-hub and the peers within each cluster, and
+//! > further prune down the clusters to ensure all cluster peers have
+//! > similar latencies to the cluster-hub."
+//!
+//! Of 156,658 source IPs the paper retains 5,904 that (a) answered
+//! TCP-pings or traceroutes and (b) showed the same upstream router
+//! from every vantage point; this pipeline reproduces the same
+//! attrition mechanics (unresponsiveness, route instability,
+//! multihoming) and the 1.5× latency pruning.
+
+use np_probe::{NoiseConfig, TcpPing, Tracer};
+use np_topology::{HostId, InternetModel, RouterId};
+use np_util::rng::sub_seed;
+use np_util::Micros;
+use std::collections::HashMap;
+
+/// A surviving peer: consistent hub + measured hub-to-peer latency.
+#[derive(Debug, Clone, Copy)]
+pub struct Survivor {
+    pub host: HostId,
+    pub hub: RouterId,
+    pub hub_to_peer: Micros,
+}
+
+/// A cluster of peers under one hub.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pub hub: RouterId,
+    /// Members with hub-to-peer latencies, ascending by latency.
+    pub members: Vec<(HostId, Micros)>,
+}
+
+impl Cluster {
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Prune to the largest contiguous latency window `[l, 1.5·l]` —
+    /// the paper's "hub-to-peer latencies all within a factor of 1.5
+    /// from one another". Ties keep the lower-latency window.
+    pub fn pruned(&self, factor: f64) -> Cluster {
+        assert!(factor >= 1.0);
+        if self.members.len() <= 1 {
+            return self.clone();
+        }
+        let lat: Vec<Micros> = self.members.iter().map(|&(_, l)| l).collect();
+        let mut best = (0usize, 0usize); // (start, len)
+        let mut j = 0usize;
+        for i in 0..lat.len() {
+            if j < i {
+                j = i;
+            }
+            while j + 1 < lat.len()
+                && (lat[j + 1].as_us() as f64) <= (lat[i].as_us().max(1) as f64) * factor
+            {
+                j += 1;
+            }
+            let len = j - i + 1;
+            if len > best.1 {
+                best = (i, len);
+            }
+        }
+        Cluster {
+            hub: self.hub,
+            members: self.members[best.0..best.0 + best.1].to_vec(),
+        }
+    }
+}
+
+/// The study outputs.
+pub struct AzureusStudy {
+    /// Total candidate IPs examined.
+    pub total_ips: usize,
+    /// Peers that answered a TCP-ping or a traceroute (the 22,796-analog
+    /// population used by §5).
+    pub responsive: Vec<HostId>,
+    /// Peers that additionally had a consistent upstream router and a
+    /// usable hub-to-peer latency (the 5,904-analog).
+    pub survivors: Vec<Survivor>,
+    /// Clusters before pruning (size ≥ 1), descending by size.
+    pub unpruned: Vec<Cluster>,
+    /// Clusters after 1.5× pruning, descending by size.
+    pub pruned: Vec<Cluster>,
+}
+
+impl AzureusStudy {
+    /// Cumulative count of peers in clusters of size ≤ x, over the given
+    /// cluster set — the paper's Figure 6 axis.
+    pub fn cumulative_by_size(clusters: &[Cluster], sizes: &[usize]) -> Vec<(usize, usize)> {
+        sizes
+            .iter()
+            .map(|&x| {
+                let total: usize = clusters
+                    .iter()
+                    .filter(|c| c.len() <= x)
+                    .map(|c| c.len())
+                    .sum();
+                (x, total)
+            })
+            .collect()
+    }
+
+    /// Fraction of surviving peers in pruned clusters of at least
+    /// `min_size` (the paper: ~16 % at 25).
+    pub fn fraction_in_large_pruned(&self, min_size: usize) -> f64 {
+        let total: usize = self.pruned.iter().map(|c| c.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let large: usize = self
+            .pruned
+            .iter()
+            .filter(|c| c.len() >= min_size)
+            .map(|c| c.len())
+            .sum();
+        large as f64 / total as f64
+    }
+}
+
+/// Run the pipeline over every Azureus peer (or a subsample for quick
+/// runs: pass `Some(n)` to cap the candidate count).
+pub fn run(world: &InternetModel, limit: Option<usize>, seed: u64) -> AzureusStudy {
+    let noise = NoiseConfig::default();
+    let mut tracer = Tracer::new(world, noise, sub_seed(seed, 21));
+    let n_vps = world.vantage_points.len();
+    let mut tcp: Vec<TcpPing<'_>> = (0..n_vps)
+        .map(|v| {
+            TcpPing::new(
+                world,
+                world.vantage_points[v],
+                noise,
+                sub_seed(seed, 22 + v as u64),
+            )
+        })
+        .collect();
+
+    let peers: Vec<HostId> = match limit {
+        Some(n) => world.azureus_peers().take(n).collect(),
+        None => world.azureus_peers().collect(),
+    };
+    let mut responsive = Vec::new();
+    let mut survivors = Vec::new();
+    for &peer in &peers {
+        // Traceroutes from all vantage points.
+        let traces: Vec<_> = (0..n_vps).map(|v| tracer.trace(v, peer)).collect();
+        let tcp_rtts: Vec<Option<Micros>> = tcp.iter_mut().map(|t| t.measure(peer)).collect();
+        let any_tcp = tcp_rtts.iter().any(|r| r.is_some());
+        let any_trace_dest = traces.iter().any(|t| t.dest_responded);
+        if any_tcp || any_trace_dest {
+            responsive.push(peer);
+        }
+        if !any_tcp {
+            continue; // no latency source for the clustering study
+        }
+        // Upstream-router agreement across every vantage point.
+        let hubs: Vec<Option<RouterId>> = traces.iter().map(|t| t.last_valid_router()).collect();
+        let Some(hub) = hubs[0] else { continue };
+        if hubs.iter().any(|&h| h != Some(hub)) {
+            continue;
+        }
+        // Hub-to-peer latency: per vantage point, TCP RTT minus the hub
+        // hop's RTT; negatives discarded (the paper's rule); median of
+        // the valid estimates.
+        let mut estimates = Vec::new();
+        for (t, rtt) in traces.iter().zip(&tcp_rtts) {
+            let (Some(hub_rtt), Some(peer_rtt)) = (t.last_valid_rtt(), *rtt) else {
+                continue;
+            };
+            if let Some(d) = peer_rtt.checked_sub(hub_rtt) {
+                estimates.push(d);
+            }
+        }
+        let Some(hub_to_peer) = np_util::stats::median_micros(&estimates) else {
+            continue;
+        };
+        survivors.push(Survivor {
+            host: peer,
+            hub,
+            hub_to_peer,
+        });
+    }
+
+    // Group into clusters.
+    let mut by_hub: HashMap<RouterId, Vec<(HostId, Micros)>> = HashMap::new();
+    for s in &survivors {
+        by_hub.entry(s.hub).or_default().push((s.host, s.hub_to_peer));
+    }
+    let mut unpruned: Vec<Cluster> = by_hub
+        .into_iter()
+        .map(|(hub, mut members)| {
+            members.sort_by_key(|&(h, l)| (l, h));
+            Cluster { hub, members }
+        })
+        .collect();
+    unpruned.sort_by_key(|c| (std::cmp::Reverse(c.len()), c.hub));
+    let mut pruned: Vec<Cluster> = unpruned.iter().map(|c| c.pruned(1.5)).collect();
+    pruned.sort_by_key(|c| (std::cmp::Reverse(c.len()), c.hub));
+    AzureusStudy {
+        total_ips: peers.len(),
+        responsive,
+        survivors,
+        unpruned,
+        pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::WorldParams;
+
+    fn study() -> AzureusStudy {
+        let world = InternetModel::generate(WorldParams::quick_scale(), 37);
+        run(&world, None, 37)
+    }
+
+    #[test]
+    fn attrition_matches_paper_proportions() {
+        let s = study();
+        assert_eq!(s.total_ips, 8_000);
+        let resp_frac = s.responsive.len() as f64 / s.total_ips as f64;
+        // Paper: 22,796 / 156,658 ≈ 14.6 %.
+        assert!(
+            (0.08..=0.30).contains(&resp_frac),
+            "responsive fraction {resp_frac:.3}"
+        );
+        let surv_frac = s.survivors.len() as f64 / s.total_ips as f64;
+        // Paper: 5,904 / 156,658 ≈ 3.8 %.
+        assert!(
+            (0.015..=0.09).contains(&surv_frac),
+            "survivor fraction {surv_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn clusters_partition_survivors() {
+        let s = study();
+        let total: usize = s.unpruned.iter().map(|c| c.len()).sum();
+        assert_eq!(total, s.survivors.len());
+        // Pruning never grows a cluster.
+        for (u, p) in s.unpruned.iter().zip(&s.pruned) {
+            // (same ordering is not guaranteed; just check global sums)
+            let _ = (u, p);
+        }
+        let pruned_total: usize = s.pruned.iter().map(|c| c.len()).sum();
+        assert!(pruned_total <= total);
+        assert!(pruned_total > 0);
+    }
+
+    #[test]
+    fn pruned_clusters_respect_the_window() {
+        let s = study();
+        for c in &s.pruned {
+            if c.len() < 2 {
+                continue;
+            }
+            let lo = c.members.first().expect("non-empty").1;
+            let hi = c.members.last().expect("non-empty").1;
+            assert!(
+                hi.as_us() as f64 <= lo.as_us().max(1) as f64 * 1.5 + 1.0,
+                "window violated: {lo} .. {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_large_clusters_exist() {
+        let s = study();
+        let largest = s.pruned.first().map(|c| c.len()).unwrap_or(0);
+        // At 8 k candidate scale (~5 % of paper's), the paper's 235-peer
+        // largest cluster scales to ~double digits.
+        assert!(largest >= 8, "largest pruned cluster only {largest}");
+        let frac25 = s.fraction_in_large_pruned(10);
+        assert!(frac25 > 0.02, "fraction in clusters>=10: {frac25:.3}");
+    }
+
+    #[test]
+    fn pruning_window_edge_cases() {
+        let c = Cluster {
+            hub: RouterId(0),
+            members: vec![
+                (HostId(1), Micros::from_ms_u64(10)),
+                (HostId(2), Micros::from_ms_u64(12)),
+                (HostId(3), Micros::from_ms_u64(14)),
+                (HostId(4), Micros::from_ms_u64(40)),
+                (HostId(5), Micros::from_ms_u64(55)),
+            ],
+        };
+        let p = c.pruned(1.5);
+        // [10,12,14] fits within 1.5x; [40,55] is shorter.
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.members[0].0, HostId(1));
+        // Singleton stays singleton.
+        let single = Cluster {
+            hub: RouterId(0),
+            members: vec![(HostId(9), Micros::from_ms_u64(7))],
+        };
+        assert_eq!(single.pruned(1.5).len(), 1);
+    }
+
+    proptest::proptest! {
+        /// The pruning window always satisfies the factor bound and is
+        /// maximal-contiguous.
+        #[test]
+        fn prop_pruning_window(lats in proptest::collection::vec(1_000u64..100_000, 1..40)) {
+            let mut members: Vec<(HostId, Micros)> = lats
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (HostId(i as u32), Micros(l)))
+                .collect();
+            members.sort_by_key(|&(h, l)| (l, h));
+            let c = Cluster { hub: RouterId(0), members };
+            let p = c.pruned(1.5);
+            proptest::prop_assert!(!p.is_empty());
+            let lo = p.members.first().expect("non-empty").1.as_us() as f64;
+            let hi = p.members.last().expect("non-empty").1.as_us() as f64;
+            proptest::prop_assert!(hi <= lo * 1.5 + 1.0);
+        }
+    }
+}

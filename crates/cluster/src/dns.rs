@@ -1,0 +1,370 @@
+//! The DNS-server prediction study (paper §3.1, Figures 3–4).
+//!
+//! Pipeline, exactly as the paper describes it:
+//!
+//! 1. rockettrace from the measurement host to every recursive DNS
+//!    server; map each server to its **closest upstream PoP** — the last
+//!    hop whose name parses to an ISP `(AS, city)` annotation;
+//! 2. group servers by PoP and draw random pairs so each server appears
+//!    in ~4 pairs;
+//! 3. predict the pair latency: **(i)** if the two traces share a router
+//!    *downstream of the PoP*, predict via that router —
+//!    `(ping(s1) − ping(r)) + (ping(s2) − ping(r))`; **(ii)** otherwise
+//!    predict via each server's PoP entry hop;
+//! 4. measure with King;
+//! 5. filters: cross-domain only, discard negative subtractions, ≤ 10
+//!    hops from the common router/PoP, predicted ≤ 100 ms.
+//!
+//! The *prediction measure* is predicted ÷ measured; the paper finds
+//! ~65 % of pairs inside [0.5, 2] and a rising trend with predicted
+//! latency.
+
+use np_probe::{King, NoiseConfig, Pinger, Trace, Tracer};
+use np_topology::names::Annotation;
+use np_topology::{HostId, InternetModel};
+use np_util::rng::{rng_for, sub_seed};
+use np_util::{Cdf, Micros};
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// One retained pair.
+#[derive(Debug, Clone, Copy)]
+pub struct PairSample {
+    pub s1: HostId,
+    pub s2: HostId,
+    pub predicted: Micros,
+    pub measured: Micros,
+    /// Trace hops from each server to the common router / PoP entry.
+    pub hops1: usize,
+    pub hops2: usize,
+    /// Whether rule (i) (shared downstream router) applied.
+    pub via_common_router: bool,
+}
+
+impl PairSample {
+    /// The prediction measure: predicted / measured.
+    pub fn measure_ratio(&self) -> f64 {
+        self.predicted.as_us() as f64 / self.measured.as_us().max(1) as f64
+    }
+}
+
+/// Outputs of the study.
+pub struct DnsStudy {
+    /// Pairs surviving all filters.
+    pub pairs: Vec<PairSample>,
+    /// Servers successfully mapped to a PoP.
+    pub mapped_servers: usize,
+    /// Pairs discarded by each filter (diagnostics).
+    pub dropped_same_domain: usize,
+    pub dropped_negative: usize,
+    pub dropped_hops: usize,
+    pub dropped_predicted_cap: usize,
+    pub dropped_unmeasurable: usize,
+}
+
+/// Per-server trace bundle reused by [`crate::domain`].
+pub(crate) struct ServerInfo {
+    pub trace: Trace,
+    /// Hop index of the PoP entry (last ISP-annotated hop).
+    pub pop_entry: usize,
+    pub pop_key: Annotation,
+}
+
+/// The prediction rule shared by this module and [`crate::domain`].
+///
+/// Returns `(predicted, hops1, hops2, via_common_router)`, or `None`
+/// when a ping fails or a subtraction goes negative.
+pub(crate) fn predict(
+    pinger: &mut Pinger<'_>,
+    a: &ServerInfo,
+    b: &ServerInfo,
+) -> Option<(Micros, usize, usize, bool)> {
+    // Deepest common router strictly downstream of both PoP entries.
+    let pos_b: HashMap<_, usize> = b
+        .trace
+        .hops
+        .iter()
+        .enumerate()
+        .filter_map(|(i, h)| h.router.map(|r| (r, i)))
+        .collect();
+    let mut common: Option<(usize, usize)> = None; // (pos_a, pos_b)
+    for (i, h) in a.trace.hops.iter().enumerate() {
+        let Some(r) = h.router else { continue };
+        if let Some(&j) = pos_b.get(&r) {
+            if i > a.pop_entry && j > b.pop_entry {
+                common = Some((i, j)); // keep the deepest (last) match
+            }
+        }
+    }
+    let ping_s1 = pinger.min_ping_host(a.trace.target, 3)?;
+    let ping_s2 = pinger.min_ping_host(b.trace.target, 3)?;
+    if let Some((i, j)) = common {
+        let r = a.trace.hops[i].router.expect("common router is valid");
+        let ping_r = pinger.min_ping_router(r, 3)?;
+        let lat1 = ping_s1.checked_sub(ping_r)?;
+        let lat2 = ping_s2.checked_sub(ping_r)?;
+        // Hop counts: trace positions to the server (server itself is one
+        // hop past the last router).
+        let hops1 = a.trace.hops.len() - i;
+        let hops2 = b.trace.hops.len() - j;
+        Some((lat1 + lat2, hops1, hops2, true))
+    } else {
+        let ra = a.trace.hops[a.pop_entry].router?;
+        let rb = b.trace.hops[b.pop_entry].router?;
+        let ping_ra = pinger.min_ping_router(ra, 3)?;
+        let ping_rb = pinger.min_ping_router(rb, 3)?;
+        let lat1 = ping_s1.checked_sub(ping_ra)?;
+        let lat2 = ping_s2.checked_sub(ping_rb)?;
+        let hops1 = a.trace.hops.len() - a.pop_entry;
+        let hops2 = b.trace.hops.len() - b.pop_entry;
+        Some((lat1 + lat2, hops1, hops2, false))
+    }
+}
+
+/// Trace every DNS server and map it to its closest upstream PoP.
+pub(crate) fn map_servers(
+    world: &InternetModel,
+    tracer: &mut Tracer<'_>,
+    vp_idx: usize,
+) -> HashMap<HostId, ServerInfo> {
+    let mut out = HashMap::new();
+    for h in world.dns_servers() {
+        let trace = tracer.trace(vp_idx, h);
+        let entry = trace
+            .hops
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, hop)| hop.anno.is_some());
+        if let Some((idx, hop)) = entry {
+            let pop_key = hop.anno.expect("checked");
+            out.insert(
+                h,
+                ServerInfo {
+                    trace,
+                    pop_entry: idx,
+                    pop_key,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Configuration knobs (paper values as defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct DnsStudyConfig {
+    /// Target pairs per server (paper: "each DNS server appears in about
+    /// 4 pairs").
+    pub pairs_per_server: usize,
+    /// Max hops from the common router / PoP (paper: 10).
+    pub max_hops: usize,
+    /// Predicted-latency cap (paper: 100 ms).
+    pub predicted_cap: Micros,
+}
+
+impl Default for DnsStudyConfig {
+    fn default() -> Self {
+        DnsStudyConfig {
+            pairs_per_server: 4,
+            max_hops: 10,
+            predicted_cap: Micros::from_ms_u64(100),
+        }
+    }
+}
+
+/// Run the full study.
+pub fn run(world: &InternetModel, cfg: DnsStudyConfig, seed: u64) -> DnsStudy {
+    let noise = NoiseConfig::default();
+    let mut tracer = Tracer::new(world, noise, sub_seed(seed, 1));
+    let m_host = world.vantage_points[0];
+    let mut pinger = Pinger::new(world, m_host, noise, sub_seed(seed, 2));
+    let mut king = King::new(world, noise, sub_seed(seed, 3));
+    let infos = map_servers(world, &mut tracer, 0);
+
+    // Cluster servers by PoP key.
+    let mut clusters: HashMap<Annotation, Vec<HostId>> = HashMap::new();
+    for (&h, info) in &infos {
+        clusters.entry(info.pop_key).or_default().push(h);
+    }
+    for v in clusters.values_mut() {
+        v.sort_unstable(); // determinism before shuffling
+    }
+
+    // Draw pairs: each server picks pairs_per_server/2 partners.
+    // Iterate clusters in sorted key order — HashMap order would leak
+    // into the RNG stream and break run-to-run determinism.
+    let mut keys: Vec<Annotation> = clusters.keys().copied().collect();
+    keys.sort_by_key(|a| (a.as_id, a.city_id));
+    let mut rng = rng_for(seed, 0x444E_5350); // "DNSP"
+    let mut pairs: Vec<(HostId, HostId)> = Vec::new();
+    for key in keys {
+        let servers = &clusters[&key];
+        if servers.len() < 2 {
+            continue;
+        }
+        let per_side = (cfg.pairs_per_server / 2).max(1);
+        for &s in servers {
+            for _ in 0..per_side {
+                let &t = servers.choose(&mut rng).expect("non-empty");
+                if t != s {
+                    let key = if s < t { (s, t) } else { (t, s) };
+                    pairs.push(key);
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let mut study = DnsStudy {
+        pairs: Vec::new(),
+        mapped_servers: infos.len(),
+        dropped_same_domain: 0,
+        dropped_negative: 0,
+        dropped_hops: 0,
+        dropped_predicted_cap: 0,
+        dropped_unmeasurable: 0,
+    };
+    for (s1, s2) in pairs {
+        if world.org_of(s1) == world.org_of(s2) {
+            study.dropped_same_domain += 1;
+            continue;
+        }
+        let (a, b) = (&infos[&s1], &infos[&s2]);
+        let Some((predicted, hops1, hops2, via_common_router)) = predict(&mut pinger, a, b)
+        else {
+            study.dropped_negative += 1;
+            continue;
+        };
+        if hops1 > cfg.max_hops || hops2 > cfg.max_hops {
+            study.dropped_hops += 1;
+            continue;
+        }
+        if predicted > cfg.predicted_cap {
+            study.dropped_predicted_cap += 1;
+            continue;
+        }
+        let Ok(measured) = king.measure(s1, s2) else {
+            study.dropped_unmeasurable += 1;
+            continue;
+        };
+        study.pairs.push(PairSample {
+            s1,
+            s2,
+            predicted,
+            measured,
+            hops1,
+            hops2,
+            via_common_router,
+        });
+    }
+    study
+}
+
+impl DnsStudy {
+    /// Figure 3's CDF: the prediction measure over retained pairs.
+    pub fn ratio_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.pairs.iter().map(|p| p.measure_ratio()))
+    }
+
+    /// Figure 4's samples: (predicted ms, ratio).
+    pub fn scatter(&self) -> Vec<(f64, f64)> {
+        self.pairs
+            .iter()
+            .map(|p| (p.predicted.as_ms(), p.measure_ratio()))
+            .collect()
+    }
+
+    /// The paper's headline: fraction of pairs with measure in [0.5, 2].
+    pub fn fraction_in_band(&self) -> f64 {
+        self.ratio_cdf().fraction_between(0.5, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::WorldParams;
+
+    fn study() -> DnsStudy {
+        let world = InternetModel::generate(WorldParams::quick_scale(), 23);
+        run(&world, DnsStudyConfig::default(), 23)
+    }
+
+    #[test]
+    fn pipeline_yields_pairs() {
+        let s = study();
+        assert!(s.mapped_servers > 500, "mapped {}", s.mapped_servers);
+        assert!(
+            s.pairs.len() > 300,
+            "too few retained pairs: {} (dropped: domain {}, neg {}, hops {}, cap {}, unmeasurable {})",
+            s.pairs.len(),
+            s.dropped_same_domain,
+            s.dropped_negative,
+            s.dropped_hops,
+            s.dropped_predicted_cap,
+            s.dropped_unmeasurable
+        );
+    }
+
+    #[test]
+    fn prediction_band_is_papersized() {
+        let s = study();
+        let frac = s.fraction_in_band();
+        // Paper: ~65 %. Accept a generous band — the claim is "most but
+        // not all pairs predict within 2x".
+        assert!(
+            (0.45..=0.95).contains(&frac),
+            "fraction in [0.5,2]: {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn predicted_latencies_capped_and_positive() {
+        let s = study();
+        for p in &s.pairs {
+            assert!(p.predicted <= Micros::from_ms_u64(100));
+            assert!(p.measured > Micros::ZERO);
+            assert!(p.hops1 <= 10 && p.hops2 <= 10);
+        }
+    }
+
+    #[test]
+    fn ratio_rises_with_predicted_latency() {
+        // The Figure 4 trend: low-latency bins sit below high-latency
+        // bins (King lag inflates the former; shortcuts deflate the
+        // measured latency of the latter).
+        let s = study();
+        let scatter = s.scatter();
+        let low: Vec<f64> = scatter
+            .iter()
+            .filter(|(x, _)| *x < 4.0)
+            .map(|&(_, r)| r)
+            .collect();
+        let high: Vec<f64> = scatter
+            .iter()
+            .filter(|(x, _)| *x > 10.0)
+            .map(|&(_, r)| r)
+            .collect();
+        assert!(low.len() > 20 && high.len() > 20, "bins too thin: {} / {}", low.len(), high.len());
+        let med_low = np_util::stats::median(&low).expect("non-empty");
+        let med_high = np_util::stats::median(&high).expect("non-empty");
+        assert!(
+            med_low < med_high,
+            "trend violated: low-bin median {med_low:.3} >= high-bin median {med_high:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let world = InternetModel::generate(WorldParams::quick_scale(), 29);
+        let a = run(&world, DnsStudyConfig::default(), 5);
+        let b = run(&world, DnsStudyConfig::default(), 5);
+        assert_eq!(a.pairs.len(), b.pairs.len());
+        assert_eq!(
+            a.pairs.first().map(|p| (p.s1, p.s2, p.predicted)),
+            b.pairs.first().map(|p| (p.s1, p.s2, p.predicted))
+        );
+    }
+}

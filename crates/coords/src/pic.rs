@@ -1,0 +1,151 @@
+//! A PIC-style coordinate assignment (Costa et al., ICDCS 2004).
+//!
+//! PIC computes a joining node's coordinates from measured distances to
+//! a few already-placed nodes (landmarks plus nearby peers) by
+//! minimising the embedding error — no global relaxation. This module
+//! provides the landmark-based variant: fixed landmarks obtain
+//! coordinates first (classical MDS-free iterative placement), then any
+//! host embeds against them.
+
+use crate::vivaldi::Coord;
+use np_metric::{LatencyMatrix, PeerId};
+use np_util::rng::rng_for;
+use np_util::Micros;
+use rand::Rng;
+
+/// A landmark frame: placed coordinates for a small landmark set.
+pub struct Landmarks {
+    pub dims: usize,
+    pub ids: Vec<PeerId>,
+    pub coords: Vec<Coord>,
+}
+
+impl Landmarks {
+    /// Place `ids` by iterative stress minimisation over their pairwise
+    /// RTTs.
+    pub fn place(matrix: &LatencyMatrix, ids: Vec<PeerId>, dims: usize, seed: u64) -> Landmarks {
+        assert!(ids.len() >= dims + 1, "need at least dims+1 landmarks");
+        let mut rng = rng_for(seed, 0x5049_43); // "PIC"
+        let n = ids.len();
+        let mut coords: Vec<Coord> = (0..n)
+            .map(|_| Coord {
+                pos: (0..dims).map(|_| rng.gen_range(-10.0..10.0)).collect(),
+                height: 0.0,
+            })
+            .collect();
+        for _ in 0..300 {
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let rtt = matrix.rtt(ids[i], ids[j]).as_ms().max(0.01);
+                    let predicted = coords[i].predict_ms(&coords[j]).max(0.01);
+                    let force = 0.05 * (rtt - predicted);
+                    let dir: Vec<f64> = coords[i]
+                        .pos
+                        .iter()
+                        .zip(&coords[j].pos)
+                        .map(|(a, b)| (a - b) / predicted)
+                        .collect();
+                    for (p, d) in coords[i].pos.iter_mut().zip(&dir) {
+                        *p += force * d;
+                    }
+                }
+            }
+        }
+        Landmarks { dims, ids, coords }
+    }
+
+    /// Embed a host from its measured RTTs to the landmarks (the PIC
+    /// join step). `rtts[i]` corresponds to `ids[i]`.
+    pub fn embed(&self, rtts: &[Micros], seed: u64) -> Coord {
+        assert_eq!(rtts.len(), self.ids.len());
+        let mut rng = rng_for(seed, 0x5049_4332);
+        let mut c = Coord {
+            pos: (0..self.dims).map(|_| rng.gen_range(-10.0..10.0)).collect(),
+            height: 0.0,
+        };
+        for _ in 0..200 {
+            for (lm, &rtt) in self.coords.iter().zip(rtts) {
+                let predicted = c.predict_ms(lm).max(0.01);
+                let force = 0.05 * (rtt.as_ms() - predicted);
+                let dir: Vec<f64> = c
+                    .pos
+                    .iter()
+                    .zip(&lm.pos)
+                    .map(|(a, b)| (a - b) / predicted)
+                    .collect();
+                for (p, d) in c.pos.iter_mut().zip(&dir) {
+                    *p += force * d;
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(side: usize) -> (LatencyMatrix, Vec<PeerId>) {
+        let n = side * side;
+        let m = LatencyMatrix::build(n, |a, b| {
+            let (ax, ay) = (a.idx() % side, a.idx() / side);
+            let (bx, by) = (b.idx() % side, b.idx() / side);
+            Micros::from_ms(
+                (((ax as f64 - bx as f64).powi(2) + (ay as f64 - by as f64).powi(2)).sqrt() * 5.0)
+                    .max(0.1),
+            )
+        });
+        (m, (0..n as u32).map(PeerId).collect())
+    }
+
+    #[test]
+    fn landmarks_recover_pairwise_distances() {
+        let (m, members) = grid(5);
+        let lms: Vec<PeerId> = members.iter().copied().step_by(4).collect();
+        let frame = Landmarks::place(&m, lms.clone(), 2, 1);
+        let mut errs = Vec::new();
+        for i in 0..lms.len() {
+            for j in (i + 1)..lms.len() {
+                let rtt = m.rtt(lms[i], lms[j]).as_ms();
+                let p = frame.coords[i].predict_ms(&frame.coords[j]);
+                errs.push((p - rtt).abs() / rtt.max(0.01));
+            }
+        }
+        let med = np_util::stats::median(&errs).expect("non-empty");
+        assert!(med < 0.2, "landmark stress too high: {med:.3}");
+    }
+
+    #[test]
+    fn embedded_hosts_sort_by_distance() {
+        let (m, members) = grid(6);
+        let lms: Vec<PeerId> = members.iter().copied().step_by(5).collect();
+        let frame = Landmarks::place(&m, lms.clone(), 2, 2);
+        // Embed two hosts; their coordinate distance should approximate
+        // their true RTT.
+        let a = members[7];
+        let b = members[8]; // adjacent on the grid (5 ms)
+        let far = members[35];
+        let embed = |h: PeerId, s: u64| {
+            let rtts: Vec<Micros> = lms.iter().map(|&l| m.rtt(h, l)).collect();
+            frame.embed(&rtts, s)
+        };
+        let (ca, cb, cfar) = (embed(a, 3), embed(b, 4), embed(far, 5));
+        let near_pred = ca.predict_ms(&cb);
+        let far_pred = ca.predict_ms(&cfar);
+        assert!(
+            near_pred < far_pred,
+            "embedding inverted distances: near {near_pred:.1}, far {far_pred:.1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least dims+1")]
+    fn too_few_landmarks_panics() {
+        let (m, members) = grid(3);
+        Landmarks::place(&m, members[..2].to_vec(), 2, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! The hybrid algorithm: hint registry first, latency search as fallback.
+//!
+//! Paper §5: "the three approaches listed above would be used in
+//! conjunction with existing near-peer finding algorithms [...] to obtain
+//! maximum accuracy in finding the nearest peer." The hybrid consults a
+//! [`HintSource`] (UCL or IP-prefix registry — implemented in
+//! `np-remedies`; any hint provider fits the trait), probes the
+//! candidates it returns, and only when none is satisfactory falls back
+//! to the wrapped latency-only algorithm (typically Meridian).
+
+use np_metric::{NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_util::Micros;
+use rand::rngs::StdRng;
+
+/// A provider of topology hints: "peers likely to be very close to X".
+pub trait HintSource {
+    /// Candidate peers for `target`, cheapest-first if the source can
+    /// rank them (the UCL registry ranks by estimated latency).
+    fn candidates(&self, target: PeerId) -> Vec<PeerId>;
+
+    /// A short name for reports ("ucl", "prefix", ...).
+    fn name(&self) -> &str;
+}
+
+/// Hybrid = hints + fallback.
+pub struct Hybrid<'a, H: HintSource, A: NearestPeerAlgo> {
+    hints: &'a H,
+    fallback: &'a A,
+    /// Probe at most this many hint candidates (cost bound).
+    pub max_candidates: usize,
+    /// Accept a hinted peer without fallback when its RTT is below this
+    /// (the "extreme-nearby" threshold — same-end-network latencies).
+    pub accept_below: Micros,
+    name: String,
+}
+
+impl<'a, H: HintSource, A: NearestPeerAlgo> Hybrid<'a, H, A> {
+    pub fn new(hints: &'a H, fallback: &'a A) -> Self {
+        let name = format!("{}+{}", hints.name(), fallback.name());
+        Hybrid {
+            hints,
+            fallback,
+            max_candidates: 16,
+            accept_below: Micros::from_ms_u64(1),
+            name,
+        }
+    }
+}
+
+impl<H: HintSource, A: NearestPeerAlgo> NearestPeerAlgo for Hybrid<'_, H, A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn members(&self) -> &[PeerId] {
+        self.fallback.members()
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        let mut best: Option<(Micros, PeerId)> = None;
+        for cand in self
+            .hints
+            .candidates(target.id())
+            .into_iter()
+            .take(self.max_candidates)
+        {
+            if cand == target.id() {
+                continue;
+            }
+            let d = target.probe_from(cand);
+            if best.map(|(bd, bp)| (d, cand) < (bd, bp)).unwrap_or(true) {
+                best = Some((d, cand));
+            }
+        }
+        if let Some((d, peer)) = best {
+            if d <= self.accept_below {
+                return QueryOutcome {
+                    found: peer,
+                    rtt_to_target: d,
+                    probes: target.probes(),
+                    hops: 0,
+                };
+            }
+        }
+        // No convincing hint: fall back, then keep whichever answer is
+        // closer (hint probes already paid for themselves).
+        let out = self.fallback.find_nearest(target, rng);
+        match best {
+            Some((d, peer)) if d < out.rtt_to_target => QueryOutcome {
+                found: peer,
+                rtt_to_target: d,
+                probes: target.probes(),
+                hops: out.hops,
+            },
+            _ => QueryOutcome {
+                probes: target.probes(),
+                ..out
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_metric::nearest::RandomChoice;
+    use np_metric::LatencyMatrix;
+    use np_util::rng::rng_from;
+    use std::collections::HashMap;
+
+    /// A canned hint table.
+    struct TableHints(HashMap<PeerId, Vec<PeerId>>);
+
+    impl HintSource for TableHints {
+        fn candidates(&self, target: PeerId) -> Vec<PeerId> {
+            self.0.get(&target).cloned().unwrap_or_default()
+        }
+        fn name(&self) -> &str {
+            "table"
+        }
+    }
+
+    /// Clustered world: peer 0/1 same EN (100 µs), everyone else ~10 ms.
+    fn matrix() -> LatencyMatrix {
+        LatencyMatrix::build(40, |a, b| {
+            if a.idx() / 2 == b.idx() / 2 {
+                Micros::from_us(100)
+            } else {
+                Micros::from_ms_u64(10)
+            }
+        })
+    }
+
+    #[test]
+    fn hint_hit_short_circuits() {
+        let m = matrix();
+        let members: Vec<PeerId> = (1..40).map(PeerId).collect();
+        let fallback = RandomChoice::new(&m, members);
+        let hints = TableHints(HashMap::from([(PeerId(0), vec![PeerId(1)])]));
+        let hybrid = Hybrid::new(&hints, &fallback);
+        let t = Target::new(PeerId(0), &m);
+        let out = hybrid.find_nearest(&t, &mut rng_from(1));
+        assert_eq!(out.found, PeerId(1));
+        assert_eq!(out.probes, 1, "one hint probe, no fallback");
+        assert_eq!(out.rtt_to_target, Micros::from_us(100));
+    }
+
+    #[test]
+    fn empty_hints_fall_back() {
+        let m = matrix();
+        let members: Vec<PeerId> = (1..40).map(PeerId).collect();
+        let fallback = RandomChoice::new(&m, members.clone());
+        let hints = TableHints(HashMap::new());
+        let hybrid = Hybrid::new(&hints, &fallback);
+        let t = Target::new(PeerId(0), &m);
+        let out = hybrid.find_nearest(&t, &mut rng_from(2));
+        assert!(members.contains(&out.found));
+        assert_eq!(out.probes, 1, "fallback's single probe only");
+    }
+
+    #[test]
+    fn bad_hints_do_not_worsen_answer() {
+        let m = matrix();
+        let members: Vec<PeerId> = (1..40).map(PeerId).collect();
+        let fallback = RandomChoice::new(&m, members);
+        // Hints point at a far peer: hybrid must not return anything
+        // farther than the fallback would.
+        let hints = TableHints(HashMap::from([(PeerId(0), vec![PeerId(30)])]));
+        let hybrid = Hybrid::new(&hints, &fallback);
+        let t = Target::new(PeerId(0), &m);
+        let out = hybrid.find_nearest(&t, &mut rng_from(3));
+        assert!(out.rtt_to_target <= Micros::from_ms_u64(10));
+        assert_eq!(out.probes, 2, "hint probe + fallback probe");
+    }
+
+    #[test]
+    fn name_is_composed() {
+        let m = matrix();
+        let members: Vec<PeerId> = (1..40).map(PeerId).collect();
+        let fallback = RandomChoice::new(&m, members);
+        let hints = TableHints(HashMap::new());
+        let hybrid = Hybrid::new(&hints, &fallback);
+        assert_eq!(hybrid.name(), "table+random");
+    }
+}

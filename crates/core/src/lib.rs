@@ -1,0 +1,30 @@
+//! # np-core
+//!
+//! The unified public API of the `nearest-peer` workspace — the
+//! reproduction of *"On the Difficulty of Finding the Nearest Peer in
+//! P2P Systems"* (Vishnumurthy & Francis, IMC 2008).
+//!
+//! * [`scenario`] — the §4 experiment scenario: a
+//!   [`np_topology::ClusterWorld`], its latency matrix, a ~2,400-member
+//!   overlay and ~100 held-out targets,
+//! * [`runner`] — drives `n` queries of any
+//!   [`np_metric::NearestPeerAlgo`] over a scenario and aggregates the
+//!   paper's metrics: P(correct closest peer), P(correct cluster), the
+//!   hub latency of wrongly-found peers (Figure 9's second axis), and
+//!   probe/hop costs; plus the three-run median/min/max sweep the
+//!   paper's error bars use, parallelised with crossbeam,
+//! * [`hybrid`] — the paper's closing recommendation: use a §5 hint
+//!   registry (UCL/prefix) first and fall back to a latency-only
+//!   algorithm when the registry has no close candidate (wired to the
+//!   registries in `np-remedies` through the [`hybrid::HintSource`]
+//!   trait, so `np-core` stays dependency-light).
+//!
+//! Downstream users normally `use nearest_peer::prelude::*` (the facade
+//! crate re-exports everything here).
+
+pub mod hybrid;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{run_queries, sweep_three_runs, PaperMetrics, RunBandMetrics};
+pub use scenario::ClusterScenario;

@@ -1,0 +1,201 @@
+//! The experiment runner: queries → paper metrics → multi-run bands.
+
+use crate::scenario::ClusterScenario;
+use np_metric::{NearestPeerAlgo, Target};
+use np_util::rng::{rng_for, sub_seed, three_runs};
+use np_util::stats::{median_micros, RunBand};
+use rand::seq::SliceRandom;
+
+/// The metrics the paper reports for a batch of queries (Figures 8, 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperMetrics {
+    /// P(found peer is the correct closest overlay member).
+    pub p_correct_closest: f64,
+    /// P(found peer lies in the target's cluster).
+    pub p_correct_cluster: f64,
+    /// P(found peer shares the target's end-network) — usually equal to
+    /// `p_correct_closest` since the partner is the true nearest.
+    pub p_same_en: f64,
+    /// Median latency from the found peer('s end-network) to its
+    /// cluster-hub, over queries where the found peer was *not* the
+    /// correct closest (Figure 9's second axis), in ms. 0 when every
+    /// query succeeded.
+    pub median_hub_latency_wrong_ms: f64,
+    /// Mean probes to the target per query.
+    pub mean_probes: f64,
+    /// Mean overlay hops per query.
+    pub mean_hops: f64,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+/// Run `n_queries` queries of `algo` against random targets of the
+/// scenario (targets are reused, as in the paper).
+pub fn run_queries(
+    algo: &dyn NearestPeerAlgo,
+    scenario: &ClusterScenario,
+    n_queries: usize,
+    seed: u64,
+) -> PaperMetrics {
+    assert!(!scenario.targets.is_empty(), "no targets");
+    let mut rng = rng_for(seed, 0x52_554E); // "RUN"
+    let mut correct = 0usize;
+    let mut cluster_hits = 0usize;
+    let mut same_en = 0usize;
+    let mut wrong_hub_lat = Vec::new();
+    let mut probes = 0u64;
+    let mut hops = 0u64;
+    for _ in 0..n_queries {
+        let &t = scenario.targets.choose(&mut rng).expect("non-empty");
+        let target = Target::new(t, &scenario.matrix);
+        let out = algo.find_nearest(&target, &mut rng);
+        let truth = scenario.true_nearest(t);
+        // "Correct" = found the true closest member, or at least a member
+        // at exactly the true-closest RTT (equidistant ties are as good).
+        let exact = out.found == truth
+            || scenario.matrix.rtt(out.found, t) == scenario.matrix.rtt(truth, t);
+        if exact {
+            correct += 1;
+        } else {
+            wrong_hub_lat.push(scenario.world.hub_latency(out.found));
+        }
+        if scenario.world.same_cluster(out.found, t) {
+            cluster_hits += 1;
+        }
+        if scenario.world.same_en(out.found, t) {
+            same_en += 1;
+        }
+        probes += out.probes;
+        hops += u64::from(out.hops);
+    }
+    let n = n_queries as f64;
+    PaperMetrics {
+        p_correct_closest: correct as f64 / n,
+        p_correct_cluster: cluster_hits as f64 / n,
+        p_same_en: same_en as f64 / n,
+        median_hub_latency_wrong_ms: median_micros(&wrong_hub_lat)
+            .map(|m| m.as_ms())
+            .unwrap_or(0.0),
+        mean_probes: probes as f64 / n,
+        mean_hops: hops as f64 / n,
+        queries: n_queries,
+    }
+}
+
+/// Per-metric median/min/max over the paper's three runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunBandMetrics {
+    pub p_correct_closest: RunBand,
+    pub p_correct_cluster: RunBand,
+    pub median_hub_latency_wrong_ms: RunBand,
+    pub mean_probes: RunBand,
+    pub mean_hops: RunBand,
+}
+
+impl RunBandMetrics {
+    /// Aggregate per-run metrics into bands.
+    pub fn of(runs: &[PaperMetrics]) -> RunBandMetrics {
+        let take = |f: fn(&PaperMetrics) -> f64| -> RunBand {
+            let v: Vec<f64> = runs.iter().map(f).collect();
+            RunBand::of(&v)
+        };
+        RunBandMetrics {
+            p_correct_closest: take(|m| m.p_correct_closest),
+            p_correct_cluster: take(|m| m.p_correct_cluster),
+            median_hub_latency_wrong_ms: take(|m| m.median_hub_latency_wrong_ms),
+            mean_probes: take(|m| m.mean_probes),
+            mean_hops: take(|m| m.mean_hops),
+        }
+    }
+}
+
+/// Run the paper's three-seed sweep for one configuration, in parallel
+/// (one thread per run). `build_and_run` maps a seed to that run's
+/// metrics; it builds its own world/overlay so the three runs use
+/// "different inter-peer latency datasets" exactly as the paper does.
+pub fn sweep_three_runs(
+    base_seed: u64,
+    build_and_run: impl Fn(u64) -> PaperMetrics + Sync,
+) -> RunBandMetrics {
+    let seeds = three_runs(base_seed);
+    let mut out: Vec<Option<PaperMetrics>> = vec![None; seeds.len()];
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let f = &build_and_run;
+            handles.push((i, s.spawn(move |_| f(sub_seed(seed, 0x52_4E)))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("run thread panicked"));
+        }
+    })
+    .expect("scope");
+    let runs: Vec<PaperMetrics> = out.into_iter().map(|m| m.expect("filled")).collect();
+    RunBandMetrics::of(&runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_metric::nearest::{BruteForce, RandomChoice};
+    use np_topology::ClusterWorldSpec;
+    use np_util::Micros;
+
+    fn small_scenario(seed: u64) -> ClusterScenario {
+        ClusterScenario::build(
+            ClusterWorldSpec {
+                clusters: 4,
+                en_per_cluster: 8,
+                peers_per_en: 2,
+                delta: 0.2,
+                mean_hub_ms: (4.0, 6.0),
+                intra_en: Micros::from_us(100),
+                hub_pool: 5,
+            },
+            8,
+            seed,
+        )
+    }
+
+    #[test]
+    fn brute_force_is_perfect() {
+        let s = small_scenario(1);
+        let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+        let m = run_queries(&algo, &s, 50, 2);
+        assert_eq!(m.p_correct_closest, 1.0);
+        assert_eq!(m.queries, 50);
+        assert!(m.mean_probes >= (s.overlay.len() - 1) as f64);
+        assert_eq!(m.mean_hops, 0.0);
+    }
+
+    #[test]
+    fn random_choice_is_poor_but_counted() {
+        let s = small_scenario(3);
+        let algo = RandomChoice::new(&s.matrix, s.overlay.clone());
+        let m = run_queries(&algo, &s, 200, 4);
+        assert!(m.p_correct_closest < 0.3, "random too lucky: {m:?}");
+        assert!(m.p_correct_cluster > 0.05, "some cluster hits expected");
+        assert!(m.median_hub_latency_wrong_ms > 0.0);
+        assert!((m.mean_probes - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn metrics_are_deterministic() {
+        let s = small_scenario(5);
+        let algo = RandomChoice::new(&s.matrix, s.overlay.clone());
+        let a = run_queries(&algo, &s, 100, 7);
+        let b = run_queries(&algo, &s, 100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_run_sweep_bands() {
+        let bands = sweep_three_runs(11, |seed| {
+            let s = small_scenario(seed);
+            let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+            run_queries(&algo, &s, 20, seed)
+        });
+        assert_eq!(bands.p_correct_closest.median, 1.0);
+        assert!(bands.p_correct_closest.min <= bands.p_correct_closest.max);
+    }
+}

@@ -1,0 +1,127 @@
+//! The §4 experiment scenario.
+//!
+//! > "The above setup is used to build inter-peer latency matrices with
+//! > about 2500 peers, out of which about 2400 randomly picked peers are
+//! > picked to build a Meridian overlay. The 100 remaining peers are used
+//! > as target nodes [...] 5000 Meridian closest-neighbor queries are
+//! > launched to find the closest peer to randomly chosen target nodes."
+
+use np_metric::{LatencyMatrix, PeerId};
+use np_topology::{ClusterWorld, ClusterWorldSpec};
+use np_util::rng::rng_for;
+use rand::seq::SliceRandom;
+
+/// A built scenario: world, matrix, overlay membership and targets.
+pub struct ClusterScenario {
+    pub world: ClusterWorld,
+    pub matrix: LatencyMatrix,
+    pub overlay: Vec<PeerId>,
+    pub targets: Vec<PeerId>,
+}
+
+impl ClusterScenario {
+    /// Build from a world spec; `n_targets` peers are held out (the
+    /// paper uses 100).
+    pub fn build(spec: ClusterWorldSpec, n_targets: usize, seed: u64) -> ClusterScenario {
+        let world = ClusterWorld::generate(spec, seed);
+        assert!(
+            n_targets < world.len(),
+            "cannot hold out {n_targets} of {} peers",
+            world.len()
+        );
+        let matrix = world.to_matrix();
+        let mut peers: Vec<PeerId> = world.peers().collect();
+        let mut rng = rng_for(seed, 0x5343_4E52); // "SCNR"
+        peers.shuffle(&mut rng);
+        let targets = peers.split_off(peers.len() - n_targets);
+        peers.sort_unstable(); // deterministic overlay order
+        ClusterScenario {
+            world,
+            matrix,
+            overlay: peers,
+            targets,
+        }
+    }
+
+    /// The paper's configuration for a given cluster size and δ.
+    pub fn paper(en_per_cluster: usize, delta: f64, seed: u64) -> ClusterScenario {
+        ClusterScenario::build(ClusterWorldSpec::paper(en_per_cluster, delta), 100, seed)
+    }
+
+    /// Ground truth: the overlay member closest to `target`.
+    pub fn true_nearest(&self, target: PeerId) -> PeerId {
+        self.matrix
+            .nearest_within(target, &self.overlay)
+            .expect("overlay is non-empty")
+    }
+
+    /// Does the overlay contain a member in the target's end-network?
+    /// (When it does not, "correct closest" is a cluster-mate, and the
+    /// query is easy — the paper's targets almost always have their
+    /// partner in the overlay.)
+    pub fn target_partner_in_overlay(&self, target: PeerId) -> bool {
+        self.world
+            .en_partner(target)
+            .map(|p| self.overlay.binary_search(&p).is_ok())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ClusterScenario {
+        let spec = ClusterWorldSpec {
+            clusters: 5,
+            en_per_cluster: 10,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: np_util::Micros::from_us(100),
+            hub_pool: 6,
+        };
+        ClusterScenario::build(spec, 10, 1)
+    }
+
+    #[test]
+    fn partition_is_clean() {
+        let s = small();
+        assert_eq!(s.overlay.len() + s.targets.len(), s.world.len());
+        for t in &s.targets {
+            assert!(
+                s.overlay.binary_search(t).is_err(),
+                "target {t} leaked into overlay"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scenario_sizes() {
+        let s = ClusterScenario::paper(125, 0.2, 2);
+        assert_eq!(s.world.len(), 2_500);
+        assert_eq!(s.targets.len(), 100);
+        assert_eq!(s.overlay.len(), 2_400);
+    }
+
+    #[test]
+    fn true_nearest_is_partner_when_present() {
+        let s = small();
+        for &t in &s.targets {
+            let partner = s.world.en_partner(t).expect("2 peers per EN");
+            if s.target_partner_in_overlay(t) {
+                assert_eq!(s.true_nearest(t), partner);
+            } else {
+                assert_ne!(s.true_nearest(t), partner);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ClusterScenario::paper(25, 0.2, 9);
+        let b = ClusterScenario::paper(25, 0.2, 9);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.overlay[..50], b.overlay[..50]);
+    }
+}

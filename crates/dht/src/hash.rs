@@ -1,0 +1,137 @@
+//! The identifier ring.
+//!
+//! Chord's original deployment hashes names with SHA-1 onto a 160-bit
+//! ring; this reproduction uses a 64-bit ring keyed by SplitMix64 (see
+//! DESIGN.md's substitution table) — collisions at our populations
+//! (≤ 10⁶ keys) are vanishingly unlikely and irrelevant to the paper's
+//! experiments.
+
+use np_util::rng::splitmix64;
+
+/// A point on the 2⁶⁴ identifier ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Hash arbitrary bytes onto the ring (FNV-1a folded through
+    /// SplitMix64 for avalanche).
+    pub fn of_bytes(bytes: &[u8]) -> Key {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Key(splitmix64(h))
+    }
+
+    /// Hash a `u64` (e.g. a packed IP or prefix) onto the ring.
+    pub fn of_u64(v: u64) -> Key {
+        Key(splitmix64(v ^ 0x6b65_795f_7536_3434))
+    }
+
+    /// The point `self + 2^i` (finger targets).
+    pub fn finger_target(self, i: u32) -> Key {
+        debug_assert!(i < 64);
+        Key(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// Is `self` in the half-open ring interval `(from, to]`
+    /// (wrapping)? This is Chord's successor-ownership test.
+    pub fn in_open_closed(self, from: Key, to: Key) -> bool {
+        if from == to {
+            // Degenerate interval covers the whole ring.
+            return true;
+        }
+        if from < to {
+            from < self && self <= to
+        } else {
+            self > from || self <= to
+        }
+    }
+
+    /// Is `self` in the open interval `(from, to)` (wrapping)? Used by
+    /// `closest_preceding_finger`.
+    pub fn in_open_open(self, from: Key, to: Key) -> bool {
+        if from == to {
+            return self != from;
+        }
+        if from < to {
+            from < self && self < to
+        } else {
+            self > from || self < to
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_hash_is_deterministic_and_spread() {
+        assert_eq!(Key::of_bytes(b"router-1"), Key::of_bytes(b"router-1"));
+        assert_ne!(Key::of_bytes(b"router-1"), Key::of_bytes(b"router-2"));
+        // Sequential inputs land far apart (uniformity smoke check).
+        let a = Key::of_u64(1).0;
+        let b = Key::of_u64(2).0;
+        assert!(a.abs_diff(b) > 1 << 32, "keys too close: {a:x} {b:x}");
+    }
+
+    #[test]
+    fn sequential_ips_spread_over_the_ring() {
+        // The paper's point: IP addresses are non-uniform, hashing fixes
+        // that. 1000 sequential "addresses" must cover all 16 top-level
+        // ring sectors.
+        let mut sectors = [false; 16];
+        for ip in 0..1000u64 {
+            let k = Key::of_u64(0x0A00_0000 + ip);
+            sectors[(k.0 >> 60) as usize] = true;
+        }
+        assert!(sectors.iter().all(|&s| s), "sectors uncovered");
+    }
+
+    #[test]
+    fn interval_tests_wrap() {
+        let (a, b, c) = (Key(10), Key(20), Key(u64::MAX - 5));
+        assert!(Key(15).in_open_closed(a, b));
+        assert!(Key(20).in_open_closed(a, b));
+        assert!(!Key(10).in_open_closed(a, b));
+        assert!(!Key(25).in_open_closed(a, b));
+        // Wrapping interval (c, a]: covers the top of the ring and 0..=10.
+        assert!(Key(u64::MAX).in_open_closed(c, a));
+        assert!(Key(0).in_open_closed(c, a));
+        assert!(Key(10).in_open_closed(c, a));
+        assert!(!Key(11).in_open_closed(c, a));
+        // Degenerate covers everything.
+        assert!(Key(999).in_open_closed(a, a));
+    }
+
+    #[test]
+    fn finger_targets_wrap() {
+        let k = Key(u64::MAX - 1);
+        assert_eq!(k.finger_target(1).0, 0); // MAX-1 + 2 wraps to 0
+        assert_eq!(Key(0).finger_target(63).0, 1 << 63);
+    }
+
+    proptest::proptest! {
+        /// For any x, from, to: exactly one of "x in (from,to]" and
+        /// "x in (to,from]" holds, unless x==from or x==to edge cases.
+        #[test]
+        fn prop_interval_partition(x in proptest::num::u64::ANY,
+                                   from in proptest::num::u64::ANY,
+                                   to in proptest::num::u64::ANY) {
+            let (x, from, to) = (Key(x), Key(from), Key(to));
+            proptest::prop_assume!(from != to);
+            let fwd = x.in_open_closed(from, to);
+            let bwd = x.in_open_closed(to, from);
+            if x == from {
+                // from is excluded from (from,to] and included in (to,from].
+                proptest::prop_assert!(!fwd && bwd);
+            } else if x == to {
+                proptest::prop_assert!(fwd && !bwd);
+            } else {
+                proptest::prop_assert!(fwd ^ bwd, "exactly one side holds");
+            }
+        }
+    }
+}

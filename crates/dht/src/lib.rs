@@ -1,0 +1,37 @@
+//! # np-dht
+//!
+//! A Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+//!
+//! Paper §5: *"The participant peers can themselves host the key-value
+//! maps required above, using one of several distributed hash table
+//! (DHT) designs available (Chord, CAN, Pastry, etc.). Many DHTs assume
+//! that keys are uniformly distributed, which may not be the case with
+//! IP addresses. In such scenarios, the IP addresses can be hashed to
+//! compute the keys."*
+//!
+//! This crate supplies exactly that substrate for the UCL and IP-prefix
+//! registries in `np-remedies`:
+//!
+//! * [`hash`] — the 64-bit identifier ring and interval arithmetic
+//!   (SplitMix64 as the documented non-cryptographic SHA-1 stand-in,
+//!   giving the uniform key distribution the quote above asks for),
+//! * [`chord`] — the ring: finger tables, successor lists, iterative
+//!   lookup with hop accounting, node join and (idealised) stabilisation,
+//! * [`kv`] — the [`kv::KeyValueMap`] facade: [`kv::PerfectMap`] (the
+//!   paper's "we assume a perfect key-value map here") and
+//!   [`kv::ChordMap`] (the same interface over the real ring, with
+//!   lookup-hop telemetry),
+//! * [`wire`] — byte-level codecs for the Chord RPC messages, built on
+//!   `np-netsim`'s length-prefixed framing,
+//! * [`proto`] — the iterative lookup protocol run message-by-message on
+//!   the event kernel, every frame passing through the wire codecs.
+
+pub mod chord;
+pub mod hash;
+pub mod kv;
+pub mod proto;
+pub mod wire;
+
+pub use chord::ChordRing;
+pub use hash::Key;
+pub use kv::{ChordMap, KeyValueMap, PerfectMap};

@@ -1,0 +1,192 @@
+//! Wire codecs for the Chord RPCs.
+//!
+//! Defines the byte-level representation of the protocol's messages over
+//! `np-netsim`'s length-prefixed framing, so the DHT's messages are real
+//! byte frames with the usual hazards (short reads, coalesced frames)
+//! covered by the shared decoder tests.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use np_netsim::wire::{get_u32, get_u64, get_u8, WireDecode, WireEncode};
+
+/// A Chord RPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChordMsg {
+    /// "Who owns `key`?" — iterative lookup step.
+    FindSuccessor { req_id: u32, key: u64 },
+    /// "Node `node_id` does / ask `next` instead."
+    SuccessorIs {
+        req_id: u32,
+        node_id: u64,
+        is_final: bool,
+    },
+    /// Store a value at the owner.
+    Put { req_id: u32, key: u64, value: u64 },
+    /// Fetch values at the owner.
+    Get { req_id: u32, key: u64 },
+    /// Values for a Get.
+    Values { req_id: u32, values: Vec<u64> },
+}
+
+const T_FIND: u8 = 1;
+const T_SUCC: u8 = 2;
+const T_PUT: u8 = 3;
+const T_GET: u8 = 4;
+const T_VALUES: u8 = 5;
+
+impl WireEncode for ChordMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ChordMsg::FindSuccessor { req_id, key } => {
+                buf.put_u8(T_FIND);
+                buf.put_u32(*req_id);
+                buf.put_u64(*key);
+            }
+            ChordMsg::SuccessorIs {
+                req_id,
+                node_id,
+                is_final,
+            } => {
+                buf.put_u8(T_SUCC);
+                buf.put_u32(*req_id);
+                buf.put_u64(*node_id);
+                buf.put_u8(u8::from(*is_final));
+            }
+            ChordMsg::Put { req_id, key, value } => {
+                buf.put_u8(T_PUT);
+                buf.put_u32(*req_id);
+                buf.put_u64(*key);
+                buf.put_u64(*value);
+            }
+            ChordMsg::Get { req_id, key } => {
+                buf.put_u8(T_GET);
+                buf.put_u32(*req_id);
+                buf.put_u64(*key);
+            }
+            ChordMsg::Values { req_id, values } => {
+                buf.put_u8(T_VALUES);
+                buf.put_u32(*req_id);
+                buf.put_u32(values.len() as u32);
+                for v in values {
+                    buf.put_u64(*v);
+                }
+            }
+        }
+    }
+}
+
+impl WireDecode for ChordMsg {
+    fn decode(payload: &mut Bytes) -> Option<Self> {
+        match get_u8(payload)? {
+            T_FIND => Some(ChordMsg::FindSuccessor {
+                req_id: get_u32(payload)?,
+                key: get_u64(payload)?,
+            }),
+            T_SUCC => Some(ChordMsg::SuccessorIs {
+                req_id: get_u32(payload)?,
+                node_id: get_u64(payload)?,
+                is_final: get_u8(payload)? != 0,
+            }),
+            T_PUT => Some(ChordMsg::Put {
+                req_id: get_u32(payload)?,
+                key: get_u64(payload)?,
+                value: get_u64(payload)?,
+            }),
+            T_GET => Some(ChordMsg::Get {
+                req_id: get_u32(payload)?,
+                key: get_u64(payload)?,
+            }),
+            T_VALUES => {
+                let req_id = get_u32(payload)?;
+                let n = get_u32(payload)? as usize;
+                if n > 1 << 16 {
+                    return None; // bounded, like MAX_FRAME
+                }
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(get_u64(payload)?);
+                }
+                Some(ChordMsg::Values { req_id, values })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netsim::wire::{encode_frame, Decoder};
+
+    fn samples() -> Vec<ChordMsg> {
+        vec![
+            ChordMsg::FindSuccessor { req_id: 1, key: 42 },
+            ChordMsg::SuccessorIs {
+                req_id: 1,
+                node_id: u64::MAX,
+                is_final: true,
+            },
+            ChordMsg::Put {
+                req_id: 2,
+                key: 7,
+                value: 99,
+            },
+            ChordMsg::Get { req_id: 3, key: 7 },
+            ChordMsg::Values {
+                req_id: 3,
+                values: vec![99, 100, 101],
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let mut dec = Decoder::new();
+        for msg in samples() {
+            dec.extend(&encode_frame(&msg));
+            let got: ChordMsg = dec.next().expect("ok").expect("complete");
+            assert_eq!(got, msg);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_malformed() {
+        for msg in samples() {
+            let frame = encode_frame(&msg);
+            // Cut one byte off the payload and fix the length prefix.
+            let payload_len = frame.len() - 4 - 1;
+            let mut bad = Vec::new();
+            bad.extend_from_slice(&(payload_len as u32).to_be_bytes());
+            bad.extend_from_slice(&frame[4..frame.len() - 1]);
+            let mut dec = Decoder::new();
+            dec.extend(&bad);
+            assert!(
+                dec.next::<ChordMsg>().is_err(),
+                "truncated {msg:?} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(0xFF);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert!(dec.next::<ChordMsg>().is_err());
+    }
+
+    #[test]
+    fn oversized_values_vector_rejected() {
+        let mut payload = BytesMut::new();
+        payload.put_u8(super::T_VALUES);
+        payload.put_u32(9);
+        payload.put_u32(1 << 20); // absurd count
+        let mut framed = BytesMut::new();
+        framed.put_u32(payload.len() as u32);
+        framed.extend_from_slice(&payload);
+        let mut dec = Decoder::new();
+        dec.extend(&framed);
+        assert!(dec.next::<ChordMsg>().is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Simplex hypervolume from pairwise distances, and max-volume subset
+//! selection.
+//!
+//! Meridian's ring management keeps the `k` members (out of `k + l`
+//! candidates) that span the largest hypervolume in latency space; the
+//! Cayley–Menger determinant computes a simplex's squared volume purely
+//! from pairwise distances, which is exactly what a latency matrix
+//! provides. Under the clustering condition all candidate subsets become
+//! near-degenerate (volume ≈ 0) and the selection loses its power — the
+//! argument of §2.3 of the reproduction's paper — which the tests below
+//! witness directly.
+
+/// Squared-volume *comparator* for a point set given squared pairwise
+/// distances: the Cayley–Menger determinant with the sign normalised so
+/// that larger = larger simplex volume.
+///
+/// For `n` points the CM matrix is `(n+1)×(n+1)`:
+///
+/// ```text
+/// | 0  1    1    ... |
+/// | 1  0    d01² ... |
+/// | 1  d01² 0    ... |
+/// | ...              |
+/// ```
+///
+/// `V² = (-1)^(n) · det(CM) / (2^(n-1) · ((n-1)!)²)` for an
+/// `(n-1)`-simplex; the positive constant is irrelevant for comparisons
+/// between equal-sized sets, so this function returns
+/// `(-1)^n · det(CM)` directly (≥ 0 for any metric input, up to floating
+/// error).
+pub fn cm_volume_measure(d2: &[Vec<f64>]) -> f64 {
+    let n = d2.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let m = n + 1;
+    let mut a = vec![vec![0.0f64; m]; m];
+    for i in 1..m {
+        a[0][i] = 1.0;
+        a[i][0] = 1.0;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            a[i + 1][j + 1] = d2[i][j];
+        }
+    }
+    let det = determinant(&mut a);
+    if n % 2 == 0 {
+        det
+    } else {
+        -det
+    }
+}
+
+/// In-place LU determinant with partial pivoting.
+fn determinant(a: &mut [Vec<f64>]) -> f64 {
+    let n = a.len();
+    let mut det = 1.0f64;
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col] == 0.0 {
+            return 0.0;
+        }
+        if pivot != col {
+            a.swap(pivot, col);
+            det = -det;
+        }
+        det *= a[col][col];
+        let inv = 1.0 / a[col][col];
+        for row in (col + 1)..n {
+            let f = a[row][col] * inv;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+        }
+    }
+    det
+}
+
+/// Select at most `k` of `candidates` (identified by index `0..n`)
+/// maximising the CM volume measure, by greedy backward elimination:
+/// repeatedly drop the candidate whose removal leaves the largest volume.
+///
+/// `dist(i, j)` returns the (unsquared) distance between candidates.
+/// Ties are broken towards dropping the higher index (deterministic).
+/// Returns the selected indices in ascending order.
+pub fn select_max_volume(n: usize, k: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Vec<usize> {
+    let mut keep: Vec<usize> = (0..n).collect();
+    if n <= k {
+        return keep;
+    }
+    // Precompute squared distances once.
+    let mut d2 = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(i, j);
+            d2[i][j] = d * d;
+            d2[j][i] = d * d;
+        }
+    }
+    while keep.len() > k {
+        let mut best_drop = 0usize;
+        let mut best_vol = f64::NEG_INFINITY;
+        // Natural volume scale of the current set, for degeneracy
+        // detection: (mean pairwise d²)^(m-1) where m is the subset size.
+        let mut mean_d2 = 0.0;
+        let mut pairs = 0usize;
+        for (a, &i) in keep.iter().enumerate() {
+            for &j in keep.iter().skip(a + 1) {
+                mean_d2 += d2[i][j];
+                pairs += 1;
+            }
+        }
+        mean_d2 /= pairs.max(1) as f64;
+        let degenerate_floor = 1e-9 * mean_d2.max(1e-300).powi(keep.len() as i32 - 2);
+        for drop_pos in 0..keep.len() {
+            let subset: Vec<usize> = keep
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != drop_pos)
+                .map(|(_, &c)| c)
+                .collect();
+            let sub_d2: Vec<Vec<f64>> = subset
+                .iter()
+                .map(|&i| subset.iter().map(|&j| d2[i][j]).collect())
+                .collect();
+            let vol = cm_volume_measure(&sub_d2);
+            // `>=` prefers dropping later candidates on ties.
+            if vol >= best_vol {
+                best_vol = vol;
+                best_drop = drop_pos;
+            }
+        }
+        if best_vol <= degenerate_floor {
+            // Every k-subset is (numerically) flat — which is exactly the
+            // clustering condition's signature, and where CM determinants
+            // turn into floating-point noise. Fall back to the dispersion
+            // objective so the choice stays deterministic and still
+            // prefers spread members.
+            let sub: Vec<usize> = keep.clone();
+            let chosen = select_max_dispersion(sub.len(), k, |i, j| d2[sub[i]][sub[j]].sqrt());
+            return chosen.into_iter().map(|i| sub[i]).collect();
+        }
+        keep.remove(best_drop);
+    }
+    keep
+}
+
+/// Max-dispersion fallback selector: maximise the sum of pairwise
+/// distances (greedy backward elimination). Cheaper and monotone; used to
+/// cross-check the CM selector in tests and exposed as an ablation knob.
+pub fn select_max_dispersion(n: usize, k: usize, mut dist: impl FnMut(usize, usize) -> f64) -> Vec<usize> {
+    let mut keep: Vec<usize> = (0..n).collect();
+    if n <= k {
+        return keep;
+    }
+    let mut d = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = dist(i, j);
+            d[i][j] = v;
+            d[j][i] = v;
+        }
+    }
+    // contribution[i] = sum of distances from i to the kept set.
+    while keep.len() > k {
+        let (drop_pos, _) = keep
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| {
+                let contrib: f64 = keep.iter().map(|&j| d[i][j]).sum();
+                (p, contrib)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        keep.remove(drop_pos);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d2_from_points(pts: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        let n = pts.len();
+        let mut d2 = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                d2[i][j] = dx * dx + dy * dy;
+            }
+        }
+        d2
+    }
+
+    #[test]
+    fn triangle_volume_matches_area() {
+        // Right triangle with legs 3,4: area 6. CM det for n=3 equals
+        // -16·Area² = -16·36 = -576; measure = (-1)^3·det = 576.
+        let pts = [(0.0, 0.0), (3.0, 0.0), (0.0, 4.0)];
+        let v = cm_volume_measure(&d2_from_points(&pts));
+        assert!((v - 576.0).abs() < 1e-6, "measure {v}");
+    }
+
+    #[test]
+    fn degenerate_sets_have_zero_volume() {
+        // Collinear points.
+        let pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)];
+        let v = cm_volume_measure(&d2_from_points(&pts));
+        assert!(v.abs() < 1e-9, "collinear volume {v}");
+        // Duplicated point.
+        let pts = [(0.0, 0.0), (0.0, 0.0), (1.0, 1.0)];
+        let v = cm_volume_measure(&d2_from_points(&pts));
+        assert!(v.abs() < 1e-9, "duplicate volume {v}");
+    }
+
+    #[test]
+    fn bigger_simplex_bigger_measure() {
+        let small = d2_from_points(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        let large = d2_from_points(&[(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)]);
+        assert!(cm_volume_measure(&large) > cm_volume_measure(&small));
+    }
+
+    #[test]
+    fn select_keeps_spread_points() {
+        // Four corners of a square plus a centre point. k=3: the largest
+        // triangle uses corners only (area 50 vs 25 through the centre),
+        // so the centre must be dropped. (k=4 would be a degenerate
+        // 3-simplex in 2-D — covered by the fallback test below.)
+        let pts = [
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.0, 10.0),
+            (10.0, 10.0),
+            (5.0, 5.0),
+        ];
+        let dist = |i: usize, j: usize| {
+            let dx: f64 = pts[i].0 - pts[j].0;
+            let dy: f64 = pts[i].1 - pts[j].1;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let sel = select_max_volume(5, 3, dist);
+        assert!(!sel.contains(&4), "centre point must be dropped: {sel:?}");
+        assert_eq!(sel.len(), 3);
+        let sel2 = select_max_dispersion(5, 4, dist);
+        assert_eq!(sel2, vec![0, 1, 2, 3], "dispersion drops the centre");
+    }
+
+    #[test]
+    fn degenerate_selection_falls_back_to_dispersion() {
+        // 5 points in 2-D, k=4: every 4-subset is volume-zero, so the CM
+        // route is numerically meaningless; the fallback must pick the
+        // dispersion answer (drop the centre) rather than float noise.
+        let pts = [
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.0, 10.0),
+            (10.0, 10.0),
+            (5.0, 5.0),
+        ];
+        let dist = |i: usize, j: usize| {
+            let dx: f64 = pts[i].0 - pts[j].0;
+            let dy: f64 = pts[i].1 - pts[j].1;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let sel = select_max_volume(5, 4, dist);
+        assert_eq!(sel, vec![0, 1, 2, 3], "fallback must drop the centre");
+    }
+
+    #[test]
+    fn select_with_few_candidates_is_identity() {
+        let sel = select_max_volume(3, 16, |_, _| 1.0);
+        assert_eq!(sel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clustering_makes_selection_arbitrary() {
+        // All candidates pairwise-equidistant (the cluster condition):
+        // every subset has the same volume, so selection degenerates to
+        // tie-breaking — the paper's point that "hypervolume maximisation
+        // does not help here".
+        let sel = select_max_volume(8, 4, |_, _| 10.0);
+        assert_eq!(sel.len(), 4);
+        // With ties broken towards dropping high indices, the low indices
+        // survive — i.e. nothing about the metric informed the choice.
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+    }
+
+    proptest::proptest! {
+        /// The measure is permutation-invariant and non-negative for
+        /// points from a genuine Euclidean embedding — up to the LU
+        /// determinant's numerical noise, whose natural scale is the
+        /// volume magnitude `(mean d²)^(n-1)` (degenerate configurations
+        /// produce pure noise of that scale, so tolerances are relative
+        /// to it).
+        #[test]
+        fn prop_euclidean_nonnegative(
+            pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..7),
+        ) {
+            let d2 = d2_from_points(&pts);
+            let n = pts.len();
+            let mut mean_d2 = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    mean_d2 += d2[i][j];
+                }
+            }
+            mean_d2 /= (n * (n - 1) / 2).max(1) as f64;
+            let mag = mean_d2.max(1.0).powi(n as i32 - 1);
+            let v = cm_volume_measure(&d2);
+            proptest::prop_assert!(v > -1e-6 * mag, "negative volume {v} (mag {mag})");
+            let mut rev = pts.clone();
+            rev.reverse();
+            let vr = cm_volume_measure(&d2_from_points(&rev));
+            proptest::prop_assert!(
+                (v - vr).abs() < 1e-6 * mag,
+                "permutation changed measure: {v} vs {vr} (mag {mag})"
+            );
+        }
+
+        /// Selection always returns exactly k distinct, valid indices.
+        #[test]
+        fn prop_selection_size(n in 1usize..12, k in 1usize..12) {
+            let sel = select_max_volume(n, k, |i, j| ((i + 1) * (j + 2)) as f64);
+            proptest::prop_assert_eq!(sel.len(), n.min(k));
+            let mut s = sel.clone();
+            s.dedup();
+            proptest::prop_assert_eq!(s.len(), sel.len());
+            proptest::prop_assert!(sel.iter().all(|&i| i < n));
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Overlay construction and the β-routing closest-node query.
+//!
+//! Paper §4 setup: "~2400 randomly picked peers build a Meridian overlay
+//! [...] 5000 Meridian closest-neighbor queries are launched to find the
+//! closest peer to randomly chosen target nodes", with β = 0.5 and 16
+//! nodes per ring. [`Overlay`] implements both the construction (the
+//! authors' simulator fills rings from the latency matrix; a gossip
+//! warm-up mode is provided as the decentralised alternative) and the
+//! query, which is the paper's §2.3 description of Meridian:
+//!
+//! > "The node currently processing the query measures its latency to the
+//! > target, and asks the nodes in its rings that it knows are at about
+//! > the same latency to itself to measure their latencies to the target.
+//! > The query is then forwarded to the node with the minimum distance to
+//! > the target. The query terminates when the current node can find no
+//! > closer node to the target than itself."
+//!
+//! "At about the same latency" is the annulus `[(1-β)d, (1+β)d]`;
+//! "forwarded" requires the improvement `d' < β·d` (Meridian's
+//! acceptance threshold), which guarantees geometric progress and gives
+//! the paper's trade-off knob β.
+
+use crate::rings::{RingConfig, RingSet};
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_util::rng::rng_for;
+use np_util::Micros;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// Meridian parameters (§4 of the paper: β = 0.5, 16 per ring).
+#[derive(Debug, Clone, Copy)]
+pub struct MeridianConfig {
+    pub rings: RingConfig,
+    /// Acceptance threshold β ∈ (0, 1): forward only when the best probe
+    /// improves on `β·d`.
+    pub beta: f64,
+    /// Ring-management passes after construction.
+    pub manage_rounds: usize,
+    /// Hop budget (loop guard; Meridian converges long before this).
+    pub max_hops: u32,
+}
+
+impl Default for MeridianConfig {
+    fn default() -> Self {
+        MeridianConfig {
+            rings: RingConfig::default(),
+            beta: 0.5,
+            manage_rounds: 2,
+            max_hops: 64,
+        }
+    }
+}
+
+/// How ring members are discovered at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMode {
+    /// Every node is offered every other member in random order (what the
+    /// Meridian simulator does); ring capacities + management do the
+    /// selection.
+    Omniscient,
+    /// Gossip warm-up: per round, each node contacts `fanout` random
+    /// members and they exchange ring contents.
+    Gossip { rounds: usize, fanout: usize },
+}
+
+/// A built Meridian overlay over a latency matrix.
+pub struct Overlay<'m> {
+    cfg: MeridianConfig,
+    matrix: &'m LatencyMatrix,
+    members: Vec<PeerId>,
+    rings: HashMap<PeerId, RingSet>,
+}
+
+impl<'m> Overlay<'m> {
+    /// Build an overlay over `members` (must be non-empty).
+    pub fn build(
+        matrix: &'m LatencyMatrix,
+        members: Vec<PeerId>,
+        cfg: MeridianConfig,
+        mode: BuildMode,
+        seed: u64,
+    ) -> Overlay<'m> {
+        assert!(!members.is_empty(), "empty overlay");
+        assert!(
+            (0.0..1.0).contains(&cfg.beta) && cfg.beta > 0.0,
+            "beta must be in (0,1)"
+        );
+        let mut rng = rng_for(seed, 0x4D45_5244); // "MERD"
+        let mut rings: HashMap<PeerId, RingSet> = members
+            .iter()
+            .map(|&p| (p, RingSet::new(p, cfg.rings)))
+            .collect();
+        match mode {
+            BuildMode::Omniscient => {
+                // Offer every member to every node in (per-node) random
+                // order, so capacity eviction is unbiased like gossip
+                // arrival order would be.
+                let mut order = members.clone();
+                for &p in &members {
+                    order.shuffle(&mut rng);
+                    let rs = rings.get_mut(&p).expect("member ring set");
+                    for &q in &order {
+                        if q != p {
+                            rs.insert(q, matrix.rtt(p, q));
+                        }
+                    }
+                }
+            }
+            BuildMode::Gossip { rounds, fanout } => {
+                // Bootstrap: everyone knows `fanout` random members.
+                for &p in &members {
+                    for _ in 0..fanout {
+                        let &q = members.choose(&mut rng).expect("non-empty");
+                        if q != p {
+                            rings
+                                .get_mut(&p)
+                                .expect("member ring set")
+                                .insert(q, matrix.rtt(p, q));
+                        }
+                    }
+                }
+                for _ in 0..rounds {
+                    for &p in &members {
+                        // Pull one known member's view.
+                        let known: Vec<PeerId> =
+                            rings[&p].primaries().map(|m| m.peer).collect();
+                        let Some(&q) = known.as_slice().choose(&mut rng) else {
+                            continue;
+                        };
+                        let offer: Vec<PeerId> =
+                            rings[&q].primaries().map(|m| m.peer).collect();
+                        let rs = rings.get_mut(&p).expect("member ring set");
+                        for r in offer {
+                            if r != p {
+                                rs.insert(r, matrix.rtt(p, r));
+                            }
+                        }
+                        // And push ourselves to them (symmetric gossip).
+                        let back = matrix.rtt(q, p);
+                        rings.get_mut(&q).expect("member ring set").insert(p, back);
+                    }
+                }
+            }
+        }
+        for _ in 0..cfg.manage_rounds {
+            for &p in &members {
+                rings
+                    .get_mut(&p)
+                    .expect("member ring set")
+                    .manage(|a, b| matrix.rtt(a, b));
+            }
+        }
+        Overlay {
+            cfg,
+            matrix,
+            members,
+            rings,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MeridianConfig {
+        &self.cfg
+    }
+
+    /// The ring set of a member (inspection / event-driven driver).
+    pub fn rings_of(&self, p: PeerId) -> &RingSet {
+        &self.rings[&p]
+    }
+
+    /// The backing matrix.
+    pub fn matrix(&self) -> &LatencyMatrix {
+        self.matrix
+    }
+
+    /// Total primary ring entries across the overlay (capacity telemetry).
+    pub fn total_ring_entries(&self) -> usize {
+        self.rings.values().map(|r| r.len()).sum()
+    }
+
+    /// Run one closest-node query from an explicit start node.
+    pub fn query_from(&self, start: PeerId, target: &Target<'_>) -> QueryOutcome {
+        let mut current = start;
+        let mut d = target.probe_from(current);
+        // Global best over every probe made (Meridian returns the closest
+        // node *seen*, which may not be the final hop).
+        let mut best = (d, current);
+        let mut hops = 0u32;
+        let mut visited: Vec<PeerId> = vec![current];
+        loop {
+            if hops >= self.cfg.max_hops || d == Micros::ZERO {
+                break;
+            }
+            let lo = d.scale(1.0 - self.cfg.beta);
+            let hi = d.scale(1.0 + self.cfg.beta);
+            let candidates = self.rings[&current].primaries_in(lo, hi);
+            // Every annulus member measures its latency to the target.
+            let mut round_best: Option<(Micros, PeerId)> = None;
+            for m in candidates {
+                let dm = target.probe_from(m.peer);
+                if dm < best.0 || (dm == best.0 && m.peer < best.1) {
+                    best = (dm, m.peer);
+                }
+                if round_best
+                    .map(|(bd, bp)| (dm, m.peer) < (bd, bp))
+                    .unwrap_or(true)
+                {
+                    round_best = Some((dm, m.peer));
+                }
+            }
+            let Some((dm, next)) = round_best else { break };
+            // Acceptance threshold: forward only on geometric progress.
+            if dm >= d.scale(self.cfg.beta) {
+                break;
+            }
+            if visited.contains(&next) {
+                break; // loop guard (can only happen with max-ring quirks)
+            }
+            visited.push(next);
+            current = next;
+            d = dm;
+            hops += 1;
+        }
+        QueryOutcome {
+            found: best.1,
+            rtt_to_target: best.0,
+            probes: target.probes(),
+            hops,
+        }
+    }
+
+    /// A new member joins (the deployment path the §4 simulations skip):
+    /// it exchanges ring contents with `bootstrap` random members, as the
+    /// gossip build does continuously.
+    pub fn join(&mut self, p: PeerId, bootstrap: usize, rng: &mut StdRng) {
+        if self.rings.contains_key(&p) {
+            return;
+        }
+        let mut rs = RingSet::new(p, self.cfg.rings);
+        for _ in 0..bootstrap.max(1) {
+            let &q = self.members.choose(rng).expect("non-empty overlay");
+            if q == p {
+                continue;
+            }
+            // Bidirectional learning: p fills its rings from q's view and
+            // announces itself to q.
+            let offers: Vec<PeerId> = self.rings[&q].primaries().map(|m| m.peer).collect();
+            for r in offers {
+                if r != p {
+                    rs.insert(r, self.matrix.rtt(p, r));
+                }
+            }
+            rs.insert(q, self.matrix.rtt(p, q));
+            self.rings
+                .get_mut(&q)
+                .expect("member ring set")
+                .insert(p, self.matrix.rtt(q, p));
+        }
+        rs.manage(|a, b| self.matrix.rtt(a, b));
+        self.rings.insert(p, rs);
+        let pos = self.members.binary_search(&p).unwrap_or_else(|e| e);
+        self.members.insert(pos, p);
+    }
+
+    /// A member departs gracefully: every ring set purges it.
+    pub fn leave(&mut self, p: PeerId) {
+        if self.rings.remove(&p).is_none() {
+            return;
+        }
+        if let Ok(pos) = self.members.binary_search(&p) {
+            self.members.remove(pos);
+        }
+        for rs in self.rings.values_mut() {
+            rs.remove(p);
+        }
+    }
+
+    /// Pick a uniform random start member (≠ target when possible).
+    pub fn random_start(&self, rng: &mut StdRng, target: PeerId) -> PeerId {
+        for _ in 0..64 {
+            let &p = self.members.choose(rng).expect("non-empty");
+            if p != target {
+                return p;
+            }
+        }
+        self.members[0]
+    }
+}
+
+impl NearestPeerAlgo for Overlay<'_> {
+    fn name(&self) -> &str {
+        "meridian"
+    }
+
+    fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        let start = self.random_start(rng, target.id());
+        self.query_from(start, target)
+    }
+}
+
+/// Build-mode independent smoke check used by tests and benches: a small
+/// uniform world where Meridian should almost always find the true
+/// nearest peer.
+#[doc(hidden)]
+pub fn line_world(n: usize) -> LatencyMatrix {
+    LatencyMatrix::build(n, |a, b| {
+        Micros::from_ms_u64((a.0 as i64 - b.0 as i64).unsigned_abs())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::rng::rng_from;
+
+    /// The §4 cluster shape in miniature: `g` end-networks of 2 peers
+    /// each, one cluster; EN i at `4+i·jitter` ms from the hub.
+    fn cluster_matrix(g: usize, delta_ms: f64) -> LatencyMatrix {
+        let n = g * 2;
+        LatencyMatrix::build(n, |a, b| {
+            let (ea, eb) = (a.idx() / 2, b.idx() / 2);
+            if ea == eb {
+                Micros::from_us(100)
+            } else {
+                let ha = 4.0 + delta_ms * (ea as f64 / g as f64);
+                let hb = 4.0 + delta_ms * (eb as f64 / g as f64);
+                Micros::from_ms(ha + hb)
+            }
+        })
+    }
+
+    #[test]
+    fn finds_nearest_on_a_line() {
+        // Paper setup: targets are held OUT of the overlay. Members are
+        // the even peers; odd peers are queried as targets; the true
+        // nearest member is an adjacent even peer at 1 ms.
+        let m = line_world(64);
+        let members: Vec<PeerId> = (0..64).step_by(2).map(|i| PeerId(i as u32)).collect();
+        let overlay = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            1,
+        );
+        let mut rng = rng_from(2);
+        let mut hits = 0;
+        let targets: Vec<u32> = (1..64).step_by(2).map(|i| i as u32).collect();
+        for &t in &targets {
+            let target = Target::new(PeerId(t), &m);
+            let out = overlay.find_nearest(&target, &mut rng);
+            let truth = m
+                .nearest_within(PeerId(t), &members)
+                .expect("others exist");
+            // Accept either equidistant neighbour.
+            if m.rtt(out.found, PeerId(t)) == m.rtt(truth, PeerId(t)) {
+                hits += 1;
+            }
+            assert!(out.probes > 0);
+            assert!(members.contains(&out.found), "answer from the overlay");
+        }
+        assert!(
+            hits >= targets.len() - 2,
+            "line-world accuracy too low: {hits}/{}",
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn query_makes_geometric_progress() {
+        let m = line_world(128);
+        let members: Vec<PeerId> = (1..128).map(PeerId).collect(); // target 0 held out
+        let overlay = Overlay::build(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            3,
+        );
+        // Start far from the target: hop count must stay logarithmic-ish.
+        let target = Target::new(PeerId(0), &m);
+        let out = overlay.query_from(PeerId(127), &target);
+        assert!(out.hops <= 12, "too many hops: {}", out.hops);
+        assert!(out.rtt_to_target <= Micros::from_ms_u64(2));
+    }
+
+    #[test]
+    fn degrades_under_clustering() {
+        // One big cluster with tiny intra-cluster variation: Meridian
+        // should usually fail to find the end-network partner (paper §2.3)
+        // but always land inside the cluster.
+        let m = cluster_matrix(60, 0.4);
+        let members: Vec<PeerId> = (2..120).map(PeerId).collect(); // peer 0,1's EN partner 1 stays
+        let overlay = Overlay::build(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            5,
+        );
+        let mut rng = rng_from(7);
+        let mut exact = 0;
+        let runs = 40;
+        for _ in 0..runs {
+            let target = Target::new(PeerId(0), &m);
+            let out = overlay.find_nearest(&target, &mut rng);
+            if out.found == PeerId(1) {
+                exact += 1;
+            }
+        }
+        assert!(
+            exact < runs / 2,
+            "clustering should defeat Meridian most of the time, got {exact}/{runs}"
+        );
+    }
+
+    #[test]
+    fn gossip_build_is_functional() {
+        let m = line_world(48);
+        let members: Vec<PeerId> = (0..48).step_by(2).map(|i| PeerId(i as u32)).collect();
+        let overlay = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Gossip {
+                rounds: 8,
+                fanout: 4,
+            },
+            9,
+        );
+        assert!(
+            overlay.total_ring_entries() >= members.len() * 4,
+            "gossip should populate rings"
+        );
+        let mut rng = rng_from(11);
+        let mut close = 0;
+        let targets: Vec<u32> = (1..48).step_by(4).map(|i| i as u32).collect();
+        for &t in &targets {
+            let target = Target::new(PeerId(t), &m);
+            let out = overlay.find_nearest(&target, &mut rng);
+            if m.rtt(out.found, PeerId(t)) <= Micros::from_ms_u64(3) {
+                close += 1;
+            }
+        }
+        assert!(
+            close * 4 >= targets.len() * 3,
+            "gossip overlay too weak: {close}/{}",
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn beta_trades_probes_for_accuracy() {
+        let m = line_world(96);
+        let members: Vec<PeerId> = (0..96).map(PeerId).collect();
+        let mut probes_by_beta = Vec::new();
+        for beta in [0.25, 0.5, 0.75] {
+            let overlay = Overlay::build(
+                &m,
+                members.clone(),
+                MeridianConfig {
+                    beta,
+                    ..MeridianConfig::default()
+                },
+                BuildMode::Omniscient,
+                13,
+            );
+            let mut rng = rng_from(17);
+            let mut total = 0u64;
+            for t in (0..96u32).step_by(6) {
+                let target = Target::new(PeerId(t), &m);
+                total += overlay.find_nearest(&target, &mut rng).probes;
+            }
+            probes_by_beta.push(total);
+        }
+        // A wider annulus (larger beta) probes more.
+        assert!(
+            probes_by_beta[0] < probes_by_beta[2],
+            "beta=0.25 ({}) should cost fewer probes than beta=0.75 ({})",
+            probes_by_beta[0],
+            probes_by_beta[2]
+        );
+    }
+
+    #[test]
+    fn churn_joins_are_discoverable_and_leaves_are_forgotten() {
+        let m = line_world(64);
+        // Sparse overlay (every 4th peer) so a joined peer at 31 becomes
+        // the unique nearest member of the held-out target 30 (1 ms vs
+        // 2 ms for members 28/32).
+        let members: Vec<PeerId> = (0..64).step_by(4).map(|i| PeerId(i as u32)).collect();
+        let mut overlay = Overlay::build(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            41,
+        );
+        let mut rng = rng_from(43);
+        overlay.join(PeerId(31), 8, &mut rng);
+        assert!(overlay.members().contains(&PeerId(31)));
+        let mut found31 = false;
+        for _ in 0..10 {
+            let target = Target::new(PeerId(30), &m);
+            let out = overlay.find_nearest(&target, &mut rng);
+            if out.found == PeerId(31) {
+                found31 = true;
+                break;
+            }
+        }
+        assert!(found31, "joined peer never discovered");
+        // Leave: the peer disappears from every ring and from answers.
+        overlay.leave(PeerId(31));
+        assert!(!overlay.members().contains(&PeerId(31)));
+        for &p in overlay.members() {
+            assert!(
+                !overlay.rings_of(p).primaries().any(|mm| mm.peer == PeerId(31)),
+                "departed peer still in {p}'s rings"
+            );
+        }
+        for _ in 0..10 {
+            let target = Target::new(PeerId(30), &m);
+            let out = overlay.find_nearest(&target, &mut rng);
+            assert_ne!(out.found, PeerId(31), "departed peer returned");
+        }
+        // Queries still work end to end after churn.
+        let target = Target::new(PeerId(1), &m);
+        let out = overlay.find_nearest(&target, &mut rng);
+        assert!(m.rtt(out.found, PeerId(1)) <= Micros::from_ms_u64(3));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let m = line_world(32);
+        let members: Vec<PeerId> = (0..32).map(PeerId).collect();
+        let o1 = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            21,
+        );
+        let o2 = Overlay::build(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            21,
+        );
+        let t1 = Target::new(PeerId(5), &m);
+        let t2 = Target::new(PeerId(5), &m);
+        let a = o1.find_nearest(&t1, &mut rng_from(1));
+        let b = o2.find_nearest(&t2, &mut rng_from(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,509 @@
+//! Event-driven Meridian: the closest-node query as a real protocol.
+//!
+//! The direct-call query in [`crate::overlay`] is the paper's simulation
+//! abstraction. This module runs the same logic message-by-message on the
+//! `np-netsim` kernel: the *target* node (the newly joining peer) fires a
+//! query at a random overlay member; the handling member pings the target
+//! to learn `d`, fans `ProbeReq`s out to its β-annulus ring members, each
+//! of which pings the target and reports back; the handler then forwards
+//! the query or answers the target. Probe RTTs are *measured with the
+//! virtual clock* (ping/pong round trips), not read from a matrix — so
+//! the event-driven run validates that the query logic survives message
+//! timing, reordering and loss.
+
+use crate::overlay::Overlay;
+use np_metric::NearestPeerAlgo as _;
+use crate::rings::RingSet;
+use np_metric::PeerId;
+use np_netsim::kernel::{Ctx, Node, NodeAddr, Sim, SimTime};
+use np_netsim::link::LinkModel;
+use np_util::Micros;
+use std::collections::HashMap;
+
+/// Protocol messages. `u32` peer indices are overlay-member positions
+/// (== their `NodeAddr`), keeping messages wire-friendly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Injected into the target node to kick a query off.
+    Start { first_member: u32 },
+    /// The query token, carried hop to hop.
+    Query {
+        qid: u64,
+        origin: u32,
+        hops: u32,
+        best_rtt_us: u64,
+        best_peer: u32,
+        visited: Vec<u32>,
+    },
+    /// Latency probe to the target…
+    Ping { qid: u64 },
+    /// …and its echo.
+    Pong { qid: u64 },
+    /// "Measure your latency to the target for me."
+    ProbeReq { qid: u64, origin: u32 },
+    /// The measured result.
+    ProbeResp { qid: u64, rtt_us: u64 },
+    /// Final answer, delivered to the origin (the target).
+    Answer {
+        found: u32,
+        rtt_us: u64,
+        hops: u32,
+    },
+}
+
+/// Result the target node ends up holding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoOutcome {
+    pub found: PeerId,
+    pub rtt_to_target: Micros,
+    pub hops: u32,
+    /// Pings the target answered — the protocol-level probe count.
+    pub probes: u64,
+}
+
+/// Per-query state at a handling member.
+struct Pending {
+    origin: u32,
+    hops: u32,
+    best_rtt: Micros,
+    best_peer: u32,
+    visited: Vec<u32>,
+    d_self: Option<Micros>,
+    ping_sent: SimTime,
+    outstanding: usize,
+    responses: Vec<(Micros, u32)>,
+}
+
+/// A remote-probe duty: ping the target, report to `origin`.
+struct ProbeDuty {
+    requester: NodeAddr,
+    ping_sent: SimTime,
+}
+
+/// The roles a simulated node can play.
+enum Role {
+    Member {
+        rings: RingSet,
+        beta: f64,
+        pending: HashMap<u64, Pending>,
+        duties: HashMap<u64, ProbeDuty>,
+    },
+    Target {
+        pings_answered: u64,
+        outcome: Option<ProtoOutcome>,
+        members: Vec<PeerId>,
+    },
+}
+
+/// A node in the event-driven Meridian simulation.
+pub struct MeridianNode {
+    role: Role,
+    target_addr: NodeAddr,
+    probe_timeout: Micros,
+    next_qid: u64,
+}
+
+/// Timer token space: low bits carry the qid.
+const TIMER_PROBE_ROUND: u64 = 1 << 60;
+
+impl MeridianNode {
+    fn annulus(&self, d: Micros) -> Vec<(PeerId, Micros)> {
+        match &self.role {
+            Role::Member { rings, beta, .. } => rings
+                .primaries_in(d.scale(1.0 - beta), d.scale(1.0 + beta))
+                .into_iter()
+                .map(|m| (m.peer, m.rtt))
+                .collect(),
+            Role::Target { .. } => Vec::new(),
+        }
+    }
+
+    /// Resolve a finished probe round: forward or answer.
+    fn conclude(&mut self, ctx: &mut Ctx<'_, Msg>, qid: u64) {
+        let Role::Member { pending, beta, .. } = &mut self.role else {
+            return;
+        };
+        let Some(p) = pending.remove(&qid) else {
+            return;
+        };
+        let d = p.d_self.expect("concluded before self-probe");
+        let mut best_rtt = p.best_rtt;
+        let mut best_peer = p.best_peer;
+        let mut round_best: Option<(Micros, u32)> = None;
+        for &(rtt, peer) in &p.responses {
+            if rtt < best_rtt || (rtt == best_rtt && peer < best_peer) {
+                best_rtt = rtt;
+                best_peer = peer;
+            }
+            if round_best
+                .map(|(br, bp)| (rtt, peer) < (br, bp))
+                .unwrap_or(true)
+            {
+                round_best = Some((rtt, peer));
+            }
+        }
+        let forward = match round_best {
+            Some((rtt, peer)) => {
+                rtt < d.scale(*beta) && !p.visited.contains(&peer)
+            }
+            None => false,
+        };
+        if forward {
+            let (_, next) = round_best.expect("checked above");
+            let mut visited = p.visited;
+            visited.push(next);
+            ctx.send(
+                NodeAddr(next),
+                Msg::Query {
+                    qid,
+                    origin: p.origin,
+                    hops: p.hops + 1,
+                    best_rtt_us: best_rtt.as_us(),
+                    best_peer,
+                    visited,
+                },
+            );
+        } else {
+            ctx.send(
+                NodeAddr(p.origin),
+                Msg::Answer {
+                    found: best_peer,
+                    rtt_us: best_rtt.as_us(),
+                    hops: p.hops,
+                },
+            );
+        }
+    }
+}
+
+impl Node<Msg> for MeridianNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeAddr, msg: Msg) {
+        let target_addr = self.target_addr;
+        match msg {
+            Msg::Start { first_member } => {
+                if let Role::Target { .. } = self.role {
+                    let qid = self.next_qid;
+                    self.next_qid += 1;
+                    ctx.send(
+                        NodeAddr(first_member),
+                        Msg::Query {
+                            qid,
+                            origin: ctx.me().0,
+                            hops: 0,
+                            best_rtt_us: Micros::INFINITY.as_us(),
+                            best_peer: first_member,
+                            visited: vec![first_member],
+                        },
+                    );
+                }
+            }
+            Msg::Query {
+                qid,
+                origin,
+                hops,
+                best_rtt_us,
+                best_peer,
+                visited,
+            } => {
+                if let Role::Member { pending, .. } = &mut self.role {
+                    pending.insert(
+                        qid,
+                        Pending {
+                            origin,
+                            hops,
+                            best_rtt: Micros(best_rtt_us),
+                            best_peer,
+                            visited,
+                            d_self: None,
+                            ping_sent: ctx.now(),
+                            outstanding: 0,
+                            responses: Vec::new(),
+                        },
+                    );
+                    ctx.send(target_addr, Msg::Ping { qid });
+                }
+            }
+            Msg::Ping { qid } => {
+                if let Role::Target { pings_answered, .. } = &mut self.role {
+                    *pings_answered += 1;
+                    ctx.send(from, Msg::Pong { qid });
+                } else {
+                    // Members never get pinged in this protocol.
+                }
+            }
+            Msg::Pong { qid } => {
+                // Either our own self-probe or a probe duty.
+                let me = ctx.me().0;
+                if let Role::Member {
+                    pending, duties, ..
+                } = &mut self.role
+                {
+                    if let Some(duty) = duties.remove(&qid) {
+                        let rtt = ctx.now().since(duty.ping_sent);
+                        ctx.send(
+                            duty.requester,
+                            Msg::ProbeResp {
+                                qid,
+                                rtt_us: rtt.as_us(),
+                            },
+                        );
+                        return;
+                    }
+                    let Some(p) = pending.get_mut(&qid) else { return };
+                    if p.d_self.is_none() {
+                        let d = ctx.now().since(p.ping_sent);
+                        p.d_self = Some(d);
+                        // Our own measurement competes for "best".
+                        if d < p.best_rtt || (d == p.best_rtt && me < p.best_peer) {
+                            p.best_rtt = d;
+                            p.best_peer = me;
+                        }
+                        let fanout = self.annulus(d);
+                        // Re-borrow after annulus() (immutable self use).
+                        if let Role::Member { pending, .. } = &mut self.role {
+                            let p = pending.get_mut(&qid).expect("still pending");
+                            p.outstanding = fanout.len();
+                            if fanout.is_empty() {
+                                self.conclude(ctx, qid);
+                            } else {
+                                for (peer, _) in fanout {
+                                    ctx.send(
+                                        NodeAddr(peer.0),
+                                        Msg::ProbeReq { qid, origin: me },
+                                    );
+                                }
+                                ctx.set_timer(self.probe_timeout, TIMER_PROBE_ROUND | qid);
+                            }
+                        }
+                    }
+                }
+            }
+            Msg::ProbeReq { qid, origin } => {
+                if let Role::Member { duties, .. } = &mut self.role {
+                    duties.insert(
+                        qid,
+                        ProbeDuty {
+                            requester: NodeAddr(origin),
+                            ping_sent: ctx.now(),
+                        },
+                    );
+                    ctx.send(target_addr, Msg::Ping { qid });
+                }
+            }
+            Msg::ProbeResp { qid, rtt_us } => {
+                let mut done = false;
+                if let Role::Member { pending, .. } = &mut self.role {
+                    if let Some(p) = pending.get_mut(&qid) {
+                        p.responses.push((Micros(rtt_us), from.0));
+                        p.outstanding -= 1;
+                        done = p.outstanding == 0;
+                    }
+                }
+                if done {
+                    self.conclude(ctx, qid);
+                }
+            }
+            Msg::Answer {
+                found,
+                rtt_us,
+                hops,
+            } => {
+                if let Role::Target {
+                    outcome,
+                    pings_answered,
+                    members,
+                } = &mut self.role
+                {
+                    *outcome = Some(ProtoOutcome {
+                        found: members[found as usize],
+                        rtt_to_target: Micros(rtt_us),
+                        hops,
+                        probes: *pings_answered,
+                    });
+                    ctx.stop();
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if token & TIMER_PROBE_ROUND != 0 {
+            // Probe round deadline: conclude with whatever arrived.
+            self.conclude(ctx, token & !TIMER_PROBE_ROUND);
+        }
+    }
+}
+
+/// Drive one event-driven query over a built overlay.
+///
+/// Node layout: member `i` of `overlay.members()` is `NodeAddr(i)`; the
+/// target is the last node. The link model must map these addresses
+/// (e.g. [`matrix_link`]). Returns the outcome plus the virtual time the
+/// query took.
+pub fn run_query<L: LinkModel>(
+    overlay: &Overlay<'_>,
+    target: PeerId,
+    first_member_idx: usize,
+    link: L,
+    seed: u64,
+) -> (Option<ProtoOutcome>, SimTime) {
+    let members = overlay.members().to_vec();
+    let target_addr = NodeAddr(members.len() as u32);
+    let probe_timeout = Micros::from_secs(2.0);
+    // Ring sets speak PeerId; the wire speaks NodeAddr (member index).
+    // Remap every ring member into address space once, up front.
+    let addr_of: HashMap<PeerId, u32> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u32))
+        .collect();
+    let mut nodes: Vec<MeridianNode> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let src = overlay.rings_of(p);
+            let mut rings = RingSet::new(PeerId(i as u32), *src.config());
+            for m in src.primaries() {
+                rings.insert(PeerId(addr_of[&m.peer]), m.rtt);
+            }
+            MeridianNode {
+                role: Role::Member {
+                    rings,
+                    beta: overlay.config().beta,
+                    pending: HashMap::new(),
+                    duties: HashMap::new(),
+                },
+                target_addr,
+                probe_timeout,
+                next_qid: 1,
+            }
+        })
+        .collect();
+    nodes.push(MeridianNode {
+        role: Role::Target {
+            pings_answered: 0,
+            outcome: None,
+            members: members.clone(),
+        },
+        target_addr,
+        probe_timeout,
+        next_qid: 1,
+    });
+    let mut sim = Sim::new(nodes, link, seed);
+    sim.inject(
+        target_addr,
+        target_addr,
+        Msg::Start {
+            first_member: first_member_idx as u32,
+        },
+    );
+    sim.run_until(SimTime(60_000_000)); // 60 virtual seconds
+    let when = sim.now();
+    let nodes = sim.into_nodes();
+    let outcome = match &nodes[target_addr.idx()].role {
+        Role::Target { outcome, .. } => outcome.clone(),
+        _ => None,
+    };
+    let _ = target; // identity documented by the link model mapping
+    (outcome, when)
+}
+
+/// A link model mapping the [`run_query`] address layout onto a latency
+/// matrix: one-way delay = RTT/2; the target node is `members[.]`-indexed
+/// separately.
+pub fn matrix_link<'m>(
+    matrix: &'m np_metric::LatencyMatrix,
+    members: &'m [PeerId],
+    target: PeerId,
+) -> impl LinkModel + 'm {
+    let members = members.to_vec();
+    np_netsim::link::FnLink::new(move |a: NodeAddr, b: NodeAddr| {
+        let resolve = |n: NodeAddr| -> PeerId {
+            if n.idx() == members.len() {
+                target
+            } else {
+                members[n.idx()]
+            }
+        };
+        matrix.rtt(resolve(a), resolve(b)) / 2
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{line_world, BuildMode, MeridianConfig};
+    use np_metric::Target;
+
+    fn built(n: usize) -> (np_metric::LatencyMatrix, Vec<PeerId>) {
+        let m = line_world(n);
+        let members: Vec<PeerId> = (1..n as u32).map(PeerId).collect();
+        (m, members)
+    }
+
+    #[test]
+    fn event_driven_matches_direct_query() {
+        let (m, members) = built(48);
+        let overlay = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            31,
+        );
+        let target = PeerId(0);
+        // Direct query from member index 40.
+        let t = Target::new(target, &m);
+        let direct = overlay.query_from(members[40], &t);
+        // Event-driven query from the same start.
+        let link = matrix_link(&m, &members, target);
+        let (proto, _) = run_query(&overlay, target, 40, link, 7);
+        let proto = proto.expect("query completed");
+        assert_eq!(proto.found, direct.found, "both modes agree on the peer");
+        assert_eq!(proto.rtt_to_target, direct.rtt_to_target);
+        assert_eq!(proto.hops, direct.hops);
+    }
+
+    #[test]
+    fn query_time_is_plausible() {
+        let (m, members) = built(32);
+        let overlay = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            33,
+        );
+        let target = PeerId(0);
+        let link = matrix_link(&m, &members, target);
+        let (outcome, when) = run_query(&overlay, target, 20, link, 7);
+        assert!(outcome.is_some());
+        // A handful of RTT-scale round trips: well under a second of
+        // virtual time for a ≤31 ms-diameter world.
+        assert!(when.as_ms() < 1_000.0, "query took {} ms", when.as_ms());
+        assert!(when.as_ms() > 1.0, "suspiciously instant");
+    }
+
+    #[test]
+    fn survives_probe_loss_via_timeouts() {
+        let (m, members) = built(32);
+        let overlay = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            35,
+        );
+        let target = PeerId(0);
+        let base = matrix_link(&m, &members, target);
+        // 10 % loss: timeouts must still conclude the query.
+        let lossy = np_netsim::link::Lossy::new(base, 0.10);
+        let (outcome, _) = run_query(&overlay, target, 25, lossy, 11);
+        // The query may or may not finish (the Answer itself can be
+        // lost), but it must not wedge the simulator; when it finishes,
+        // the answer must be a real member.
+        if let Some(out) = outcome {
+            assert!(members.contains(&out.found));
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Weighted graphs and shortest paths.
+//!
+//! Paper §5 builds "an approximate adjacency matrix" from traceroute data —
+//! Azureus peers plus the routers seen on the way, with the latencies
+//! between them — and runs "the Dijkstra algorithm over this adjacency
+//! matrix to obtain a set of closest peers for each peer". This module is
+//! that machinery: an adjacency-list graph over abstract node indices with
+//! full, bounded (radius-limited) and path-recovering Dijkstra variants.
+//! It is also used for hub-level routing inside the Internet model.
+
+use np_util::Micros;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Node index in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An undirected weighted graph stored as adjacency lists.
+///
+/// Edges carry one-way latencies; parallel edges are allowed (Dijkstra
+/// simply never prefers the longer one), which keeps ingestion from noisy
+/// traceroute data simple — the paper's adjacency matrix has the same
+/// property.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, Micros)>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph with `n` nodes.
+    pub fn with_nodes(n: usize) -> Graph {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges added.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Append a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId((self.adj.len() - 1) as u32)
+    }
+
+    /// Add an undirected edge with weight `w`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, w: Micros) {
+        assert!(a.idx() < self.adj.len() && b.idx() < self.adj.len());
+        self.adj[a.idx()].push((b, w));
+        self.adj[b.idx()].push((a, w));
+        self.edge_count += 1;
+    }
+
+    /// Neighbours of `n` with edge weights.
+    pub fn neighbours(&self, n: NodeId) -> &[(NodeId, Micros)] {
+        &self.adj[n.idx()]
+    }
+
+    /// Single-source Dijkstra, bounded by `radius` (use
+    /// [`Micros::INFINITY`] for an unbounded run).
+    ///
+    /// Returns `(dist, parent)` arrays; unreachable nodes (or nodes beyond
+    /// the radius) have `dist == Micros::INFINITY` and `parent == None`.
+    ///
+    /// The bounded form is what Figure 10/11 need: the paper only studies
+    /// peer pairs within 10 ms, so the search stops expanding past the
+    /// radius and stays cheap even on the 20 k-peer world.
+    pub fn dijkstra(&self, src: NodeId, radius: Micros) -> ShortestPaths {
+        let n = self.adj.len();
+        let mut dist = vec![Micros::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(Micros, NodeId)>> = BinaryHeap::new();
+        dist[src.idx()] = Micros::ZERO;
+        heap.push(Reverse((Micros::ZERO, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u.idx()] {
+                continue; // stale entry
+            }
+            if d > radius {
+                break; // everything else is farther
+            }
+            for &(v, w) in &self.adj[u.idx()] {
+                let nd = d + w;
+                if nd < dist[v.idx()] && nd <= radius {
+                    dist[v.idx()] = nd;
+                    parent[v.idx()] = Some(u);
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        ShortestPaths { src, dist, parent }
+    }
+
+    /// Radius-bounded Dijkstra with *sparse* state: costs are
+    /// proportional to the visited neighbourhood, not to graph size.
+    ///
+    /// This is the workhorse of the Figure 10/11 pipelines, which run a
+    /// ≤10 ms search from each of ~20 k peers over a ~50 k-node
+    /// traceroute-derived graph — dense per-source arrays would dominate
+    /// the runtime there.
+    ///
+    /// Returns `(node, dist, hops)` for every node within `radius`
+    /// (excluding the source), unordered.
+    pub fn dijkstra_local(&self, src: NodeId, radius: Micros) -> Vec<(NodeId, Micros, u32)> {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+        let mut dist: HashMap<NodeId, (Micros, u32)> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Micros, u32, NodeId)>> = BinaryHeap::new();
+        dist.insert(src, (Micros::ZERO, 0));
+        heap.push(Reverse((Micros::ZERO, 0, src)));
+        while let Some(Reverse((d, h, u))) = heap.pop() {
+            match dist.get(&u) {
+                Some(&(bd, _)) if d > bd => continue, // stale
+                _ => {}
+            }
+            for &(v, w) in &self.adj[u.idx()] {
+                let nd = d + w;
+                if nd > radius {
+                    continue;
+                }
+                let nh = h + 1;
+                match dist.entry(v) {
+                    Entry::Occupied(mut o) => {
+                        if nd < o.get().0 {
+                            o.insert((nd, nh));
+                            heap.push(Reverse((nd, nh, v)));
+                        }
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert((nd, nh));
+                        heap.push(Reverse((nd, nh, v)));
+                    }
+                }
+            }
+        }
+        dist.into_iter()
+            .filter(|&(n, _)| n != src)
+            .map(|(n, (d, h))| (n, d, h))
+            .collect()
+    }
+
+    /// Shortest-path distance between two nodes (unbounded Dijkstra,
+    /// early-exit on reaching `dst`).
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Micros {
+        if src == dst {
+            return Micros::ZERO;
+        }
+        let n = self.adj.len();
+        let mut dist = vec![Micros::INFINITY; n];
+        let mut heap: BinaryHeap<Reverse<(Micros, NodeId)>> = BinaryHeap::new();
+        dist[src.idx()] = Micros::ZERO;
+        heap.push(Reverse((Micros::ZERO, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if u == dst {
+                return d;
+            }
+            if d > dist[u.idx()] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u.idx()] {
+                let nd = d + w;
+                if nd < dist[v.idx()] {
+                    dist[v.idx()] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        Micros::INFINITY
+    }
+}
+
+/// Result of a Dijkstra run: distances and the shortest-path tree.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    src: NodeId,
+    dist: Vec<Micros>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the source ([`Micros::INFINITY`] if unreached).
+    pub fn dist(&self, n: NodeId) -> Micros {
+        self.dist[n.idx()]
+    }
+
+    /// Whether `n` was reached within the radius.
+    pub fn reached(&self, n: NodeId) -> bool {
+        !self.dist[n.idx()].is_infinite()
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// Nodes reached within the radius, excluding the source.
+    pub fn reached_nodes(&self) -> impl Iterator<Item = (NodeId, Micros)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(move |&(i, d)| !d.is_infinite() && i != self.src.idx())
+            .map(|(i, &d)| (NodeId(i as u32), d))
+    }
+
+    /// The path from the source to `n` (inclusive of both endpoints), or
+    /// `None` if unreached. The *hop count* of Figure 10 is
+    /// `path.len() - 1`.
+    pub fn path_to(&self, n: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(n) {
+            return None;
+        }
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.parent[cur.idx()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.src, "path terminates at source");
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of edges on the shortest path to `n`, or `None` if unreached.
+    pub fn hops_to(&self, n: NodeId) -> Option<usize> {
+        self.path_to(n).map(|p| p.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A "last-hop star": hub node 0, spokes 1..=4 at 5 ms each, plus a
+    /// LAN edge between spokes 1 and 2 at 0.1 ms (same end-network).
+    fn star() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..=4u32 {
+            g.add_edge(NodeId(0), NodeId(i), Micros::from_ms(5.0));
+        }
+        g.add_edge(NodeId(1), NodeId(2), Micros::from_us(100));
+        g
+    }
+
+    #[test]
+    fn distances_through_hub_vs_lan() {
+        let g = star();
+        // 3 -> 4 must cross the hub: 10 ms.
+        assert_eq!(
+            g.distance(NodeId(3), NodeId(4)),
+            Micros::from_ms_u64(10)
+        );
+        // 1 -> 2 takes the LAN edge, not the hub.
+        assert_eq!(g.distance(NodeId(1), NodeId(2)), Micros::from_us(100));
+        assert_eq!(g.distance(NodeId(2), NodeId(2)), Micros::ZERO);
+    }
+
+    #[test]
+    fn bounded_dijkstra_stops_at_radius() {
+        let g = star();
+        let sp = g.dijkstra(NodeId(1), Micros::from_ms(6.0));
+        assert!(sp.reached(NodeId(2)), "LAN neighbour inside radius");
+        assert!(sp.reached(NodeId(0)), "hub at 5 ms inside radius");
+        assert!(!sp.reached(NodeId(3)), "10 ms spoke outside 6 ms radius");
+    }
+
+    #[test]
+    fn paths_and_hops() {
+        let g = star();
+        let sp = g.dijkstra(NodeId(3), Micros::INFINITY);
+        let path = sp.path_to(NodeId(4)).expect("reached");
+        assert_eq!(path, vec![NodeId(3), NodeId(0), NodeId(4)]);
+        assert_eq!(sp.hops_to(NodeId(4)), Some(2));
+        assert_eq!(sp.hops_to(NodeId(3)), Some(0));
+        // 3 -> 2 goes via the hub (5+5), not via 1 (5+5+0.1).
+        assert_eq!(sp.path_to(NodeId(2)).expect("reached").len(), 3);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = star();
+        let island = g.add_node();
+        let sp = g.dijkstra(NodeId(0), Micros::INFINITY);
+        assert!(!sp.reached(island));
+        assert_eq!(sp.path_to(island), None);
+        assert_eq!(g.distance(NodeId(0), island), Micros::INFINITY);
+    }
+
+    #[test]
+    fn parallel_edges_use_minimum() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), Micros::from_ms(9.0));
+        g.add_edge(NodeId(0), NodeId(1), Micros::from_ms(2.0));
+        assert_eq!(g.distance(NodeId(0), NodeId(1)), Micros::from_ms(2.0));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn reached_nodes_excludes_source() {
+        let g = star();
+        let sp = g.dijkstra(NodeId(0), Micros::INFINITY);
+        let reached: Vec<NodeId> = sp.reached_nodes().map(|(n, _)| n).collect();
+        assert_eq!(reached.len(), 4);
+        assert!(!reached.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn local_dijkstra_matches_dense_within_radius() {
+        let g = star();
+        let radius = Micros::from_ms(10.0);
+        let dense = g.dijkstra(NodeId(1), radius);
+        let mut local = g.dijkstra_local(NodeId(1), radius);
+        local.sort_by_key(|&(n, _, _)| n);
+        let dense_set: Vec<(NodeId, Micros, u32)> = dense
+            .reached_nodes()
+            .map(|(n, d)| (n, d, dense.hops_to(n).expect("reached") as u32))
+            .collect();
+        assert_eq!(local, dense_set);
+    }
+
+    #[test]
+    fn local_dijkstra_respects_radius_and_hops() {
+        let g = star();
+        let res = g.dijkstra_local(NodeId(3), Micros::from_ms(6.0));
+        // Only the hub (5 ms, 1 hop) is inside 6 ms from spoke 3.
+        assert_eq!(res, vec![(NodeId(0), Micros::from_ms(5.0), 1)]);
+    }
+
+    proptest::proptest! {
+        /// Sparse and dense Dijkstra agree on any graph and radius.
+        #[test]
+        fn prop_local_matches_dense(
+            edges in proptest::collection::vec((0u32..10, 0u32..10, 1u64..3_000), 1..30),
+            radius in 1u64..6_000,
+        ) {
+            let mut g = Graph::with_nodes(10);
+            for &(a, b, w) in &edges {
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b), Micros(w));
+                }
+            }
+            let r = Micros(radius);
+            let dense = g.dijkstra(NodeId(0), r);
+            let mut local: Vec<(NodeId, Micros)> = g
+                .dijkstra_local(NodeId(0), r)
+                .into_iter()
+                .map(|(n, d, _)| (n, d))
+                .collect();
+            local.sort_by_key(|&(n, _)| n);
+            let mut dense_v: Vec<(NodeId, Micros)> = dense.reached_nodes().collect();
+            dense_v.sort_by_key(|&(n, _)| n);
+            proptest::prop_assert_eq!(local, dense_v);
+        }
+
+        /// Dijkstra distances satisfy the triangle inequality over the
+        /// graph metric and are symmetric for undirected graphs.
+        #[test]
+        fn prop_dijkstra_metric(
+            edges in proptest::collection::vec((0u32..12, 0u32..12, 1u64..5_000), 1..40),
+        ) {
+            let mut g = Graph::with_nodes(12);
+            for &(a, b, w) in &edges {
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b), Micros(w));
+                }
+            }
+            let sp0 = g.dijkstra(NodeId(0), Micros::INFINITY);
+            let sp1 = g.dijkstra(NodeId(1), Micros::INFINITY);
+            // Symmetry.
+            proptest::prop_assert_eq!(sp0.dist(NodeId(1)), sp1.dist(NodeId(0)));
+            // Triangle inequality via node 2 when all legs are finite.
+            let d01 = sp0.dist(NodeId(1));
+            let d02 = sp0.dist(NodeId(2));
+            let d12 = sp1.dist(NodeId(2));
+            if !d02.is_infinite() && !d12.is_infinite() {
+                proptest::prop_assert!(d01 <= d02 + d12);
+            }
+        }
+    }
+}

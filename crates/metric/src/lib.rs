@@ -1,0 +1,31 @@
+//! # np-metric
+//!
+//! Latency spaces and the search API for the `nearest-peer` reproduction
+//! (Vishnumurthy & Francis, IMC 2008).
+//!
+//! The paper's entire argument is about the *shape* of the inter-peer
+//! latency space: under the clustering condition the space violates the
+//! growth-constrained assumption, the doubling assumption and low
+//! dimensionality (§2.2), and every latency-only nearest-peer algorithm
+//! degrades to brute force. This crate provides:
+//!
+//! * [`matrix::LatencyMatrix`] — the dense symmetric RTT matrix every
+//!   simulation consumes, with ground-truth nearest/k-NN queries,
+//! * [`graph`] — weighted router-level graphs with Dijkstra (bounded and
+//!   full), used by the traceroute-derived adjacency study of paper §5
+//!   (Figures 10–11),
+//! * [`diagnostics`] — quantitative versions of §2.2: growth constant,
+//!   doubling constant via greedy ball cover, and the Levina–Bickel
+//!   intrinsic-dimension estimator,
+//! * [`nearest`] — the [`nearest::NearestPeerAlgo`] trait implemented by
+//!   Meridian, the coordinate schemes and every baseline, plus the
+//!   [`nearest::QueryOutcome`] accounting (probe and hop counts) that the
+//!   paper's cost arguments are about.
+
+pub mod diagnostics;
+pub mod graph;
+pub mod matrix;
+pub mod nearest;
+
+pub use matrix::{LatencyMatrix, PeerId};
+pub use nearest::{NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};

@@ -1,0 +1,254 @@
+//! Dense symmetric latency matrices.
+//!
+//! The Meridian simulations of paper §4 run over an "inter-peer latency
+//! matrix with about 2500 peers"; this is that object. Storage is a full
+//! `n×n` array of `f32` milliseconds-as-µs (u32 would also fit, but f32
+//! keeps interop with the diagnostics cheap) — at the paper's scale
+//! (2.5 k peers) that is 25 MB, well within laptop budgets, and O(1)
+//! access is what the query simulators need.
+
+use np_util::Micros;
+
+/// Index of a peer in a latency matrix / world.
+///
+/// A plain newtype over `u32`: worlds at paper scale have at most a few
+/// hundred thousand peers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The matrix row index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+/// A dense symmetric matrix of round-trip latencies with zero diagonal.
+#[derive(Clone)]
+pub struct LatencyMatrix {
+    n: usize,
+    /// Row-major full storage, µs as f32. Symmetry is maintained by the
+    /// constructors; `debug_validate` checks it.
+    data: Vec<f32>,
+}
+
+impl LatencyMatrix {
+    /// Build from a pairwise latency function (called once per unordered
+    /// pair `i < j`).
+    pub fn build(n: usize, mut rtt: impl FnMut(PeerId, PeerId) -> Micros) -> LatencyMatrix {
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = rtt(PeerId(i as u32), PeerId(j as u32)).as_us() as f32;
+                data[i * n + j] = v;
+                data[j * n + i] = v;
+            }
+        }
+        LatencyMatrix { n, data }
+    }
+
+    /// Number of peers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// RTT between two peers (zero on the diagonal).
+    #[inline]
+    pub fn rtt(&self, a: PeerId, b: PeerId) -> Micros {
+        Micros(self.data[a.idx() * self.n + b.idx()] as u64)
+    }
+
+    /// All peer ids.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        (0..self.n as u32).map(PeerId)
+    }
+
+    /// The nearest peer to `target` **within `members`**, excluding
+    /// `target` itself. Ties broken by lowest id (deterministic). `None`
+    /// if `members` contains no other peer.
+    ///
+    /// This is the ground truth the paper's "P(found peer is correct
+    /// closest peer)" compares against: the target node is outside the
+    /// overlay and `members` is the overlay.
+    pub fn nearest_within(&self, target: PeerId, members: &[PeerId]) -> Option<PeerId> {
+        members
+            .iter()
+            .copied()
+            .filter(|&m| m != target)
+            .min_by_key(|&m| (self.rtt(target, m), m))
+    }
+
+    /// The `k` nearest peers to `target` within `members` (ascending RTT,
+    /// ties by id), excluding `target`.
+    pub fn knn_within(&self, target: PeerId, members: &[PeerId], k: usize) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = members.iter().copied().filter(|&m| m != target).collect();
+        v.sort_by_key(|&m| (self.rtt(target, m), m));
+        v.truncate(k);
+        v
+    }
+
+    /// Number of peers in `members` strictly closer to `target` than `d`.
+    pub fn count_within(&self, target: PeerId, members: &[PeerId], d: Micros) -> usize {
+        members
+            .iter()
+            .filter(|&&m| m != target && self.rtt(target, m) < d)
+            .count()
+    }
+
+    /// Median RTT over all unordered pairs (reservoir-free exact
+    /// computation; O(n²) values). Used to calibrate the synthetic hub
+    /// matrix against the Meridian dataset's ≈65 ms median.
+    pub fn median_pair_rtt(&self) -> Option<Micros> {
+        if self.n < 2 {
+            return None;
+        }
+        let mut v: Vec<u64> = Vec::with_capacity(self.n * (self.n - 1) / 2);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                v.push(self.data[i * self.n + j] as u64);
+            }
+        }
+        v.sort_unstable();
+        Some(Micros(v[v.len() / 2]))
+    }
+
+    /// Check symmetry and zero diagonal; used by tests and debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        for i in 0..self.n {
+            if self.data[i * self.n + i] != 0.0 {
+                return Err(format!("non-zero diagonal at {i}"));
+            }
+            for j in (i + 1)..self.n {
+                let a = self.data[i * self.n + j];
+                let b = self.data[j * self.n + i];
+                if a != b {
+                    return Err(format!("asymmetry at ({i},{j}): {a} vs {b}"));
+                }
+                if a < 0.0 || !a.is_finite() {
+                    return Err(format!("invalid latency at ({i},{j}): {a}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum over all pairs (diameter of the space).
+    pub fn diameter(&self) -> Micros {
+        let mut max = 0.0f32;
+        for &v in &self.data {
+            if v > max {
+                max = v;
+            }
+        }
+        Micros(max as u64)
+    }
+}
+
+impl std::fmt::Debug for LatencyMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LatencyMatrix({} peers)", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_matrix(n: usize) -> LatencyMatrix {
+        // Peers on a line, 1 ms apart: rtt(i,j) = |i-j| ms.
+        LatencyMatrix::build(n, |a, b| {
+            Micros::from_ms_u64((a.0 as i64 - b.0 as i64).unsigned_abs())
+        })
+    }
+
+    #[test]
+    fn build_is_symmetric_with_zero_diagonal() {
+        let m = line_matrix(8);
+        m.validate().expect("valid");
+        assert_eq!(m.rtt(PeerId(2), PeerId(5)), Micros::from_ms_u64(3));
+        assert_eq!(m.rtt(PeerId(5), PeerId(2)), Micros::from_ms_u64(3));
+        assert_eq!(m.rtt(PeerId(4), PeerId(4)), Micros::ZERO);
+    }
+
+    #[test]
+    fn nearest_within_excludes_target_and_breaks_ties_by_id() {
+        let m = line_matrix(10);
+        let members: Vec<PeerId> = (0..10).map(PeerId).collect();
+        // Peer 5's neighbours 4 and 6 are equidistant; lowest id wins.
+        assert_eq!(m.nearest_within(PeerId(5), &members), Some(PeerId(4)));
+        // Target not in members still works.
+        let sub = [PeerId(0), PeerId(9)];
+        assert_eq!(m.nearest_within(PeerId(2), &sub), Some(PeerId(0)));
+        // No other member -> None.
+        assert_eq!(m.nearest_within(PeerId(3), &[PeerId(3)]), None);
+    }
+
+    #[test]
+    fn knn_is_sorted_ascending() {
+        let m = line_matrix(10);
+        let members: Vec<PeerId> = (0..10).map(PeerId).collect();
+        let knn = m.knn_within(PeerId(0), &members, 3);
+        assert_eq!(knn, vec![PeerId(1), PeerId(2), PeerId(3)]);
+    }
+
+    #[test]
+    fn count_within_is_strict() {
+        let m = line_matrix(10);
+        let members: Vec<PeerId> = (0..10).map(PeerId).collect();
+        assert_eq!(
+            m.count_within(PeerId(0), &members, Micros::from_ms_u64(3)),
+            2 // peers 1 and 2; peer 3 at exactly 3 ms is excluded
+        );
+    }
+
+    #[test]
+    fn median_and_diameter() {
+        let m = line_matrix(3); // pairs: 1, 1, 2 ms -> median 1 ms
+        assert_eq!(m.median_pair_rtt(), Some(Micros::from_ms_u64(1)));
+        assert_eq!(m.diameter(), Micros::from_ms_u64(2));
+        assert_eq!(line_matrix(1).median_pair_rtt(), None);
+    }
+
+    proptest::proptest! {
+        /// nearest_within always returns the true minimum.
+        #[test]
+        fn prop_nearest_is_minimum(
+            lat in proptest::collection::vec(0u64..10_000, 36),
+        ) {
+            // Build a random 9-peer symmetric matrix from the upper triangle.
+            let n = 9usize;
+            let mut it = lat.into_iter();
+            let mut tri = vec![vec![0u64; n]; n];
+            for i in 0..n {
+                for j in (i+1)..n {
+                    let v = it.next().expect("enough entries");
+                    tri[i][j] = v;
+                    tri[j][i] = v;
+                }
+            }
+            let m = LatencyMatrix::build(n, |a, b| Micros(tri[a.idx()][b.idx()]));
+            m.validate().expect("valid");
+            let members: Vec<PeerId> = (0..n as u32).map(PeerId).collect();
+            for t in 0..n as u32 {
+                let t = PeerId(t);
+                let found = m.nearest_within(t, &members).expect("others exist");
+                let best = members.iter().copied().filter(|&p| p != t)
+                    .map(|p| m.rtt(t, p)).min().expect("non-empty");
+                proptest::prop_assert_eq!(m.rtt(t, found), best);
+            }
+        }
+    }
+}

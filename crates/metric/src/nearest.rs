@@ -1,0 +1,270 @@
+//! The nearest-peer search API.
+//!
+//! Paper setup (§4): an overlay of ~2,400 peers is built from a latency
+//! matrix; ~100 held-out peers act as *targets*; a query must find the
+//! overlay member closest to a given target. Crucially, an algorithm can
+//! learn a target's latencies **only by probing** — "for a peer to tell if
+//! it is the closest peer to A2, it has to first measure its latency to
+//! A2". [`Target`] enforces that: every RTT lookup involving the target
+//! increments a probe counter, and [`QueryOutcome`] reports the totals
+//! that the paper's cost argument (brute-force probing inside a cluster)
+//! is about.
+//!
+//! Inter-*member* latencies are treated as known (learned during overlay
+//! maintenance) and are read directly from the matrix by the algorithms.
+
+use crate::matrix::{LatencyMatrix, PeerId};
+use np_util::Micros;
+use rand::rngs::StdRng;
+use std::cell::Cell;
+
+/// Counts latency probes to a query target.
+#[derive(Debug, Default)]
+pub struct ProbeCounter {
+    count: Cell<u64>,
+}
+
+impl ProbeCounter {
+    /// Record one probe.
+    #[inline]
+    pub fn bump(&self) {
+        self.count.set(self.count.get() + 1);
+    }
+
+    /// Probes recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+}
+
+/// A query target: a peer outside the overlay whose latencies are only
+/// observable through counted probes.
+pub struct Target<'a> {
+    id: PeerId,
+    matrix: &'a LatencyMatrix,
+    counter: ProbeCounter,
+}
+
+impl<'a> Target<'a> {
+    /// Wrap `id` as a probe-counted target over `matrix`.
+    pub fn new(id: PeerId, matrix: &'a LatencyMatrix) -> Target<'a> {
+        Target {
+            id,
+            matrix,
+            counter: ProbeCounter::default(),
+        }
+    }
+
+    /// The target's peer id (identity is public; latency is not).
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Measure the RTT from `prober` to the target. Counted.
+    pub fn probe_from(&self, prober: PeerId) -> Micros {
+        self.counter.bump();
+        self.matrix.rtt(prober, self.id)
+    }
+
+    /// Probes spent on this target so far.
+    pub fn probes(&self) -> u64 {
+        self.counter.count()
+    }
+}
+
+/// The result of one nearest-peer query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The overlay member the algorithm selected.
+    pub found: PeerId,
+    /// RTT from the found peer to the target (as measured by the final
+    /// probe — i.e. ground truth, since probes are noise-free in the
+    /// matrix worlds).
+    pub rtt_to_target: Micros,
+    /// Number of latency probes to the target the query consumed.
+    pub probes: u64,
+    /// Number of times the query was forwarded between overlay members.
+    pub hops: u32,
+}
+
+/// A nearest-peer search algorithm over a fixed overlay.
+///
+/// Implementations: Meridian (`np-meridian`), the Vivaldi/PIC greedy walk
+/// (`np-coords`), Karger–Ruhl, Tapestry, Tiers and Beaconing
+/// (`np-baselines`), and the remedy-augmented hybrid (`np-core`).
+pub trait NearestPeerAlgo {
+    /// Short name for tables ("meridian", "tiers", ...).
+    fn name(&self) -> &str;
+
+    /// The overlay membership this instance was built over.
+    fn members(&self) -> &[PeerId];
+
+    /// Resolve a closest-member query for `target`.
+    ///
+    /// `rng` drives the random starting peer (the paper: "initiates a
+    /// closest-peer query at a random peer") and any internal tie
+    /// breaking; determinism comes from the caller's seed discipline.
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome;
+}
+
+/// Brute force: probe every member. The optimal-accuracy / worst-cost
+/// reference point — under the clustering condition the paper argues all
+/// latency-only algorithms degenerate towards this.
+pub struct BruteForce<'m> {
+    matrix: &'m LatencyMatrix,
+    members: Vec<PeerId>,
+}
+
+impl<'m> BruteForce<'m> {
+    pub fn new(matrix: &'m LatencyMatrix, members: Vec<PeerId>) -> Self {
+        assert!(!members.is_empty(), "empty overlay");
+        BruteForce { matrix, members }
+    }
+
+    /// The backing matrix (exposed for the runner's ground-truth checks).
+    pub fn matrix(&self) -> &LatencyMatrix {
+        self.matrix
+    }
+}
+
+impl NearestPeerAlgo for BruteForce<'_> {
+    fn name(&self) -> &str {
+        "brute-force"
+    }
+
+    fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, _rng: &mut StdRng) -> QueryOutcome {
+        let mut best: Option<(Micros, PeerId)> = None;
+        for &m in &self.members {
+            if m == target.id() {
+                continue;
+            }
+            let d = target.probe_from(m);
+            if best.map(|(bd, bp)| (d, m) < (bd, bp)).unwrap_or(true) {
+                best = Some((d, m));
+            }
+        }
+        let (rtt, found) = best.expect("overlay has at least one other member");
+        QueryOutcome {
+            found,
+            rtt_to_target: rtt,
+            probes: target.probes(),
+            hops: 0,
+        }
+    }
+}
+
+/// Random selection: probe one random member. The zero-intelligence
+/// reference point (lower bound on accuracy).
+pub struct RandomChoice<'m> {
+    matrix: &'m LatencyMatrix,
+    members: Vec<PeerId>,
+}
+
+impl<'m> RandomChoice<'m> {
+    pub fn new(matrix: &'m LatencyMatrix, members: Vec<PeerId>) -> Self {
+        assert!(!members.is_empty(), "empty overlay");
+        RandomChoice { matrix, members }
+    }
+}
+
+impl NearestPeerAlgo for RandomChoice<'_> {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        use rand::seq::SliceRandom;
+        let _ = self.matrix; // identity only; no latency knowledge used
+        let found = loop {
+            let &m = self.members.choose(rng).expect("non-empty");
+            if m != target.id() {
+                break m;
+            }
+        };
+        let rtt = target.probe_from(found);
+        QueryOutcome {
+            found,
+            rtt_to_target: rtt,
+            probes: target.probes(),
+            hops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::rng::rng_from;
+
+    fn line_matrix(n: usize) -> LatencyMatrix {
+        LatencyMatrix::build(n, |a, b| {
+            Micros::from_ms_u64((a.0 as i64 - b.0 as i64).unsigned_abs())
+        })
+    }
+
+    #[test]
+    fn target_counts_probes() {
+        let m = line_matrix(5);
+        let t = Target::new(PeerId(0), &m);
+        assert_eq!(t.probes(), 0);
+        assert_eq!(t.probe_from(PeerId(3)), Micros::from_ms_u64(3));
+        assert_eq!(t.probe_from(PeerId(1)), Micros::from_ms_u64(1));
+        assert_eq!(t.probes(), 2);
+    }
+
+    #[test]
+    fn brute_force_finds_true_nearest_and_probes_everyone() {
+        let m = line_matrix(10);
+        let members: Vec<PeerId> = (1..10).map(PeerId).collect(); // target 0 excluded
+        let algo = BruteForce::new(&m, members);
+        let t = Target::new(PeerId(0), &m);
+        let out = algo.find_nearest(&t, &mut rng_from(1));
+        assert_eq!(out.found, PeerId(1));
+        assert_eq!(out.rtt_to_target, Micros::from_ms_u64(1));
+        assert_eq!(out.probes, 9);
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn brute_force_skips_target_in_members() {
+        let m = line_matrix(4);
+        let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let algo = BruteForce::new(&m, members);
+        let t = Target::new(PeerId(2), &m);
+        let out = algo.find_nearest(&t, &mut rng_from(1));
+        assert_ne!(out.found, PeerId(2), "never returns the target itself");
+        assert_eq!(out.probes, 3);
+    }
+
+    #[test]
+    fn random_choice_uses_one_probe() {
+        let m = line_matrix(50);
+        let members: Vec<PeerId> = (1..50).map(PeerId).collect();
+        let algo = RandomChoice::new(&m, members.clone());
+        let mut rng = rng_from(7);
+        let t = Target::new(PeerId(0), &m);
+        let out = algo.find_nearest(&t, &mut rng);
+        assert!(members.contains(&out.found));
+        assert_eq!(out.probes, 1);
+    }
+
+    #[test]
+    fn random_choice_is_seed_deterministic() {
+        let m = line_matrix(50);
+        let members: Vec<PeerId> = (1..50).map(PeerId).collect();
+        let algo = RandomChoice::new(&m, members);
+        let t1 = Target::new(PeerId(0), &m);
+        let t2 = Target::new(PeerId(0), &m);
+        let a = algo.find_nearest(&t1, &mut rng_from(42));
+        let b = algo.find_nearest(&t2, &mut rng_from(42));
+        assert_eq!(a.found, b.found);
+    }
+}

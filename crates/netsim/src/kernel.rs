@@ -1,0 +1,529 @@
+//! The discrete-event engine.
+//!
+//! Design notes:
+//!
+//! * **Determinism.** Events at equal timestamps are processed in
+//!   insertion order (a monotone sequence number breaks heap ties), and
+//!   all randomness flows from the seed passed to [`Sim::new`]. Two runs
+//!   with the same seed produce identical traces.
+//! * **Borrowing.** A node handler gets `&mut self` plus a [`Ctx`] that
+//!   *buffers* its actions (sends, timers); the engine applies them after
+//!   the handler returns. This avoids aliasing the node store and keeps
+//!   handlers panic-safe with respect to queue corruption.
+//! * **No global time limit surprises.** [`Sim::run_until`] stops the
+//!   clock exactly at the horizon; events beyond it stay queued, so a
+//!   subsequent `run_until` continues seamlessly.
+
+use crate::link::LinkModel;
+use np_util::Micros;
+use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time: microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Advance by a latency.
+    #[inline]
+    pub fn after(self, d: Micros) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_us()))
+    }
+
+    /// Elapsed time since `earlier` (saturating).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Micros {
+        Micros(self.0.saturating_sub(earlier.0))
+    }
+
+    /// As fractional milliseconds (presentation).
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+/// Address of a node in a [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeAddr(pub u32);
+
+impl NodeAddr {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simulated process.
+///
+/// `M` is the protocol's message type. Handlers receive a [`Ctx`] through
+/// which they read the clock, send messages and arm timers.
+pub trait Node<M> {
+    /// Called once when the simulation starts (before any message).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// A message has arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeAddr, msg: M);
+
+    /// A timer armed with [`Ctx::set_timer`] has fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+}
+
+/// Counters the engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dequeued and dispatched.
+    pub events: u64,
+    /// Messages accepted by the link model.
+    pub messages_sent: u64,
+    /// Messages the link model dropped.
+    pub messages_dropped: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+}
+
+enum Payload<M> {
+    Message { from: NodeAddr, msg: M },
+    Timer { token: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeAddr,
+    payload: Payload<M>,
+}
+
+/// The per-handler action buffer and environment view.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    me: NodeAddr,
+    rng: &'a mut StdRng,
+    outbox: Vec<(NodeAddr, M)>,
+    timers: Vec<(Micros, u64)>,
+    stopped: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's address.
+    pub fn me(&self) -> NodeAddr {
+        self.me
+    }
+
+    /// The simulation RNG (seeded; shared by all nodes in event order, so
+    /// usage is deterministic).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Send `msg` to `to`; delivery time is decided by the link model
+    /// (messages to self are allowed and take the link's self-delay).
+    pub fn send(&mut self, to: NodeAddr, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Arm a timer that fires on this node after `delay` with `token`.
+    pub fn set_timer(&mut self, delay: Micros, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// Ask the engine to stop after this handler returns (used by
+    /// terminating protocols; queued events remain for inspection).
+    pub fn stop(&mut self) {
+        *self.stopped = true;
+    }
+}
+
+/// The simulation engine over a node store, a link model and a clock.
+pub struct Sim<M, N: Node<M>, L: LinkModel> {
+    nodes: Vec<N>,
+    link: L,
+    queue: BinaryHeap<Reverse<HeapKey>>,
+    events: Vec<Option<Event<M>>>, // arena addressed by HeapKey.slot
+    free: Vec<usize>,
+    clock: SimTime,
+    seq: u64,
+    rng: StdRng,
+    stats: SimStats,
+    started: bool,
+    stopped: bool,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    slot: usize,
+}
+
+impl<M, N: Node<M>, L: LinkModel> Sim<M, N, L> {
+    /// Create an engine over `nodes` with the given link model and seed.
+    pub fn new(nodes: Vec<N>, link: L, seed: u64) -> Self {
+        Sim {
+            nodes,
+            link,
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            clock: SimTime::ZERO,
+            seq: 0,
+            rng: np_util::rng::rng_from(seed),
+            stats: SimStats::default(),
+            started: false,
+            stopped: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the engine hosts no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node (post-run inspection).
+    pub fn node(&self, addr: NodeAddr) -> &N {
+        &self.nodes[addr.idx()]
+    }
+
+    /// Mutable access to a node (test setup).
+    pub fn node_mut(&mut self, addr: NodeAddr) -> &mut N {
+        &mut self.nodes[addr.idx()]
+    }
+
+    /// All node addresses.
+    pub fn addrs(&self) -> impl Iterator<Item = NodeAddr> {
+        (0..self.nodes.len() as u32).map(NodeAddr)
+    }
+
+    /// Inject a message from "outside" (no sender node) at the current
+    /// time plus the link delay from `from`.
+    pub fn inject(&mut self, from: NodeAddr, to: NodeAddr, msg: M) {
+        let delay = self
+            .link
+            .delay(from, to, &mut self.rng)
+            .unwrap_or(Micros::ZERO);
+        let at = self.clock.after(delay);
+        self.push(Event {
+            at,
+            seq: 0, // replaced by push
+            to,
+            payload: Payload::Message { from, msg },
+        });
+    }
+
+    fn push(&mut self, mut ev: Event<M>) {
+        self.seq += 1;
+        ev.seq = self.seq;
+        let slot = if let Some(s) = self.free.pop() {
+            self.events[s] = Some(ev);
+            s
+        } else {
+            self.events.push(Some(ev));
+            self.events.len() - 1
+        };
+        let e = self.events[slot].as_ref().expect("just placed");
+        self.queue.push(Reverse(HeapKey {
+            at: e.at,
+            seq: e.seq,
+            slot,
+        }));
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let me = NodeAddr(i as u32);
+            let mut stopped = self.stopped;
+            let mut ctx = Ctx {
+                now: self.clock,
+                me,
+                rng: &mut self.rng,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                stopped: &mut stopped,
+            };
+            self.nodes[i].on_start(&mut ctx);
+            let (outbox, timers) = (ctx.outbox, ctx.timers);
+            self.stopped = stopped;
+            self.apply(me, outbox, timers);
+        }
+    }
+
+    fn apply(&mut self, me: NodeAddr, outbox: Vec<(NodeAddr, M)>, timers: Vec<(Micros, u64)>) {
+        for (to, msg) in outbox {
+            match self.link.delay(me, to, &mut self.rng) {
+                Some(d) => {
+                    self.stats.messages_sent += 1;
+                    let at = self.clock.after(d);
+                    self.push(Event {
+                        at,
+                        seq: 0,
+                        to,
+                        payload: Payload::Message { from: me, msg },
+                    });
+                }
+                None => self.stats.messages_dropped += 1,
+            }
+        }
+        for (delay, token) in timers {
+            let at = self.clock.after(delay);
+            self.push(Event {
+                at,
+                seq: 0,
+                to: me,
+                payload: Payload::Timer { token },
+            });
+        }
+    }
+
+    /// Run until the queue drains, the horizon passes, or a node calls
+    /// [`Ctx::stop`]. Returns the number of events processed by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while !self.stopped {
+            let Some(Reverse(key)) = self.queue.peek() else {
+                break;
+            };
+            if key.at > horizon {
+                break;
+            }
+            let Reverse(key) = self.queue.pop().expect("peeked");
+            let ev = self.events[key.slot].take().expect("live event");
+            self.free.push(key.slot);
+            self.clock = ev.at;
+            self.stats.events += 1;
+            processed += 1;
+            let me = ev.to;
+            let mut stopped = self.stopped;
+            let mut ctx = Ctx {
+                now: self.clock,
+                me,
+                rng: &mut self.rng,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                stopped: &mut stopped,
+            };
+            match ev.payload {
+                Payload::Message { from, msg } => {
+                    self.nodes[me.idx()].on_message(&mut ctx, from, msg);
+                }
+                Payload::Timer { token } => {
+                    self.stats.timers_fired += 1;
+                    self.nodes[me.idx()].on_timer(&mut ctx, token);
+                }
+            }
+            let (outbox, timers) = (ctx.outbox, ctx.timers);
+            self.stopped = stopped;
+            self.apply(me, outbox, timers);
+        }
+        // Clamp the clock to the horizon when we stopped because of it —
+        // i.e. events remain queued but all lie beyond the horizon. A
+        // drained queue leaves the clock at the last processed event.
+        if self.clock < horizon
+            && !self.queue.is_empty()
+            && self.queue.iter().all(|Reverse(k)| k.at > horizon)
+        {
+            self.clock = horizon;
+        }
+        processed
+    }
+
+    /// Run until the queue is empty (or [`Ctx::stop`]).
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Dismantle the engine and return the node store (post-run analysis).
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::ConstLink;
+
+    /// Ping-pong: node 0 sends `n` to 1, which replies `n-1`, until 0.
+    struct PingPong {
+        peer: NodeAddr,
+        initiator: bool,
+        last_seen: u64,
+        done_at: Option<SimTime>,
+    }
+
+    impl Node<u64> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.initiator {
+                ctx.send(self.peer, 4);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeAddr, msg: u64) {
+            self.last_seen = msg;
+            if msg == 0 {
+                self.done_at = Some(ctx.now());
+            } else {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    fn pingpong_sim(seed: u64) -> Sim<u64, PingPong, ConstLink> {
+        let nodes = vec![
+            PingPong {
+                peer: NodeAddr(1),
+                initiator: true,
+                last_seen: u64::MAX,
+                done_at: None,
+            },
+            PingPong {
+                peer: NodeAddr(0),
+                initiator: false,
+                last_seen: u64::MAX,
+                done_at: None,
+            },
+        ];
+        Sim::new(nodes, ConstLink(Micros::from_ms(5.0)), seed)
+    }
+
+    #[test]
+    fn pingpong_terminates_with_correct_clock() {
+        let mut sim = pingpong_sim(1);
+        sim.run_to_completion();
+        // 5 messages (4,3,2,1,0) at 5 ms each.
+        assert_eq!(sim.stats().messages_sent, 5);
+        assert_eq!(sim.now(), SimTime(25_000));
+        let n1 = sim.node(NodeAddr(1));
+        assert_eq!(n1.done_at, Some(SimTime(25_000)));
+        assert_eq!(n1.last_seen, 0);
+    }
+
+    #[test]
+    fn horizon_pauses_and_resumes() {
+        let mut sim = pingpong_sim(1);
+        let first = sim.run_until(SimTime(12_000)); // 2 events (5, 10 ms)
+        assert_eq!(first, 2);
+        assert_eq!(sim.now(), SimTime(12_000), "clock clamps to horizon");
+        let rest = sim.run_to_completion();
+        assert_eq!(rest, 3);
+        assert_eq!(sim.now(), SimTime(25_000));
+    }
+
+    /// Timers: a node that reschedules itself 3 times.
+    struct Ticker {
+        fired: Vec<(SimTime, u64)>,
+    }
+
+    impl Node<()> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(Micros::from_ms(1.0), 1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeAddr, _msg: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+            self.fired.push((ctx.now(), token));
+            if token < 3 {
+                ctx.set_timer(Micros::from_ms(1.0), token + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Sim::new(
+            vec![Ticker { fired: Vec::new() }],
+            ConstLink(Micros::ZERO),
+            7,
+        );
+        sim.run_to_completion();
+        let t = &sim.node(NodeAddr(0)).fired;
+        assert_eq!(
+            t,
+            &vec![
+                (SimTime(1_000), 1),
+                (SimTime(2_000), 2),
+                (SimTime(3_000), 3)
+            ]
+        );
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    /// Same-timestamp events must dispatch FIFO.
+    struct Recorder {
+        seen: Vec<u64>,
+    }
+    impl Node<u64> for Recorder {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: NodeAddr, msg: u64) {
+            self.seen.push(msg);
+        }
+    }
+
+    #[test]
+    fn equal_time_events_are_fifo() {
+        let mut sim = Sim::new(
+            vec![Recorder { seen: Vec::new() }],
+            ConstLink(Micros::from_ms(1.0)),
+            3,
+        );
+        for i in 0..10 {
+            sim.inject(NodeAddr(0), NodeAddr(0), i);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.node(NodeAddr(0)).seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = pingpong_sim(99);
+        let mut b = pingpong_sim(99);
+        a.run_to_completion();
+        b.run_to_completion();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.now(), b.now());
+    }
+
+    /// ctx.stop() halts the engine immediately.
+    struct Stopper;
+    impl Node<u64> for Stopper {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeAddr, msg: u64) {
+            if msg == 2 {
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn stop_halts_engine() {
+        let mut sim = Sim::new(vec![Stopper], ConstLink(Micros::from_ms(1.0)), 5);
+        for i in 0..10 {
+            sim.inject(NodeAddr(0), NodeAddr(0), i);
+        }
+        let n = sim.run_to_completion();
+        assert_eq!(n, 3, "events 0,1,2 then stop");
+    }
+}

@@ -1,0 +1,30 @@
+//! # np-netsim
+//!
+//! A small discrete-event network simulation kernel.
+//!
+//! The paper's experiments are *query-level* simulations (latencies come
+//! from a matrix, probes are instantaneous lookups). That abstraction is
+//! fine for accuracy numbers, but a reproduction that claims to be a
+//! system should also run its protocols message-by-message: queries take
+//! time, probes overlap, timers fire, packets drop. This crate provides
+//! the kernel for that mode:
+//!
+//! * [`SimTime`] — a virtual clock in microseconds,
+//! * [`Node`] — the process trait (`on_start` / `on_message` / `on_timer`),
+//! * [`Sim`] — the engine: a binary-heap event queue with deterministic
+//!   FIFO tie-breaking, per-run RNG, and message/drop accounting,
+//! * [`link`] — pluggable link models: constant, function-backed (e.g. a
+//!   latency matrix), plus [`link::Lossy`] and [`link::Jittered`]
+//!   decorators in the spirit of smoltcp's fault injection,
+//! * [`wire`] — length-prefixed frame encoding over `bytes`, used by the
+//!   protocol crates to round-trip their messages as real byte frames.
+//!
+//! The event-driven Meridian (in `np-meridian`) and the Chord maintenance
+//! loop (in `np-dht`) are `Node` implementations on this kernel.
+
+pub mod kernel;
+pub mod link;
+pub mod wire;
+
+pub use kernel::{Ctx, Node, NodeAddr, Sim, SimStats, SimTime};
+pub use link::LinkModel;

@@ -1,0 +1,146 @@
+//! Link models: who can talk to whom, how slowly, and how lossily.
+//!
+//! A [`LinkModel`] maps a `(from, to)` pair to a one-way delay — or `None`
+//! to drop the message. Decorators add jitter and loss in the spirit of
+//! smoltcp's fault-injection options, so protocol tests can shake their
+//! implementations without touching protocol code.
+
+use crate::kernel::NodeAddr;
+use np_util::Micros;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One-way delivery model.
+pub trait LinkModel {
+    /// Delay for a message `from -> to`, or `None` to drop it.
+    fn delay(&self, from: NodeAddr, to: NodeAddr, rng: &mut StdRng) -> Option<Micros>;
+}
+
+/// Every message takes the same one-way delay.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstLink(pub Micros);
+
+impl LinkModel for ConstLink {
+    fn delay(&self, _from: NodeAddr, _to: NodeAddr, _rng: &mut StdRng) -> Option<Micros> {
+        Some(self.0)
+    }
+}
+
+/// Delay computed by a function — typically half the RTT from a latency
+/// matrix: `FnLink::new(move |a, b| matrix.rtt(a, b) / 2)`.
+pub struct FnLink<F: Fn(NodeAddr, NodeAddr) -> Micros>(F);
+
+impl<F: Fn(NodeAddr, NodeAddr) -> Micros> FnLink<F> {
+    pub fn new(f: F) -> Self {
+        FnLink(f)
+    }
+}
+
+impl<F: Fn(NodeAddr, NodeAddr) -> Micros> LinkModel for FnLink<F> {
+    fn delay(&self, from: NodeAddr, to: NodeAddr, _rng: &mut StdRng) -> Option<Micros> {
+        Some((self.0)(from, to))
+    }
+}
+
+/// Adds multiplicative uniform jitter `[1-j, 1+j]` to an inner model.
+pub struct Jittered<L: LinkModel> {
+    inner: L,
+    jitter: f64,
+}
+
+impl<L: LinkModel> Jittered<L> {
+    /// `jitter` is the half-width, e.g. 0.05 for ±5 %.
+    pub fn new(inner: L, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0,1)");
+        Jittered { inner, jitter }
+    }
+}
+
+impl<L: LinkModel> LinkModel for Jittered<L> {
+    fn delay(&self, from: NodeAddr, to: NodeAddr, rng: &mut StdRng) -> Option<Micros> {
+        let base = self.inner.delay(from, to, rng)?;
+        let f = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        Some(base.scale(f))
+    }
+}
+
+/// Drops each message independently with probability `p`.
+pub struct Lossy<L: LinkModel> {
+    inner: L,
+    p: f64,
+}
+
+impl<L: LinkModel> Lossy<L> {
+    pub fn new(inner: L, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability");
+        Lossy { inner, p }
+    }
+}
+
+impl<L: LinkModel> LinkModel for Lossy<L> {
+    fn delay(&self, from: NodeAddr, to: NodeAddr, rng: &mut StdRng) -> Option<Micros> {
+        if rng.gen::<f64>() < self.p {
+            None
+        } else {
+            self.inner.delay(from, to, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::rng::rng_from;
+
+    #[test]
+    fn const_link_is_constant() {
+        let l = ConstLink(Micros::from_ms(3.0));
+        let mut rng = rng_from(1);
+        assert_eq!(
+            l.delay(NodeAddr(0), NodeAddr(1), &mut rng),
+            Some(Micros::from_ms(3.0))
+        );
+    }
+
+    #[test]
+    fn fn_link_uses_function() {
+        let l = FnLink::new(|a: NodeAddr, b: NodeAddr| Micros((a.0 + b.0) as u64 * 100));
+        let mut rng = rng_from(2);
+        assert_eq!(
+            l.delay(NodeAddr(2), NodeAddr(3), &mut rng),
+            Some(Micros(500))
+        );
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let l = Jittered::new(ConstLink(Micros::from_ms(10.0)), 0.05);
+        let mut rng = rng_from(3);
+        for _ in 0..1000 {
+            let d = l
+                .delay(NodeAddr(0), NodeAddr(1), &mut rng)
+                .expect("delivered")
+                .as_us();
+            assert!((9_500..=10_500).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn lossy_drops_about_p() {
+        let l = Lossy::new(ConstLink(Micros::from_ms(1.0)), 0.3);
+        let mut rng = rng_from(4);
+        let dropped = (0..10_000)
+            .filter(|_| l.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none())
+            .count();
+        assert!((2_700..=3_300).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn lossy_zero_and_one() {
+        let mut rng = rng_from(5);
+        let never = Lossy::new(ConstLink(Micros(1)), 0.0);
+        assert!(never.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_some());
+        let always = Lossy::new(ConstLink(Micros(1)), 1.0);
+        assert!(always.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none());
+    }
+}

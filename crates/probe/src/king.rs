@@ -1,0 +1,161 @@
+//! The King latency-estimation technique (Gummadi et al., SIGCOMM 2002).
+//!
+//! King measures the latency between two recursive DNS servers by timing
+//! a recursive query bounced through the first towards a zone the second
+//! is authoritative for. The technique inherits two error sources the
+//! paper leans on:
+//!
+//! * **DNS processing lag** at both servers inflates the measurement —
+//!   "at low latencies, the lag involved at the DNS servers [...] is
+//!   likely to constitute a non-negligible part of the measured latency";
+//! * **same-domain pairs cannot be measured** — "such servers are highly
+//!   likely to be authoritative name-servers for the same names, so the
+//!   recursive queries used by King may not be forwarded".
+
+use crate::NoiseConfig;
+use np_topology::{HostId, InternetModel};
+use np_util::dist;
+use np_util::rng::rng_for;
+use np_util::Micros;
+use rand::rngs::StdRng;
+
+/// The King measurement tool.
+pub struct King<'w> {
+    world: &'w InternetModel,
+    noise: NoiseConfig,
+    rng: StdRng,
+}
+
+/// Why a King measurement failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KingError {
+    /// The servers share a domain (recursion not forwarded).
+    SameDomain,
+    /// Either endpoint is not a DNS server.
+    NotDnsServer,
+}
+
+impl<'w> King<'w> {
+    /// Create the tool. Noise stream: `sub_seed(seed, 0x4B494E47)`.
+    pub fn new(world: &'w InternetModel, noise: NoiseConfig, seed: u64) -> King<'w> {
+        King {
+            world,
+            noise,
+            rng: rng_for(seed, 0x4B49_4E47), // "KING"
+        }
+    }
+
+    /// Estimate the RTT between two recursive DNS servers.
+    pub fn measure(&mut self, ns1: HostId, ns2: HostId) -> Result<Micros, KingError> {
+        let o1 = self.world.org_of(ns1).ok_or(KingError::NotDnsServer)?;
+        let o2 = self.world.org_of(ns2).ok_or(KingError::NotDnsServer)?;
+        if o1 == o2 {
+            return Err(KingError::SameDomain);
+        }
+        let truth = self.world.rtt(ns1, ns2);
+        // Heavy-tailed processing lag: busy resolvers occasionally add
+        // multiple milliseconds (log-normal, median = dns_lag_mean_us).
+        let mu = self.noise.dns_lag_mean_us.max(1.0).ln();
+        let lag1 = dist::log_normal(&mut self.rng, mu, 1.2);
+        let lag2 = dist::log_normal(&mut self.rng, mu, 1.2);
+        let lag = Micros::from_us((lag1 + lag2) as u64);
+        Ok(self.noise.sample_rtt(truth, &mut self.rng) + lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::{InternetModel, WorldParams};
+
+    fn world() -> InternetModel {
+        InternetModel::generate(WorldParams::quick_scale(), 17)
+    }
+
+    #[test]
+    fn same_domain_pairs_are_refused() {
+        let w = world();
+        // Find two servers of the same org.
+        let mut by_org = std::collections::HashMap::new();
+        for h in w.dns_servers() {
+            by_org
+                .entry(w.org_of(h).expect("dns"))
+                .or_insert_with(Vec::new)
+                .push(h);
+        }
+        let pair = by_org.values().find(|v| v.len() >= 2).expect("multi-server org");
+        let mut king = King::new(&w, NoiseConfig::default(), 1);
+        assert_eq!(king.measure(pair[0], pair[1]), Err(KingError::SameDomain));
+    }
+
+    #[test]
+    fn non_dns_hosts_are_refused() {
+        let w = world();
+        let dns = w.dns_servers().next().expect("dns");
+        let az = w.azureus_peers().next().expect("azureus");
+        let mut king = King::new(&w, NoiseConfig::default(), 2);
+        assert_eq!(king.measure(dns, az), Err(KingError::NotDnsServer));
+    }
+
+    #[test]
+    fn measurement_is_inflated_by_lag_at_low_latency() {
+        let w = world();
+        // Cross-org servers in the same PoP: small true RTT.
+        let servers: Vec<HostId> = w.dns_servers().collect();
+        let mut king = King::new(&w, NoiseConfig::default(), 3);
+        let mut checked = 0;
+        'outer: for (i, &a) in servers.iter().enumerate() {
+            for &b in servers.iter().skip(i + 1) {
+                if w.org_of(a) == w.org_of(b) || w.pop_of(a) != w.pop_of(b) {
+                    continue;
+                }
+                let truth = w.rtt(a, b);
+                if truth > Micros::from_ms(4.0) {
+                    continue;
+                }
+                // Average of many measurements: lag adds ~0.8 ms mean.
+                let mut sum = 0.0;
+                let n = 40;
+                for _ in 0..n {
+                    sum += king.measure(a, b).expect("measurable").as_ms();
+                }
+                let mean = sum / n as f64;
+                assert!(
+                    mean > truth.as_ms() * 1.05,
+                    "King at {truth} should be inflated, got mean {mean:.3}"
+                );
+                checked += 1;
+                if checked >= 3 {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(checked > 0, "no same-PoP cross-org pair found");
+    }
+
+    #[test]
+    fn measurement_tracks_truth_at_high_latency() {
+        let w = world();
+        let servers: Vec<HostId> = w.dns_servers().collect();
+        let mut king = King::new(&w, NoiseConfig::default(), 4);
+        let (a, b) = {
+            let mut found = None;
+            'outer: for (i, &a) in servers.iter().enumerate() {
+                for &b in servers.iter().skip(i + 1) {
+                    if w.org_of(a) != w.org_of(b) && w.rtt(a, b) > Micros::from_ms(50.0) {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("far pair exists")
+        };
+        let truth = w.rtt(a, b).as_ms();
+        let m = king.measure(a, b).expect("measurable").as_ms();
+        let rel = (m - truth) / truth;
+        assert!(
+            (0.0..0.1).contains(&rel),
+            "relative King error {rel:.4} at {truth:.1} ms should be small and positive"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The vantage-point set — the paper's Table 1.
+//!
+//! The measurement world always generates 7 vantage points in
+//! maximally-spread PoPs; for reporting, they carry the PlanetLab names
+//! the paper used.
+
+/// The paper's Table 1: PlanetLab node names and locations.
+pub const TABLE1: [(&str, &str); 7] = [
+    ("planetlab02.cs.washington.edu", "Washington, USA"),
+    ("planetlab3.ucsd.edu", "California, USA"),
+    ("planetlab5.cs.cornell.edu", "New York, USA"),
+    ("planetlab2.acis.ufl.edu", "Florida, USA"),
+    ("neu1.6planetlab.edu.cn", "Shenyang, China"),
+    ("planetlab2.iii.u-tokyo.ac.jp", "Tokyo, Japan"),
+    ("planetlab2.xeno.cl.cam.ac.uk", "Cambridge, England"),
+];
+
+/// Presentation name for vantage point `idx`.
+pub fn vp_name(idx: usize) -> &'static str {
+    TABLE1[idx % TABLE1.len()].0
+}
+
+/// Render Table 1.
+pub fn render_table1() -> String {
+    let mut t = np_util::table::Table::new(&["Vantage Point", "Location"]);
+    for (name, loc) in TABLE1 {
+        t.row(&[name.to_string(), loc.to_string()]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_distinct_names() {
+        let mut names: Vec<&str> = TABLE1.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+        assert_eq!(vp_name(0), "planetlab02.cs.washington.edu");
+        assert_eq!(vp_name(7), vp_name(0), "wraps");
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table1();
+        assert!(t.contains("cornell"));
+        assert!(t.contains("Tokyo, Japan"));
+    }
+}

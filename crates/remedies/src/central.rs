@@ -1,0 +1,157 @@
+//! Approach 2: a per-end-network membership server.
+//!
+//! Paper §5: *"a central server inside each end-network that tracks all
+//! peers inside the end-network that are currently in the P2P system
+//! [...] it needs a sufficiently large number of peers within each
+//! end-network to justify the setup of the membership tracking
+//! server."* The registry is exact where deployed; the evaluation knob
+//! is the deployment threshold.
+
+use np_topology::{EndNetId, HostId, InternetModel};
+use std::collections::HashMap;
+
+/// The network-local membership service.
+pub struct CentralRegistry<'w> {
+    world: &'w InternetModel,
+    members: HashMap<EndNetId, Vec<HostId>>,
+    /// ENs with at least this many members run a server.
+    pub deploy_threshold: usize,
+}
+
+impl<'w> CentralRegistry<'w> {
+    pub fn new(world: &'w InternetModel, deploy_threshold: usize) -> Self {
+        CentralRegistry {
+            world,
+            members: HashMap::new(),
+            deploy_threshold,
+        }
+    }
+
+    /// A peer joins the system (registers with its network's server).
+    pub fn join(&mut self, peer: HostId) {
+        if let Some(en) = self.world.end_net_of(peer) {
+            self.members.entry(en).or_default().push(peer);
+        }
+    }
+
+    /// A peer leaves.
+    pub fn leave(&mut self, peer: HostId) {
+        if let Some(en) = self.world.end_net_of(peer) {
+            if let Some(v) = self.members.get_mut(&en) {
+                v.retain(|&p| p != peer);
+            }
+        }
+    }
+
+    /// Local peers of `peer`'s network, when a server is justified
+    /// there. `None` = no server (home user, or too few members).
+    pub fn local_peers(&self, peer: HostId) -> Option<Vec<HostId>> {
+        let en = self.world.end_net_of(peer)?;
+        let v = self.members.get(&en)?;
+        if v.len() < self.deploy_threshold {
+            return None;
+        }
+        Some(v.iter().copied().filter(|&p| p != peer).collect())
+    }
+
+    /// Number of networks that meet the deployment threshold.
+    pub fn deployed_servers(&self) -> usize {
+        self.members
+            .values()
+            .filter(|v| v.len() >= self.deploy_threshold)
+            .count()
+    }
+
+    /// Fraction of registered peers covered by a deployed server.
+    pub fn coverage(&self) -> f64 {
+        let total: usize = self.members.values().map(|v| v.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: usize = self
+            .members
+            .values()
+            .filter(|v| v.len() >= self.deploy_threshold)
+            .map(|v| v.len())
+            .sum();
+        covered as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::WorldParams;
+
+    fn setup() -> (InternetModel, Vec<HostId>) {
+        let world = InternetModel::generate(WorldParams::quick_scale(), 61);
+        let peers: Vec<HostId> = world.azureus_peers().collect();
+        (world, peers)
+    }
+
+    #[test]
+    fn finds_exactly_the_en_mates() {
+        let (world, peers) = setup();
+        let mut reg = CentralRegistry::new(&world, 2);
+        for &p in &peers {
+            reg.join(p);
+        }
+        let mut checked = 0;
+        for &p in &peers {
+            let Some(local) = reg.local_peers(p) else { continue };
+            for q in &local {
+                assert_eq!(world.end_net_of(*q), world.end_net_of(p));
+            }
+            checked += 1;
+            if checked > 100 {
+                break;
+            }
+        }
+        assert!(checked > 10, "no server ever justified");
+    }
+
+    #[test]
+    fn home_users_are_never_covered() {
+        let (world, peers) = setup();
+        let mut reg = CentralRegistry::new(&world, 1);
+        for &p in &peers {
+            reg.join(p);
+        }
+        let home = peers
+            .iter()
+            .find(|&&p| world.end_net_of(p).is_none())
+            .expect("home peers exist");
+        assert_eq!(reg.local_peers(*home), None);
+    }
+
+    #[test]
+    fn threshold_trades_servers_for_coverage() {
+        let (world, peers) = setup();
+        let mut reg = CentralRegistry::new(&world, 1);
+        for &p in &peers {
+            reg.join(p);
+        }
+        let servers_low = reg.deployed_servers();
+        let cover_low = reg.coverage();
+        reg.deploy_threshold = 5;
+        let servers_high = reg.deployed_servers();
+        let cover_high = reg.coverage();
+        assert!(servers_high < servers_low);
+        assert!(cover_high <= cover_low);
+        assert!(cover_low > 0.9, "threshold 1 must cover everyone in an EN");
+    }
+
+    #[test]
+    fn leave_removes_peer() {
+        let (world, peers) = setup();
+        let mut reg = CentralRegistry::new(&world, 1);
+        let en_peer = peers
+            .iter()
+            .copied()
+            .find(|&p| world.end_net_of(p).is_some())
+            .expect("EN peer exists");
+        reg.join(en_peer);
+        reg.leave(en_peer);
+        assert_eq!(reg.local_peers(en_peer), Some(Vec::new()).filter(|_| false).or(None));
+    }
+}

@@ -1,0 +1,29 @@
+//! # np-remedies
+//!
+//! The paper's §5: mechanisms that add *topological* information to
+//! nearest-peer discovery, because §2–§4 showed latency-only search
+//! cannot penetrate the clustering condition.
+//!
+//! * [`ucl`] — the **Upstream Connectivity List** heuristic: each peer
+//!   registers itself under the routers within `n` hops upstream (keys =
+//!   router IPs) in a key-value map; peers sharing a close upstream
+//!   router find each other directly, and latency annotations let them
+//!   discard far candidates without probing. Includes the Figure 10 hop
+//!   study and the §5 discovery-rate evaluation.
+//! * [`prefix`] — the **IP-prefix** heuristic and its Figure 11
+//!   false-positive/false-negative study (no sweet spot exists).
+//! * [`multicast`] — approach 1: expanding-ring IP-multicast search
+//!   within the end-network (works only where multicast is enabled and
+//!   the network is a single multicast domain).
+//! * [`central`] — approach 2: a per-end-network membership server.
+//!
+//! The registries run over any [`np_dht::KeyValueMap`] — the paper's
+//! "perfect map" for evaluation, the Chord ring for deployment realism.
+
+pub mod central;
+pub mod multicast;
+pub mod prefix;
+pub mod ucl;
+
+pub use prefix::PrefixRegistry;
+pub use ucl::UclRegistry;

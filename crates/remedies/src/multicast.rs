@@ -1,0 +1,143 @@
+//! Approach 1: expanding-ring IP-multicast search in the end-network.
+//!
+//! Paper §5: *"a simple expanding search within each end-network using
+//! IP multicast [...] This approach however assumes that IP multicast is
+//! enabled within each end-network and that messages multicast from one
+//! host inside the end-network \[are\] capable of reaching any other host
+//! in the end-network; the latter assumption may often be invalid in
+//! large end-networks that are themselves composed of multiple LANs or
+//! VLANs."*
+//!
+//! Both failure modes are modelled: a per-end-network multicast-enabled
+//! flag, and VLAN partitioning in large networks (hosts are reachable
+//! only within their own VLAN segment).
+
+use np_topology::{EndNetId, HostId, InternetModel};
+use np_util::rng::splitmix64;
+
+/// Deterministic per-EN multicast support (fraction `p_enabled` of ENs).
+fn multicast_enabled(en: EndNetId, p_enabled: f64, salt: u64) -> bool {
+    (splitmix64(u64::from(en.0) ^ salt) as f64 / u64::MAX as f64) < p_enabled
+}
+
+/// VLAN segment of a host inside its end-network: networks with more
+/// than `vlan_size` member hosts split into segments of that size.
+fn vlan_of(host: HostId, vlan_size: usize) -> usize {
+    // Hosts are assigned to VLANs round-robin by id (a stand-in for
+    // per-department segmentation).
+    host.0 as usize / vlan_size.max(1) % 16
+}
+
+/// Result of a multicast search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McastOutcome {
+    /// Found a peer in the same multicast domain.
+    Found(HostId),
+    /// The end-network has no multicast (or the host is not in one).
+    NoMulticast,
+    /// Multicast works but no other system peer was reachable.
+    NothingFound,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McastConfig {
+    /// Fraction of end-networks with multicast enabled.
+    pub p_enabled: f64,
+    /// VLAN segment size (hosts); crossing segments fails.
+    pub vlan_size: usize,
+    /// Determinism salt.
+    pub salt: u64,
+}
+
+impl Default for McastConfig {
+    fn default() -> Self {
+        McastConfig {
+            p_enabled: 0.6,
+            vlan_size: 200,
+            salt: 0x4D43_4153,
+        }
+    }
+}
+
+/// Run the expanding search for `seeker` against the current system
+/// membership.
+pub fn search(
+    world: &InternetModel,
+    seeker: HostId,
+    members: &[HostId],
+    cfg: McastConfig,
+) -> McastOutcome {
+    let Some(en) = world.end_net_of(seeker) else {
+        return McastOutcome::NoMulticast; // home users have no EN multicast
+    };
+    if !multicast_enabled(en, cfg.p_enabled, cfg.salt) {
+        return McastOutcome::NoMulticast;
+    }
+    let my_vlan = vlan_of(seeker, cfg.vlan_size);
+    let found = members
+        .iter()
+        .copied()
+        .filter(|&m| m != seeker)
+        .find(|&m| world.end_net_of(m) == Some(en) && vlan_of(m, cfg.vlan_size) == my_vlan);
+    match found {
+        Some(h) => McastOutcome::Found(h),
+        None => McastOutcome::NothingFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::WorldParams;
+
+    #[test]
+    fn finds_en_mates_when_enabled() {
+        let world = InternetModel::generate(WorldParams::quick_scale(), 59);
+        // Collect EN-attached azureus peers grouped by EN.
+        let mut by_en = std::collections::HashMap::new();
+        for p in world.azureus_peers() {
+            if let Some(e) = world.end_net_of(p) {
+                by_en.entry(e).or_insert_with(Vec::new).push(p);
+            }
+        }
+        let members: Vec<HostId> = by_en.values().flatten().copied().collect();
+        let cfg = McastConfig::default();
+        let mut found = 0;
+        let mut nomc = 0;
+        for group in by_en.values().filter(|g| g.len() >= 2) {
+            match search(&world, group[0], &members, cfg) {
+                McastOutcome::Found(h) => {
+                    assert_eq!(world.end_net_of(h), world.end_net_of(group[0]));
+                    found += 1;
+                }
+                McastOutcome::NoMulticast => nomc += 1,
+                McastOutcome::NothingFound => {}
+            }
+        }
+        assert!(found > 0, "multicast never succeeded");
+        assert!(nomc > 0, "the disabled-multicast failure mode never fired");
+    }
+
+    #[test]
+    fn home_users_cannot_multicast() {
+        let world = InternetModel::generate(WorldParams::quick_scale(), 59);
+        let home = world
+            .azureus_peers()
+            .find(|&p| world.end_net_of(p).is_none())
+            .expect("home peers exist");
+        assert_eq!(
+            search(&world, home, &[home], McastConfig::default()),
+            McastOutcome::NoMulticast
+        );
+    }
+
+    #[test]
+    fn vlan_partitioning_blocks_large_networks() {
+        // Hosts in different VLAN segments never find each other even
+        // with multicast on.
+        let a = HostId(10);
+        let b = HostId(5_000); // different round-robin segment
+        assert_ne!(vlan_of(a, 200), vlan_of(b, 200));
+    }
+}

@@ -1,0 +1,185 @@
+//! Geography: points, regions, and propagation latency.
+//!
+//! Hubs and PoPs are placed on a 2-D plane measured in kilometres, grouped
+//! into a handful of "continents" (dense disks far apart) so the resulting
+//! latency distribution has the multi-modal structure real inter-PoP
+//! datasets show (intra-continent tens of ms, inter-continent 100+ ms).
+//! Latency is distance over the speed of light in fibre (~200 km/ms one
+//! way) times a route-inflation ("detour") factor.
+
+use np_util::dist;
+use np_util::Micros;
+use rand::Rng;
+
+/// Kilometres per millisecond of one-way propagation in fibre.
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// A point on the plane (km).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    pub x_km: f64,
+    pub y_km: f64,
+}
+
+impl GeoPoint {
+    /// Euclidean distance in km.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        ((self.x_km - other.x_km).powi(2) + (self.y_km - other.y_km).powi(2)).sqrt()
+    }
+
+    /// Base round-trip propagation latency to `other` (no detour).
+    pub fn base_rtt(&self, other: &GeoPoint) -> Micros {
+        let one_way_ms = self.distance_km(other) / FIBRE_KM_PER_MS;
+        Micros::from_ms(2.0 * one_way_ms)
+    }
+}
+
+/// A continent: a disk of given radius, holding a share of the world's
+/// sites.
+#[derive(Debug, Clone, Copy)]
+pub struct Continent {
+    pub center: GeoPoint,
+    pub radius_km: f64,
+    /// Relative population weight (normalised by the sampler).
+    pub weight: f64,
+}
+
+/// The default world layout: four continents roughly shaped like the
+/// vantage-point spread of the paper's Table 1 (N. America ×2 coasts,
+/// Europe, East Asia).
+pub fn default_continents() -> Vec<Continent> {
+    vec![
+        Continent {
+            center: GeoPoint { x_km: 0.0, y_km: 0.0 },
+            radius_km: 1_800.0,
+            weight: 0.3,
+        },
+        Continent {
+            center: GeoPoint { x_km: 4_000.0, y_km: 300.0 },
+            radius_km: 1_500.0,
+            weight: 0.2,
+        },
+        Continent {
+            center: GeoPoint { x_km: 7_500.0, y_km: -500.0 },
+            radius_km: 1_600.0,
+            weight: 0.3,
+        },
+        Continent {
+            center: GeoPoint { x_km: 12_500.0, y_km: 400.0 },
+            radius_km: 1_400.0,
+            weight: 0.2,
+        },
+    ]
+}
+
+/// Sample a site: pick a continent by weight, then a point in its disk
+/// (uniform by area). Returns the point and the continent index.
+pub fn sample_site<R: Rng + ?Sized>(continents: &[Continent], rng: &mut R) -> (GeoPoint, usize) {
+    assert!(!continents.is_empty());
+    let total: f64 = continents.iter().map(|c| c.weight).sum();
+    let mut x = rng.gen::<f64>() * total;
+    let mut idx = 0;
+    for (i, c) in continents.iter().enumerate() {
+        if x < c.weight {
+            idx = i;
+            break;
+        }
+        x -= c.weight;
+        idx = i;
+    }
+    let c = &continents[idx];
+    let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+    let r = c.radius_km * rng.gen::<f64>().sqrt(); // uniform over the disk
+    (
+        GeoPoint {
+            x_km: c.center.x_km + r * angle.cos(),
+            y_km: c.center.y_km + r * angle.sin(),
+        },
+        idx,
+    )
+}
+
+/// A route-inflation factor: log-normal around ~1.4× with a heavy tail,
+/// floored at 1 (paths are never shorter than geography).
+pub fn detour_factor<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    dist::log_normal(rng, 0.32, 0.25).max(1.0)
+}
+
+/// RTT between two sites including detour and a per-hop fixed cost
+/// (router/serialisation overhead; matters only at short distances).
+pub fn rtt_between<R: Rng + ?Sized>(a: &GeoPoint, b: &GeoPoint, rng: &mut R) -> Micros {
+    let base = a.base_rtt(b);
+    let inflated = base.scale(detour_factor(rng));
+    inflated + Micros::from_us(300) // switching overhead floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::rng::rng_from;
+
+    #[test]
+    fn distance_and_base_rtt() {
+        let a = GeoPoint { x_km: 0.0, y_km: 0.0 };
+        let b = GeoPoint {
+            x_km: 2_000.0,
+            y_km: 0.0,
+        };
+        assert_eq!(a.distance_km(&b), 2_000.0);
+        // 2000 km -> 10 ms one way -> 20 ms RTT.
+        assert_eq!(a.base_rtt(&b), Micros::from_ms_u64(20));
+        assert_eq!(a.base_rtt(&a), Micros::ZERO);
+    }
+
+    #[test]
+    fn sites_land_inside_their_continent() {
+        let continents = default_continents();
+        let mut rng = rng_from(1);
+        for _ in 0..500 {
+            let (p, idx) = sample_site(&continents, &mut rng);
+            let c = &continents[idx];
+            assert!(
+                p.distance_km(&c.center) <= c.radius_km + 1e-9,
+                "site escaped its continent"
+            );
+        }
+    }
+
+    #[test]
+    fn continent_weights_are_respected() {
+        let continents = default_continents();
+        let mut rng = rng_from(2);
+        let mut counts = vec![0usize; continents.len()];
+        for _ in 0..20_000 {
+            let (_, idx) = sample_site(&continents, &mut rng);
+            counts[idx] += 1;
+        }
+        // Continent 0 has weight 0.3, continent 1 has 0.2.
+        let f0 = counts[0] as f64 / 20_000.0;
+        let f1 = counts[1] as f64 / 20_000.0;
+        assert!((f0 - 0.3).abs() < 0.03, "f0 {f0}");
+        assert!((f1 - 0.2).abs() < 0.03, "f1 {f1}");
+    }
+
+    #[test]
+    fn detour_never_shrinks_paths() {
+        let mut rng = rng_from(3);
+        for _ in 0..1000 {
+            assert!(detour_factor(&mut rng) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn rtt_between_exceeds_base() {
+        let mut rng = rng_from(4);
+        let a = GeoPoint { x_km: 0.0, y_km: 0.0 };
+        let b = GeoPoint {
+            x_km: 1_000.0,
+            y_km: 0.0,
+        };
+        for _ in 0..100 {
+            let rtt = rtt_between(&a, &b, &mut rng);
+            assert!(rtt >= a.base_rtt(&b), "detour shrank rtt");
+        }
+    }
+}

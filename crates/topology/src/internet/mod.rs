@@ -1,0 +1,509 @@
+//! The router-level Internet model.
+//!
+//! This is the ground-truth world for the paper's measurement studies
+//! (§3: Figures 3–7; §5: Figures 10–11). Its shape follows Figure 1 of
+//! the paper:
+//!
+//! ```text
+//!                      backbone (PoP graph over HubMatrix sites)
+//!                              |
+//!                         [PoP core]          <- ISP (AS, city) annotation
+//!                         /    |    \
+//!                     [agg]  [agg]  [DSLAM]   <- ISP metro aggregation
+//!                     /   \     \      |||
+//!                  [gw]  [gw]  [gw]  homes    <- customer gateways
+//!                   |      |     |  (last-mile 3–45 ms)
+//!                  EN     EN    EN
+//!                (hosts at LAN latencies, 100s of µs)
+//! ```
+//!
+//! * **PoPs** are sites from a [`crate::hub::HubMatrix`]; the backbone is
+//!   a PoP-level graph (intra-AS chains + inter-AS peering) whose
+//!   all-pairs shortest paths define inter-PoP latency.
+//! * **Access trees** hang off each PoP core: aggregation routers with
+//!   *small* metro latencies (the paper's "routers in a PoP are quite
+//!   close together"), customer gateway ("attach") routers whose uplink
+//!   carries the bulk of the access latency, and DSLAMs whose homes have
+//!   heavy-tailed last-mile latencies.
+//! * **Cross-links** between routers of the same region create alternate
+//!   paths that traceroute's tree view cannot see — the source of the
+//!   "measured < predicted at large latencies" trend of Figure 4.
+//! * **End-networks** carry `/24`s from their PoP's block (or a
+//!   provider-independent `/24` when multihomed), **orgs** own domains
+//!   and run 1–4 recursive DNS servers, **Azureus peers** are mostly home
+//!   hosts with low TCP-responsiveness, and 7 **vantage points** sit in
+//!   maximally spread PoPs (the paper's Table 1).
+//!
+//! All randomness derives from the seed passed to
+//! [`InternetModel::generate`].
+
+mod build;
+mod routing;
+
+pub use routing::TraceHop;
+
+use crate::ip::{Ipv4, Prefix};
+use crate::names::Annotation;
+use np_metric::graph::Graph;
+use np_util::Micros;
+
+/// Index of a PoP.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PopId(pub u16);
+
+impl PopId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a router.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an end-network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EndNetId(pub u32);
+
+impl EndNetId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of an organisation (1:1 with a DNS domain).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OrgId(pub u32);
+
+/// What role a router plays in its region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouterKind {
+    /// The PoP core (one per PoP; the paper's cluster-hub candidate).
+    PopCore,
+    /// Metro aggregation, ISP-owned, at small latency from the core.
+    Agg,
+    /// Customer gateway at the top of an end-network.
+    Gateway,
+    /// DSLAM/BRAS serving home users.
+    Dslam,
+}
+
+/// A router.
+#[derive(Clone, Debug)]
+pub struct Router {
+    pub pop: PopId,
+    pub kind: RouterKind,
+    /// Parent in the region tree (`None` for the PoP core).
+    pub parent: Option<RouterId>,
+    /// Latency of the uplink to the parent.
+    pub up_lat: Micros,
+    /// Cumulative tree latency to the PoP core.
+    pub pop_lat: Micros,
+    /// Tree hops to the PoP core.
+    pub depth: u32,
+    /// The rockettrace annotation (possibly mis-configured).
+    pub anno: Option<Annotation>,
+    /// Does this router answer probes (traceroute/ping)?
+    pub responsive: bool,
+    /// The router's own address (UCL keys are router IPs).
+    pub ip: Ipv4,
+    /// Index of this router inside its PoP's local graph.
+    pub(crate) local: u32,
+    /// Shortest-path latency to the PoP core over the region graph
+    /// (accounts for cross-links; cached at build time).
+    pub core_dist: Micros,
+}
+
+/// A PoP.
+#[derive(Clone, Debug)]
+pub struct Pop {
+    pub as_id: u16,
+    pub city_id: u16,
+    /// The PoP core router.
+    pub core: RouterId,
+    /// All routers of the region (core, aggs, gateways, DSLAMs); a
+    /// router's position in this vector is its local-graph node index.
+    pub routers: Vec<RouterId>,
+    /// The region graph: tree uplinks plus cross-links, local indices.
+    pub(crate) graph: Graph,
+}
+
+/// An end-network (campus/corporate LAN behind a customer gateway).
+#[derive(Clone, Debug)]
+pub struct EndNet {
+    pub pop: PopId,
+    /// The gateway router at the top of the network.
+    pub gateway: RouterId,
+    /// Address block of the network.
+    pub prefix: Prefix,
+    /// Owning organisation, when org-allocated.
+    pub org: Option<OrgId>,
+    /// Secondary upstream PoP for multihomed networks. Traffic still uses
+    /// the primary; the secondary only influences routes *seen from*
+    /// vantage points closer to it (which is what breaks upstream-router
+    /// agreement in the Azureus pipeline, as in the paper).
+    pub secondary_pop: Option<PopId>,
+}
+
+/// Where a host hangs off the topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Attachment {
+    /// Inside an end-network, behind its gateway.
+    EndNet(EndNetId),
+    /// A home user behind a DSLAM.
+    Home { dslam: RouterId },
+}
+
+/// The host's role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostKind {
+    /// A recursive DNS server of an org.
+    Dns { org: OrgId },
+    /// An Azureus-like P2P client.
+    Azureus,
+    /// A measurement vantage point (the paper's PlanetLab nodes).
+    Vantage,
+}
+
+/// A host.
+#[derive(Clone, Debug)]
+pub struct Host {
+    pub kind: HostKind,
+    pub attach: Attachment,
+    /// Latency from the host to its attach router (LAN or last-mile).
+    pub access_lat: Micros,
+    pub ip: Ipv4,
+    /// Answers ICMP (ping/traceroute final hop)?
+    pub icmp_responsive: bool,
+    /// Accepts TCP connects on the Azureus port (TCP-ping)?
+    pub tcp_responsive: bool,
+    /// Does the host's last hop look the same from every vantage point?
+    /// When false (ECMP/ICMP-filter variability), traceroutes from
+    /// different vantage points disagree on the upstream router, and the
+    /// Azureus pipeline discards the peer — the paper's dominant source
+    /// of attrition (156,658 → 5,904).
+    pub route_stable: bool,
+}
+
+/// Generation parameters. See [`WorldParams::paper_scale`] and
+/// [`WorldParams::quick_scale`].
+#[derive(Clone, Debug)]
+pub struct WorldParams {
+    /// Number of ASes.
+    pub n_as: usize,
+    /// PoPs per AS: uniform in this range.
+    pub pops_per_as: (usize, usize),
+    /// Cross-links per region as a fraction of the region's router
+    /// count (alternate intra-metro paths invisible to traceroute).
+    pub cross_link_density: f64,
+    /// Probability a customer gateway peers at the metro IXP: IXP
+    /// members reach each other in a couple of ms without transiting the
+    /// PoP core — the strongest source of "measured < predicted" pairs
+    /// (the paper's alternate-path explanation for Figure 4's tail).
+    pub p_ixp: f64,
+    /// Number of organisations (= domains).
+    pub n_orgs: usize,
+    /// DNS servers per org: uniform in this range.
+    pub dns_per_org: (usize, usize),
+    /// Probability an org's networks sit in two different PoPs (the
+    /// paper's geographically split same-domain servers).
+    pub p_org_split: f64,
+    /// Number of Azureus peers.
+    pub n_azureus: usize,
+    /// Fraction of Azureus peers that are home users.
+    pub p_home_peer: f64,
+    /// Probability an end-network is multihomed (PI prefix + secondary
+    /// upstream PoP).
+    pub p_multihomed: f64,
+    /// Probability an ISP router answers probes.
+    pub p_router_responsive: f64,
+    /// Probability a DSLAM answers probes (lower: access gear often
+    /// filters ICMP; this is what merges DSLAM trees into bigger
+    /// clusters).
+    pub p_dslam_responsive: f64,
+    /// Probability a router name is mis-annotated with a random city.
+    pub p_misconfig: f64,
+    /// Probability a DNS server answers ping.
+    pub p_dns_icmp: f64,
+    /// Probability an Azureus peer accepts the TCP-ping.
+    pub p_azureus_tcp: f64,
+    /// Probability an Azureus peer's last hop is consistent across
+    /// vantage points.
+    pub p_route_stable: f64,
+    /// DSLAMs per PoP: uniform in this range.
+    pub dslams_per_pop: (usize, usize),
+}
+
+impl WorldParams {
+    /// Full paper scale: ~22 k DNS servers (Ballani et al.) and 156,658
+    /// Azureus IPs (Ledlie et al.).
+    pub fn paper_scale() -> WorldParams {
+        WorldParams {
+            n_as: 110,
+            pops_per_as: (1, 7),
+            cross_link_density: 0.12,
+            p_ixp: 0.30,
+            n_orgs: 8_800, // ~2.5 servers/org -> ~22k DNS servers
+            dns_per_org: (1, 4),
+            p_org_split: 0.15,
+            n_azureus: 156_658,
+            p_home_peer: 0.85,
+            p_multihomed: 0.12,
+            p_router_responsive: 0.85,
+            p_dslam_responsive: 0.55,
+            p_misconfig: 0.05,
+            p_dns_icmp: 0.95,
+            p_azureus_tcp: 0.15,
+            p_route_stable: 0.25,
+            dslams_per_pop: (1, 6),
+        }
+    }
+
+    /// A ~20× smaller world for tests and `--quick` runs.
+    pub fn quick_scale() -> WorldParams {
+        WorldParams {
+            n_as: 24,
+            pops_per_as: (1, 5),
+            cross_link_density: 0.12,
+            p_ixp: 0.30,
+            n_orgs: 450,
+            dns_per_org: (1, 4),
+            p_org_split: 0.15,
+            n_azureus: 8_000,
+            p_home_peer: 0.85,
+            p_multihomed: 0.12,
+            p_router_responsive: 0.85,
+            p_dslam_responsive: 0.55,
+            p_misconfig: 0.05,
+            p_dns_icmp: 0.95,
+            p_azureus_tcp: 0.15,
+            p_route_stable: 0.25,
+            dslams_per_pop: (1, 6),
+        }
+    }
+}
+
+/// The generated world.
+pub struct InternetModel {
+    pub params: WorldParams,
+    pub pops: Vec<Pop>,
+    pub routers: Vec<Router>,
+    pub end_nets: Vec<EndNet>,
+    pub hosts: Vec<Host>,
+    /// Number of orgs (org ids are `0..n_orgs`).
+    pub n_orgs: usize,
+    /// Host-id ranges by role, in generation order.
+    dns_range: std::ops::Range<u32>,
+    azureus_range: std::ops::Range<u32>,
+    /// The 7 vantage-point hosts.
+    pub vantage_points: Vec<HostId>,
+    /// All-pairs PoP distances (µs), row-major `n_pops²`.
+    pub(crate) pop_dist: Vec<u32>,
+    /// Per-vantage-point PoP-level shortest-path parents
+    /// (`vp_pop_parent[v][p]` = previous PoP on the path from the VP's
+    /// PoP to `p`; `u16::MAX` for the VP's own PoP).
+    pub(crate) vp_pop_parent: Vec<Vec<u16>>,
+}
+
+impl InternetModel {
+    /// Number of PoPs.
+    pub fn n_pops(&self) -> usize {
+        self.pops.len()
+    }
+
+    /// Inter-PoP RTT along the backbone's shortest path.
+    #[inline]
+    pub fn pop_rtt(&self, a: PopId, b: PopId) -> Micros {
+        Micros(self.pop_dist[a.idx() * self.pops.len() + b.idx()] as u64)
+    }
+
+    /// DNS-server host ids.
+    pub fn dns_servers(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.dns_range.clone().map(HostId)
+    }
+
+    /// Azureus peer host ids.
+    pub fn azureus_peers(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.azureus_range.clone().map(HostId)
+    }
+
+    /// Count of DNS servers.
+    pub fn n_dns(&self) -> usize {
+        self.dns_range.len()
+    }
+
+    /// Count of Azureus peers.
+    pub fn n_azureus(&self) -> usize {
+        self.azureus_range.len()
+    }
+
+    /// Convenience accessor.
+    pub fn host(&self, h: HostId) -> &Host {
+        &self.hosts[h.idx()]
+    }
+
+    /// Convenience accessor.
+    pub fn router(&self, r: RouterId) -> &Router {
+        &self.routers[r.idx()]
+    }
+
+    /// The end-network a host lives in, if any.
+    pub fn end_net_of(&self, h: HostId) -> Option<EndNetId> {
+        match self.host(h).attach {
+            Attachment::EndNet(e) => Some(e),
+            Attachment::Home { .. } => None,
+        }
+    }
+
+    /// The org of a DNS host.
+    pub fn org_of(&self, h: HostId) -> Option<OrgId> {
+        match self.host(h).kind {
+            HostKind::Dns { org } => Some(org),
+            _ => None,
+        }
+    }
+
+    /// The PoP serving a host (primary side for multihomed networks).
+    pub fn pop_of(&self, h: HostId) -> PopId {
+        self.router(self.attach_router(h)).pop
+    }
+
+    /// The router a host directly attaches to.
+    pub fn attach_router(&self, h: HostId) -> RouterId {
+        match self.host(h).attach {
+            Attachment::EndNet(e) => self.end_nets[e.idx()].gateway,
+            Attachment::Home { dslam } => dslam,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::routing::tests_support::assert_world_invariants;
+
+    fn quick() -> InternetModel {
+        InternetModel::generate(WorldParams::quick_scale(), 77)
+    }
+
+    #[test]
+    fn quick_world_has_expected_populations() {
+        let w = quick();
+        assert!(w.n_pops() >= 24, "n_pops {}", w.n_pops());
+        let dns = w.n_dns();
+        assert!(
+            (700..=2_000).contains(&dns),
+            "dns count {dns} (want ~450 orgs x ~2.5)"
+        );
+        assert_eq!(w.n_azureus(), 8_000);
+        assert_eq!(w.vantage_points.len(), 7);
+    }
+
+    #[test]
+    fn world_structural_invariants() {
+        assert_world_invariants(&quick());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = InternetModel::generate(WorldParams::quick_scale(), 5);
+        let b = InternetModel::generate(WorldParams::quick_scale(), 5);
+        assert_eq!(a.routers.len(), b.routers.len());
+        assert_eq!(a.hosts.len(), b.hosts.len());
+        let ha = a.hosts[100].ip;
+        let hb = b.hosts[100].ip;
+        assert_eq!(ha, hb);
+        let c = InternetModel::generate(WorldParams::quick_scale(), 6);
+        // Different seeds move at least the host IPs around.
+        let same = a
+            .hosts
+            .iter()
+            .zip(&c.hosts)
+            .filter(|(x, y)| x.ip == y.ip)
+            .count();
+        assert!(same < a.hosts.len(), "seed had no effect");
+    }
+
+    #[test]
+    fn vantage_points_are_spread() {
+        let w = quick();
+        // All 7 VPs in distinct PoPs, pairwise backbone distance > 5 ms.
+        let pops: Vec<PopId> = w.vantage_points.iter().map(|&v| w.pop_of(v)).collect();
+        for i in 0..pops.len() {
+            for j in (i + 1)..pops.len() {
+                assert_ne!(pops[i], pops[j], "VPs share a PoP");
+                let d = w.pop_rtt(pops[i], pops[j]);
+                assert!(d > Micros::from_ms(5.0), "VPs too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn multihomed_nets_have_pi_prefixes() {
+        let w = quick();
+        let mut multihomed = 0;
+        for en in &w.end_nets {
+            if en.secondary_pop.is_some() {
+                multihomed += 1;
+                assert!(
+                    en.prefix.net >= (192 << 24),
+                    "multihomed EN must use PI space, got {}",
+                    en.prefix
+                );
+            }
+        }
+        assert!(multihomed > 0, "no multihomed networks generated");
+        let frac = multihomed as f64 / w.end_nets.len() as f64;
+        assert!((0.04..=0.25).contains(&frac), "multihomed fraction {frac}");
+    }
+
+    #[test]
+    fn hosts_live_inside_their_prefix() {
+        let w = quick();
+        for h in w.dns_servers() {
+            if let Some(e) = w.end_net_of(h) {
+                let en = &w.end_nets[e.idx()];
+                assert!(
+                    en.prefix.contains(w.host(h).ip),
+                    "host {} outside {}",
+                    w.host(h).ip,
+                    en.prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn azureus_responsiveness_is_sparse() {
+        let w = quick();
+        let responsive = w
+            .azureus_peers()
+            .filter(|&p| w.host(p).tcp_responsive)
+            .count();
+        let frac = responsive as f64 / w.n_azureus() as f64;
+        assert!(
+            (0.10..=0.20).contains(&frac),
+            "TCP-responsive fraction {frac}, want ~0.15"
+        );
+    }
+}

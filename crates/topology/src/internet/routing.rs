@@ -1,0 +1,352 @@
+//! Ground-truth routing over the generated world.
+//!
+//! Latency rules (mirroring §2 of the paper):
+//!
+//! * hosts behind the **same attach router** (same end-network / same
+//!   DSLAM) talk through it at the sum of their access latencies — the
+//!   paper's "message routed entirely within the end-network";
+//! * hosts in the **same PoP region** take the shortest path through the
+//!   region graph (tree uplinks + cross-links), i.e. they share a router
+//!   at or below the PoP;
+//! * hosts in **different PoPs** go up to their cores, across the
+//!   backbone (all-pairs PoP distances), and back down.
+//!
+//! Traceroute paths, by contrast, follow the *tree* view (and the PoP
+//! shortest-path at the backbone level): cross-links are invisible to
+//! them, exactly like real traceroute against an IGP with link-state
+//! shortcuts. The gap between the two is what Figures 3–4 measure.
+
+use super::*;
+use np_metric::graph::NodeId;
+
+/// One hop of a simulated traceroute: the router and the ground-truth RTT
+/// from the probing host to it. Responsiveness filtering and noise are the
+/// probe layer's job (`np-probe`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceHop {
+    pub router: RouterId,
+    pub rtt: Micros,
+}
+
+impl InternetModel {
+    /// Shortest-path latency between two routers of the same PoP region.
+    pub(crate) fn region_dist(&self, a: RouterId, b: RouterId) -> Micros {
+        let ra = self.router(a);
+        let rb = self.router(b);
+        debug_assert_eq!(ra.pop, rb.pop, "region_dist across PoPs");
+        if a == b {
+            return Micros::ZERO;
+        }
+        self.pops[ra.pop.idx()]
+            .graph
+            .distance(NodeId(ra.local), NodeId(rb.local))
+    }
+
+    /// Ground-truth RTT between two hosts.
+    pub fn rtt(&self, a: HostId, b: HostId) -> Micros {
+        if a == b {
+            return Micros::ZERO;
+        }
+        let ha = self.host(a);
+        let hb = self.host(b);
+        let ra = self.attach_router(a);
+        let rb = self.attach_router(b);
+        if ra == rb {
+            // Same end-network or same DSLAM: via the local switch fabric.
+            return ha.access_lat + hb.access_lat;
+        }
+        let pa = self.router(ra).pop;
+        let pb = self.router(rb).pop;
+        if pa == pb {
+            ha.access_lat + self.region_dist(ra, rb) + hb.access_lat
+        } else {
+            ha.access_lat
+                + self.router(ra).core_dist
+                + self.pop_rtt(pa, pb)
+                + self.router(rb).core_dist
+                + hb.access_lat
+        }
+    }
+
+    /// Ground-truth RTT from a host to a router.
+    pub fn rtt_host_router(&self, h: HostId, r: RouterId) -> Micros {
+        let ra = self.attach_router(h);
+        let access = self.host(h).access_lat;
+        if r == ra {
+            return access;
+        }
+        let pa = self.router(ra).pop;
+        let pr = self.router(r).pop;
+        if pa == pr {
+            access + self.region_dist(ra, r)
+        } else {
+            access
+                + self.router(ra).core_dist
+                + self.pop_rtt(pa, pr)
+                + self.router(r).core_dist
+        }
+    }
+
+    /// The tree path from a router up to its PoP core, inclusive of both.
+    pub fn tree_path_to_core(&self, r: RouterId) -> Vec<RouterId> {
+        let mut path = vec![r];
+        let mut cur = r;
+        while let Some(p) = self.router(cur).parent {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.pops[self.router(r).pop.idx()].core);
+        path
+    }
+
+    /// The PoP-level path from vantage point `vp_idx`'s PoP to `dest`
+    /// (inclusive of both endpoints).
+    fn pop_path(&self, vp_idx: usize, dest: PopId) -> Vec<PopId> {
+        let mut path = vec![dest];
+        let parents = &self.vp_pop_parent[vp_idx];
+        let mut cur = dest;
+        while parents[cur.idx()] != u16::MAX {
+            cur = PopId(parents[cur.idx()]);
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Which side a multihomed destination is reached through from a
+    /// given vantage point. Returns `(pop, Some(attach_router))` for the
+    /// primary side and `(pop2, None)` for the secondary side, where the
+    /// secondary attach infrastructure is invisible to traceroute.
+    pub fn side_from_vp(&self, vp_idx: usize, target: HostId) -> (PopId, Option<RouterId>) {
+        let attach = self.attach_router(target);
+        let primary_pop = self.router(attach).pop;
+        let en = self.end_net_of(target);
+        let vp_pop = self.pop_of(self.vantage_points[vp_idx]);
+        if let Some(e) = en {
+            if let Some(pop2) = self.end_nets[e.idx()].secondary_pop {
+                let via_primary =
+                    self.pop_rtt(vp_pop, primary_pop) + self.router(attach).core_dist;
+                let via_secondary = self.pop_rtt(vp_pop, pop2) + self.router(attach).up_lat;
+                if via_secondary < via_primary {
+                    return (pop2, None);
+                }
+            }
+        }
+        (primary_pop, Some(attach))
+    }
+
+    /// The VP-side prefix of every traceroute from vantage point
+    /// `vp_idx`: its access chain up to its PoP core, with RTTs. This is
+    /// identical for every target, so pipelines cache it
+    /// ([`InternetModel::trace_route_with_prefix`]) — a traceroute
+    /// campaign over 156 k peers would otherwise re-run the VP-region
+    /// shortest paths a million times.
+    pub fn vp_chain(&self, vp_idx: usize) -> Vec<TraceHop> {
+        let vp = self.vantage_points[vp_idx];
+        self.tree_path_to_core(self.attach_router(vp))
+            .into_iter()
+            .map(|r| TraceHop {
+                router: r,
+                rtt: self.rtt_host_router(vp, r),
+            })
+            .collect()
+    }
+
+    /// Simulated traceroute (ground truth, all routers listed regardless
+    /// of responsiveness) from vantage point `vp_idx` to `target`.
+    ///
+    /// The path is: the VP's access chain up to its PoP core, the
+    /// backbone PoP cores along the shortest PoP path, then the
+    /// destination region's tree path from the core down to the attach
+    /// router. Hop RTTs are ground-truth host→router latencies, so they
+    /// can be locally non-monotone when cross-links shorten a later hop —
+    /// as in real traces.
+    pub fn trace_route(&self, vp_idx: usize, target: HostId) -> Vec<TraceHop> {
+        let chain = self.vp_chain(vp_idx);
+        self.trace_route_with_prefix(vp_idx, target, &chain)
+    }
+
+    /// [`InternetModel::trace_route`] with a precomputed
+    /// [`InternetModel::vp_chain`] prefix.
+    pub fn trace_route_with_prefix(
+        &self,
+        vp_idx: usize,
+        target: HostId,
+        chain: &[TraceHop],
+    ) -> Vec<TraceHop> {
+        let vp = self.vantage_points[vp_idx];
+        let mut out: Vec<TraceHop> = chain.to_vec();
+        let mut hops: Vec<RouterId> = Vec::new();
+        let vp_pop = self.pop_of(vp);
+        let (dest_pop, dest_attach) = self.side_from_vp(vp_idx, target);
+        // Backbone cores (skip the VP's own, already present).
+        for pop in self.pop_path(vp_idx, dest_pop) {
+            if pop != vp_pop {
+                hops.push(self.pops[pop.idx()].core);
+            }
+        }
+        // Destination region: core down to the attach router (primary
+        // side only; a secondary side's access gear is invisible).
+        if let Some(attach) = dest_attach {
+            let mut down = self.tree_path_to_core(attach);
+            down.reverse();
+            // The core is already in `hops` (it terminates the backbone
+            // segment) unless the VP and target share a PoP.
+            let skip = usize::from(down.first() == Some(&self.pops[dest_pop.idx()].core));
+            hops.extend(down.into_iter().skip(skip));
+        }
+        hops.dedup();
+        let chain_last = out.last().map(|h| h.router);
+        out.extend(hops.into_iter().filter(|&r| Some(r) != chain_last).map(|r| TraceHop {
+            router: r,
+            rtt: self.rtt_host_router(vp, r),
+        }));
+        out
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// Structural invariants every generated world must satisfy.
+    pub fn assert_world_invariants(w: &InternetModel) {
+        // Router/region consistency.
+        for (p, pop) in w.pops.iter().enumerate() {
+            let core = w.router(pop.core);
+            assert_eq!(core.kind, RouterKind::PopCore);
+            assert!(core.parent.is_none());
+            for (local, &rid) in pop.routers.iter().enumerate() {
+                let r = w.router(rid);
+                assert_eq!(r.pop.idx(), p, "router in wrong region");
+                assert_eq!(r.local as usize, local, "local index mismatch");
+                if let Some(parent) = r.parent {
+                    assert_eq!(w.router(parent).pop.idx(), p, "parent across regions");
+                }
+                // Shortest path to core can't be longer than the tree path.
+                assert!(r.core_dist <= r.pop_lat, "core_dist > tree pop_lat");
+                if r.parent.is_some() {
+                    assert!(r.up_lat > Micros::ZERO);
+                }
+            }
+        }
+        // Host ranges match kinds.
+        for h in w.dns_servers() {
+            assert!(matches!(w.host(h).kind, HostKind::Dns { .. }));
+        }
+        for h in w.azureus_peers() {
+            assert!(matches!(w.host(h).kind, HostKind::Azureus));
+        }
+        for &v in &w.vantage_points {
+            assert!(matches!(w.host(v).kind, HostKind::Vantage));
+        }
+        // RTT sanity on a deterministic sample.
+        let sample: Vec<HostId> = (0..w.hosts.len() as u32)
+            .step_by((w.hosts.len() / 50).max(1))
+            .map(HostId)
+            .collect();
+        for &a in &sample {
+            assert_eq!(w.rtt(a, a), Micros::ZERO);
+            for &b in &sample {
+                let ab = w.rtt(a, b);
+                assert_eq!(ab, w.rtt(b, a), "rtt asymmetric");
+                if a != b {
+                    assert!(ab > Micros::ZERO);
+                    assert!(ab < Micros::from_secs(2.0), "absurd rtt {ab}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traceroute_structure() {
+        let w = InternetModel::generate(WorldParams::quick_scale(), 3);
+        let target = w.azureus_peers().next().expect("peers exist");
+        let trace = w.trace_route(0, target);
+        assert!(trace.len() >= 2, "trace too short");
+        // First hop: the VP's gateway, at sub-ms RTT.
+        assert!(trace[0].rtt < Micros::from_ms(2.0));
+        // Last hop: the target's attach router (stable primary side).
+        let (_, attach) = w.side_from_vp(0, target);
+        if let Some(attach) = attach {
+            assert_eq!(trace.last().expect("non-empty").router, attach);
+        }
+        // Hops are distinct.
+        let mut seen: Vec<RouterId> = trace.iter().map(|h| h.router).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), trace.len(), "duplicate hop");
+    }
+
+    #[test]
+    fn same_en_rtt_is_lan_scale() {
+        let w = InternetModel::generate(WorldParams::quick_scale(), 3);
+        // Find two DNS servers in the same end-network.
+        let mut by_en = std::collections::HashMap::new();
+        for h in w.dns_servers() {
+            if let Some(e) = w.end_net_of(h) {
+                by_en.entry(e).or_insert_with(Vec::new).push(h);
+            }
+        }
+        let pair = by_en
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("some org has 2+ servers in one EN");
+        let d = w.rtt(pair[0], pair[1]);
+        assert!(
+            d < Micros::from_ms(1.0),
+            "same-EN latency should be LAN-scale, got {d}"
+        );
+    }
+
+    #[test]
+    fn cross_pop_rtt_exceeds_intra_pop() {
+        let w = InternetModel::generate(WorldParams::quick_scale(), 3);
+        let hosts: Vec<HostId> = w.dns_servers().collect();
+        let mut intra = Vec::new();
+        let mut cross = Vec::new();
+        for (i, &a) in hosts.iter().enumerate().take(400) {
+            for &b in hosts.iter().skip(i + 1).take(40) {
+                let d = w.rtt(a, b).as_ms();
+                if w.pop_of(a) == w.pop_of(b) {
+                    if w.end_net_of(a) != w.end_net_of(b) {
+                        intra.push(d);
+                    }
+                } else {
+                    cross.push(d);
+                }
+            }
+        }
+        assert!(!intra.is_empty() && !cross.is_empty());
+        let med_intra = np_util::stats::median(&intra).expect("non-empty");
+        let med_cross = np_util::stats::median(&cross).expect("non-empty");
+        assert!(
+            med_intra < med_cross,
+            "intra-PoP {med_intra} ms should be below cross-PoP {med_cross} ms"
+        );
+        assert!(med_intra < 40.0, "intra-PoP median too large: {med_intra}");
+    }
+
+    #[test]
+    fn multihomed_targets_can_flip_sides() {
+        let w = InternetModel::generate(WorldParams::quick_scale(), 3);
+        // Find a multihomed DNS host and check that at least one pair of
+        // vantage points disagrees on the observed side for *some* such
+        // host (that is the mechanism that prunes them from clusters).
+        let mut any_flip = false;
+        for h in w.dns_servers() {
+            let Some(e) = w.end_net_of(h) else { continue };
+            if w.end_nets[e.idx()].secondary_pop.is_none() {
+                continue;
+            }
+            let sides: Vec<_> = (0..w.vantage_points.len())
+                .map(|v| w.side_from_vp(v, h).0)
+                .collect();
+            if sides.windows(2).any(|s| s[0] != s[1]) {
+                any_flip = true;
+                break;
+            }
+        }
+        assert!(any_flip, "no multihomed host ever flips sides");
+    }
+}

@@ -1,0 +1,216 @@
+//! IPv4 addresses and prefix allocation.
+//!
+//! The IP-prefix remedy (paper §5, Figure 11) keys peers by fixed-length
+//! prefixes of their IP addresses, so the worlds must assign addresses the
+//! way ISPs do: each AS owns large blocks, PoPs carve /16s out of them,
+//! end-networks get /24s, home pools get /22s per aggregation router —
+//! with a configurable fraction of *provider-independent* allocations
+//! (multihomed organisations whose addresses come from a swamp block and
+//! therefore break prefix locality; these drive Figure 11's
+//! false-negative floor).
+
+/// An IPv4 address as a `u32` in host order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// The `len`-bit prefix value (shifted to the low bits).
+    #[inline]
+    pub fn prefix_bits(self, len: u8) -> u32 {
+        debug_assert!(len <= 32);
+        if len == 0 {
+            0
+        } else {
+            self.0 >> (32 - len)
+        }
+    }
+
+    /// Do two addresses share a `len`-bit prefix?
+    #[inline]
+    pub fn shares_prefix(self, other: Ipv4, len: u8) -> bool {
+        self.prefix_bits(len) == other.prefix_bits(len)
+    }
+}
+
+impl std::fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// A CIDR prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Prefix {
+    /// Network address (low bits zero).
+    pub net: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Construct, masking stray host bits.
+    pub fn new(net: u32, len: u8) -> Prefix {
+        assert!(len <= 32);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Prefix {
+            net: net & mask,
+            len,
+        }
+    }
+
+    /// Does the prefix contain `ip`?
+    pub fn contains(&self, ip: Ipv4) -> bool {
+        ip.shares_prefix(Ipv4(self.net), self.len)
+    }
+
+    /// Number of addresses in the prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address inside the prefix (panics when out of range).
+    pub fn addr(&self, i: u64) -> Ipv4 {
+        assert!(i < self.size(), "host index {i} outside /{}", self.len);
+        Ipv4(self.net + i as u32)
+    }
+
+    /// Split into consecutive sub-prefixes of length `sub_len`, returning
+    /// the `i`-th.
+    pub fn subnet(&self, sub_len: u8, i: u64) -> Prefix {
+        assert!(sub_len >= self.len && sub_len <= 32);
+        let count = 1u64 << (sub_len - self.len);
+        assert!(i < count, "subnet index {i} outside 2^{}", sub_len - self.len);
+        Prefix::new(self.net + (i << (32 - sub_len)) as u32, sub_len)
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", Ipv4(self.net), self.len)
+    }
+}
+
+/// Sequential allocator of top-level blocks.
+///
+/// Provider space grows upward from `16.0.0.0`; the provider-independent
+/// "swamp" grows upward from `192.0.0.0`. Both are plain sequences — the
+/// absolute values are arbitrary, only the *sharing structure* matters to
+/// the experiments.
+#[derive(Debug, Clone)]
+pub struct IpAllocator {
+    next_provider: u32,
+    next_pi: u32,
+}
+
+impl Default for IpAllocator {
+    fn default() -> Self {
+        IpAllocator {
+            next_provider: 16 << 24,
+            next_pi: 192 << 24,
+        }
+    }
+}
+
+impl IpAllocator {
+    pub fn new() -> IpAllocator {
+        IpAllocator::default()
+    }
+
+    /// Allocate the next provider block of the given prefix length
+    /// (e.g. a /12 per AS).
+    pub fn provider_block(&mut self, len: u8) -> Prefix {
+        assert!((4..=24).contains(&len));
+        let p = Prefix::new(self.next_provider, len);
+        self.next_provider = self
+            .next_provider
+            .checked_add(1 << (32 - len))
+            .expect("provider space exhausted");
+        assert!(
+            self.next_provider <= 192 << 24,
+            "provider space ran into PI swamp"
+        );
+        p
+    }
+
+    /// Allocate the next provider-independent /24 from the swamp.
+    pub fn pi_slash24(&mut self) -> Prefix {
+        let p = Prefix::new(self.next_pi, 24);
+        self.next_pi = self.next_pi.checked_add(1 << 8).expect("PI space exhausted");
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dotted_quad() {
+        assert_eq!(Ipv4(0x0A00_0001).to_string(), "10.0.0.1");
+        assert_eq!(Prefix::new(0xC0A8_0100, 24).to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn prefix_bits_and_sharing() {
+        let a = Ipv4(0xC0A8_0101); // 192.168.1.1
+        let b = Ipv4(0xC0A8_01FE); // 192.168.1.254
+        let c = Ipv4(0xC0A8_0201); // 192.168.2.1
+        assert!(a.shares_prefix(b, 24));
+        assert!(!a.shares_prefix(c, 24));
+        assert!(a.shares_prefix(c, 16));
+        assert!(a.shares_prefix(c, 0), "the zero-length prefix matches all");
+    }
+
+    #[test]
+    fn prefix_contains_and_size() {
+        let p = Prefix::new(0x0A00_0000, 24);
+        assert!(p.contains(Ipv4(0x0A00_00FF)));
+        assert!(!p.contains(Ipv4(0x0A00_0100)));
+        assert_eq!(p.size(), 256);
+        assert_eq!(p.addr(5), Ipv4(0x0A00_0005));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn addr_out_of_range_panics() {
+        Prefix::new(0x0A00_0000, 24).addr(256);
+    }
+
+    #[test]
+    fn subnet_partition() {
+        let p = Prefix::new(0x0A00_0000, 16);
+        let s0 = p.subnet(24, 0);
+        let s1 = p.subnet(24, 1);
+        let s255 = p.subnet(24, 255);
+        assert_eq!(s0.to_string(), "10.0.0.0/24");
+        assert_eq!(s1.to_string(), "10.0.1.0/24");
+        assert_eq!(s255.to_string(), "10.0.255.0/24");
+        assert!(!s0.contains(s1.addr(0)));
+    }
+
+    #[test]
+    fn allocator_blocks_are_disjoint() {
+        let mut alloc = IpAllocator::new();
+        let a = alloc.provider_block(12);
+        let b = alloc.provider_block(12);
+        let pi = alloc.pi_slash24();
+        assert!(!a.contains(Ipv4(b.net)));
+        assert!(!b.contains(Ipv4(a.net)));
+        assert!(!a.contains(Ipv4(pi.net)) && !b.contains(Ipv4(pi.net)));
+        // PI space really is far away in prefix terms.
+        assert!(!Ipv4(a.net).shares_prefix(Ipv4(pi.net), 8));
+    }
+
+    proptest::proptest! {
+        /// shares_prefix is symmetric and monotone in prefix length.
+        #[test]
+        fn prop_prefix_monotone(a in proptest::num::u32::ANY, b in proptest::num::u32::ANY, len in 1u8..=32) {
+            let (ia, ib) = (Ipv4(a), Ipv4(b));
+            proptest::prop_assert_eq!(ia.shares_prefix(ib, len), ib.shares_prefix(ia, len));
+            if ia.shares_prefix(ib, len) {
+                proptest::prop_assert!(ia.shares_prefix(ib, len - 1) || len == 1);
+            }
+        }
+    }
+}

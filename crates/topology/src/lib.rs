@@ -1,0 +1,37 @@
+//! # np-topology
+//!
+//! Synthetic Internet worlds for the `nearest-peer` reproduction
+//! (Vishnumurthy & Francis, IMC 2008).
+//!
+//! Two worlds are generated here:
+//!
+//! 1. [`cluster_world::ClusterWorld`] — the abstract latency world of the
+//!    paper's §4 Meridian simulations: clusters of end-networks hanging
+//!    off cluster-hubs, hub-to-end-network latencies
+//!    `U((1-δ)·m, (1+δ)·m)` with `m ~ U(4 ms, 6 ms)`, 100 µs inside an
+//!    end-network, and inter-hub latencies drawn from a synthetic stand-in
+//!    for the Meridian DNS dataset (median pair ≈ 65 ms, see
+//!    [`hub::HubMatrix`]).
+//! 2. [`internet::InternetModel`] — a router-level Internet for the
+//!    measurement studies of §3 and §5: ASes deploy PoPs in cities, access
+//!    trees hang off PoPs (the "last-hop star" of Figure 1), end-networks
+//!    and home users attach to the trees, DNS servers and Azureus-like
+//!    peers live in them, IP prefixes and domain names are assigned, and
+//!    cross-links inside a region create the alternate paths that make
+//!    latency prediction imperfect (the Figure 4 trend).
+//!
+//! Everything is generated deterministically from a `u64` seed.
+
+pub mod cluster_world;
+pub mod geo;
+pub mod hub;
+pub mod internet;
+pub mod ip;
+pub mod names;
+
+pub use cluster_world::{ClusterWorld, ClusterWorldSpec};
+pub use hub::HubMatrix;
+pub use internet::{
+    Attachment, EndNet, EndNetId, Host, HostId, HostKind, InternetModel, OrgId, Pop, PopId,
+    Router, RouterId, RouterKind, WorldParams,
+};

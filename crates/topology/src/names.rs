@@ -1,0 +1,115 @@
+//! Router naming and rockettrace-style annotations.
+//!
+//! The paper's PoP identification rests on rockettrace parsing router DNS
+//! names into `(AS, city)` annotations — and on the failure mode it
+//! acknowledges: *"if the name is mis-configured, this leads to erroneous
+//! results."* We model annotations as data (`anno_as`, `anno_city` on each
+//! router, possibly deliberately wrong) and render the human-readable
+//! names from them, so both the happy path and the noise path of the
+//! pipeline are exercised.
+
+/// An `(AS, city)` annotation as rockettrace would recover it from a
+/// router's DNS name — possibly wrong if the name is mis-configured.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Annotation {
+    pub as_id: u16,
+    pub city_id: u16,
+}
+
+/// Render a synthetic city name ("nyc03"-style: three letters + number).
+pub fn city_name(city_id: u16) -> String {
+    const SYLLABLES: [&str; 16] = [
+        "ash", "bru", "chi", "dal", "fra", "hkg", "lax", "lon", "mad", "nyc", "par", "sea", "sin",
+        "syd", "tok", "vie",
+    ];
+    format!(
+        "{}{:02}",
+        SYLLABLES[(city_id as usize) % SYLLABLES.len()],
+        city_id / SYLLABLES.len() as u16
+    )
+}
+
+/// Render an AS name ("as701"-style).
+pub fn as_name(as_id: u16) -> String {
+    format!("as{}", 700 + as_id as u32)
+}
+
+/// Render a full rockettrace-style router name, e.g.
+/// `ge-3-7.nyc03.as712.net`.
+pub fn router_name(anno: Annotation, port_hint: u32) -> String {
+    format!(
+        "ge-{}-{}.{}.{}.net",
+        port_hint % 8,
+        (port_hint / 8) % 16,
+        city_name(anno.city_id),
+        as_name(anno.as_id)
+    )
+}
+
+/// Parse a router name back to its annotation — the rockettrace step.
+///
+/// Returns `None` for names that do not follow the convention (the
+/// pipeline treats those as unannotated hops).
+pub fn parse_router_name(name: &str) -> Option<Annotation> {
+    let mut parts = name.split('.');
+    let _port = parts.next()?;
+    let city = parts.next()?;
+    let asn = parts.next()?;
+    let tld = parts.next()?;
+    if tld != "net" || parts.next().is_some() {
+        return None;
+    }
+    let as_id: u32 = asn.strip_prefix("as")?.parse().ok()?;
+    let as_id = as_id.checked_sub(700)? as u16;
+    if city.len() < 4 {
+        return None;
+    }
+    let (syll, num) = city.split_at(3);
+    let num: u16 = num.parse().ok()?;
+    const SYLLABLES: [&str; 16] = [
+        "ash", "bru", "chi", "dal", "fra", "hkg", "lax", "lon", "mad", "nyc", "par", "sea", "sin",
+        "syd", "tok", "vie",
+    ];
+    let idx = SYLLABLES.iter().position(|&s| s == syll)? as u16;
+    Some(Annotation {
+        as_id,
+        city_id: num * SYLLABLES.len() as u16 + idx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for city_id in [0u16, 5, 16, 99, 255] {
+            for as_id in [0u16, 7, 300] {
+                let anno = Annotation { as_id, city_id };
+                let name = router_name(anno, 13);
+                assert_eq!(
+                    parse_router_name(&name),
+                    Some(anno),
+                    "roundtrip failed for {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_names_are_rejected() {
+        assert_eq!(parse_router_name("10.1.2.3"), None);
+        assert_eq!(parse_router_name("ge-0-0.nyc03.as712.com"), None);
+        assert_eq!(parse_router_name("random-string"), None);
+        assert_eq!(parse_router_name("ge-0-0.zzz01.as712.net"), None);
+        assert_eq!(parse_router_name(""), None);
+    }
+
+    #[test]
+    fn distinct_cities_have_distinct_names() {
+        let a = city_name(3);
+        let b = city_name(19); // same syllable index + 1 generation
+        assert_ne!(a, b);
+        assert_eq!(city_name(3), city_name(3));
+    }
+}

@@ -1,0 +1,243 @@
+//! Binned scatter plots.
+//!
+//! Figures 4 and 10 of the paper are "binned scatter plots": sample points
+//! `(x, y)` are grouped into bins along the x-axis, and each bin displays
+//! the 5/25/50/75/95-percentiles of the `y` values that fell in it, plus
+//! (for Figure 4) the bin population. [`BinnedScatter`] reproduces exactly
+//! that reduction, with either linear or logarithmic bin edges (Figure 4's
+//! x-axis is logarithmic).
+
+use crate::stats::PercentileBand;
+
+/// Bin-edge layout along the x-axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinScale {
+    /// Equal-width bins.
+    Linear,
+    /// Equal-ratio bins (requires strictly positive x values).
+    Log,
+}
+
+/// One populated bin of the scatter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Representative x (geometric midpoint for log bins, arithmetic for
+    /// linear bins) — the paper's "representative predicted latency value".
+    pub x: f64,
+    /// Left and right bin edges.
+    pub lo: f64,
+    pub hi: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+    /// Percentile band of the y values.
+    pub band: PercentileBand,
+}
+
+/// A binned scatter plot: `(x, y)` samples reduced to per-bin percentile
+/// bands.
+#[derive(Debug, Clone)]
+pub struct BinnedScatter {
+    bins: Vec<Bin>,
+}
+
+impl BinnedScatter {
+    /// Bin `samples` into `n_bins` bins covering the sample x-range.
+    ///
+    /// Empty bins are dropped (the paper's plots only show populated bins).
+    /// For [`BinScale::Log`], samples with `x <= 0` are rejected by debug
+    /// assertion.
+    ///
+    /// Returns an empty scatter for an empty sample.
+    pub fn build(samples: &[(f64, f64)], n_bins: usize, scale: BinScale) -> BinnedScatter {
+        if samples.is_empty() || n_bins == 0 {
+            return BinnedScatter { bins: Vec::new() };
+        }
+        let mut xmin = f64::INFINITY;
+        let mut xmax = f64::NEG_INFINITY;
+        for &(x, y) in samples {
+            debug_assert!(!x.is_nan() && !y.is_nan(), "NaN sample");
+            if let BinScale::Log = scale {
+                debug_assert!(x > 0.0, "log bins need positive x, got {x}");
+            }
+            if x < xmin {
+                xmin = x;
+            }
+            if x > xmax {
+                xmax = x;
+            }
+        }
+        let edges = Self::edges(xmin, xmax, n_bins, scale);
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+        for &(x, y) in samples {
+            let idx = Self::bin_index(&edges, x);
+            buckets[idx].push(y);
+        }
+        let mut bins = Vec::new();
+        for (i, ys) in buckets.iter().enumerate() {
+            let Some(band) = PercentileBand::of(ys) else {
+                continue;
+            };
+            let (lo, hi) = (edges[i], edges[i + 1]);
+            let x = match scale {
+                BinScale::Linear => (lo + hi) / 2.0,
+                BinScale::Log => (lo * hi).sqrt(),
+            };
+            bins.push(Bin {
+                x,
+                lo,
+                hi,
+                count: ys.len(),
+                band,
+            });
+        }
+        BinnedScatter { bins }
+    }
+
+    fn edges(xmin: f64, xmax: f64, n_bins: usize, scale: BinScale) -> Vec<f64> {
+        let mut edges = Vec::with_capacity(n_bins + 1);
+        match scale {
+            BinScale::Linear => {
+                // Degenerate range: one bin around the single value.
+                let (lo, hi) = if xmin == xmax {
+                    (xmin - 0.5, xmax + 0.5)
+                } else {
+                    (xmin, xmax)
+                };
+                let w = (hi - lo) / n_bins as f64;
+                for i in 0..=n_bins {
+                    edges.push(lo + w * i as f64);
+                }
+            }
+            BinScale::Log => {
+                let (lo, hi) = if xmin == xmax {
+                    (xmin / 2.0_f64.sqrt(), xmax * 2.0_f64.sqrt())
+                } else {
+                    (xmin, xmax)
+                };
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                let w = (lhi - llo) / n_bins as f64;
+                for i in 0..=n_bins {
+                    edges.push((llo + w * i as f64).exp());
+                }
+            }
+        }
+        edges
+    }
+
+    fn bin_index(edges: &[f64], x: f64) -> usize {
+        let n_bins = edges.len() - 1;
+        // partition_point gives the count of edges <= x; clamp the last
+        // sample (x == xmax) into the final bin.
+        edges[1..n_bins]
+            .partition_point(|&e| e <= x)
+            .min(n_bins - 1)
+    }
+
+    /// The populated bins, in ascending x order.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Total number of samples represented.
+    pub fn total_count(&self) -> usize {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    /// The bin whose range contains `x`, if populated.
+    pub fn bin_containing(&self, x: f64) -> Option<&Bin> {
+        self.bins.iter().find(|b| x >= b.lo && x <= b.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bins_partition_all_samples() {
+        let samples: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i * 2) as f64)).collect();
+        let s = BinnedScatter::build(&samples, 10, BinScale::Linear);
+        assert_eq!(s.total_count(), 100);
+        assert_eq!(s.bins().len(), 10);
+        // Bin medians should grow with x since y = 2x.
+        for w in s.bins().windows(2) {
+            assert!(w[0].band.p50 < w[1].band.p50);
+        }
+    }
+
+    #[test]
+    fn log_bins_have_equal_ratio_edges() {
+        let samples: Vec<(f64, f64)> = (0..1000)
+            .map(|i| (1.001_f64.powi(i) * 0.5, 1.0))
+            .collect();
+        let s = BinnedScatter::build(&samples, 5, BinScale::Log);
+        assert!(!s.bins().is_empty());
+        for b in s.bins() {
+            let ratio = b.hi / b.lo;
+            let first = s.bins()[0].hi / s.bins()[0].lo;
+            assert!((ratio - first).abs() < 1e-9, "log bins share a ratio");
+            assert!((b.x - (b.lo * b.hi).sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_sample_lands_in_last_bin() {
+        let samples = [(0.0, 1.0), (10.0, 2.0)];
+        let s = BinnedScatter::build(&samples, 4, BinScale::Linear);
+        assert_eq!(s.total_count(), 2);
+        let last = s.bins().last().expect("non-empty");
+        assert_eq!(last.count, 1);
+        assert_eq!(last.band.p50, 2.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(BinnedScatter::build(&[], 10, BinScale::Linear)
+            .bins()
+            .is_empty());
+        // All samples at one x: single populated bin.
+        let samples = [(5.0, 1.0), (5.0, 3.0)];
+        let s = BinnedScatter::build(&samples, 8, BinScale::Linear);
+        assert_eq!(s.total_count(), 2);
+        assert_eq!(s.bins().len(), 1);
+        assert_eq!(s.bins()[0].band.p50, 2.0);
+    }
+
+    #[test]
+    fn bin_containing_finds_range() {
+        let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.0)).collect();
+        let s = BinnedScatter::build(&samples, 3, BinScale::Linear);
+        let b = s.bin_containing(4.0).expect("bin exists");
+        assert!(b.lo <= 4.0 && 4.0 <= b.hi);
+        assert!(s.bin_containing(99.0).is_none());
+    }
+
+    proptest::proptest! {
+        /// Every sample lands in exactly one bin regardless of layout.
+        #[test]
+        fn prop_total_count_preserved(
+            xs in proptest::collection::vec(0.001f64..1e4, 1..200),
+            n_bins in 1usize..32,
+        ) {
+            let samples: Vec<(f64, f64)> = xs.iter().map(|&x| (x, x)).collect();
+            let lin = BinnedScatter::build(&samples, n_bins, BinScale::Linear);
+            proptest::prop_assert_eq!(lin.total_count(), samples.len());
+            let log = BinnedScatter::build(&samples, n_bins, BinScale::Log);
+            proptest::prop_assert_eq!(log.total_count(), samples.len());
+        }
+
+        /// Band percentiles are ordered within every bin.
+        #[test]
+        fn prop_bands_ordered(
+            pts in proptest::collection::vec((0.0f64..100.0, -50.0f64..50.0), 1..200),
+        ) {
+            let s = BinnedScatter::build(&pts, 8, BinScale::Linear);
+            for b in s.bins() {
+                proptest::prop_assert!(b.band.p5 <= b.band.p25);
+                proptest::prop_assert!(b.band.p25 <= b.band.p50);
+                proptest::prop_assert!(b.band.p50 <= b.band.p75);
+                proptest::prop_assert!(b.band.p75 <= b.band.p95);
+            }
+        }
+    }
+}

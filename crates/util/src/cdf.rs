@@ -1,0 +1,164 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 3 and 5 of the paper are CDFs (of the prediction measure and of
+//! intra- vs inter-domain latencies). [`Cdf`] stores the sorted sample and
+//! answers both directions — `F(x)` and the quantile function — plus the
+//! "cumulative count" variant the paper's Figure 3/6 axes use.
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from an unsorted sample. NaNs are rejected with a panic —
+    /// measurement pipelines must filter invalid values first.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(sorted.iter().all(|x| !x.is_nan()), "NaN sample in CDF");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True iff the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `<= x`. Returns 0 for an empty CDF.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.count_le(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples `<= x` (the paper's "cumulative count" axis).
+    pub fn count_le(&self, x: f64) -> usize {
+        // partition_point: first index where sample > x.
+        self.sorted.partition_point(|&s| s <= x)
+    }
+
+    /// Fraction of samples inside the closed interval `[lo, hi]`.
+    ///
+    /// The paper's headline Figure-3 number is "about 65 % of the tested
+    /// pairs have prediction measure between 0.5 and 2".
+    pub fn fraction_between(&self, lo: f64, hi: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let above = self.sorted.partition_point(|&s| s < lo);
+        let upto = self.count_le(hi);
+        (upto.saturating_sub(above)) as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile function: smallest sample `x` with `F(x) >= q`, `q ∈ [0,1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest and largest samples.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some((self.sorted[0], *self.sorted.last().expect("non-empty")))
+        }
+    }
+
+    /// The sorted sample (ascending) — used by renderers.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Downsample to at most `n` evenly spaced `(x, F(x))` points for
+    /// rendering or CSV export. Always includes the extremes.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        let len = self.sorted.len();
+        if len == 0 || n == 0 {
+            return Vec::new();
+        }
+        let n = n.min(len);
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let idx = if n == 1 { len - 1 } else { k * (len - 1) / (n - 1) };
+            out.push((self.sorted[idx], (idx + 1) as f64 / len as f64));
+        }
+        out.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_le_basic() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_le(0.5), 0.0);
+        assert_eq!(c.fraction_le(2.0), 0.5);
+        assert_eq!(c.fraction_le(10.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_between_is_inclusive() {
+        let c = Cdf::from_samples([0.4, 0.5, 1.0, 2.0, 3.0]);
+        assert!((c.fraction_between(0.5, 2.0) - 0.6).abs() < 1e-12);
+        assert_eq!(c.fraction_between(10.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_hit_samples() {
+        let c = Cdf::from_samples([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.quantile(0.25), Some(10.0));
+        assert_eq!(c.quantile(0.5), Some(20.0));
+        assert_eq!(c.quantile(1.0), Some(40.0));
+        assert_eq!(c.quantile(0.0), Some(10.0));
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let c = Cdf::from_samples(std::iter::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_le(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert!(c.points(10).is_empty());
+    }
+
+    #[test]
+    fn points_are_monotone_and_bounded() {
+        let c = Cdf::from_samples((1..=1000).map(|i| i as f64));
+        let pts = c.points(32);
+        assert!(pts.len() <= 32 && pts.len() >= 2);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn count_le_matches_paper_axis_style() {
+        // Figure 3's y-axis is a raw cumulative count of pairs.
+        let c = Cdf::from_samples((0..100).map(|i| i as f64 / 10.0));
+        assert_eq!(c.count_le(4.95), 50);
+        assert_eq!(c.len(), 100);
+    }
+}

@@ -1,0 +1,185 @@
+//! Sampling distributions for the topology and noise models.
+//!
+//! `rand` 0.8 ships only uniform sampling; the normal/log-normal/
+//! exponential/Zipf samplers the Internet model needs are implemented here
+//! (Box–Muller, inverse-CDF, and rejection-free Zipf via the Marsaglia
+//! harmonic approximation) so the workspace keeps its dependency list to
+//! the allowed set.
+
+use rand::Rng;
+
+/// A standard normal draw via Box–Muller (the non-cached variant; the
+/// generators here are not throughput-critical).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    debug_assert!(sd >= 0.0);
+    mean + sd * standard_normal(rng)
+}
+
+/// Log-normal parameterised by the *underlying* normal's `mu`/`sigma`.
+///
+/// Used for router-path "detour" factors: most paths are close to the
+/// geographic great-circle latency, a heavy tail is much longer — the shape
+/// observed in real RTT-vs-distance studies.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential with the given mean (inverse-CDF method).
+///
+/// Models DNS processing lag in the King simulator (paper §3.1 attributes
+/// low-latency prediction error to exactly this lag).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    -mean * u.ln()
+}
+
+/// Uniform in `[lo, hi)`. Thin wrapper so call sites read like the paper
+/// ("uniformly distributed between 4 ms and 6 ms").
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s`.
+///
+/// PoP populations (how many end-networks a PoP serves) are heavy-tailed:
+/// a few metro PoPs serve hundreds of networks, most serve a handful. The
+/// paper's Figure 6 cluster-size distribution has exactly this shape.
+///
+/// Implementation: precomputed cumulative weights + binary search. Build is
+/// O(n), each sample O(log n); n here is at most a few thousand ranks.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over ranks `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `1..=n` (rank 1 is the most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+        .min(self.cumulative.len())
+    }
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from;
+
+    fn mean_sd(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = rng_from(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let (m, sd) = mean_sd(&samples);
+        assert!((m - 10.0).abs() < 0.1, "mean {m}");
+        assert!((sd - 2.0).abs() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn exponential_matches_mean_and_is_positive() {
+        let mut rng = rng_from(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| exponential(&mut rng, 3.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (m, _) = mean_sd(&samples);
+        assert!((m - 3.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut rng = rng_from(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut rng, 0.0, 0.5)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (m, _) = mean_sd(&samples);
+        // E[lognormal(0, 0.5)] = exp(0.125) ≈ 1.133
+        assert!((m - 1.133).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn zipf_rank1_dominates_and_support_is_respected() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = rng_from(4);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..50_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            counts[r] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[10]);
+        // Harmonic(100) ≈ 5.187, so P(rank 1) ≈ 0.193.
+        let p1 = counts[1] as f64 / 50_000.0;
+        assert!((p1 - 0.193).abs() < 0.02, "p1 {p1}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rng_from(5);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, 4.0, 6.0);
+            assert!((4.0..6.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut rng, 2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn coin_edges() {
+        let mut rng = rng_from(6);
+        assert!(!coin(&mut rng, 0.0));
+        assert!(coin(&mut rng, 1.0));
+        let heads = (0..10_000).filter(|_| coin(&mut rng, 0.25)).count();
+        assert!((2_200..=2_800).contains(&heads), "heads {heads}");
+    }
+}

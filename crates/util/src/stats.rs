@@ -1,0 +1,243 @@
+//! Summary statistics and percentiles.
+//!
+//! The paper reports medians, 5/25/75/95-percentiles (Figures 4, 10) and
+//! median/min/max over three runs (Figures 8, 9). These helpers implement
+//! the standard nearest-rank-with-interpolation percentile on `f64` slices
+//! and on [`crate::Micros`] values.
+
+use crate::Micros;
+
+/// Basic moments and extremes of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation (0 for fewer than 2 samples).
+    pub std_dev: f64,
+    /// Smallest sample (+∞ for an empty sample).
+    pub min: f64,
+    /// Largest sample (−∞ for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a slice. NaNs are rejected by debug assertion: upstream
+    /// pipelines filter invalid measurements before statistics.
+    pub fn of(samples: &[f64]) -> Summary {
+        debug_assert!(samples.iter().all(|x| !x.is_nan()), "NaN in sample");
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in samples {
+            if x < min {
+                min = x;
+            }
+            if x > max {
+                max = x;
+            }
+        }
+        Summary {
+            count: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Percentile (`p` in `[0,100]`) of an **unsorted** slice, with linear
+/// interpolation between closest ranks. Returns `None` on empty input.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted slice (ascending). Panics on empty input.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median of an unsorted slice.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    percentile(samples, 50.0)
+}
+
+/// Median of a set of latencies.
+pub fn median_micros(samples: &[Micros]) -> Option<Micros> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v: Vec<u64> = samples.iter().map(|m| m.as_us()).collect();
+    v.sort_unstable();
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        Micros(v[n / 2])
+    } else {
+        Micros(v[n / 2 - 1] / 2 + v[n / 2] / 2 + (v[n / 2 - 1] % 2 + v[n / 2] % 2) / 2)
+    })
+}
+
+/// The percentile set the paper's binned scatter plots display.
+pub const PAPER_PERCENTILES: [f64; 5] = [5.0, 25.0, 50.0, 75.0, 95.0];
+
+/// Percentile summary of a sample at the paper's five levels
+/// (5 / 25 / 50 / 75 / 95).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileBand {
+    pub p5: f64,
+    pub p25: f64,
+    pub p50: f64,
+    pub p75: f64,
+    pub p95: f64,
+}
+
+impl PercentileBand {
+    /// Compute the band of an unsorted sample; `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<PercentileBand> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(PercentileBand {
+            p5: percentile_sorted(&sorted, 5.0),
+            p25: percentile_sorted(&sorted, 25.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        })
+    }
+}
+
+/// Fraction of samples for which `pred` holds. `None` on empty input.
+pub fn fraction<T>(samples: &[T], pred: impl Fn(&T) -> bool) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().filter(|s| pred(s)).count() as f64 / samples.len() as f64)
+    }
+}
+
+/// Median / min / max across runs — the paper's error-bar convention for
+/// the Meridian plots ("median, minimum and maximum values across the three
+/// simulation runs").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBand {
+    pub median: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl RunBand {
+    /// Aggregate per-run values. Panics on empty input (a run sweep always
+    /// produces at least one run).
+    pub fn of(per_run: &[f64]) -> RunBand {
+        assert!(!per_run.is_empty(), "no runs");
+        let mut sorted = per_run.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        RunBand {
+            median: percentile_sorted(&sorted, 50.0),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.min.is_infinite());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert_eq!(percentile(&v, 25.0), Some(1.75));
+    }
+
+    #[test]
+    fn percentile_of_singleton_and_empty() {
+        assert_eq!(percentile(&[7.0], 95.0), Some(7.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn median_micros_even_and_odd() {
+        let odd = [Micros(1), Micros(5), Micros(3)];
+        assert_eq!(median_micros(&odd), Some(Micros(3)));
+        let even = [Micros(1), Micros(2), Micros(3), Micros(10)];
+        assert_eq!(median_micros(&even), Some(Micros(2))); // floor midpoint of 2,3
+        assert_eq!(median_micros(&[]), None);
+    }
+
+    #[test]
+    fn band_is_ordered() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = PercentileBand::of(&v).expect("non-empty");
+        assert!(b.p5 <= b.p25 && b.p25 <= b.p50 && b.p50 <= b.p75 && b.p75 <= b.p95);
+        assert!((b.p50 - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_counts() {
+        let v = [1, 2, 3, 4, 5];
+        assert_eq!(fraction(&v, |&x| x > 2), Some(0.6));
+        assert_eq!(fraction::<u32>(&[], |_| true), None);
+    }
+
+    #[test]
+    fn run_band_three_runs() {
+        let b = RunBand::of(&[0.4, 0.5, 0.3]);
+        assert_eq!(b.median, 0.4);
+        assert_eq!(b.min, 0.3);
+        assert_eq!(b.max, 0.5);
+    }
+}

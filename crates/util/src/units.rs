@@ -1,0 +1,256 @@
+//! The latency unit used throughout the workspace.
+//!
+//! The paper spans five orders of magnitude of latency: 100 µs inside an
+//! end-network, single-digit milliseconds to the PoP, and tens to hundreds
+//! of milliseconds between cluster hubs. Storing integer microseconds keeps
+//! all of them exact; conversions to floating-point milliseconds happen only
+//! at the presentation layer.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A round-trip (or one-way, by context) latency in integer microseconds.
+///
+/// `Micros` is ordered, copyable and cheap; it is the value the simulated
+/// measurement tools return and the value every nearest-peer algorithm
+/// compares. Saturating arithmetic is used throughout: latencies never
+/// wrap, and subtraction (used when the measurement pipelines subtract a
+/// hub RTT from a peer RTT, per §3.2 of the paper) saturates at zero with a
+/// dedicated checked variant for the "negative latency → discard" rule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Zero latency (self-distance).
+    pub const ZERO: Micros = Micros(0);
+    /// A value larger than any real latency; used as "unreachable".
+    pub const INFINITY: Micros = Micros(u64::MAX / 4);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Micros(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_ms_u64(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Construct from fractional milliseconds (rounded to the nearest µs).
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0, "negative latency");
+        Micros((ms * 1_000.0).round() as u64)
+    }
+
+    /// Construct from fractional seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        Micros((s * 1_000_000.0).round() as u64)
+    }
+
+    /// The raw microsecond count.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds (presentation only).
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As fractional seconds (presentation only).
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Is this the sentinel "unreachable" value?
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self >= Micros::INFINITY
+    }
+
+    /// Checked subtraction: `None` when the result would be negative.
+    ///
+    /// The Azureus pipeline (paper §3.2) subtracts the latency to the
+    /// cluster-hub from the latency to the peer; noisy measurements can make
+    /// this negative, and the paper *discards* those samples. `checked_sub`
+    /// is how that rule is expressed.
+    #[inline]
+    pub fn checked_sub(self, rhs: Micros) -> Option<Micros> {
+        self.0.checked_sub(rhs.0).map(Micros)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative float factor, rounding to the nearest µs.
+    ///
+    /// Used for jitter ("±5 %"), the paper's 1.5× cluster-pruning window and
+    /// Meridian's `(1±β)·d` annulus bounds.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Micros {
+        debug_assert!(factor >= 0.0, "negative scale factor");
+        Micros((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Midpoint of two latencies (used by bin construction).
+    #[inline]
+    pub fn midpoint(self, other: Micros) -> Micros {
+        Micros(self.0 / 2 + other.0 / 2 + (self.0 % 2 + other.0 % 2) / 2)
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: Micros) -> Micros {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: Micros) -> Micros {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    #[inline]
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Micros {
+    #[inline]
+    fn add_assign(&mut self, rhs: Micros) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// Saturating: see [`Micros::checked_sub`] for the discard-on-negative rule.
+    #[inline]
+    fn sub(self, rhs: Micros) -> Micros {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul<u64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn mul(self, rhs: u64) -> Micros {
+        Micros(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Micros {
+    type Output = Micros;
+    #[inline]
+    fn div(self, rhs: u64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        iter.fold(Micros::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Micros {
+    /// Human units: `µs` below 1 ms, `ms` below 1 s, `s` above.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else {
+            write!(f, "{:.3}s", self.as_secs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Micros::from_ms(1.5).as_us(), 1_500);
+        assert_eq!(Micros::from_ms_u64(65).as_ms(), 65.0);
+        assert_eq!(Micros::from_us(100).as_ms(), 0.1);
+        assert_eq!(Micros::from_secs(0.25).as_us(), 250_000);
+    }
+
+    #[test]
+    fn ordering_matches_magnitude() {
+        let lan = Micros::from_us(100);
+        let pop = Micros::from_ms(5.0);
+        let wan = Micros::from_ms(65.0);
+        assert!(lan < pop && pop < wan);
+        assert!(wan < Micros::INFINITY);
+    }
+
+    #[test]
+    fn checked_sub_models_discard_rule() {
+        let peer = Micros::from_ms(12.0);
+        let hub = Micros::from_ms(15.0);
+        assert_eq!(peer.checked_sub(hub), None, "negative latency is discarded");
+        assert_eq!(hub.checked_sub(peer), Some(Micros::from_ms(3.0)));
+    }
+
+    #[test]
+    fn scale_is_rounded_not_truncated() {
+        assert_eq!(Micros(3).scale(0.5), Micros(2)); // 1.5 rounds to 2
+        assert_eq!(Micros::from_ms(4.0).scale(1.5), Micros::from_ms(6.0));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(Micros(5) - Micros(9), Micros::ZERO);
+        assert!((Micros::INFINITY + Micros::INFINITY).0 >= Micros::INFINITY.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Micros(100).to_string(), "100us");
+        assert_eq!(Micros::from_ms(5.25).to_string(), "5.250ms");
+        assert_eq!(Micros::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(Micros::INFINITY.to_string(), "inf");
+    }
+
+    #[test]
+    fn sum_and_midpoint() {
+        let total: Micros = [Micros(1), Micros(2), Micros(3)].into_iter().sum();
+        assert_eq!(total, Micros(6));
+        assert_eq!(Micros(10).midpoint(Micros(20)), Micros(15));
+        assert_eq!(Micros(1).midpoint(Micros(2)), Micros(1)); // floor is fine
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: the paper's headline claims, end to end,
+//! at test-friendly scale.
+
+use nearest_peer::core::hybrid::HintSource;
+use nearest_peer::prelude::*;
+use std::collections::HashMap;
+
+fn scenario(en_per_cluster: usize, seed: u64) -> ClusterScenario {
+    let spec = ClusterWorldSpec {
+        clusters: (600 / (en_per_cluster * 2)).max(1),
+        en_per_cluster,
+        peers_per_en: 2,
+        delta: 0.2,
+        mean_hub_ms: (4.0, 6.0),
+        intra_en: Micros::from_us(100),
+        hub_pool: (600 / (en_per_cluster * 2)).max(2),
+    };
+    ClusterScenario::build(spec, 30, seed)
+}
+
+/// The Figure 8 phase transition, in miniature: accuracy at huge
+/// clusters is far below accuracy at small clusters, while cluster-level
+/// success *improves*.
+#[test]
+fn clustering_condition_defeats_meridian() {
+    let easy = scenario(5, 1);
+    let hard = scenario(150, 1);
+    let run = |s: &ClusterScenario| {
+        let overlay = Overlay::build(
+            &s.matrix,
+            s.overlay.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            1,
+        );
+        run_queries(&overlay, s, 300, 1)
+    };
+    let m_easy = run(&easy);
+    let m_hard = run(&hard);
+    assert!(
+        m_hard.p_correct_closest < m_easy.p_correct_closest,
+        "hard {m_hard:?} should be below easy {m_easy:?}"
+    );
+    assert!(m_hard.p_correct_closest < 0.35, "hard world too easy: {m_hard:?}");
+    assert!(
+        m_hard.p_correct_cluster > 0.9,
+        "cluster-level success should be near 1: {m_hard:?}"
+    );
+}
+
+/// Brute force is immune to the clustering condition (it pays in probes).
+#[test]
+fn brute_force_is_immune_but_expensive() {
+    let s = scenario(150, 3);
+    let bf = nearest_peer::metric::nearest::BruteForce::new(&s.matrix, s.overlay.clone());
+    let m = run_queries(&bf, &s, 40, 3);
+    assert_eq!(m.p_correct_closest, 1.0);
+    assert!(m.mean_probes > 500.0, "brute force must probe everyone");
+}
+
+/// The hybrid with a full-coverage hint registry restores exactness at a
+/// fraction of the probes — the paper's §5 conclusion.
+#[test]
+fn hybrid_restores_exactness() {
+    struct EnHints {
+        by_en: HashMap<usize, Vec<PeerId>>,
+        en_of: HashMap<PeerId, usize>,
+    }
+    impl HintSource for EnHints {
+        fn candidates(&self, target: PeerId) -> Vec<PeerId> {
+            self.by_en.get(&self.en_of[&target]).cloned().unwrap_or_default()
+        }
+        fn name(&self) -> &str {
+            "ucl"
+        }
+    }
+    let s = scenario(150, 5);
+    let overlay = Overlay::build(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        5,
+    );
+    let mut by_en: HashMap<usize, Vec<PeerId>> = HashMap::new();
+    for &p in &s.overlay {
+        by_en.entry(s.world.en_of(p)).or_default().push(p);
+    }
+    let hints = EnHints {
+        by_en,
+        en_of: s.world.peers().map(|p| (p, s.world.en_of(p))).collect(),
+    };
+    let hybrid = Hybrid::new(&hints, &overlay);
+    let plain = run_queries(&overlay, &s, 300, 5);
+    let fixed = run_queries(&hybrid, &s, 300, 5);
+    assert!(
+        fixed.p_correct_closest > plain.p_correct_closest + 0.3,
+        "hybrid {fixed:?} should beat meridian {plain:?} by a wide margin"
+    );
+    assert!(
+        fixed.mean_probes < plain.mean_probes,
+        "hybrid should also probe less on hits"
+    );
+}
+
+/// The event-driven Meridian protocol agrees with the direct-call query
+/// on a cluster world (not just on the line world of the unit tests).
+#[test]
+fn event_driven_meridian_agrees_on_cluster_world() {
+    let s = scenario(40, 7);
+    let overlay = Overlay::build(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        7,
+    );
+    let target = s.targets[0];
+    let start_idx = 3;
+    let t = Target::new(target, &s.matrix);
+    let direct = overlay.query_from(s.overlay[start_idx], &t);
+    let link = nearest_peer::meridian::proto::matrix_link(&s.matrix, &s.overlay, target);
+    let (proto, _) =
+        nearest_peer::meridian::proto::run_query(&overlay, target, start_idx, link, 11);
+    let proto = proto.expect("query completes");
+    assert_eq!(proto.found, direct.found);
+    assert_eq!(proto.hops, direct.hops);
+}
+
+/// Three-run sweeps are deterministic end to end.
+#[test]
+fn sweeps_are_reproducible() {
+    let run = || {
+        sweep_three_runs(21, |seed| {
+            let s = scenario(25, seed);
+            let overlay = Overlay::build(
+                &s.matrix,
+                s.overlay.clone(),
+                MeridianConfig::default(),
+                BuildMode::Omniscient,
+                seed,
+            );
+            run_queries(&overlay, &s, 60, seed)
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.p_correct_closest.median, b.p_correct_closest.median);
+    assert_eq!(a.mean_probes.max, b.mean_probes.max);
+}
