@@ -174,6 +174,69 @@ fn bench_hypervolume(c: &mut Criterion) {
     });
 }
 
+// --- serial vs parallel engine benches -------------------------------
+//
+// The pairs below record the parallel engine's speedup in-repo (the
+// harness appends results to BENCH_parallel.json): the paper-scale
+// 2,500-peer matrix build and a 1,000-query Meridian batch, serial vs
+// all-cores. On a multi-core runner the `_par` variants should beat
+// their `_serial` twins by ≥2x at 4 cores; on a 1-core machine they
+// document engine overhead instead (expected ≈1x).
+
+fn world_2500() -> ClusterWorld {
+    ClusterWorld::generate(ClusterWorldSpec::paper(125, 0.2), 7)
+}
+
+fn bench_matrix_build_2500_serial(c: &mut Criterion) {
+    let w = world_2500();
+    c.bench_function("latency_matrix_build_2500_serial", |b| {
+        b.iter(|| criterion::black_box(w.to_matrix_threads(1).len()))
+    });
+}
+
+fn bench_matrix_build_2500_par(c: &mut Criterion) {
+    let w = world_2500();
+    let threads = np_util::parallel::available_threads();
+    c.bench_function("latency_matrix_build_2500_par", |b| {
+        b.iter(|| criterion::black_box(w.to_matrix_threads(threads).len()))
+    });
+}
+
+fn bench_run_queries_1000_serial(c: &mut Criterion) {
+    let s = np_core::ClusterScenario::paper(125, 0.2, 7);
+    let overlay = Overlay::build(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        7,
+    );
+    c.bench_function("run_queries_1000_serial", |b| {
+        b.iter(|| {
+            criterion::black_box(np_core::run_queries_threads(&overlay, &s, 1_000, 7, 1).mean_probes)
+        })
+    });
+}
+
+fn bench_run_queries_1000_par(c: &mut Criterion) {
+    let s = np_core::ClusterScenario::paper(125, 0.2, 7);
+    let overlay = Overlay::build(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        7,
+    );
+    let threads = np_util::parallel::available_threads();
+    c.bench_function("run_queries_1000_par", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                np_core::run_queries_threads(&overlay, &s, 1_000, 7, threads).mean_probes,
+            )
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -186,6 +249,8 @@ criterion_group! {
     config = config();
     targets = bench_matrix_build, bench_meridian_build, bench_meridian_query,
               bench_chord_lookup, bench_dijkstra_local, bench_vivaldi,
-              bench_event_kernel, bench_hypervolume
+              bench_event_kernel, bench_hypervolume,
+              bench_matrix_build_2500_serial, bench_matrix_build_2500_par,
+              bench_run_queries_1000_serial, bench_run_queries_1000_par
 }
 criterion_main!(benches);

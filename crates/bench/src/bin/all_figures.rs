@@ -1,12 +1,19 @@
 //! Run every figure binary in sequence (quick or paper scale) — the
 //! one-command regeneration entry point quoted by EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p np-bench --bin all_figures [-- --quick]`.
+//! Usage: `cargo run --release -p np-bench --bin all_figures [-- --quick] [-- --threads N]`.
+//!
+//! All flags (including `--threads`/`--seed`) are forwarded verbatim to
+//! every figure binary, so one `--threads 8` parallelises the whole
+//! regeneration; per-figure footers report each figure's wall-clock and
+//! measured effective speedup.
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let wall = Instant::now();
     let bins = [
         "fig3_4",
         "fig5",
@@ -38,5 +45,8 @@ fn main() {
         eprintln!("FAILED: {failures:?}");
         std::process::exit(1);
     }
-    println!("\nall figures regenerated");
+    println!(
+        "\nall figures regenerated in {:.1}s wall-clock",
+        wall.elapsed().as_secs_f64()
+    );
 }

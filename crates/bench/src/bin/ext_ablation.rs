@@ -10,8 +10,8 @@
 //! * **construction** — omniscient fill (the authors' simulator) vs the
 //!   deployable gossip warm-up.
 
-use np_bench::{header, Args};
-use np_core::{run_queries, ClusterScenario};
+use np_bench::{header, Args, Report};
+use np_core::{run_queries_threads, ClusterScenario};
 use np_meridian::{BuildMode, MeridianConfig, Overlay};
 use np_util::table::{fmt_f, fmt_prob, Table};
 
@@ -22,6 +22,8 @@ fn main() {
         "beta trades probes for accuracy; ring management is ~neutral under clustering",
         &args,
     );
+    let report = Report::start(&args);
+    let threads = args.threads();
     let n_queries = if args.quick { 300 } else { 2_000 };
     let scenario = ClusterScenario::paper(125, 0.2, args.seed);
     let mut table = Table::new(&[
@@ -39,7 +41,7 @@ fn main() {
             mode,
             args.seed,
         );
-        let m = run_queries(&overlay, &scenario, n_queries, args.seed);
+        let m = run_queries_threads(&overlay, &scenario, n_queries, args.seed, threads);
         table.row(&[
             label.to_string(),
             fmt_prob(m.p_correct_closest),
@@ -81,4 +83,5 @@ fn main() {
     if args.csv {
         println!("{}", table.to_csv());
     }
+    report.footer();
 }

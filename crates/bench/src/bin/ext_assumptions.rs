@@ -5,7 +5,7 @@
 //! (b) the paper's cluster worlds at increasing cluster sizes. The
 //! clustering condition must inflate all three.
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_core::ClusterScenario;
 use np_metric::diagnostics::assumption_report;
 use np_metric::{LatencyMatrix, PeerId};
@@ -20,6 +20,7 @@ fn main() {
         "growth/doubling constants and intrinsic dimension blow up with cluster size",
         &args,
     );
+    let report = Report::start(&args);
     let mut table = Table::new(&[
         "world",
         "growth max",
@@ -64,4 +65,5 @@ fn main() {
     if args.csv {
         println!("{}", table.to_csv());
     }
+    report.footer();
 }

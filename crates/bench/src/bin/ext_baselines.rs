@@ -8,10 +8,10 @@ use np_baselines::{
     beacon::BeaconConfig, karger_ruhl::KrConfig, tiers::TiersConfig, Beaconing, KargerRuhl,
     Tapestry, Tiers,
 };
-use np_bench::{header, Args};
+use np_bench::{header, Args, Report};
 use np_coords::walk::build_walk;
 use np_coords::CoordWalk;
-use np_core::{run_queries, ClusterScenario, PaperMetrics};
+use np_core::{run_queries_threads, ClusterScenario, PaperMetrics};
 use np_meridian::{BuildMode, MeridianConfig, Overlay};
 use np_metric::nearest::{BruteForce, RandomChoice};
 use np_util::table::{fmt_f, fmt_prob, Table};
@@ -23,6 +23,8 @@ fn main() {
         "every latency-only scheme collapses at x=250; brute force does not",
         &args,
     );
+    let report = Report::start(&args);
+    let threads = args.threads();
     let xs: &[usize] = if args.quick { &[25, 250] } else { &[5, 25, 250] };
     let n_queries = if args.quick { 150 } else { 1_000 };
     let mut table = Table::new(&[
@@ -51,26 +53,27 @@ fn main() {
             BuildMode::Omniscient,
             seed,
         );
-        run("meridian", run_queries(&meridian, &scenario, n_queries, seed), &mut table);
+        run("meridian", run_queries_threads(&meridian, &scenario, n_queries, seed, threads), &mut table);
         let kr = KargerRuhl::build(&scenario.matrix, scenario.overlay.clone(), KrConfig::default(), seed);
-        run("karger-ruhl", run_queries(&kr, &scenario, n_queries, seed), &mut table);
+        run("karger-ruhl", run_queries_threads(&kr, &scenario, n_queries, seed, threads), &mut table);
         let tap = Tapestry::build(&scenario.matrix, scenario.overlay.clone(), seed);
-        run("tapestry", run_queries(&tap, &scenario, n_queries, seed), &mut table);
+        run("tapestry", run_queries_threads(&tap, &scenario, n_queries, seed, threads), &mut table);
         let tiers = Tiers::build(&scenario.matrix, scenario.overlay.clone(), TiersConfig::default(), seed);
-        run("tiers", run_queries(&tiers, &scenario, n_queries, seed), &mut table);
+        run("tiers", run_queries_threads(&tiers, &scenario, n_queries, seed, threads), &mut table);
         let bcn = Beaconing::build(&scenario.matrix, scenario.overlay.clone(), BeaconConfig::default(), seed);
-        run("beaconing", run_queries(&bcn, &scenario, n_queries, seed), &mut table);
+        run("beaconing", run_queries_threads(&bcn, &scenario, n_queries, seed, threads), &mut table);
         let (vivaldi, wseed) = build_walk(&scenario.matrix, scenario.overlay.clone(), 3, seed);
         let walk = CoordWalk::new(&vivaldi, 16, wseed);
-        run("coord-walk", run_queries(&walk, &scenario, n_queries, seed), &mut table);
+        run("coord-walk", run_queries_threads(&walk, &scenario, n_queries, seed, threads), &mut table);
         let rnd = RandomChoice::new(&scenario.matrix, scenario.overlay.clone());
-        run("random", run_queries(&rnd, &scenario, n_queries, seed), &mut table);
+        run("random", run_queries_threads(&rnd, &scenario, n_queries, seed, threads), &mut table);
         let bf = BruteForce::new(&scenario.matrix, scenario.overlay.clone());
-        run("brute-force", run_queries(&bf, &scenario, n_queries / 5, seed), &mut table);
+        run("brute-force", run_queries_threads(&bf, &scenario, n_queries / 5, seed, threads), &mut table);
         eprintln!("x={x} done");
     }
     println!("{}", table.render());
     if args.csv {
         println!("{}", table.to_csv());
     }
+    report.footer();
 }

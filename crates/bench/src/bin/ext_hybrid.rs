@@ -8,9 +8,9 @@
 //! is plain Meridian; at 100 % it finds the exact-closest peer whenever
 //! the partner is registered — at a handful of probes instead of dozens.
 
-use np_bench::{header, Args};
+use np_bench::{header, Args, Report};
 use np_core::hybrid::{HintSource, Hybrid};
-use np_core::{run_queries, ClusterScenario};
+use np_core::{run_queries_threads, ClusterScenario};
 use np_meridian::{BuildMode, MeridianConfig, Overlay};
 use np_metric::PeerId;
 use np_util::rng::rng_for;
@@ -64,6 +64,8 @@ fn main() {
         "success tracks registry coverage; probe cost collapses on hits",
         &args,
     );
+    let report = Report::start(&args);
+    let threads = args.threads();
     let x = 250; // the hardest Figure 8 configuration
     let n_queries = if args.quick { 300 } else { 2_000 };
     let scenario = ClusterScenario::paper(x, 0.2, args.seed);
@@ -80,7 +82,7 @@ fn main() {
         "P(correct cluster)",
         "mean probes",
     ]);
-    let meridian_only = run_queries(&overlay, &scenario, n_queries, args.seed);
+    let meridian_only = run_queries_threads(&overlay, &scenario, n_queries, args.seed, threads);
     table.row(&[
         "(meridian alone)".into(),
         fmt_prob(meridian_only.p_correct_closest),
@@ -90,7 +92,7 @@ fn main() {
     for coverage in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let hints = EnRegistry::build(&scenario, coverage, args.seed.wrapping_add(7));
         let hybrid = Hybrid::new(&hints, &overlay);
-        let m = run_queries(&hybrid, &scenario, n_queries, args.seed);
+        let m = run_queries_threads(&hybrid, &scenario, n_queries, args.seed, threads);
         table.row(&[
             format!("{:.0}%", coverage * 100.0),
             fmt_prob(m.p_correct_closest),
@@ -103,4 +105,5 @@ fn main() {
     if args.csv {
         println!("{}", table.to_csv());
     }
+    report.footer();
 }

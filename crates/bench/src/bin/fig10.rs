@@ -6,7 +6,7 @@
 //! ≈3.9 ms is 4 hops — so tracking 2 routers each discovers those pairs
 //! — and hop-length grows with latency.
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_cluster::TraceGraph;
 use np_remedies::ucl;
 use np_topology::{HostId, InternetModel, WorldParams};
@@ -21,6 +21,7 @@ fn main() {
         "hop-length grows with latency; median ~4 hops at ~4 ms",
         &args,
     );
+    let report = Report::start(&args);
     let params = if args.quick {
         WorldParams::quick_scale()
     } else {
@@ -77,4 +78,5 @@ fn main() {
     if args.csv {
         println!("{}", t.to_csv());
     }
+    report.footer();
 }

@@ -7,7 +7,7 @@
 //! bits the FP rate forces ≥hundreds of candidate probes, and longer
 //! prefixes ignore more and more truly-close peers.
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_cluster::TraceGraph;
 use np_remedies::prefix;
 use np_topology::{HostId, InternetModel, WorldParams};
@@ -22,6 +22,7 @@ fn main() {
         "FP falls / FN rises with prefix length; no sweet spot",
         &args,
     );
+    let report = Report::start(&args);
     let params = if args.quick {
         WorldParams::quick_scale()
     } else {
@@ -70,4 +71,5 @@ fn main() {
     if args.csv {
         println!("{}", t.to_csv());
     }
+    report.footer();
 }

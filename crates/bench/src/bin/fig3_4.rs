@@ -12,7 +12,7 @@
 //! `--show-tree` additionally renders a Figure 2-style sample traceroute
 //! tree.
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_cluster::dns::{run, DnsStudyConfig};
 use np_topology::{HostId, InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
@@ -26,6 +26,7 @@ fn main() {
         "~65% of pairs within [0.5, 2]; per-bin medians rise with predicted latency",
         &args,
     );
+    let report = Report::start(&args);
     let params = if args.quick {
         WorldParams::quick_scale()
     } else {
@@ -110,4 +111,5 @@ fn main() {
     if args.csv {
         println!("{}", t4.to_csv());
     }
+    report.footer();
 }

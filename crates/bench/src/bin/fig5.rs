@@ -6,7 +6,7 @@
 //! magnitude smaller than inter-domain ones, and tightening the hop cap
 //! from 10 to 5 changes little.
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_cluster::domain;
 use np_topology::{InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
@@ -19,6 +19,7 @@ fn main() {
         "intra-domain ~10x smaller; predicted tracks measured for inter-domain",
         &args,
     );
+    let report = Report::start(&args);
     let params = if args.quick {
         WorldParams::quick_scale()
     } else {
@@ -62,4 +63,5 @@ fn main() {
     if args.csv {
         println!("{}", t.to_csv());
     }
+    report.footer();
 }

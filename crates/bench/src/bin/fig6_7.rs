@@ -11,7 +11,7 @@
 //! * Fig 7 — hub-to-peer latency distributions of the 5 largest pruned
 //!   clusters (paper sizes: 235/139/113/79/73).
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_cluster::azureus;
 use np_cluster::AzureusStudy;
 use np_probe::vantage::render_table1;
@@ -26,6 +26,7 @@ fn main() {
         "non-negligible fraction of peers in large similar-latency clusters",
         &args,
     );
+    let report = Report::start(&args);
     println!("Table 1 vantage points:\n{}", render_table1());
     let params = if args.quick {
         WorldParams::quick_scale()
@@ -97,4 +98,5 @@ fn main() {
         println!("{}", t6.to_csv());
         println!("{}", t7.to_csv());
     }
+    report.footer();
 }

@@ -8,8 +8,8 @@
 //!   clustering condition causes;
 //! * P(correct cluster): increases monotonically towards ≈1.
 
-use np_bench::{band, header, Args};
-use np_core::{run_queries, sweep_three_runs, ClusterScenario};
+use np_bench::{band, header, Args, Report};
+use np_core::{run_queries_threads, sweep_three_runs_threads, ClusterScenario};
 use np_meridian::{BuildMode, MeridianConfig, Overlay};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::Table;
@@ -21,6 +21,8 @@ fn main() {
         "closest-peer curve peaks near x=25 then collapses; cluster curve rises to ~1",
         &args,
     );
+    let report = Report::start(&args);
+    let threads = args.threads();
     let xs: &[usize] = &[5, 25, 50, 125, 250];
     let n_queries = if args.quick { 400 } else { 5_000 };
     let mut table = Table::new(&[
@@ -33,7 +35,7 @@ fn main() {
     let mut closest_pts = Vec::new();
     let mut cluster_pts = Vec::new();
     for &x in xs {
-        let bands = sweep_three_runs(args.seed.wrapping_add(x as u64), |seed| {
+        let bands = sweep_three_runs_threads(args.seed.wrapping_add(x as u64), threads, |seed| {
             let scenario = ClusterScenario::paper(x, 0.2, seed);
             let overlay = Overlay::build(
                 &scenario.matrix,
@@ -42,7 +44,7 @@ fn main() {
                 BuildMode::Omniscient,
                 seed,
             );
-            run_queries(&overlay, &scenario, n_queries, seed)
+            run_queries_threads(&overlay, &scenario, n_queries, seed, threads)
         });
         table.row(&[
             x.to_string(),
@@ -69,4 +71,5 @@ fn main() {
     if args.csv {
         println!("{}", table.to_csv());
     }
+    report.footer();
 }

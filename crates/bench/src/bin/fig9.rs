@@ -8,8 +8,8 @@
 //!   to ≈2 ms — Meridian preferentially returns peers near the
 //!   cluster-hub, the load-concentration effect the paper discusses.
 
-use np_bench::{band, header, Args};
-use np_core::{run_queries, sweep_three_runs, ClusterScenario};
+use np_bench::{band, header, Args, Report};
+use np_core::{run_queries_threads, sweep_three_runs_threads, ClusterScenario};
 use np_meridian::{BuildMode, MeridianConfig, Overlay};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::Table;
@@ -21,6 +21,8 @@ fn main() {
         "accuracy rises ~0.08 -> ~0.4 with delta; hub latency of found peers falls ~5 -> ~2 ms",
         &args,
     );
+    let report = Report::start(&args);
+    let threads = args.threads();
     let deltas: &[f64] = &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let n_queries = if args.quick { 400 } else { 5_000 };
     let mut table = Table::new(&[
@@ -32,8 +34,9 @@ fn main() {
     let mut acc_pts = Vec::new();
     let mut hub_pts = Vec::new();
     for &delta in deltas {
-        let bands = sweep_three_runs(
+        let bands = sweep_three_runs_threads(
             args.seed.wrapping_add((delta * 1000.0) as u64),
+            threads,
             |seed| {
                 let scenario = ClusterScenario::paper(125, delta, seed);
                 let overlay = Overlay::build(
@@ -43,7 +46,7 @@ fn main() {
                     BuildMode::Omniscient,
                     seed,
                 );
-                run_queries(&overlay, &scenario, n_queries, seed)
+                run_queries_threads(&overlay, &scenario, n_queries, seed, threads)
             },
         );
         table.row(&[
@@ -81,4 +84,5 @@ fn main() {
     if args.csv {
         println!("{}", table.to_csv());
     }
+    report.footer();
 }

@@ -10,7 +10,7 @@
 //! `--chord` backs the registry with the real Chord ring instead of the
 //! perfect map and reports the lookup-hop cost.
 
-use np_bench::{header, Args};
+use np_bench::{Args, header, Report};
 use np_dht::{ChordMap, PerfectMap};
 use np_remedies::ucl::discovery_study;
 use np_topology::{HostId, InternetModel, WorldParams};
@@ -24,6 +24,7 @@ fn main() {
         "~50% success at 3 tracked routers, ~75% at 6 (5 ms targets)",
         &args,
     );
+    let report = Report::start(&args);
     let params = if args.quick {
         WorldParams::quick_scale()
     } else {
@@ -70,4 +71,5 @@ fn main() {
     if args.csv {
         println!("{}", t.to_csv());
     }
+    report.footer();
 }

@@ -8,13 +8,20 @@
 //!
 //! * `--quick` — a scaled-down run for smoke checks (CI-sized),
 //! * `--seed N` — override the base seed (default [`np_util::rng::DEFAULT_SEED`]),
+//! * `--threads N` — worker threads for the parallel experiment engine
+//!   (default: `$NP_THREADS`, else all cores; results are identical at
+//!   any value — see `np_util::parallel`),
 //! * `--csv` — additionally emit the series as CSV to stdout.
 //!
 //! Binaries print (a) the experiment header with the paper's expected
 //! shape, (b) the regenerated series as an aligned table, (c) an ASCII
-//! chart of the shape, so EXPERIMENTS.md can quote them directly.
+//! chart of the shape, and (d) a [`Report`] footer with wall-clock time
+//! and the *measured* effective parallelism, so EXPERIMENTS.md can
+//! quote them directly.
 
+use np_util::parallel::{busy_time, resolve_threads};
 use np_util::rng::DEFAULT_SEED;
+use std::time::{Duration, Instant};
 
 /// Parsed common CLI arguments.
 #[derive(Debug, Clone)]
@@ -22,12 +29,16 @@ pub struct Args {
     pub quick: bool,
     pub seed: u64,
     pub csv: bool,
+    /// Explicit `--threads N`, if given. Use [`Args::threads`] for the
+    /// resolved count.
+    pub threads: Option<usize>,
     /// Leftover positional/unknown flags for binary-specific handling.
     pub rest: Vec<String>,
 }
 
 impl Args {
-    /// Parse from `std::env::args()`, panicking on malformed `--seed`.
+    /// Parse from `std::env::args()`, panicking on malformed `--seed`
+    /// or `--threads`.
     pub fn parse() -> Args {
         Self::from_iter(std::env::args().skip(1))
     }
@@ -38,6 +49,7 @@ impl Args {
             quick: false,
             seed: DEFAULT_SEED,
             csv: false,
+            threads: None,
             rest: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -49,10 +61,21 @@ impl Args {
                     let v = it.next().expect("--seed requires a value");
                     out.seed = v.parse().expect("--seed must be a u64");
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads requires a value");
+                    let n: usize = v.parse().expect("--threads must be a positive integer");
+                    assert!(n >= 1, "--threads must be at least 1");
+                    out.threads = Some(n);
+                }
                 _ => out.rest.push(a),
             }
         }
         out
+    }
+
+    /// The worker-thread count: `--threads` > `$NP_THREADS` > all cores.
+    pub fn threads(&self) -> usize {
+        resolve_threads(self.threads)
     }
 }
 
@@ -61,9 +84,10 @@ pub fn header(figure: &str, paper_shape: &str, args: &Args) {
     println!("=== {figure} ===");
     println!("paper shape: {paper_shape}");
     println!(
-        "mode: {}, base seed: {:#x}",
+        "mode: {}, base seed: {:#x}, threads: {}",
         if args.quick { "quick" } else { "paper-scale" },
-        args.seed
+        args.seed,
+        args.threads(),
     );
     println!();
 }
@@ -73,6 +97,72 @@ pub fn band(b: np_util::stats::RunBand) -> String {
     format!("{:.3} [{:.3}, {:.3}]", b.median, b.min, b.max)
 }
 
+/// Wall-clock + effective-parallelism accounting for a figure run.
+///
+/// Start one right after [`header`]; [`Report::footer`] prints elapsed
+/// wall-clock and the measured *effective parallelism* — the ratio of
+/// busy time accumulated inside the parallel engine to wall-clock
+/// time. Busy time is workers' in-loop wall time, so when threads do
+/// not exceed free cores the ratio is the speedup over a 1-thread
+/// run; on an oversubscribed machine it reads as the concurrency
+/// level instead (descheduled workers still accumulate busy time).
+pub struct Report {
+    wall_start: Instant,
+    busy_start: Duration,
+    threads: usize,
+}
+
+impl Report {
+    /// Begin timing a figure run.
+    pub fn start(args: &Args) -> Report {
+        Report {
+            wall_start: Instant::now(),
+            busy_start: busy_time(),
+            threads: args.threads(),
+        }
+    }
+
+    /// Elapsed wall-clock since [`Report::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.wall_start.elapsed()
+    }
+
+    /// The footer line: `wall-clock 12.3s · parallel busy 44.1s ·
+    /// effective parallelism 3.6x on 4 threads`.
+    pub fn footer_line(&self) -> String {
+        let wall = self.elapsed();
+        let busy = busy_time().saturating_sub(self.busy_start);
+        let threads = match self.threads {
+            1 => "1 thread".to_string(),
+            n => format!("{n} threads"),
+        };
+        if busy.is_zero() {
+            // Measurement-pipeline figures with no parallel regions.
+            return format!(
+                "wall-clock {:.2}s on {threads} (serial pipeline)",
+                wall.as_secs_f64()
+            );
+        }
+        let speedup = if wall.as_secs_f64() > 0.0 {
+            busy.as_secs_f64() / wall.as_secs_f64()
+        } else {
+            1.0
+        };
+        format!(
+            "wall-clock {:.2}s · parallel busy {:.2}s · effective parallelism {:.2}x on {threads}",
+            wall.as_secs_f64(),
+            busy.as_secs_f64(),
+            speedup,
+        )
+    }
+
+    /// Print the footer to stdout.
+    pub fn footer(&self) {
+        println!();
+        println!("{}", self.footer_line());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,12 +170,14 @@ mod tests {
     #[test]
     fn parse_flags() {
         let a = Args::from_iter(
-            ["--quick", "--seed", "42", "--csv", "extra"]
+            ["--quick", "--seed", "42", "--csv", "--threads", "3", "extra"]
                 .iter()
                 .map(|s| s.to_string()),
         );
         assert!(a.quick && a.csv);
         assert_eq!(a.seed, 42);
+        assert_eq!(a.threads, Some(3));
+        assert_eq!(a.threads(), 3);
         assert_eq!(a.rest, vec!["extra".to_string()]);
     }
 
@@ -94,6 +186,8 @@ mod tests {
         let a = Args::from_iter(std::iter::empty());
         assert!(!a.quick && !a.csv);
         assert_eq!(a.seed, DEFAULT_SEED);
+        assert_eq!(a.threads, None);
+        assert!(a.threads() >= 1);
         assert!(a.rest.is_empty());
     }
 
@@ -101,5 +195,20 @@ mod tests {
     #[should_panic(expected = "--seed requires a value")]
     fn seed_needs_value() {
         Args::from_iter(["--seed".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be at least 1")]
+    fn zero_threads_rejected() {
+        Args::from_iter(["--threads".to_string(), "0".to_string()]);
+    }
+
+    #[test]
+    fn report_footer_mentions_threads() {
+        let a = Args::from_iter(["--threads".to_string(), "2".to_string()]);
+        let r = Report::start(&a);
+        let line = r.footer_line();
+        assert!(line.contains("on 2 threads"), "{line}");
+        assert!(line.contains("wall-clock"), "{line}");
     }
 }

@@ -1,0 +1,341 @@
+//! Vendored mini `criterion`: wall-clock micro-benchmarking without the
+//! statistics stack.
+//!
+//! Each benchmark warms up for `warm_up_time`, then collects
+//! `sample_size` samples; a sample times a batch of iterations sized so
+//! one batch lasts roughly `measurement_time / sample_size`. Reported
+//! per-iteration numbers are the mean / median / min over samples.
+//!
+//! Results print to stdout and are appended to a JSON report (path from
+//! `$CRITERION_JSON`, default `BENCH_parallel.json`) so CI and the repo
+//! can record speedups. A CLI filter argument (as in
+//! `cargo bench -- matrix`) restricts which benchmarks run, matching by
+//! substring exactly like the real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The mini harness
+/// times setup outside the measured region for every variant, so the
+/// hint only exists for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One benchmark's collected timing, per iteration, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver. Construct with [`Criterion::default`], adjust
+/// with the builder methods, then register benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Respect `cargo bench -- <filter>`; ignore harness flags the
+        // real criterion defines (--bench is passed by cargo itself).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark closure (skipped unless it matches the CLI
+    /// filter, when one was given).
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.sample_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        assert!(!sorted.is_empty(), "benchmark {name} produced no samples");
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            mean_ns: mean,
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        };
+        println!(
+            "{name:<44} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters)",
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All results collected so far (used by `criterion_main!`).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Append results to the JSON report file. Merges with an existing
+    /// report by benchmark name, so successive filtered runs accumulate.
+    pub fn write_json_report(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = std::env::var("CRITERION_JSON").unwrap_or_else(|_| {
+            // `cargo bench` sets CWD to the *package* dir; put the
+            // report at the workspace root (the outermost ancestor
+            // holding a Cargo.lock) so it lands in one canonical place.
+            let mut root = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            for anc in root.clone().ancestors() {
+                if anc.join("Cargo.lock").exists() {
+                    root = anc.to_path_buf();
+                }
+            }
+            root.join("BENCH_parallel.json").to_string_lossy().into_owned()
+        });
+        let mut entries: Vec<(String, String)> = Vec::new();
+        if let Ok(old) = std::fs::read_to_string(&path) {
+            for line in old.lines() {
+                let t = line.trim().trim_end_matches(',');
+                if let Some(name) = t.split('"').nth(1) {
+                    if t.contains("mean_ns") {
+                        entries.push((name.to_string(), t.to_string()));
+                    }
+                }
+            }
+        }
+        for r in &self.results {
+            let line = format!(
+                "\"{}\": {{\"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                r.name, r.mean_ns, r.median_ns, r.min_ns, r.samples, r.iters_per_sample
+            );
+            if let Some(e) = entries.iter_mut().find(|(n, _)| n == &r.name) {
+                e.1 = line;
+            } else {
+                entries.push((r.name.clone(), line));
+            }
+        }
+        let body: Vec<String> = entries.iter().map(|(_, l)| format!("  {l}")).collect();
+        let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("benchmark report written to {path}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, also yielding a per-iteration estimate for batching.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / est_ns).round() as u64).max(1);
+        self.iters_per_sample = batch;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.sample_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        let mut est = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            est += t.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (est.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / est_ns).round() as u64).max(1);
+        self.iters_per_sample = batch;
+        for _ in 0..self.sample_size {
+            let mut measured = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                measured += t.elapsed();
+            }
+            self.sample_ns
+                .push(measured.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// `criterion_group! { name = benches; config = ...; targets = a, b }`
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.write_json_report();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!(benches);` — generates `fn main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            filter: None,
+            ..Criterion::default()
+        }
+        .sample_size(3)
+        .measurement_time(Duration::from_millis(30))
+        .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = fast_criterion();
+        c.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.samples, 3);
+        assert!(r.min_ns <= r.median_ns && r.min_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = fast_criterion();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.results().len(), 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = fast_criterion();
+        c.filter = Some("zzz".into());
+        c.bench_function("abc", |b| b.iter(|| 1));
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Size specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait SizeSpec {
+    fn draw(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeSpec for usize {
+    fn draw(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeSpec for Range<usize> {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty vec size range");
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of `element`-generated values.
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `vec(strategy, 36)` or `vec(strategy, 1..40)`.
+pub fn vec<S: Strategy, Z: SizeSpec>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,26 @@
+//! Full-range numeric strategies (`proptest::num::u64::ANY`, ...).
+
+macro_rules! any_mod {
+    ($($mod_name:ident : $t:ty),+ $(,)?) => {$(
+        pub mod $mod_name {
+            use crate::Strategy;
+            use rand::rngs::StdRng;
+            use rand::Rng;
+
+            /// Strategy over the type's entire value range.
+            #[derive(Clone, Copy, Debug)]
+            pub struct Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+
+            pub const ANY: Any = Any;
+        }
+    )+};
+}
+
+any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64);

@@ -1,0 +1,183 @@
+//! Vendored stand-in for the parts of `rand` 0.8 this workspace uses.
+//!
+//! The experiment harness needs exactly four things from a randomness
+//! crate:
+//!
+//! * a seedable, statistically strong generator ([`rngs::StdRng`],
+//!   implemented as ChaCha12 — the same core the real `rand` uses),
+//! * uniform typed draws ([`Rng::gen`]),
+//! * uniform range draws ([`Rng::gen_range`], Lemire rejection sampling
+//!   for integers so there is no modulo bias),
+//! * slice helpers ([`seq::SliceRandom::choose`] /
+//!   [`seq::SliceRandom::shuffle`], Fisher–Yates).
+//!
+//! Everything is implemented here, dependency-free. Because this crate
+//! is vendored *inside* the repository, the byte streams it produces are
+//! frozen: no upstream release can ever silently change an experiment's
+//! random schedule. That property is load-bearing for the parallel
+//! runner's determinism contract (see `np-util::parallel`).
+
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform, StandardSample};
+
+/// Low-level generator interface: a source of uniform 32/64-bit words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level draws, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw of `T`: full range for integers, `[0, 1)` for
+    /// floats.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a fixed-width seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (32 bytes for [`rngs::StdRng`]).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanded to the full seed width with
+    /// SplitMix64 (one independent output word per 8 seed bytes).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x), "out of unit interval: {x}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_all() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = r.gen_range(0..10usize);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some values never drawn: {seen:?}");
+        for _ in 0..1_000 {
+            let x = r.gen_range(3..=5u32);
+            assert!((3..=5).contains(&x));
+        }
+        for _ in 0..1_000 {
+            let x = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        // Modulo-bias smoke test: 3 buckets over a range that does not
+        // divide 2^64.
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.gen_range(0..3usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Slice helpers: random element choice and Fisher–Yates shuffling.
+
+use crate::Rng;
+
+/// Random-access helpers on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffle in place (Fisher–Yates, `len - 1` range draws).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// `amount` distinct elements in selection order (partial
+    /// Fisher–Yates over an index table). Fewer if the slice is short.
+    fn choose_multiple<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        let amount = amount.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..amount].iter().map(|&i| &self[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut r = StdRng::seed_from_u64(1);
+        let v: [u32; 0] = [];
+        assert_eq!(v.choose(&mut r), None);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct() {
+        let mut r = StdRng::seed_from_u64(3);
+        let v: Vec<u32> = (0..50).collect();
+        let picked = v.choose_multiple(&mut r, 10);
+        assert_eq!(picked.len(), 10);
+        let mut vals: Vec<u32> = picked.into_iter().copied().collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 10, "duplicates in choose_multiple");
+        assert_eq!(v.choose_multiple(&mut r, 99).len(), 50);
+    }
+
+    #[test]
+    fn choose_is_uniform_ish() {
+        let mut r = StdRng::seed_from_u64(4);
+        let v = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[*v.choose(&mut r).expect("non-empty")] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Typed uniform sampling: full-width draws, and range draws without
+//! modulo bias (Lemire's multiply-shift rejection method).
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Types drawable by [`Rng::gen`]: full range for integers, `[0, 1)`
+/// for floats, fair coin for `bool`.
+pub trait StandardSample: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl StandardSample for u128 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa precision.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of mantissa precision.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types supporting biased-free uniform draws over a sub-range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw in `[lo, hi)`. Caller guarantees `lo < hi`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw in `[lo, hi]`. Caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Lemire multiply-shift: uniform in `[0, range)` for `range >= 1`,
+/// rejection-sampled so every value is exactly equally likely.
+#[inline]
+fn lemire_u64<R: Rng + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range >= 1);
+    // Threshold below which the low half of x*range is non-uniform.
+    let threshold = range.wrapping_neg() % range;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (range as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                lo + lemire_u64(rng, (hi - lo) as u64) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t; // full 64-bit range
+                }
+                lo + lemire_u64(rng, width + 1) as $t
+            }
+        }
+    )+};
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty as $u:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let width = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(lemire_u64(rng, width) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let width = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(lemire_u64(rng, width + 1) as $t)
+            }
+        }
+    )+};
+}
+
+uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+macro_rules! uniform_float {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let u: $t = StandardSample::sample_standard(rng); // [0, 1)
+                let v = lo + (hi - lo) * u;
+                // Guard the (rounding-only) case v == hi so the
+                // half-open contract holds exactly.
+                if v < hi { v } else { lo }
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let u: $t = StandardSample::sample_standard(rng);
+                (lo + (hi - lo) * u).min(hi)
+            }
+        }
+    )+};
+}
+
+uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on empty inclusive range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            match r.gen_range(0..=3u8) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            let x = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_half_open_excludes_hi() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(1.0..2.0f64);
+            assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = r.gen_range(5..5u32);
+    }
+}

@@ -13,7 +13,10 @@ use np_util::Micros;
 use rand::rngs::StdRng;
 
 /// A provider of topology hints: "peers likely to be very close to X".
-pub trait HintSource {
+///
+/// `Sync` because a [`Hybrid`] is a [`NearestPeerAlgo`], and the batch
+/// runner shares algorithms across query worker threads.
+pub trait HintSource: Sync {
     /// Candidate peers for `target`, cheapest-first if the source can
     /// rank them (the UCL registry ranks by estimated latency).
     fn candidates(&self, target: PeerId) -> Vec<PeerId>;

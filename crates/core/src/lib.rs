@@ -8,11 +8,12 @@
 //!   [`np_topology::ClusterWorld`], its latency matrix, a ~2,400-member
 //!   overlay and ~100 held-out targets,
 //! * [`runner`] — drives `n` queries of any
-//!   [`np_metric::NearestPeerAlgo`] over a scenario and aggregates the
+//!   [`np_metric::NearestPeerAlgo`] over a scenario as a batch-parallel
+//!   map-reduce (deterministic at any thread count) and aggregates the
 //!   paper's metrics: P(correct closest peer), P(correct cluster), the
 //!   hub latency of wrongly-found peers (Figure 9's second axis), and
-//!   probe/hop costs; plus the three-run median/min/max sweep the
-//!   paper's error bars use, parallelised with crossbeam,
+//!   probe/hop costs; plus the parallel multi-seed median/min/max
+//!   sweeps the paper's error bars use,
 //! * [`hybrid`] — the paper's closing recommendation: use a §5 hint
 //!   registry (UCL/prefix) first and fall back to a latency-only
 //!   algorithm when the registry has no close candidate (wired to the
@@ -26,5 +27,8 @@ pub mod hybrid;
 pub mod runner;
 pub mod scenario;
 
-pub use runner::{run_queries, sweep_three_runs, PaperMetrics, RunBandMetrics};
+pub use runner::{
+    run_queries, run_queries_threads, sweep_runs, sweep_runs_threads, sweep_three_runs,
+    sweep_three_runs_threads, PaperMetrics, RunBandMetrics,
+};
 pub use scenario::ClusterScenario;

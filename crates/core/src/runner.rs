@@ -1,10 +1,37 @@
 //! The experiment runner: queries → paper metrics → multi-run bands.
+//!
+//! Restructured as a batch-parallel map-reduce (the paper's §4
+//! experiments are embarrassingly parallel):
+//!
+//! 1. the **target schedule** — which target each query hits — is drawn
+//!    up front from a dedicated master RNG stream, so the schedule is a
+//!    pure function of the seed (note: *not* the same sequence the old
+//!    interleaved serial loop produced — there the algorithm's own
+//!    draws advanced the shared stream between target choices);
+//! 2. each query runs with its own RNG derived from
+//!    `(seed, query index)` via [`np_util::parallel::item_seed`], so no
+//!    query observes another's draws;
+//! 3. per-query records are reduced **in query order**, so float
+//!    accumulation never depends on scheduling.
+//!
+//! Together these give the engine's determinism contract: same seed ⇒
+//! bit-identical [`PaperMetrics`] at any thread count (covered by
+//! `tests/parallel_determinism.rs`).
 
 use crate::scenario::ClusterScenario;
-use np_metric::{NearestPeerAlgo, Target};
-use np_util::rng::{rng_for, sub_seed, three_runs};
+use np_metric::{NearestPeerAlgo, PeerId, Target};
+use np_util::parallel::{item_seed, par_map, resolve_threads};
+use np_util::rng::{rng_for, rng_from, sub_seed, three_runs};
 use np_util::stats::{median_micros, RunBand};
+use np_util::Micros;
 use rand::seq::SliceRandom;
+
+/// Seed tag of the master RNG drawing the target schedule. The
+/// schedule depends only on `(seed, this tag, n_queries)` — never on
+/// the algorithm under test or the thread count.
+const RUN_TAG: u64 = 0x52_554E; // "RUN"
+/// Seed tag for per-query RNG streams (start-peer choice, tie breaks).
+const QUERY_TAG: u64 = 0x51_5259; // "QRY"
 
 /// The metrics the paper reports for a batch of queries (Figures 8, 9).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,44 +56,94 @@ pub struct PaperMetrics {
     pub queries: usize,
 }
 
+/// What one query contributes to the reduction. Kept tiny so the
+/// parallel map's per-item traffic is a few words.
+struct QueryRecord {
+    exact: bool,
+    cluster_hit: bool,
+    same_en: bool,
+    /// Hub latency of the found peer when the query was wrong.
+    wrong_hub_lat: Option<Micros>,
+    probes: u64,
+    hops: u32,
+}
+
 /// Run `n_queries` queries of `algo` against random targets of the
-/// scenario (targets are reused, as in the paper).
+/// scenario (targets are reused, as in the paper), on the ambient
+/// thread count ([`resolve_threads`] with no explicit override — i.e.
+/// `$NP_THREADS` or all cores).
+///
+/// Results are independent of the thread count; see the module docs.
 pub fn run_queries(
     algo: &dyn NearestPeerAlgo,
     scenario: &ClusterScenario,
     n_queries: usize,
     seed: u64,
 ) -> PaperMetrics {
+    run_queries_threads(algo, scenario, n_queries, seed, resolve_threads(None))
+}
+
+/// [`run_queries`] with an explicit worker count.
+pub fn run_queries_threads(
+    algo: &dyn NearestPeerAlgo,
+    scenario: &ClusterScenario,
+    n_queries: usize,
+    seed: u64,
+    threads: usize,
+) -> PaperMetrics {
     assert!(!scenario.targets.is_empty(), "no targets");
-    let mut rng = rng_for(seed, 0x52_554E); // "RUN"
+    // Phase 1: the target schedule, from its own master stream.
+    // Drawing it up front (rather than inside the query loop) is what
+    // frees every query to own an independent RNG stream.
+    let mut master = rng_for(seed, RUN_TAG);
+    let schedule: Vec<PeerId> = (0..n_queries)
+        .map(|_| *scenario.targets.choose(&mut master).expect("non-empty"))
+        .collect();
+    // Phase 2: ground truth for all targets — computed in parallel on
+    // first use, then shared by every batch over this scenario.
+    let truth = scenario.nearest_cache(threads);
+    // Phase 3: the queries themselves — the hot loop.
+    let records = par_map(threads, &schedule, |idx, &t| {
+        let mut rng = rng_from(item_seed(seed, QUERY_TAG, idx as u64));
+        let target = Target::new(t, &scenario.matrix);
+        let out = algo.find_nearest(&target, &mut rng);
+        let nearest = truth.nearest(t).expect("target is cached");
+        // "Correct" = found the true closest member, or at least a member
+        // at exactly the true-closest RTT (equidistant ties are as good).
+        let exact = out.found == nearest
+            || scenario.matrix.rtt(out.found, t) == scenario.matrix.rtt(nearest, t);
+        QueryRecord {
+            exact,
+            cluster_hit: scenario.world.same_cluster(out.found, t),
+            same_en: scenario.world.same_en(out.found, t),
+            wrong_hub_lat: (!exact).then(|| scenario.world.hub_latency(out.found)),
+            probes: out.probes,
+            hops: out.hops,
+        }
+    });
+    // Phase 4: ordered associative reduction (counts and integer sums
+    // commute; the median's input vector is in query order).
     let mut correct = 0usize;
     let mut cluster_hits = 0usize;
     let mut same_en = 0usize;
     let mut wrong_hub_lat = Vec::new();
     let mut probes = 0u64;
     let mut hops = 0u64;
-    for _ in 0..n_queries {
-        let &t = scenario.targets.choose(&mut rng).expect("non-empty");
-        let target = Target::new(t, &scenario.matrix);
-        let out = algo.find_nearest(&target, &mut rng);
-        let truth = scenario.true_nearest(t);
-        // "Correct" = found the true closest member, or at least a member
-        // at exactly the true-closest RTT (equidistant ties are as good).
-        let exact = out.found == truth
-            || scenario.matrix.rtt(out.found, t) == scenario.matrix.rtt(truth, t);
-        if exact {
+    for r in &records {
+        if r.exact {
             correct += 1;
-        } else {
-            wrong_hub_lat.push(scenario.world.hub_latency(out.found));
         }
-        if scenario.world.same_cluster(out.found, t) {
+        if let Some(lat) = r.wrong_hub_lat {
+            wrong_hub_lat.push(lat);
+        }
+        if r.cluster_hit {
             cluster_hits += 1;
         }
-        if scenario.world.same_en(out.found, t) {
+        if r.same_en {
             same_en += 1;
         }
-        probes += out.probes;
-        hops += u64::from(out.hops);
+        probes += r.probes;
+        hops += u64::from(r.hops);
     }
     let n = n_queries as f64;
     PaperMetrics {
@@ -109,28 +186,59 @@ impl RunBandMetrics {
     }
 }
 
-/// Run the paper's three-seed sweep for one configuration, in parallel
-/// (one thread per run). `build_and_run` maps a seed to that run's
-/// metrics; it builds its own world/overlay so the three runs use
-/// "different inter-peer latency datasets" exactly as the paper does.
+/// Run the paper's three-seed sweep for one configuration.
+/// `build_and_run` maps a seed to that run's metrics; it builds its own
+/// world/overlay so the runs use "different inter-peer latency
+/// datasets" exactly as the paper does. Runs execute in parallel (one
+/// worker per seed, up to the ambient thread count).
 pub fn sweep_three_runs(
     base_seed: u64,
     build_and_run: impl Fn(u64) -> PaperMetrics + Sync,
 ) -> RunBandMetrics {
-    let seeds = three_runs(base_seed);
-    let mut out: Vec<Option<PaperMetrics>> = vec![None; seeds.len()];
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, &seed) in seeds.iter().enumerate() {
-            let f = &build_and_run;
-            handles.push((i, s.spawn(move |_| f(sub_seed(seed, 0x52_4E)))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("run thread panicked"));
-        }
-    })
-    .expect("scope");
-    let runs: Vec<PaperMetrics> = out.into_iter().map(|m| m.expect("filled")).collect();
+    sweep_runs(&three_runs(base_seed), build_and_run)
+}
+
+/// [`sweep_three_runs`] with an explicit worker count for the
+/// outer per-seed parallelism (the figure binaries pass `--threads`
+/// here as well as to the inner query batches).
+pub fn sweep_three_runs_threads(
+    base_seed: u64,
+    threads: usize,
+    build_and_run: impl Fn(u64) -> PaperMetrics + Sync,
+) -> RunBandMetrics {
+    sweep_runs_threads(&three_runs(base_seed), threads, build_and_run)
+}
+
+/// Multi-seed sweep: one run per seed, in parallel, aggregated into
+/// median/min/max bands. Generalises [`sweep_three_runs`] to arbitrary
+/// seed sets (confidence bands tighten with more seeds; the paper used
+/// three).
+///
+/// Each run's seed is derived with the historical `0x52_4E` ("RN") tag,
+/// so a sweep over `three_runs(base)` reproduces the same per-run seeds
+/// the workspace has always used.
+pub fn sweep_runs(
+    seeds: &[u64],
+    build_and_run: impl Fn(u64) -> PaperMetrics + Sync,
+) -> RunBandMetrics {
+    sweep_runs_threads(seeds, resolve_threads(None), build_and_run)
+}
+
+/// [`sweep_runs`] with an explicit worker count. Note the worst-case
+/// concurrency when `build_and_run` itself calls
+/// [`run_queries_threads`] is `threads * threads` (outer runs × inner
+/// query workers); the engine tolerates that oversubscription — workers
+/// are compute-bound and the OS time-slices fairly — and determinism is
+/// unaffected.
+pub fn sweep_runs_threads(
+    seeds: &[u64],
+    threads: usize,
+    build_and_run: impl Fn(u64) -> PaperMetrics + Sync,
+) -> RunBandMetrics {
+    assert!(!seeds.is_empty(), "empty seed sweep");
+    let runs = par_map(threads.min(seeds.len()), seeds, |_, &seed| {
+        build_and_run(sub_seed(seed, 0x52_4E))
+    });
     RunBandMetrics::of(&runs)
 }
 
@@ -189,6 +297,16 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_metrics() {
+        let s = small_scenario(6);
+        let algo = RandomChoice::new(&s.matrix, s.overlay.clone());
+        let serial = run_queries_threads(&algo, &s, 150, 9, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, run_queries_threads(&algo, &s, 150, 9, threads));
+        }
+    }
+
+    #[test]
     fn three_run_sweep_bands() {
         let bands = sweep_three_runs(11, |seed| {
             let s = small_scenario(seed);
@@ -197,5 +315,18 @@ mod tests {
         });
         assert_eq!(bands.p_correct_closest.median, 1.0);
         assert!(bands.p_correct_closest.min <= bands.p_correct_closest.max);
+    }
+
+    #[test]
+    fn sweep_runs_matches_three_runs_on_same_seeds() {
+        let f = |seed: u64| {
+            let s = small_scenario(seed);
+            let algo = RandomChoice::new(&s.matrix, s.overlay.clone());
+            run_queries(&algo, &s, 30, seed)
+        };
+        let a = sweep_three_runs(21, f);
+        let b = sweep_runs(&three_runs(21), f);
+        assert_eq!(a.p_correct_closest, b.p_correct_closest);
+        assert_eq!(a.mean_probes, b.mean_probes);
     }
 }

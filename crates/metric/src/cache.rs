@@ -1,0 +1,110 @@
+//! Precomputed ground truth for batches of queries.
+//!
+//! The runner checks every query outcome against the true nearest
+//! overlay member of its target. Computing that truth is an O(overlay)
+//! scan — repeated for every one of thousands of queries over only
+//! ~100 distinct reused targets, it dominated the runner's profile.
+//! [`NearestCache`] hoists the scan out of the query loop: one parallel
+//! pass over the distinct targets up front, O(1) lookups afterwards.
+
+use crate::matrix::{LatencyMatrix, PeerId};
+use np_util::parallel::par_map;
+use std::collections::HashMap;
+
+/// Ground-truth `target → nearest member` map, built once per scenario.
+#[derive(Debug, Clone)]
+pub struct NearestCache {
+    nearest: HashMap<PeerId, PeerId>,
+}
+
+impl NearestCache {
+    /// Precompute the true nearest member (ties by lowest id, matching
+    /// [`LatencyMatrix::nearest_within`]) for every target, scanning
+    /// targets in parallel on `threads` workers.
+    ///
+    /// Each target's scan is independent and reads only the shared
+    /// matrix, so the result is identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `members` contains no peer other than some target
+    /// (a scenario with an empty overlay is a bug upstream).
+    pub fn build(
+        matrix: &LatencyMatrix,
+        members: &[PeerId],
+        targets: &[PeerId],
+        threads: usize,
+    ) -> NearestCache {
+        let pairs = par_map(threads, targets, |_, &t| {
+            let n = matrix
+                .nearest_within(t, members)
+                .expect("overlay has at least one non-target member");
+            (t, n)
+        });
+        NearestCache {
+            nearest: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The cached true nearest member of `target`; `None` if `target`
+    /// was not in the build set.
+    pub fn nearest(&self, target: PeerId) -> Option<PeerId> {
+        self.nearest.get(&target).copied()
+    }
+
+    /// Number of cached targets.
+    pub fn len(&self) -> usize {
+        self.nearest.len()
+    }
+
+    /// True iff no targets were cached.
+    pub fn is_empty(&self) -> bool {
+        self.nearest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::Micros;
+
+    fn line_matrix(n: usize) -> LatencyMatrix {
+        LatencyMatrix::build(n, |a, b| {
+            Micros::from_ms_u64((a.0 as i64 - b.0 as i64).unsigned_abs())
+        })
+    }
+
+    #[test]
+    fn cache_matches_direct_scan_at_any_thread_count() {
+        let m = line_matrix(64);
+        let members: Vec<PeerId> = (0..48).map(PeerId).collect();
+        let targets: Vec<PeerId> = (48..64).map(PeerId).collect();
+        let serial = NearestCache::build(&m, &members, &targets, 1);
+        for threads in [2, 8] {
+            let par = NearestCache::build(&m, &members, &targets, threads);
+            for &t in &targets {
+                assert_eq!(par.nearest(t), serial.nearest(t));
+                assert_eq!(par.nearest(t), m.nearest_within(t, &members));
+            }
+        }
+        assert_eq!(serial.len(), targets.len());
+    }
+
+    #[test]
+    fn unknown_target_is_none() {
+        let m = line_matrix(8);
+        let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let cache = NearestCache::build(&m, &members, &[PeerId(5)], 1);
+        assert_eq!(cache.nearest(PeerId(6)), None);
+        assert_eq!(cache.nearest(PeerId(5)), Some(PeerId(3)));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn empty_targets_build_empty_cache() {
+        let m = line_matrix(4);
+        let members: Vec<PeerId> = (0..4).map(PeerId).collect();
+        let cache = NearestCache::build(&m, &members, &[], 4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -20,12 +20,17 @@
 //! * [`nearest`] — the [`nearest::NearestPeerAlgo`] trait implemented by
 //!   Meridian, the coordinate schemes and every baseline, plus the
 //!   [`nearest::QueryOutcome`] accounting (probe and hop counts) that the
-//!   paper's cost arguments are about.
+//!   paper's cost arguments are about,
+//! * [`cache`] — precomputed ground-truth nearest-member answers
+//!   ([`cache::NearestCache`]), built in parallel once per scenario so
+//!   the batch query runner checks outcomes in O(1).
 
+pub mod cache;
 pub mod diagnostics;
 pub mod graph;
 pub mod matrix;
 pub mod nearest;
 
+pub use cache::NearestCache;
 pub use matrix::{LatencyMatrix, PeerId};
 pub use nearest::{NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};

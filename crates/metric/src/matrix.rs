@@ -7,6 +7,7 @@
 //! (2.5 k peers) that is 25 MB, well within laptop budgets, and O(1)
 //! access is what the query simulators need.
 
+use np_util::parallel::par_for_rows;
 use np_util::Micros;
 
 /// Index of a peer in a latency matrix / world.
@@ -49,6 +50,41 @@ impl LatencyMatrix {
                 let v = rtt(PeerId(i as u32), PeerId(j as u32)).as_us() as f32;
                 data[i * n + j] = v;
                 data[j * n + i] = v;
+            }
+        }
+        LatencyMatrix { n, data }
+    }
+
+    /// Parallel [`LatencyMatrix::build`]: row-blocked construction on
+    /// `threads` workers.
+    ///
+    /// Produces a matrix **bit-identical** to `build` with the same
+    /// `rtt` function: each worker claims whole rows and computes only
+    /// the strictly-upper entries of its rows (so no unordered pair is
+    /// ever computed twice, exactly like the serial constructor); the
+    /// lower triangle is then mirrored in one cache-friendly pass.
+    ///
+    /// Unlike `build`, the latency function must be pure (`Fn`, not
+    /// `FnMut`) and `Sync`: a stateful closure (say, one drawing from a
+    /// shared RNG) would make row values depend on scheduling order.
+    /// World generators satisfy this by materialising randomness up
+    /// front and closing over the finished world — see
+    /// `ClusterWorld::to_matrix`.
+    pub fn build_par(
+        n: usize,
+        threads: usize,
+        rtt: impl Fn(PeerId, PeerId) -> Micros + Sync,
+    ) -> LatencyMatrix {
+        let mut data = vec![0.0f32; n * n];
+        par_for_rows(threads, &mut data, n.max(1), |i, row| {
+            for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+                *cell = rtt(PeerId(i as u32), PeerId(j as u32)).as_us() as f32;
+            }
+        });
+        // Mirror the upper triangle; memory-bound, so serial is fine.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data[j * n + i] = data[i * n + j];
             }
         }
         LatencyMatrix { n, data }
@@ -212,6 +248,37 @@ mod tests {
             m.count_within(PeerId(0), &members, Micros::from_ms_u64(3)),
             2 // peers 1 and 2; peer 3 at exactly 3 ms is excluded
         );
+    }
+
+    #[test]
+    fn build_par_matches_build_exactly() {
+        // Non-trivial latency structure (not just |i-j|) so a row/column
+        // mix-up or double-computed pair would show.
+        let rtt = |a: PeerId, b: PeerId| {
+            Micros((a.0 as u64 * 7919 + b.0 as u64 * 104_729) % 50_000 + (a.0 ^ b.0) as u64)
+        };
+        // Symmetrise: the constructors call rtt once per unordered pair
+        // with a < b, so wrap to make the function order-insensitive.
+        let sym = |a: PeerId, b: PeerId| {
+            let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+            rtt(lo, hi)
+        };
+        for n in [0, 1, 2, 17, 64] {
+            let serial = LatencyMatrix::build(n, sym);
+            for threads in [1, 3, 8] {
+                let par = LatencyMatrix::build_par(n, threads, sym);
+                assert_eq!(par.n, serial.n);
+                assert_eq!(par.data, serial.data, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_par_is_valid_symmetric() {
+        let m = LatencyMatrix::build_par(23, 4, |a, b| {
+            Micros::from_ms_u64((a.0 as i64 - b.0 as i64).unsigned_abs())
+        });
+        m.validate().expect("valid");
     }
 
     #[test]

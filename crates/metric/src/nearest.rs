@@ -16,24 +16,32 @@
 use crate::matrix::{LatencyMatrix, PeerId};
 use np_util::Micros;
 use rand::rngs::StdRng;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts latency probes to a query target.
+///
+/// Atomic (rather than `Cell`) so a [`Target`] is `Sync` and the
+/// batch-parallel query runner can hold targets in shared state.
+/// `Relaxed` ordering is sufficient throughout: probe counting is pure
+/// commutative accumulation — no other memory access is ordered
+/// against a bump, and the total is only read after the query's
+/// threads are joined (the join itself provides the happens-before
+/// edge that makes the final count visible).
 #[derive(Debug, Default)]
 pub struct ProbeCounter {
-    count: Cell<u64>,
+    count: AtomicU64,
 }
 
 impl ProbeCounter {
     /// Record one probe.
     #[inline]
     pub fn bump(&self) {
-        self.count.set(self.count.get() + 1);
+        self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Probes recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 }
 
@@ -92,7 +100,11 @@ pub struct QueryOutcome {
 /// Implementations: Meridian (`np-meridian`), the Vivaldi/PIC greedy walk
 /// (`np-coords`), Karger–Ruhl, Tapestry, Tiers and Beaconing
 /// (`np-baselines`), and the remedy-augmented hybrid (`np-core`).
-pub trait NearestPeerAlgo {
+///
+/// `Sync` is a supertrait: the batch query runner shares one algorithm
+/// instance across worker threads, so per-query mutable state must live
+/// in the `rng` parameter or the [`Target`], never in `&self`.
+pub trait NearestPeerAlgo: Sync {
     /// Short name for tables ("meridian", "tiers", ...).
     fn name(&self) -> &str;
 

@@ -186,9 +186,19 @@ impl ClusterWorld {
     }
 
     /// Materialise the dense latency matrix (the object the Meridian
-    /// simulator consumes).
+    /// simulator consumes), on the ambient thread count
+    /// (`$NP_THREADS`, else all cores).
+    ///
+    /// `rtt` is a pure function of the generated world, so the parallel
+    /// row-blocked build is bit-identical to a serial one at any thread
+    /// count.
     pub fn to_matrix(&self) -> LatencyMatrix {
-        LatencyMatrix::build(self.len(), |a, b| self.rtt(a, b))
+        self.to_matrix_threads(np_util::parallel::resolve_threads(None))
+    }
+
+    /// [`ClusterWorld::to_matrix`] with an explicit worker count.
+    pub fn to_matrix_threads(&self, threads: usize) -> LatencyMatrix {
+        LatencyMatrix::build_par(self.len(), threads, |a, b| self.rtt(a, b))
     }
 
     /// The peer in the same end-network as `p` (its exact-closest peer),

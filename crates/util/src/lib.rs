@@ -18,6 +18,10 @@
 //!   of `rand` so the workspace keeps the minimal allowed dependency set,
 //! * [`stats`] — summary statistics and percentiles,
 //! * [`cdf`] — empirical CDFs (Figures 3 and 5 of the paper are CDFs),
+//! * [`parallel`] — the scoped-thread parallel engine and its
+//!   determinism contract (ordered [`parallel::par_map`], per-item
+//!   seeding via [`parallel::item_seed`], `--threads`/`NP_THREADS`
+//!   resolution) used by the matrix builders and the query runner,
 //! * [`binned`] — "binned scatter plots": per-bin percentile summaries as
 //!   used by Figures 4 and 10 of the paper,
 //! * [`ascii`] — terminal rendering of CDFs/series so the experiment
@@ -28,6 +32,7 @@ pub mod ascii;
 pub mod binned;
 pub mod cdf;
 pub mod dist;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,154 @@
+//! The parallel engine's determinism contract, end-to-end:
+//! same seed ⇒ **bit-identical** results at any thread count.
+//!
+//! Exact float equality is deliberate everywhere in this file. The
+//! engine promises more than statistical equivalence: the target
+//! schedule is pre-drawn from the master RNG, every query owns an
+//! index-derived RNG stream, and reduction runs in query order — so a
+//! 1-thread and an 8-thread run must agree to the last bit, and any
+//! regression (a reduction reordered, a seed derived from thread
+//! identity) shows up as a hard failure here.
+
+use nearest_peer::prelude::*;
+use np_core::{run_queries_threads, sweep_three_runs_threads, RunBandMetrics};
+use np_metric::nearest::BruteForce;
+use np_metric::NearestCache;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn scenario(seed: u64) -> ClusterScenario {
+    // Small enough for CI, big enough that an 8-thread run actually
+    // splits the work (96 peers, 16 targets).
+    ClusterScenario::build(
+        ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 12,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 6,
+        },
+        16,
+        seed,
+    )
+}
+
+fn assert_bands_identical(a: &RunBandMetrics, b: &RunBandMetrics) {
+    assert_eq!(a.p_correct_closest, b.p_correct_closest);
+    assert_eq!(a.p_correct_cluster, b.p_correct_cluster);
+    assert_eq!(
+        a.median_hub_latency_wrong_ms,
+        b.median_hub_latency_wrong_ms
+    );
+    assert_eq!(a.mean_probes, b.mean_probes);
+    assert_eq!(a.mean_hops, b.mean_hops);
+}
+
+/// Algorithm 1 (Meridian): the paper's main subject, exercising hops,
+/// probes, and the full metric set through the β-routing query path.
+#[test]
+fn meridian_metrics_identical_at_any_thread_count() {
+    let s = scenario(101);
+    let overlay = Overlay::build(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        101,
+    );
+    let serial = run_queries_threads(&overlay, &s, 200, 7, 1);
+    assert_eq!(serial.queries, 200);
+    for threads in THREAD_COUNTS {
+        let par = run_queries_threads(&overlay, &s, 200, 7, threads);
+        // PaperMetrics derives PartialEq over raw f64 fields — this is
+        // exact equality of every metric, not a tolerance check.
+        assert_eq!(serial, par, "meridian diverged at {threads} threads");
+    }
+}
+
+/// Algorithm 2 (brute force): deterministic probing of every member,
+/// heavy per-query work through the atomic ProbeCounter.
+#[test]
+fn brute_force_metrics_identical_at_any_thread_count() {
+    let s = scenario(202);
+    let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+    let serial = run_queries_threads(&algo, &s, 120, 11, 1);
+    assert_eq!(serial.p_correct_closest, 1.0, "brute force is exact");
+    for threads in THREAD_COUNTS {
+        let par = run_queries_threads(&algo, &s, 120, 11, threads);
+        assert_eq!(serial, par, "brute force diverged at {threads} threads");
+    }
+}
+
+/// The multi-seed sweep bands must also be thread-count invariant
+/// (outer per-seed parallelism composed with inner query parallelism).
+#[test]
+fn sweep_bands_identical_at_any_thread_count() {
+    let run_with = |threads: usize| {
+        sweep_three_runs_threads(33, threads, |seed| {
+            let s = scenario(seed);
+            let overlay = Overlay::build(
+                &s.matrix,
+                s.overlay.clone(),
+                MeridianConfig::default(),
+                BuildMode::Omniscient,
+                seed,
+            );
+            run_queries_threads(&overlay, &s, 60, seed, threads)
+        })
+    };
+    let serial = run_with(1);
+    for threads in [2, 4] {
+        assert_bands_identical(&serial, &run_with(threads));
+    }
+}
+
+/// Matrix construction: the parallel row-blocked build must reproduce
+/// the serial build bit-for-bit over a real generated world.
+#[test]
+fn world_matrix_identical_at_any_thread_count() {
+    let world = ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 3,
+            en_per_cluster: 10,
+            peers_per_en: 2,
+            delta: 0.3,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 5,
+        },
+        77,
+    );
+    let serial = world.to_matrix_threads(1);
+    serial.validate().expect("serial matrix valid");
+    for threads in THREAD_COUNTS {
+        let par = world.to_matrix_threads(threads);
+        par.validate().expect("parallel matrix valid");
+        assert_eq!(par.len(), serial.len());
+        for a in serial.peers() {
+            for b in serial.peers() {
+                assert_eq!(
+                    serial.rtt(a, b),
+                    par.rtt(a, b),
+                    "rtt({a}, {b}) diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The ground-truth cache must agree with direct scans regardless of
+/// how many workers precomputed it.
+#[test]
+fn nearest_cache_identical_at_any_thread_count() {
+    let s = scenario(303);
+    let serial = NearestCache::build(&s.matrix, &s.overlay, &s.targets, 1);
+    for threads in THREAD_COUNTS {
+        let par = NearestCache::build(&s.matrix, &s.overlay, &s.targets, threads);
+        for &t in &s.targets {
+            assert_eq!(par.nearest(t), serial.nearest(t));
+            assert_eq!(par.nearest(t), Some(s.true_nearest(t)));
+        }
+    }
+}
