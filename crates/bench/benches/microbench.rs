@@ -237,6 +237,69 @@ fn bench_run_queries_1000_par(c: &mut Criterion) {
     });
 }
 
+// --- nearest-scan kernel + sharded backend benches --------------------
+//
+// `nearest_scan_2500_kernel` vs `_naive` records the SIMD-friendly
+// chunks_exact kernel against the scalar lexicographic min it replaced,
+// on a paper-scale 2,500-member row. `sharded_build_10k` records the
+// block-compressed world build at 4x the dense wall.
+
+fn scan_fixture() -> (Vec<f32>, Vec<PeerId>) {
+    let mut rng = rng_from(8);
+    let n = 2_500usize;
+    // Whole-µs distances like real matrix rows, with duplicates so the
+    // tie-breaking path is exercised.
+    let dists: Vec<f32> = (0..n).map(|_| rng.gen_range(0u32..200_000) as f32).collect();
+    let members: Vec<PeerId> = (0..n as u32).map(PeerId).collect();
+    (dists, members)
+}
+
+fn bench_nearest_scan_kernel(c: &mut Criterion) {
+    let (dists, members) = scan_fixture();
+    c.bench_function("nearest_scan_2500_kernel", |b| {
+        b.iter(|| criterion::black_box(np_metric::scan::nearest_in(&dists, &members)))
+    });
+}
+
+fn bench_nearest_scan_naive(c: &mut Criterion) {
+    let (dists, members) = scan_fixture();
+    c.bench_function("nearest_scan_2500_naive", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                dists
+                    .iter()
+                    .zip(&members)
+                    .filter(|(d, _)| d.is_finite())
+                    .map(|(&d, &p)| (d, p))
+                    .min_by(|a, b| a.partial_cmp(b).expect("NaN-free"))
+                    .map(|(_, p)| p),
+            )
+        })
+    });
+}
+
+fn bench_sharded_build_10k(c: &mut Criterion) {
+    let w = ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 200,
+            en_per_cluster: 25,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 200,
+        },
+        7,
+    );
+    let threads = np_util::parallel::available_threads();
+    c.bench_function("sharded_build_10k", |b| {
+        b.iter(|| {
+            use np_metric::WorldStore;
+            criterion::black_box(w.to_sharded_threads(threads).len())
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -251,6 +314,8 @@ criterion_group! {
               bench_chord_lookup, bench_dijkstra_local, bench_vivaldi,
               bench_event_kernel, bench_hypervolume,
               bench_matrix_build_2500_serial, bench_matrix_build_2500_par,
-              bench_run_queries_1000_serial, bench_run_queries_1000_par
+              bench_run_queries_1000_serial, bench_run_queries_1000_par,
+              bench_nearest_scan_kernel, bench_nearest_scan_naive,
+              bench_sharded_build_10k
 }
 criterion_main!(benches);

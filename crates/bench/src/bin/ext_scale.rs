@@ -1,0 +1,191 @@
+//! **Extension — scale**: cluster worlds past the dense matrix's
+//! ~2.5 k-peer wall on the block-compressed sharded backend.
+//!
+//! Not a paper figure: the paper stops at "about 2500 peers" because
+//! its object is the dense inter-peer latency matrix (25 MB there,
+//! 40 GB at 100 k peers). This binary sweeps world sizes from the
+//! paper's scale up to 50 k peers on `ShardedWorld` — per-cluster dense
+//! blocks plus the generator's exact hub summary — and, at sizes where
+//! the dense matrix still fits, cross-checks that both backends produce
+//! **bit-identical** `PaperMetrics` for the same seed.
+//!
+//! Per size it reports the backend's memory footprint, build time, and
+//! the throughput of a query batch driven by the brute-force reference
+//! algorithm (the worst-cost probe pattern — every query touches every
+//! overlay member, so this is a stress test of the `rtt` hot path, and
+//! its accuracy doubles as a self-check: brute force must be exact).
+//!
+//! Extra flags on top of the standard set:
+//!
+//! * `--world dense|sharded` — backend for the sweep (default sharded;
+//!   dense refuses sizes whose matrix would not fit CI memory);
+//! * `--shards N` — override the cluster (= shard) count per world
+//!   (default: `peers / 50`, the paper's 25-end-network cluster shape);
+//! * `--max-rss-mb N` — fail if peak RSS exceeds the budget (the CI
+//!   smoke job pins the compressed backend's memory behaviour).
+
+use np_bench::{enforce_rss_budget, header, Args, Report, WorldBackend};
+use np_core::{run_queries_threads, ClusterScenario, PaperMetrics};
+use np_metric::nearest::BruteForce;
+use np_metric::WorldStore;
+use np_topology::ClusterWorldSpec;
+use np_util::table::Table;
+use np_util::Micros;
+use std::time::Instant;
+
+/// Dense is quadratic: past this size a single matrix outgrows the CI
+/// memory budget this binary is asserted under.
+const DENSE_LIMIT: usize = 12_000;
+
+/// Cross-check sharded-vs-dense only at paper scale: the point of the
+/// larger sizes is the memory ceiling, and materialising a dense
+/// 10k×10k cross-check matrix (400 MB) would dominate the peak-RSS
+/// number the CI job asserts on.
+const CROSS_CHECK_LIMIT: usize = 4_000;
+
+/// The cluster-world spec for `peers` total peers: the paper's shape
+/// (2 peers per end-network, 25 end-networks per cluster) unless
+/// `--shards` overrides the cluster count.
+fn spec_for(peers: usize, shards: Option<usize>) -> ClusterWorldSpec {
+    let clusters = shards.unwrap_or_else(|| (peers / 50).max(1));
+    let en_per_cluster = (peers / (clusters * 2)).max(1);
+    ClusterWorldSpec {
+        clusters,
+        en_per_cluster,
+        peers_per_en: 2,
+        delta: 0.2,
+        mean_hub_ms: (4.0, 6.0),
+        intra_en: Micros::from_us(100),
+        hub_pool: clusters.max(2),
+    }
+}
+
+struct SizeResult {
+    metrics: PaperMetrics,
+    backend_mb: f64,
+    build_s: f64,
+    query_s: f64,
+}
+
+fn run_size<W: WorldStore>(
+    scenario: &ClusterScenario<W>,
+    n_queries: usize,
+    seed: u64,
+    threads: usize,
+    build_s: f64,
+) -> SizeResult {
+    let algo = BruteForce::new(&scenario.matrix, scenario.overlay.clone());
+    let t = Instant::now();
+    let metrics = run_queries_threads(&algo, scenario, n_queries, seed, threads);
+    SizeResult {
+        metrics,
+        backend_mb: scenario.matrix.approx_bytes() as f64 / (1024.0 * 1024.0),
+        build_s,
+        query_s: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let backend = args.world.unwrap_or(WorldBackend::Sharded);
+    header(
+        "Extension — sharded worlds beyond the 2.5k-peer dense wall",
+        "memory stays tens of MB while peers grow 20x; dense and sharded metrics agree bit-for-bit at paper scale",
+        &args,
+    );
+    let report = Report::start(&args);
+    let threads = args.threads();
+    let sizes: Vec<usize> = if args.quick {
+        vec![2_500, 10_000]
+    } else {
+        vec![2_500, 10_000, 25_000, 50_000]
+    };
+    // Validate the sweep up front: a dense sweep silently drops the
+    // sizes whose matrix would not fit, rather than aborting mid-run
+    // and losing the completed rows.
+    let sizes: Vec<usize> = match backend {
+        WorldBackend::Sharded => sizes,
+        WorldBackend::Dense => {
+            let (fit, dropped): (Vec<usize>, Vec<usize>) =
+                sizes.into_iter().partition(|&p| p <= DENSE_LIMIT);
+            if !dropped.is_empty() {
+                eprintln!(
+                    "skipping {dropped:?} peers: a dense matrix past {DENSE_LIMIT} peers \
+                     does not fit the CI budget; use --world sharded"
+                );
+            }
+            assert!(!fit.is_empty(), "no sweep sizes fit the dense backend");
+            fit
+        }
+    };
+    let n_queries = if args.quick { 250 } else { 1_000 };
+    let batch_header = format!("{n_queries}-query s");
+    let mut table = Table::new(&[
+        "peers",
+        "shards",
+        "backend",
+        "store MB",
+        "build s",
+        &batch_header,
+        "queries/s",
+        "P(correct)",
+        "mean probes",
+    ]);
+    for &requested in &sizes {
+        let spec = spec_for(requested, args.shards);
+        let shards = spec.clusters;
+        // With a --shards override the spec rounds to whole clusters;
+        // report the world actually built, not the requested size.
+        let peers = spec.total_peers();
+        let seed = args.seed.wrapping_add(peers as u64);
+        let result = match backend {
+            WorldBackend::Sharded => {
+                let t = Instant::now();
+                let s = ClusterScenario::build_sharded_threads(spec, 100, seed, threads);
+                let build_s = t.elapsed().as_secs_f64();
+                let r = run_size(&s, n_queries, seed, threads, build_s);
+                // Cross-backend equivalence where dense still fits: the
+                // hub summary is exact on cluster worlds, so the whole
+                // metric set must agree bit-for-bit.
+                if peers <= CROSS_CHECK_LIMIT {
+                    let d = ClusterScenario::build(spec_for(requested, args.shards), 100, seed);
+                    let dense = run_size(&d, n_queries, seed, threads, 0.0);
+                    assert_eq!(
+                        r.metrics, dense.metrics,
+                        "sharded and dense backends diverged at {peers} peers"
+                    );
+                    eprintln!("{peers} peers: dense cross-check identical ✓");
+                }
+                r
+            }
+            WorldBackend::Dense => {
+                let t = Instant::now();
+                let s = ClusterScenario::build(spec, 100, seed);
+                let build_s = t.elapsed().as_secs_f64();
+                run_size(&s, n_queries, seed, threads, build_s)
+            }
+        };
+        assert_eq!(
+            result.metrics.p_correct_closest, 1.0,
+            "brute force must be exact at {peers} peers"
+        );
+        table.row(&[
+            peers.to_string(),
+            shards.to_string(),
+            backend.name().to_string(),
+            format!("{:.1}", result.backend_mb),
+            format!("{:.2}", result.build_s),
+            format!("{:.2}", result.query_s),
+            format!("{:.0}", n_queries as f64 / result.query_s.max(1e-9)),
+            format!("{:.3}", result.metrics.p_correct_closest),
+            format!("{:.0}", result.metrics.mean_probes),
+        ]);
+        eprintln!("{peers} peers done");
+    }
+    println!("{}", table.render());
+    if args.csv {
+        println!("{}", table.to_csv());
+    }
+    report.footer();
+    enforce_rss_budget(&args);
+}

@@ -23,6 +23,26 @@ use np_util::parallel::{busy_time, resolve_threads};
 use np_util::rng::DEFAULT_SEED;
 use std::time::{Duration, Instant};
 
+/// Which latency backend a binary should build its worlds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldBackend {
+    /// The dense `n×n` matrix — the paper's object, exact, quadratic.
+    Dense,
+    /// The block-compressed sharded store — per-cluster dense blocks
+    /// plus a hub summary; what scales past ~2.5 k peers.
+    Sharded,
+}
+
+impl WorldBackend {
+    /// Short name for tables and headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorldBackend::Dense => "dense",
+            WorldBackend::Sharded => "sharded",
+        }
+    }
+}
+
 /// Parsed common CLI arguments.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -32,6 +52,15 @@ pub struct Args {
     /// Explicit `--threads N`, if given. Use [`Args::threads`] for the
     /// resolved count.
     pub threads: Option<usize>,
+    /// `--world dense|sharded` — latency backend, if given (binaries
+    /// that support both default to their historical backend).
+    pub world: Option<WorldBackend>,
+    /// `--shards N` — shard-count override for sharded worlds (the
+    /// scale binaries derive cluster counts from it).
+    pub shards: Option<usize>,
+    /// `--max-rss-mb N` — fail the run if peak RSS exceeds this (CI
+    /// memory regression guard; needs `/proc`, i.e. Linux).
+    pub max_rss_mb: Option<u64>,
     /// Leftover positional/unknown flags for binary-specific handling.
     pub rest: Vec<String>,
 }
@@ -50,6 +79,9 @@ impl Args {
             seed: DEFAULT_SEED,
             csv: false,
             threads: None,
+            world: None,
+            shards: None,
+            max_rss_mb: None,
             rest: Vec::new(),
         };
         let mut it = args.into_iter();
@@ -67,6 +99,24 @@ impl Args {
                     assert!(n >= 1, "--threads must be at least 1");
                     out.threads = Some(n);
                 }
+                "--world" => {
+                    let v = it.next().expect("--world requires a value");
+                    out.world = Some(match v.as_str() {
+                        "dense" => WorldBackend::Dense,
+                        "sharded" => WorldBackend::Sharded,
+                        other => panic!("--world must be 'dense' or 'sharded', got {other:?}"),
+                    });
+                }
+                "--shards" => {
+                    let v = it.next().expect("--shards requires a value");
+                    let n: usize = v.parse().expect("--shards must be a positive integer");
+                    assert!(n >= 1, "--shards must be at least 1");
+                    out.shards = Some(n);
+                }
+                "--max-rss-mb" => {
+                    let v = it.next().expect("--max-rss-mb requires a value");
+                    out.max_rss_mb = Some(v.parse().expect("--max-rss-mb must be a u64"));
+                }
                 _ => out.rest.push(a),
             }
         }
@@ -76,6 +126,33 @@ impl Args {
     /// The worker-thread count: `--threads` > `$NP_THREADS` > all cores.
     pub fn threads(&self) -> usize {
         resolve_threads(self.threads)
+    }
+}
+
+/// Peak resident-set size of this process in MiB, from `VmHWM` in
+/// `/proc/self/status`. `None` where `/proc` is unavailable (non-Linux)
+/// — callers treat that as "cannot check", not as a failure.
+pub fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
+}
+
+/// Enforce `--max-rss-mb`: print the measured peak and exit non-zero
+/// when the budget is exceeded. No-op when the flag wasn't given; a
+/// warning when the platform cannot report RSS.
+pub fn enforce_rss_budget(args: &Args) {
+    let Some(budget) = args.max_rss_mb else { return };
+    match peak_rss_mb() {
+        Some(peak) => {
+            println!("peak RSS {peak} MiB (budget {budget} MiB)");
+            if peak > budget {
+                eprintln!("error: peak RSS {peak} MiB exceeds --max-rss-mb {budget}");
+                std::process::exit(1);
+            }
+        }
+        None => eprintln!("warning: --max-rss-mb given but /proc/self/status is unavailable"),
     }
 }
 
@@ -189,6 +266,39 @@ mod tests {
         assert_eq!(a.threads, None);
         assert!(a.threads() >= 1);
         assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn world_and_shards_flags() {
+        let a = Args::from_iter(
+            ["--world", "sharded", "--shards", "32", "--max-rss-mb", "1024"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.world, Some(WorldBackend::Sharded));
+        assert_eq!(a.shards, Some(32));
+        assert_eq!(a.max_rss_mb, Some(1024));
+        assert_eq!(WorldBackend::Dense.name(), "dense");
+        assert_eq!(WorldBackend::Sharded.name(), "sharded");
+        let d = Args::from_iter(std::iter::empty());
+        assert_eq!(d.world, None);
+        assert_eq!(d.shards, None);
+        assert_eq!(d.max_rss_mb, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--world must be")]
+    fn world_rejects_unknown_backend() {
+        Args::from_iter(["--world".to_string(), "cubic".to_string()]);
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        // On Linux this must parse; elsewhere None is acceptable.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let mb = peak_rss_mb().expect("VmHWM parses");
+            assert!(mb >= 1, "peak RSS of a running process is non-zero");
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! can record speedups. A CLI filter argument (as in
 //! `cargo bench -- matrix`) restricts which benchmarks run, matching by
 //! substring exactly like the real criterion.
+//!
+//! Before statistics, samples pass through **MAD-based outlier
+//! rejection** ([`reject_outliers_mad`]): CI runners get descheduled,
+//! and a single 10x sample would otherwise poison the committed mean in
+//! `BENCH_parallel.json`. Rejected counts are reported alongside the
+//! retained-sample statistics.
 
 use std::time::{Duration, Instant};
 
@@ -31,6 +37,8 @@ pub enum BatchSize {
 }
 
 /// One benchmark's collected timing, per iteration, in nanoseconds.
+/// Statistics are over the samples retained by MAD rejection;
+/// `rejected` counts the discards.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
     pub name: String,
@@ -38,7 +46,47 @@ pub struct BenchResult {
     pub median_ns: f64,
     pub min_ns: f64,
     pub samples: usize,
+    pub rejected: usize,
     pub iters_per_sample: u64,
+}
+
+/// Robust scale-factor turning a MAD into a normal-consistent sigma.
+const MAD_SIGMA: f64 = 1.4826;
+/// Rejection threshold in robust sigmas (the conventional 3σ fence,
+/// applied to the slow side only).
+const MAD_FENCE: f64 = 3.0;
+
+/// Split `samples` into (retained, rejected-count) by an **upper-only**
+/// median + 3·1.4826·MAD fence. Timing noise on shared runners is
+/// one-sided — preemption only ever makes a sample *slower* — so an
+/// unusually fast sample is real performance, not noise, and must
+/// survive (it is exactly what `min_ns`, the speedup-claim statistic,
+/// exists to capture). Only the slow tail is rejected.
+///
+/// When the MAD is zero (heavily quantized timings where most samples
+/// are identical) every sample is retained: a zero-width fence would
+/// reject legitimate jitter, which is worse than keeping an outlier.
+pub fn reject_outliers_mad(samples: &[f64]) -> (Vec<f64>, usize) {
+    if samples.len() < 3 {
+        return (samples.to_vec(), 0);
+    }
+    let median_of = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let median = median_of(&mut samples.to_vec());
+    let mad = median_of(&mut samples.iter().map(|x| (x - median).abs()).collect());
+    if mad == 0.0 {
+        return (samples.to_vec(), 0);
+    }
+    let fence = MAD_FENCE * MAD_SIGMA * mad;
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|x| x - median <= fence)
+        .collect();
+    let rejected = samples.len() - kept.len();
+    (kept, rejected)
 }
 
 /// The benchmark driver. Construct with [`Criterion::default`], adjust
@@ -100,9 +148,9 @@ impl Criterion {
             iters_per_sample: 0,
         };
         f(&mut bencher);
-        let mut sorted = bencher.sample_ns.clone();
+        assert!(!bencher.sample_ns.is_empty(), "benchmark {name} produced no samples");
+        let (mut sorted, rejected) = reject_outliers_mad(&bencher.sample_ns);
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        assert!(!sorted.is_empty(), "benchmark {name} produced no samples");
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         let result = BenchResult {
             name: name.to_string(),
@@ -110,15 +158,21 @@ impl Criterion {
             median_ns: sorted[sorted.len() / 2],
             min_ns: sorted[0],
             samples: sorted.len(),
+            rejected,
             iters_per_sample: bencher.iters_per_sample,
         };
         println!(
-            "{name:<44} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters)",
+            "{name:<44} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters{})",
             fmt_ns(result.mean_ns),
             fmt_ns(result.median_ns),
             fmt_ns(result.min_ns),
             result.samples,
             result.iters_per_sample,
+            if result.rejected > 0 {
+                format!(", {} outliers rejected", result.rejected)
+            } else {
+                String::new()
+            },
         );
         self.results.push(result);
         self
@@ -160,8 +214,8 @@ impl Criterion {
         }
         for r in &self.results {
             let line = format!(
-                "\"{}\": {{\"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
-                r.name, r.mean_ns, r.median_ns, r.min_ns, r.samples, r.iters_per_sample
+                "\"{}\": {{\"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"rejected\": {}, \"iters_per_sample\": {}}}",
+                r.name, r.mean_ns, r.median_ns, r.min_ns, r.samples, r.rejected, r.iters_per_sample
             );
             if let Some(e) = entries.iter_mut().find(|(n, _)| n == &r.name) {
                 e.1 = line;
@@ -305,12 +359,67 @@ mod tests {
     }
 
     #[test]
+    fn mad_rejects_the_fixture_outliers() {
+        // A CI-noise shaped fixture: tight cluster around 100 ns with
+        // two preemption spikes. MAD ≈ 1, fence ≈ 4.4 — both spikes go,
+        // every in-cluster sample stays.
+        let fixture = [99.0, 100.0, 101.0, 100.0, 102.0, 98.0, 100.0, 1_000.0, 450.0];
+        let (kept, rejected) = reject_outliers_mad(&fixture);
+        assert_eq!(rejected, 2);
+        assert_eq!(kept.len(), 7);
+        assert!(kept.iter().all(|&x| x < 103.0));
+        // The retained mean is no longer poisoned by the spikes.
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        // The fence is upper-only: a genuinely fast sample is signal
+        // (it becomes min_ns), never an outlier.
+        let with_fast = [90.0, 99.0, 100.0, 100.0, 100.0, 101.0, 102.0, 1_000.0];
+        let (kept, rejected) = reject_outliers_mad(&with_fast);
+        assert_eq!(rejected, 1, "only the slow spike goes");
+        assert!(kept.contains(&90.0), "fast sample must survive for min_ns");
+    }
+
+    #[test]
+    fn mad_keeps_everything_when_quantized() {
+        // All-identical timings: MAD is 0; a zero-width fence must not
+        // reject the jitter-free samples.
+        let (kept, rejected) = reject_outliers_mad(&[50.0; 8]);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 8);
+        // Mostly-identical with one genuine outlier still has MAD 0:
+        // documented behaviour is to keep it (no fence to reject with).
+        let (kept, rejected) = reject_outliers_mad(&[50.0, 50.0, 50.0, 50.0, 99.0]);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 5);
+    }
+
+    #[test]
+    fn mad_passes_tiny_samples_through() {
+        let (kept, rejected) = reject_outliers_mad(&[1.0, 100.0]);
+        assert_eq!((kept.len(), rejected), (2, 0));
+        let (kept, rejected) = reject_outliers_mad(&[]);
+        assert_eq!((kept.len(), rejected), (0, 0));
+    }
+
+    #[test]
+    fn bench_result_reports_rejection_count() {
+        let mut c = fast_criterion();
+        c.bench_function("steady", |b| b.iter(|| black_box(1u64).wrapping_mul(3)));
+        let r = &c.results()[0];
+        // Statistics are over retained samples only.
+        assert_eq!(r.samples + r.rejected, 3);
+    }
+
+    #[test]
     fn bench_function_collects_samples() {
         let mut c = fast_criterion();
         c.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
         assert_eq!(c.results().len(), 1);
         let r = &c.results()[0];
-        assert_eq!(r.samples, 3);
+        // MAD rejection may trim noisy samples; retained + rejected is
+        // always the configured sample count.
+        assert_eq!(r.samples + r.rejected, 3);
+        assert!(r.samples >= 1);
         assert!(r.min_ns <= r.median_ns && r.min_ns > 0.0);
     }
 

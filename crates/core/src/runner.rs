@@ -19,7 +19,7 @@
 //! `tests/parallel_determinism.rs`).
 
 use crate::scenario::ClusterScenario;
-use np_metric::{NearestPeerAlgo, PeerId, Target};
+use np_metric::{NearestPeerAlgo, PeerId, Target, WorldStore};
 use np_util::parallel::{item_seed, par_map, resolve_threads};
 use np_util::rng::{rng_for, rng_from, sub_seed, three_runs};
 use np_util::stats::{median_micros, RunBand};
@@ -74,19 +74,21 @@ struct QueryRecord {
 /// `$NP_THREADS` or all cores).
 ///
 /// Results are independent of the thread count; see the module docs.
-pub fn run_queries(
+pub fn run_queries<W: WorldStore>(
     algo: &dyn NearestPeerAlgo,
-    scenario: &ClusterScenario,
+    scenario: &ClusterScenario<W>,
     n_queries: usize,
     seed: u64,
 ) -> PaperMetrics {
     run_queries_threads(algo, scenario, n_queries, seed, resolve_threads(None))
 }
 
-/// [`run_queries`] with an explicit worker count.
-pub fn run_queries_threads(
+/// [`run_queries`] with an explicit worker count. Generic over the
+/// scenario's latency backend — the query loop reads RTTs only through
+/// [`WorldStore`], so dense and sharded scenarios share this one path.
+pub fn run_queries_threads<W: WorldStore>(
     algo: &dyn NearestPeerAlgo,
-    scenario: &ClusterScenario,
+    scenario: &ClusterScenario<W>,
     n_queries: usize,
     seed: u64,
     threads: usize,

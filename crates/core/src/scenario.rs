@@ -6,16 +6,30 @@
 //! > as target nodes [...] 5000 Meridian closest-neighbor queries are
 //! > launched to find the closest peer to randomly chosen target nodes."
 
-use np_metric::{LatencyMatrix, NearestCache, PeerId};
+use np_metric::{LatencyMatrix, NearestCache, PeerId, ShardedWorld, WorldStore};
 use np_topology::{ClusterWorld, ClusterWorldSpec};
+use np_util::parallel::resolve_threads;
 use np_util::rng::rng_for;
 use rand::seq::SliceRandom;
 use std::sync::OnceLock;
 
-/// A built scenario: world, matrix, overlay membership and targets.
-pub struct ClusterScenario {
+/// A built scenario: world, latency backend, overlay membership and
+/// targets.
+///
+/// Generic over the [`WorldStore`] backend. The default
+/// (`ClusterScenario<LatencyMatrix>`, via [`ClusterScenario::build`] /
+/// [`ClusterScenario::paper`]) materialises the dense matrix exactly as
+/// the paper does; [`ClusterScenario::build_sharded`] materialises the
+/// block-compressed [`ShardedWorld`] instead, which is what lets
+/// scenarios scale past the dense backend's ~2.5 k-peer memory wall.
+/// Both variants draw the **same** overlay/target split from the same
+/// RNG stream, so backends are interchangeable run-for-run.
+pub struct ClusterScenario<W: WorldStore = LatencyMatrix> {
     pub world: ClusterWorld,
-    pub matrix: LatencyMatrix,
+    /// The latency backend (named `matrix` since the dense matrix is
+    /// the paper's object; for sharded scenarios it is the compressed
+    /// store).
+    pub matrix: W,
     pub overlay: Vec<PeerId>,
     pub targets: Vec<PeerId>,
     /// Lazily built ground truth for all targets — a pure function of
@@ -25,17 +39,62 @@ pub struct ClusterScenario {
     truth: OnceLock<NearestCache>,
 }
 
-impl ClusterScenario {
+impl ClusterScenario<LatencyMatrix> {
     /// Build from a world spec; `n_targets` peers are held out (the
     /// paper uses 100).
     pub fn build(spec: ClusterWorldSpec, n_targets: usize, seed: u64) -> ClusterScenario {
+        ClusterScenario::build_with(spec, n_targets, seed, |w| w.to_matrix())
+    }
+
+    /// The paper's configuration for a given cluster size and δ.
+    pub fn paper(en_per_cluster: usize, delta: f64, seed: u64) -> ClusterScenario {
+        ClusterScenario::build(ClusterWorldSpec::paper(en_per_cluster, delta), 100, seed)
+    }
+}
+
+impl ClusterScenario<ShardedWorld> {
+    /// [`ClusterScenario::build`] over the block-compressed backend
+    /// (clusters become shards; see `ClusterWorld::to_sharded`), on the
+    /// ambient thread count. Same seed ⇒ the same overlay/target split
+    /// as the dense build of the same spec.
+    pub fn build_sharded(
+        spec: ClusterWorldSpec,
+        n_targets: usize,
+        seed: u64,
+    ) -> ClusterScenario<ShardedWorld> {
+        ClusterScenario::build_sharded_threads(spec, n_targets, seed, resolve_threads(None))
+    }
+
+    /// [`ClusterScenario::build_sharded`] with an explicit worker count
+    /// for the block fills (bit-identical at any value).
+    pub fn build_sharded_threads(
+        spec: ClusterWorldSpec,
+        n_targets: usize,
+        seed: u64,
+        threads: usize,
+    ) -> ClusterScenario<ShardedWorld> {
+        ClusterScenario::build_with(spec, n_targets, seed, |w| w.to_sharded_threads(threads))
+    }
+}
+
+impl<W: WorldStore> ClusterScenario<W> {
+    /// Backend-agnostic core: generate the world, materialise the
+    /// latency store with `materialise`, and draw the overlay/target
+    /// split. The split's RNG stream (`"SCNR"`) depends only on the
+    /// seed, never on the backend.
+    fn build_with(
+        spec: ClusterWorldSpec,
+        n_targets: usize,
+        seed: u64,
+        materialise: impl FnOnce(&ClusterWorld) -> W,
+    ) -> ClusterScenario<W> {
         let world = ClusterWorld::generate(spec, seed);
         assert!(
             n_targets < world.len(),
             "cannot hold out {n_targets} of {} peers",
             world.len()
         );
-        let matrix = world.to_matrix();
+        let matrix = materialise(&world);
         let mut peers: Vec<PeerId> = world.peers().collect();
         let mut rng = rng_for(seed, 0x5343_4E52); // "SCNR"
         peers.shuffle(&mut rng);
@@ -48,11 +107,6 @@ impl ClusterScenario {
             targets,
             truth: OnceLock::new(),
         }
-    }
-
-    /// The paper's configuration for a given cluster size and δ.
-    pub fn paper(en_per_cluster: usize, delta: f64, seed: u64) -> ClusterScenario {
-        ClusterScenario::build(ClusterWorldSpec::paper(en_per_cluster, delta), 100, seed)
     }
 
     /// Ground truth: the overlay member closest to `target`.
@@ -131,6 +185,33 @@ mod tests {
             } else {
                 assert_ne!(s.true_nearest(t), partner);
             }
+        }
+    }
+
+    #[test]
+    fn sharded_scenario_matches_dense_split_and_truth() {
+        let spec = ClusterWorldSpec {
+            clusters: 5,
+            en_per_cluster: 10,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: np_util::Micros::from_us(100),
+            hub_pool: 6,
+        };
+        let dense = ClusterScenario::build(spec.clone(), 10, 1);
+        let sharded = ClusterScenario::build_sharded_threads(spec, 10, 1, 2);
+        // Same seed ⇒ same overlay/target split regardless of backend.
+        assert_eq!(dense.overlay, sharded.overlay);
+        assert_eq!(dense.targets, sharded.targets);
+        // On cluster worlds the hub summary is exact, so ground truth
+        // agrees bit-for-bit too.
+        for &t in &dense.targets {
+            assert_eq!(dense.true_nearest(t), sharded.true_nearest(t));
+            assert_eq!(
+                dense.nearest_cache(2).nearest(t),
+                sharded.nearest_cache(2).nearest(t)
+            );
         }
     }
 

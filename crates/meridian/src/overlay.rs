@@ -21,7 +21,7 @@
 //! the paper's trade-off knob β.
 
 use crate::rings::{RingConfig, RingSet};
-use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target, WorldStore};
 use np_util::rng::rng_for;
 use np_util::Micros;
 use rand::rngs::StdRng;
@@ -64,23 +64,28 @@ pub enum BuildMode {
     Gossip { rounds: usize, fanout: usize },
 }
 
-/// A built Meridian overlay over a latency matrix.
-pub struct Overlay<'m> {
+/// A built Meridian overlay over a latency backend.
+///
+/// Generic over [`WorldStore`] (defaulting to the dense matrix): the
+/// omniscient fill and gossip warm-up read inter-member RTTs through
+/// the trait, so overlays build identically over a [`LatencyMatrix`]
+/// or a sharded world.
+pub struct Overlay<'m, W: WorldStore + ?Sized = LatencyMatrix> {
     cfg: MeridianConfig,
-    matrix: &'m LatencyMatrix,
+    world: &'m W,
     members: Vec<PeerId>,
     rings: HashMap<PeerId, RingSet>,
 }
 
-impl<'m> Overlay<'m> {
+impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
     /// Build an overlay over `members` (must be non-empty).
     pub fn build(
-        matrix: &'m LatencyMatrix,
+        world: &'m W,
         members: Vec<PeerId>,
         cfg: MeridianConfig,
         mode: BuildMode,
         seed: u64,
-    ) -> Overlay<'m> {
+    ) -> Overlay<'m, W> {
         assert!(!members.is_empty(), "empty overlay");
         assert!(
             (0.0..1.0).contains(&cfg.beta) && cfg.beta > 0.0,
@@ -102,7 +107,7 @@ impl<'m> Overlay<'m> {
                     let rs = rings.get_mut(&p).expect("member ring set");
                     for &q in &order {
                         if q != p {
-                            rs.insert(q, matrix.rtt(p, q));
+                            rs.insert(q, world.rtt(p, q));
                         }
                     }
                 }
@@ -116,7 +121,7 @@ impl<'m> Overlay<'m> {
                             rings
                                 .get_mut(&p)
                                 .expect("member ring set")
-                                .insert(q, matrix.rtt(p, q));
+                                .insert(q, world.rtt(p, q));
                         }
                     }
                 }
@@ -133,11 +138,11 @@ impl<'m> Overlay<'m> {
                         let rs = rings.get_mut(&p).expect("member ring set");
                         for r in offer {
                             if r != p {
-                                rs.insert(r, matrix.rtt(p, r));
+                                rs.insert(r, world.rtt(p, r));
                             }
                         }
                         // And push ourselves to them (symmetric gossip).
-                        let back = matrix.rtt(q, p);
+                        let back = world.rtt(q, p);
                         rings.get_mut(&q).expect("member ring set").insert(p, back);
                     }
                 }
@@ -148,12 +153,12 @@ impl<'m> Overlay<'m> {
                 rings
                     .get_mut(&p)
                     .expect("member ring set")
-                    .manage(|a, b| matrix.rtt(a, b));
+                    .manage(|a, b| world.rtt(a, b));
             }
         }
         Overlay {
             cfg,
-            matrix,
+            world,
             members,
             rings,
         }
@@ -169,9 +174,9 @@ impl<'m> Overlay<'m> {
         &self.rings[&p]
     }
 
-    /// The backing matrix.
-    pub fn matrix(&self) -> &LatencyMatrix {
-        self.matrix
+    /// The backing latency world.
+    pub fn world(&self) -> &W {
+        self.world
     }
 
     /// Total primary ring entries across the overlay (capacity telemetry).
@@ -248,16 +253,16 @@ impl<'m> Overlay<'m> {
             let offers: Vec<PeerId> = self.rings[&q].primaries().map(|m| m.peer).collect();
             for r in offers {
                 if r != p {
-                    rs.insert(r, self.matrix.rtt(p, r));
+                    rs.insert(r, self.world.rtt(p, r));
                 }
             }
-            rs.insert(q, self.matrix.rtt(p, q));
+            rs.insert(q, self.world.rtt(p, q));
             self.rings
                 .get_mut(&q)
                 .expect("member ring set")
-                .insert(p, self.matrix.rtt(q, p));
+                .insert(p, self.world.rtt(q, p));
         }
-        rs.manage(|a, b| self.matrix.rtt(a, b));
+        rs.manage(|a, b| self.world.rtt(a, b));
         self.rings.insert(p, rs);
         let pos = self.members.binary_search(&p).unwrap_or_else(|e| e);
         self.members.insert(pos, p);
@@ -288,7 +293,7 @@ impl<'m> Overlay<'m> {
     }
 }
 
-impl NearestPeerAlgo for Overlay<'_> {
+impl<W: WorldStore + ?Sized> NearestPeerAlgo for Overlay<'_, W> {
     fn name(&self) -> &str {
         "meridian"
     }

@@ -7,7 +7,8 @@
 //! [`NearestCache`] hoists the scan out of the query loop: one parallel
 //! pass over the distinct targets up front, O(1) lookups afterwards.
 
-use crate::matrix::{LatencyMatrix, PeerId};
+use crate::matrix::PeerId;
+use crate::world::WorldStore;
 use np_util::parallel::par_map;
 use std::collections::HashMap;
 
@@ -19,23 +20,24 @@ pub struct NearestCache {
 
 impl NearestCache {
     /// Precompute the true nearest member (ties by lowest id, matching
-    /// [`LatencyMatrix::nearest_within`]) for every target, scanning
-    /// targets in parallel on `threads` workers.
+    /// [`WorldStore::nearest_within`]) for every target, scanning
+    /// targets in parallel on `threads` workers. Works over any
+    /// latency backend — dense matrix or sharded world.
     ///
     /// Each target's scan is independent and reads only the shared
-    /// matrix, so the result is identical at any thread count.
+    /// world, so the result is identical at any thread count.
     ///
     /// # Panics
     /// Panics if `members` contains no peer other than some target
     /// (a scenario with an empty overlay is a bug upstream).
-    pub fn build(
-        matrix: &LatencyMatrix,
+    pub fn build<W: WorldStore + ?Sized>(
+        world: &W,
         members: &[PeerId],
         targets: &[PeerId],
         threads: usize,
     ) -> NearestCache {
         let pairs = par_map(threads, targets, |_, &t| {
-            let n = matrix
+            let n = world
                 .nearest_within(t, members)
                 .expect("overlay has at least one non-target member");
             (t, n)
@@ -65,6 +67,7 @@ impl NearestCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::LatencyMatrix;
     use np_util::Micros;
 
     fn line_matrix(n: usize) -> LatencyMatrix {

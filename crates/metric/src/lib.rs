@@ -23,14 +23,26 @@
 //!   paper's cost arguments are about,
 //! * [`cache`] — precomputed ground-truth nearest-member answers
 //!   ([`cache::NearestCache`]), built in parallel once per scenario so
-//!   the batch query runner checks outcomes in O(1).
+//!   the batch query runner checks outcomes in O(1),
+//! * [`world`] — the [`world::WorldStore`] backend trait every consumer
+//!   (targets, caches, overlays, the runner) is written against,
+//! * [`sharded`] — [`sharded::ShardedWorld`], the block-compressed
+//!   backend (dense per-cluster blocks + hub summary) that takes worlds
+//!   past the dense matrix's ~2.5 k-peer memory wall,
+//! * [`scan`] — the shared SIMD-friendly nearest-scan kernel both
+//!   backends' ground-truth queries run on.
 
 pub mod cache;
 pub mod diagnostics;
 pub mod graph;
 pub mod matrix;
 pub mod nearest;
+pub mod scan;
+pub mod sharded;
+pub mod world;
 
 pub use cache::NearestCache;
 pub use matrix::{LatencyMatrix, PeerId};
 pub use nearest::{NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};
+pub use sharded::ShardedWorld;
+pub use world::WorldStore;

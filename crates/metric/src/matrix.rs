@@ -7,6 +7,8 @@
 //! (2.5 k peers) that is 25 MB, well within laptop budgets, and O(1)
 //! access is what the query simulators need.
 
+use crate::scan;
+use crate::world::WorldStore;
 use np_util::parallel::par_for_rows;
 use np_util::Micros;
 
@@ -119,12 +121,18 @@ impl LatencyMatrix {
     /// This is the ground truth the paper's "P(found peer is correct
     /// closest peer)" compares against: the target node is outside the
     /// overlay and `members` is the overlay.
+    ///
+    /// Implementation: gather the members' cells straight out of the
+    /// target's row and run the shared auto-vectorized
+    /// [`scan::nearest_in`] kernel (cells are whole microseconds, so
+    /// f32 comparison coincides with the `Micros` ordering).
     pub fn nearest_within(&self, target: PeerId, members: &[PeerId]) -> Option<PeerId> {
-        members
+        let row = &self.data[target.idx() * self.n..][..self.n];
+        let dists: Vec<f32> = members
             .iter()
-            .copied()
-            .filter(|&m| m != target)
-            .min_by_key(|&m| (self.rtt(target, m), m))
+            .map(|&m| if m == target { f32::INFINITY } else { row[m.idx()] })
+            .collect();
+        scan::nearest_in(&dists, members)
     }
 
     /// The `k` nearest peers to `target` within `members` (ascending RTT,
@@ -190,6 +198,36 @@ impl LatencyMatrix {
             }
         }
         Micros(max as u64)
+    }
+}
+
+impl WorldStore for LatencyMatrix {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn rtt(&self, a: PeerId, b: PeerId) -> Micros {
+        LatencyMatrix::rtt(self, a, b)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    // The derived queries delegate to the inherent row-based
+    // implementations (the gather skips the f32→u64→f32 round-trip the
+    // trait default pays; for whole-µs cells the results are identical).
+    fn nearest_within(&self, target: PeerId, members: &[PeerId]) -> Option<PeerId> {
+        LatencyMatrix::nearest_within(self, target, members)
+    }
+
+    fn knn_within(&self, target: PeerId, members: &[PeerId], k: usize) -> Vec<PeerId> {
+        LatencyMatrix::knn_within(self, target, members, k)
+    }
+
+    fn count_within(&self, target: PeerId, members: &[PeerId], d: Micros) -> usize {
+        LatencyMatrix::count_within(self, target, members, d)
     }
 }
 

@@ -14,6 +14,7 @@
 //! maintenance) and are read directly from the matrix by the algorithms.
 
 use crate::matrix::{LatencyMatrix, PeerId};
+use crate::world::WorldStore;
 use np_util::Micros;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,18 +48,23 @@ impl ProbeCounter {
 
 /// A query target: a peer outside the overlay whose latencies are only
 /// observable through counted probes.
+///
+/// Holds its world as a `&dyn` [`WorldStore`], so every
+/// [`NearestPeerAlgo`] implementation works unchanged over the dense
+/// matrix and the block-compressed [`crate::ShardedWorld`] alike.
 pub struct Target<'a> {
     id: PeerId,
-    matrix: &'a LatencyMatrix,
+    world: &'a dyn WorldStore,
     counter: ProbeCounter,
 }
 
 impl<'a> Target<'a> {
-    /// Wrap `id` as a probe-counted target over `matrix`.
-    pub fn new(id: PeerId, matrix: &'a LatencyMatrix) -> Target<'a> {
+    /// Wrap `id` as a probe-counted target over `world` (any latency
+    /// backend; `&LatencyMatrix` coerces).
+    pub fn new(id: PeerId, world: &'a dyn WorldStore) -> Target<'a> {
         Target {
             id,
-            matrix,
+            world,
             counter: ProbeCounter::default(),
         }
     }
@@ -71,7 +77,7 @@ impl<'a> Target<'a> {
     /// Measure the RTT from `prober` to the target. Counted.
     pub fn probe_from(&self, prober: PeerId) -> Micros {
         self.counter.bump();
-        self.matrix.rtt(prober, self.id)
+        self.world.rtt(prober, self.id)
     }
 
     /// Probes spent on this target so far.
@@ -122,24 +128,28 @@ pub trait NearestPeerAlgo: Sync {
 /// Brute force: probe every member. The optimal-accuracy / worst-cost
 /// reference point — under the clustering condition the paper argues all
 /// latency-only algorithms degenerate towards this.
-pub struct BruteForce<'m> {
-    matrix: &'m LatencyMatrix,
+///
+/// Generic over the latency backend (defaulting to the dense matrix),
+/// so it is also the reference algorithm for sharded worlds too large
+/// to materialise densely.
+pub struct BruteForce<'m, W: WorldStore + ?Sized = LatencyMatrix> {
+    world: &'m W,
     members: Vec<PeerId>,
 }
 
-impl<'m> BruteForce<'m> {
-    pub fn new(matrix: &'m LatencyMatrix, members: Vec<PeerId>) -> Self {
+impl<'m, W: WorldStore + ?Sized> BruteForce<'m, W> {
+    pub fn new(world: &'m W, members: Vec<PeerId>) -> Self {
         assert!(!members.is_empty(), "empty overlay");
-        BruteForce { matrix, members }
+        BruteForce { world, members }
     }
 
-    /// The backing matrix (exposed for the runner's ground-truth checks).
-    pub fn matrix(&self) -> &LatencyMatrix {
-        self.matrix
+    /// The backing world (exposed for the runner's ground-truth checks).
+    pub fn world(&self) -> &W {
+        self.world
     }
 }
 
-impl NearestPeerAlgo for BruteForce<'_> {
+impl<W: WorldStore + ?Sized> NearestPeerAlgo for BruteForce<'_, W> {
     fn name(&self) -> &str {
         "brute-force"
     }
@@ -171,19 +181,19 @@ impl NearestPeerAlgo for BruteForce<'_> {
 
 /// Random selection: probe one random member. The zero-intelligence
 /// reference point (lower bound on accuracy).
-pub struct RandomChoice<'m> {
-    matrix: &'m LatencyMatrix,
+pub struct RandomChoice<'m, W: WorldStore + ?Sized = LatencyMatrix> {
+    world: &'m W,
     members: Vec<PeerId>,
 }
 
-impl<'m> RandomChoice<'m> {
-    pub fn new(matrix: &'m LatencyMatrix, members: Vec<PeerId>) -> Self {
+impl<'m, W: WorldStore + ?Sized> RandomChoice<'m, W> {
+    pub fn new(world: &'m W, members: Vec<PeerId>) -> Self {
         assert!(!members.is_empty(), "empty overlay");
-        RandomChoice { matrix, members }
+        RandomChoice { world, members }
     }
 }
 
-impl NearestPeerAlgo for RandomChoice<'_> {
+impl<W: WorldStore + ?Sized> NearestPeerAlgo for RandomChoice<'_, W> {
     fn name(&self) -> &str {
         "random"
     }
@@ -194,7 +204,7 @@ impl NearestPeerAlgo for RandomChoice<'_> {
 
     fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
         use rand::seq::SliceRandom;
-        let _ = self.matrix; // identity only; no latency knowledge used
+        let _ = self.world; // identity only; no latency knowledge used
         let found = loop {
             let &m = self.members.choose(rng).expect("non-empty");
             if m != target.id() {

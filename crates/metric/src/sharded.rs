@@ -1,0 +1,437 @@
+//! Block-compressed latency worlds: dense intra-shard blocks plus a
+//! hub-summary for inter-shard distances.
+//!
+//! The dense matrix is quadratic: 25 MB at the paper's 2.5 k peers but
+//! 40 GB at 100 k. The surveyed P2P-management literature's standard
+//! answer is hierarchical decomposition, and the paper's own §4 worlds
+//! are *already* hierarchical — peers hang off end-networks, which hang
+//! off cluster hubs, and every inter-cluster path is
+//! `up + hub-to-hub + down`. [`ShardedWorld`] stores exactly that
+//! factorization:
+//!
+//! * peers are partitioned into **shards** (cluster assignments);
+//! * each shard keeps a **dense block** of exact intra-shard RTTs
+//!   (built with the same row-blocked parallel fill as
+//!   [`LatencyMatrix::build_par`]);
+//! * inter-shard RTTs come from a **hub summary** — an `S×S` hub-to-hub
+//!   matrix plus a per-peer hub offset:
+//!   `rtt(a, b) = offset[a] + hub[shard(a)][shard(b)] + offset[b]`.
+//!
+//! Storage is `Σ mₛ² + S² + O(n)` floats instead of `n²`: a 100 k-peer
+//! world in 1,000 shards of 100 is ≈44 MB instead of 40 GB.
+//!
+//! # Exact vs approximate
+//!
+//! The hub summary is a *model*. Whether it is exact depends on where
+//! the summary came from:
+//!
+//! * **Shard count 1** — the world is one dense block; every query is
+//!   bit-identical to [`LatencyMatrix`] (property-tested in
+//!   `tests/world_equivalence.rs`).
+//! * **Intra-shard queries** — always exact, any shard count: they read
+//!   the dense block.
+//! * **Hub-and-spoke worlds** (`ClusterWorld::to_sharded`) — exact
+//!   everywhere, because the generator's inter-cluster rule *is* the
+//!   hub summary: the same `u64` microsecond sum, reassembled.
+//! * **Arbitrary matrices** ([`ShardedWorld::compress`]) — inter-shard
+//!   distances are approximated through per-shard medoid hubs:
+//!   `d(a,b) ≈ d(a,hₐ) + d(hₐ,h_b) + d(b,h_b)`. In a metric space this
+//!   overestimates by at most `2·(d(a,hₐ) + d(b,h_b))` (two triangle
+//!   detours); on hub-and-spoke worlds the error is exactly
+//!   `2·(offset(hₐ) + offset(h_b))` — the medoids' own spoke latencies,
+//!   counted twice.
+//!
+//! Inter-shard sums are computed in `u64` microseconds from the stored
+//! `f32` components, so they are deterministic and (for the < 2²⁴ µs
+//! latencies of every generated world) free of float re-rounding.
+
+use crate::matrix::{LatencyMatrix, PeerId};
+use crate::world::WorldStore;
+use np_util::parallel::par_for_rows;
+use np_util::Micros;
+
+/// One shard: its member peers (ascending id) and their dense RTT block.
+#[derive(Debug, Clone)]
+struct ShardBlock {
+    members: Vec<PeerId>,
+    /// Row-major `m×m` µs-as-f32, symmetric, zero diagonal.
+    data: Vec<f32>,
+}
+
+/// A block-compressed latency world. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct ShardedWorld {
+    n: usize,
+    shards: Vec<ShardBlock>,
+    /// Peer → shard index.
+    shard_of: Vec<u32>,
+    /// Peer → row index within its shard's block.
+    local_of: Vec<u32>,
+    /// `S×S` hub-to-hub RTTs, µs-as-f32, symmetric, zero diagonal.
+    hub_rtt: Vec<f32>,
+    /// Peer → latency to its shard hub, µs-as-f32.
+    offset: Vec<f32>,
+}
+
+impl ShardedWorld {
+    /// Build from a shard assignment, a hub summary, and an exact
+    /// pairwise latency function (consulted only for intra-shard
+    /// pairs, once per unordered pair — the same discipline as
+    /// [`LatencyMatrix::build_par`]).
+    ///
+    /// `shard_of[p]` is peer `p`'s shard; shard ids must cover
+    /// `0..S` where `S` is the maximum id + 1. `hub_rtt` is the
+    /// row-major `S×S` hub matrix in µs; `offset[p]` is peer `p`'s
+    /// hub latency in µs. Each shard's block is filled row-blocked on
+    /// `threads` workers, bit-identically at any thread count.
+    ///
+    /// # Panics
+    /// Panics when `offset` or `hub_rtt` disagree with the assignment's
+    /// dimensions.
+    pub fn build_par(
+        shard_of: &[u32],
+        hub_rtt: Vec<f32>,
+        offset: Vec<f32>,
+        threads: usize,
+        rtt: impl Fn(PeerId, PeerId) -> Micros + Sync,
+    ) -> ShardedWorld {
+        let n = shard_of.len();
+        assert_eq!(offset.len(), n, "one hub offset per peer");
+        let n_shards = shard_of.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        assert_eq!(
+            hub_rtt.len(),
+            n_shards * n_shards,
+            "hub matrix must be {n_shards}×{n_shards}"
+        );
+        let mut membership: Vec<Vec<PeerId>> = vec![Vec::new(); n_shards];
+        let mut local_of = vec![0u32; n];
+        for i in 0..n {
+            let s = shard_of[i] as usize;
+            local_of[i] = membership[s].len() as u32;
+            membership[s].push(PeerId(i as u32));
+        }
+        let shards: Vec<ShardBlock> = membership
+            .into_iter()
+            .map(|members| {
+                let m = members.len();
+                let mut data = vec![0.0f32; m * m];
+                // Row-blocked upper-triangle fill, mirrored after — the
+                // exact `LatencyMatrix::build_par` recipe, so a
+                // single-shard world reproduces the dense bytes.
+                par_for_rows(threads, &mut data, m.max(1), |i, row| {
+                    for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+                        *cell = rtt(members[i], members[j]).as_us() as f32;
+                    }
+                });
+                for i in 0..m {
+                    for j in (i + 1)..m {
+                        data[j * m + i] = data[i * m + j];
+                    }
+                }
+                ShardBlock { members, data }
+            })
+            .collect();
+        ShardedWorld {
+            n,
+            shards,
+            shard_of: shard_of.to_vec(),
+            local_of,
+            hub_rtt,
+            offset,
+        }
+    }
+
+    /// The degenerate single-shard world: one dense block covering all
+    /// `n` peers, a trivial hub summary. Bit-identical to
+    /// [`LatencyMatrix::build_par`] over the same `rtt`.
+    pub fn single_shard(
+        n: usize,
+        threads: usize,
+        rtt: impl Fn(PeerId, PeerId) -> Micros + Sync,
+    ) -> ShardedWorld {
+        ShardedWorld::build_par(&vec![0u32; n], vec![0.0], vec![0.0; n], threads, rtt)
+    }
+
+    /// Compress an existing dense matrix under a shard assignment,
+    /// deriving the hub summary from the matrix itself: each shard's
+    /// hub is its **medoid** (the member minimising total intra-shard
+    /// RTT, ties by lowest id), `offset[p] = rtt(p, hub)`, and
+    /// hub-to-hub RTTs are read straight from the matrix. Intra-shard
+    /// queries stay exact; inter-shard distances carry the triangle
+    /// detour error bounded in the module docs.
+    pub fn compress(matrix: &LatencyMatrix, shard_of: &[u32], threads: usize) -> ShardedWorld {
+        assert_eq!(shard_of.len(), matrix.len(), "one shard id per peer");
+        let n = matrix.len();
+        let n_shards = shard_of.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let mut membership: Vec<Vec<PeerId>> = vec![Vec::new(); n_shards];
+        for i in 0..n {
+            membership[shard_of[i] as usize].push(PeerId(i as u32));
+        }
+        let hubs: Vec<Option<PeerId>> = membership
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .copied()
+                    .min_by_key(|&c| {
+                        let total: u64 = members.iter().map(|&m| matrix.rtt(c, m).as_us()).sum();
+                        (total, c)
+                    })
+            })
+            .collect();
+        let mut hub_rtt = vec![0.0f32; n_shards * n_shards];
+        for a in 0..n_shards {
+            for b in (a + 1)..n_shards {
+                if let (Some(ha), Some(hb)) = (hubs[a], hubs[b]) {
+                    let v = matrix.rtt(ha, hb).as_us() as f32;
+                    hub_rtt[a * n_shards + b] = v;
+                    hub_rtt[b * n_shards + a] = v;
+                }
+            }
+        }
+        let offset: Vec<f32> = (0..n)
+            .map(|i| {
+                let hub = hubs[shard_of[i] as usize].expect("peer's own shard is non-empty");
+                matrix.rtt(PeerId(i as u32), hub).as_us() as f32
+            })
+            .collect();
+        ShardedWorld::build_par(shard_of, hub_rtt, offset, threads, |a, b| matrix.rtt(a, b))
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a peer belongs to.
+    #[inline]
+    pub fn shard(&self, p: PeerId) -> usize {
+        self.shard_of[p.idx()] as usize
+    }
+
+    /// Members of one shard, ascending id.
+    pub fn shard_members(&self, shard: usize) -> &[PeerId] {
+        &self.shards[shard].members
+    }
+
+    /// Size of the largest dense block (the compression's knob: memory
+    /// and per-query scan cost are quadratic and linear in this).
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(|s| s.members.len()).max().unwrap_or(0)
+    }
+
+    /// All peer ids.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        (0..self.n as u32).map(PeerId)
+    }
+
+    /// Check block symmetry/zero-diagonal/finiteness and hub-summary
+    /// sanity; used by tests and debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        for (s, blk) in self.shards.iter().enumerate() {
+            let m = blk.members.len();
+            for i in 0..m {
+                if blk.data[i * m + i] != 0.0 {
+                    return Err(format!("shard {s}: non-zero diagonal at {i}"));
+                }
+                for j in (i + 1)..m {
+                    let (a, b) = (blk.data[i * m + j], blk.data[j * m + i]);
+                    if a != b {
+                        return Err(format!("shard {s}: asymmetry at ({i},{j}): {a} vs {b}"));
+                    }
+                    if a < 0.0 || !a.is_finite() {
+                        return Err(format!("shard {s}: invalid latency at ({i},{j}): {a}"));
+                    }
+                }
+            }
+        }
+        let ns = self.shards.len();
+        for a in 0..ns {
+            if self.hub_rtt[a * ns + a] != 0.0 {
+                return Err(format!("non-zero hub diagonal at {a}"));
+            }
+            for b in (a + 1)..ns {
+                let (x, y) = (self.hub_rtt[a * ns + b], self.hub_rtt[b * ns + a]);
+                if x != y {
+                    return Err(format!("hub asymmetry at ({a},{b}): {x} vs {y}"));
+                }
+                if x < 0.0 || !x.is_finite() {
+                    return Err(format!("invalid hub latency at ({a},{b}): {x}"));
+                }
+            }
+        }
+        if let Some(bad) = self.offset.iter().find(|o| !o.is_finite() || **o < 0.0) {
+            return Err(format!("invalid hub offset {bad}"));
+        }
+        Ok(())
+    }
+}
+
+impl WorldStore for ShardedWorld {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn rtt(&self, a: PeerId, b: PeerId) -> Micros {
+        if a == b {
+            return Micros::ZERO;
+        }
+        let (sa, sb) = (self.shard_of[a.idx()] as usize, self.shard_of[b.idx()] as usize);
+        if sa == sb {
+            let blk = &self.shards[sa];
+            let m = blk.members.len();
+            Micros(blk.data[self.local_of[a.idx()] as usize * m + self.local_of[b.idx()] as usize] as u64)
+        } else {
+            // u64 sum of the whole-µs components: deterministic, no
+            // float re-rounding of the reassembled path.
+            Micros(
+                self.offset[a.idx()] as u64
+                    + self.hub_rtt[sa * self.shards.len() + sb] as u64
+                    + self.offset[b.idx()] as u64,
+            )
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let blocks: usize = self
+            .shards
+            .iter()
+            .map(|s| s.data.len() * 4 + s.members.len() * 4)
+            .sum();
+        blocks + self.hub_rtt.len() * 4 + (self.offset.len() + self.shard_of.len() + self.local_of.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-level synthetic hub world: shard = id / 4, offset
+    /// `1 + id%4` ms, hub-to-hub `10·|sa−sb|` ms, intra-shard exact
+    /// star paths. Mirrors the §4 construction without np-topology
+    /// (which depends on this crate).
+    fn star_rtt(a: PeerId, b: PeerId) -> Micros {
+        if a == b {
+            return Micros::ZERO;
+        }
+        let (sa, sb) = (a.0 / 4, b.0 / 4);
+        let off = |p: PeerId| Micros::from_ms_u64(1 + (p.0 % 4) as u64);
+        if sa == sb {
+            off(a) + off(b)
+        } else {
+            off(a) + Micros::from_ms_u64(10 * (sa as i64 - sb as i64).unsigned_abs()) + off(b)
+        }
+    }
+
+    fn star_world(n_shards: u32, threads: usize) -> ShardedWorld {
+        let n = (n_shards * 4) as usize;
+        let shard_of: Vec<u32> = (0..n as u32).map(|i| i / 4).collect();
+        let s = n_shards as usize;
+        let mut hub = vec![0.0f32; s * s];
+        for a in 0..s {
+            for b in 0..s {
+                hub[a * s + b] = (10_000 * (a as i64 - b as i64).unsigned_abs()) as f32;
+            }
+        }
+        let offset: Vec<f32> = (0..n as u32).map(|i| (1_000 + 1_000 * (i % 4)) as f32).collect();
+        ShardedWorld::build_par(&shard_of, hub, offset, threads, star_rtt)
+    }
+
+    #[test]
+    fn reassembles_the_generating_rule_exactly() {
+        let w = star_world(3, 2);
+        w.validate().expect("valid");
+        assert_eq!(w.len(), 12);
+        assert_eq!(w.n_shards(), 3);
+        assert_eq!(w.max_shard_len(), 4);
+        for a in w.peers() {
+            for b in w.peers() {
+                assert_eq!(w.rtt(a, b), star_rtt(a, b), "rtt({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_dense_bitwise() {
+        let n = 37;
+        let dense = LatencyMatrix::build_par(n, 3, star_rtt);
+        let single = ShardedWorld::single_shard(n, 3, star_rtt);
+        single.validate().expect("valid");
+        assert_eq!(single.n_shards(), 1);
+        let members: Vec<PeerId> = dense.peers().collect();
+        for a in dense.peers() {
+            for b in dense.peers() {
+                assert_eq!(single.rtt(a, b), dense.rtt(a, b));
+            }
+            assert_eq!(
+                WorldStore::nearest_within(&single, a, &members),
+                dense.nearest_within(a, &members)
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let serial = star_world(4, 1);
+        for threads in [2, 8] {
+            let par = star_world(4, threads);
+            for a in serial.peers() {
+                for b in serial.peers() {
+                    assert_eq!(serial.rtt(a, b), par.rtt(a, b), "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_keeps_intra_shard_exact_and_overestimates_inter() {
+        let n = 16usize;
+        let dense = LatencyMatrix::build(n, star_rtt);
+        let shard_of: Vec<u32> = (0..n as u32).map(|i| i / 4).collect();
+        let w = ShardedWorld::compress(&dense, &shard_of, 2);
+        w.validate().expect("valid");
+        for a in dense.peers() {
+            for b in dense.peers() {
+                if w.shard(a) == w.shard(b) {
+                    assert_eq!(w.rtt(a, b), dense.rtt(a, b), "intra-shard must be exact");
+                } else {
+                    // Medoid-detour estimate: never an underestimate in
+                    // a metric space, off by exactly the medoids'
+                    // doubled spoke latencies in this star world.
+                    assert!(w.rtt(a, b) >= dense.rtt(a, b), "underestimated {a}->{b}");
+                    assert!(
+                        w.rtt(a, b) <= dense.rtt(a, b) + Micros::from_ms_u64(4),
+                        "error beyond the 2·(1 ms + 1 ms) medoid bound for {a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_subquadratic() {
+        let sharded = star_world(16, 1); // 64 peers in 16 shards
+        let dense_bytes = 64 * 64 * 4;
+        assert!(
+            sharded.approx_bytes() < dense_bytes / 2,
+            "sharded {} bytes vs dense {dense_bytes}",
+            sharded.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_world_is_consistent() {
+        let w = ShardedWorld::single_shard(0, 4, star_rtt);
+        assert!(w.is_empty());
+        assert_eq!(w.n_shards(), 1);
+        assert_eq!(w.max_shard_len(), 0);
+        w.validate().expect("valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "hub matrix")]
+    fn wrong_hub_dimensions_panic() {
+        ShardedWorld::build_par(&[0, 1], vec![0.0], vec![0.0, 0.0], 1, star_rtt);
+    }
+}

@@ -16,7 +16,7 @@
 //! | [`util`] | latency units, deterministic RNG, statistics, CDFs, plots |
 //! | [`netsim`] | discrete-event kernel, link models, wire framing |
 //! | [`topology`] | the Internet model and the paper's §4 cluster worlds |
-//! | [`metric`] | latency matrices, Dijkstra, metric diagnostics, the search API |
+//! | [`metric`] | latency backends (dense + sharded), Dijkstra, metric diagnostics, the search API |
 //! | [`probe`] | ping / traceroute / King / TCP-ping simulators |
 //! | [`cluster`] | the §3 measurement pipelines (Figures 3–7) |
 //! | [`meridian`] | the Meridian overlay and β-routing queries |
@@ -80,7 +80,9 @@ pub mod prelude {
     pub use np_core::{run_queries, sweep_three_runs, ClusterScenario, PaperMetrics};
     pub use np_dht::{ChordMap, ChordRing, KeyValueMap, PerfectMap};
     pub use np_meridian::{BuildMode, MeridianConfig, Overlay};
-    pub use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+    pub use np_metric::{
+        LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, ShardedWorld, Target, WorldStore,
+    };
     pub use np_probe::{King, NoiseConfig, Pinger, TcpPing, Tracer};
     pub use np_remedies::{PrefixRegistry, UclRegistry};
     pub use np_topology::{ClusterWorld, ClusterWorldSpec, HostId, InternetModel, WorldParams};

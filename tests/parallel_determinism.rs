@@ -12,7 +12,7 @@
 use nearest_peer::prelude::*;
 use np_core::{run_queries_threads, sweep_three_runs_threads, RunBandMetrics};
 use np_metric::nearest::BruteForce;
-use np_metric::NearestCache;
+use np_metric::{NearestCache, ShardedWorld, WorldStore};
 
 const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 
@@ -135,6 +135,111 @@ fn world_matrix_identical_at_any_thread_count() {
                 );
             }
         }
+    }
+}
+
+/// The sharded scenario's world-spec twin of [`scenario`] (96 peers in
+/// 4 shards, 16 targets).
+fn sharded_scenario(seed: u64) -> np_core::ClusterScenario<ShardedWorld> {
+    np_core::ClusterScenario::build_sharded_threads(
+        ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 12,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 6,
+        },
+        16,
+        seed,
+        1,
+    )
+}
+
+/// Sharded-backend matrix build: per-shard row-blocked block fills must
+/// reproduce the 1-thread build bit-for-bit, like the dense builder.
+#[test]
+fn sharded_world_identical_at_any_thread_count() {
+    let world = ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 3,
+            en_per_cluster: 10,
+            peers_per_en: 2,
+            delta: 0.3,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 5,
+        },
+        77,
+    );
+    let serial = world.to_sharded_threads(1);
+    serial.validate().expect("serial sharded world valid");
+    for threads in THREAD_COUNTS {
+        let par = world.to_sharded_threads(threads);
+        par.validate().expect("parallel sharded world valid");
+        assert_eq!(par.len(), serial.len());
+        assert_eq!(par.n_shards(), serial.n_shards());
+        for a in serial.peers() {
+            for b in serial.peers() {
+                assert_eq!(
+                    serial.rtt(a, b),
+                    par.rtt(a, b),
+                    "sharded rtt({a}, {b}) diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Query batches over a sharded scenario: the full metric set must be
+/// bit-identical at any thread count, exactly like the dense path.
+#[test]
+fn sharded_batch_metrics_identical_at_any_thread_count() {
+    let s = sharded_scenario(404);
+    let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+    let serial = run_queries_threads(&algo, &s, 120, 13, 1);
+    assert_eq!(serial.p_correct_closest, 1.0, "brute force is exact");
+    for threads in THREAD_COUNTS {
+        let par = run_queries_threads(&algo, &s, 120, 13, threads);
+        assert_eq!(serial, par, "sharded batch diverged at {threads} threads");
+    }
+}
+
+/// Multi-seed sweep bands over sharded scenarios (outer per-seed
+/// parallelism composed with inner query parallelism and the sharded
+/// block fills).
+#[test]
+fn sharded_sweep_bands_identical_at_any_thread_count() {
+    let run_with = |threads: usize| {
+        sweep_three_runs_threads(55, threads, |seed| {
+            let s = sharded_scenario(seed);
+            let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+            run_queries_threads(&algo, &s, 60, seed, threads)
+        })
+    };
+    let serial = run_with(1);
+    for threads in [2, 4, 8] {
+        assert_bands_identical(&serial, &run_with(threads));
+    }
+}
+
+/// The two backends must see the very same experiment: same seed ⇒
+/// same split, same ground truth, same metrics — dense vs sharded.
+#[test]
+fn sharded_scenario_metrics_match_dense_scenario() {
+    let dense = scenario(505);
+    let sharded = sharded_scenario(505);
+    assert_eq!(dense.overlay, sharded.overlay);
+    assert_eq!(dense.targets, sharded.targets);
+    let da = BruteForce::new(&dense.matrix, dense.overlay.clone());
+    let sa = BruteForce::new(&sharded.matrix, sharded.overlay.clone());
+    for threads in [1, 4] {
+        assert_eq!(
+            run_queries_threads(&da, &dense, 100, 17, threads),
+            run_queries_threads(&sa, &sharded, 100, 17, threads),
+            "backends diverged at {threads} threads"
+        );
     }
 }
 

@@ -1,0 +1,156 @@
+//! The sharded backend's equivalence contract, property-tested.
+//!
+//! [`ShardedWorld`] earns its place by being *provably* interchangeable
+//! with the dense matrix where it claims exactness:
+//!
+//! 1. **Shard count 1** is the dense matrix: one block, built by the
+//!    same row-blocked fill — every RTT, every `nearest_within`, and
+//!    every `NearestCache` answer must be **bit-identical**.
+//! 2. **Intra-cluster queries** on multi-shard worlds read dense
+//!    blocks: they must match dense ground truth exactly, any shard
+//!    count.
+//! 3. On hub-and-spoke worlds (`ClusterWorld::to_sharded`) the hub
+//!    summary reassembles the generator's own rule, so even
+//!    *inter*-cluster RTTs are exact — the paper-figure cross-checks in
+//!    `ext_scale` rest on this.
+//!
+//! Worlds are random ≤512-peer cluster worlds from the vendored
+//! proptest harness; assertions are exact equality, never tolerances.
+
+use np_metric::{NearestCache, PeerId, ShardedWorld, WorldStore};
+use np_topology::{ClusterWorld, ClusterWorldSpec};
+use np_util::Micros;
+
+/// A random-shape world: `clusters × en_per_cluster × 2` peers, ≤512.
+fn world(clusters: usize, en_per_cluster: usize, delta_pct: u64, seed: u64) -> ClusterWorld {
+    ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters,
+            en_per_cluster,
+            peers_per_en: 2,
+            delta: delta_pct as f64 / 100.0,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: clusters.max(2),
+        },
+        seed,
+    )
+}
+
+proptest::proptest! {
+    /// Property 1: a shard-count-1 `ShardedWorld` is bit-identical to
+    /// the dense matrix — RTTs, `nearest_within` over arbitrary member
+    /// subsets, and the `NearestCache` built on top.
+    #[test]
+    fn single_shard_is_bit_identical_to_dense(
+        seed in 0u64..1_000,
+        clusters in 1usize..=6,
+        en in 1usize..=8,
+        delta_pct in 0u64..=100,
+    ) {
+        let w = world(clusters, en, delta_pct, seed);
+        let n = w.len();
+        proptest::prop_assert!(n <= 512);
+        let dense = w.to_matrix_threads(1);
+        let single = ShardedWorld::single_shard(n, 2, |a, b| w.rtt(a, b));
+        proptest::prop_assert_eq!(single.n_shards(), 1);
+        for a in dense.peers() {
+            for b in dense.peers() {
+                proptest::prop_assert_eq!(
+                    WorldStore::rtt(&single, a, b),
+                    dense.rtt(a, b),
+                    "rtt({},{}) diverged", a, b
+                );
+            }
+        }
+        // Member subsets of three shapes: everyone, a strided sample,
+        // and a tiny tail — covering full rows, gathers, and the
+        // near-empty edge.
+        let all: Vec<PeerId> = dense.peers().collect();
+        let strided: Vec<PeerId> = dense.peers().step_by(3).collect();
+        let tail: Vec<PeerId> = dense.peers().skip(n.saturating_sub(2)).collect();
+        for members in [&all, &strided, &tail] {
+            for t in dense.peers() {
+                proptest::prop_assert_eq!(
+                    single.nearest_within(t, members),
+                    dense.nearest_within(t, members),
+                    "nearest_within({}) diverged on {} members", t, members.len()
+                );
+            }
+        }
+        // NearestCache equality over a held-out-style split.
+        let split = n - (n / 4).max(1);
+        let (overlay, targets) = all.split_at(split);
+        let cd = NearestCache::build(&dense, overlay, targets, 2);
+        let cs = NearestCache::build(&single, overlay, targets, 2);
+        for &t in targets {
+            proptest::prop_assert_eq!(cd.nearest(t), cs.nearest(t));
+        }
+    }
+
+    /// Property 2: on multi-shard worlds, intra-cluster queries (all
+    /// members in the target's cluster) always match dense ground
+    /// truth — they read the same dense block bytes.
+    #[test]
+    fn multi_shard_intra_cluster_queries_match_dense(
+        seed in 0u64..1_000,
+        clusters in 2usize..=6,
+        en in 2usize..=8,
+        delta_pct in 0u64..=100,
+    ) {
+        let w = world(clusters, en, delta_pct, seed);
+        let dense = w.to_matrix_threads(1);
+        let sharded = w.to_sharded_threads(2);
+        proptest::prop_assert_eq!(sharded.n_shards(), clusters);
+        for t in dense.peers() {
+            let cluster_members: Vec<PeerId> = dense
+                .peers()
+                .filter(|&p| w.same_cluster(p, t))
+                .collect();
+            proptest::prop_assert_eq!(
+                sharded.nearest_within(t, &cluster_members),
+                dense.nearest_within(t, &cluster_members),
+                "intra-cluster nearest({}) diverged", t
+            );
+            // Intra-cluster RTTs are exact, peer by peer.
+            for &m in &cluster_members {
+                proptest::prop_assert_eq!(
+                    sharded.rtt(t, m),
+                    dense.rtt(t, m),
+                    "intra-cluster rtt({},{}) diverged", t, m
+                );
+            }
+        }
+    }
+
+    /// Property 3: `ClusterWorld::to_sharded` is exact *everywhere* on
+    /// hub-and-spoke worlds — the hub summary is the generator's own
+    /// inter-cluster rule, so full-membership ground truth (what the
+    /// paper-figure scenarios use) is bit-identical too.
+    #[test]
+    fn cluster_world_hub_summary_is_exact(
+        seed in 0u64..1_000,
+        clusters in 2usize..=5,
+        en in 1usize..=6,
+    ) {
+        let w = world(clusters, en, 20, seed);
+        let dense = w.to_matrix_threads(1);
+        let sharded = w.to_sharded_threads(2);
+        for a in dense.peers() {
+            for b in dense.peers() {
+                proptest::prop_assert_eq!(
+                    sharded.rtt(a, b),
+                    dense.rtt(a, b),
+                    "rtt({},{}) diverged", a, b
+                );
+            }
+        }
+        let all: Vec<PeerId> = dense.peers().collect();
+        for t in dense.peers() {
+            proptest::prop_assert_eq!(
+                sharded.nearest_within(t, &all),
+                dense.nearest_within(t, &all)
+            );
+        }
+    }
+}
