@@ -9,7 +9,7 @@
 //! server deployed in them"), so the candidate set is the whole cluster
 //! — back to brute force, as §6 argues.
 
-use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_metric::{NearestPeerAlgo, PeerId, QueryOutcome, Target, WorldStore};
 use np_util::rng::rng_for;
 use np_util::Micros;
 use rand::rngs::StdRng;
@@ -50,8 +50,8 @@ pub struct Beaconing {
 impl Beaconing {
     /// Build: beacons measure every member (infrastructure cost, not
     /// counted against queries — the paper's model).
-    pub fn build(
-        matrix: &LatencyMatrix,
+    pub fn build<W: WorldStore + ?Sized>(
+        matrix: &W,
         members: Vec<PeerId>,
         cfg: BeaconConfig,
         seed: u64,

@@ -9,7 +9,7 @@
 //! holds a huge equidistant sample and progress stalls — the paper's
 //! §2.2 argument.
 
-use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target, WorldStore};
 use np_util::rng::rng_for;
 use np_util::Micros;
 use rand::rngs::StdRng;
@@ -44,27 +44,31 @@ impl Default for KrConfig {
 }
 
 /// The built structure.
-pub struct KargerRuhl<'m> {
+///
+/// Generic over the latency backend (defaulting to the dense matrix),
+/// like every algorithm in the workspace — the same build runs over a
+/// [`np_metric::ShardedWorld`] or any other [`WorldStore`].
+pub struct KargerRuhl<'m, W: WorldStore + ?Sized = LatencyMatrix> {
     /// Kept for API symmetry with overlays that re-measure; the direct
     /// query path only reads it at build time.
     #[allow(dead_code)]
-    matrix: &'m LatencyMatrix,
+    matrix: &'m W,
     cfg: KrConfig,
     members: Vec<PeerId>,
     /// `samples[member][scale]` = sampled peers within `2^scale·base`.
     samples: HashMap<PeerId, Vec<Vec<PeerId>>>,
 }
 
-impl<'m> KargerRuhl<'m> {
+impl<'m, W: WorldStore + ?Sized> KargerRuhl<'m, W> {
     /// Build by per-scale reservoir sampling from global knowledge (the
     /// idealised construction; gossip converges to the same
     /// distribution).
     pub fn build(
-        matrix: &'m LatencyMatrix,
+        matrix: &'m W,
         members: Vec<PeerId>,
         cfg: KrConfig,
         seed: u64,
-    ) -> KargerRuhl<'m> {
+    ) -> KargerRuhl<'m, W> {
         assert!(!members.is_empty());
         let mut rng = rng_for(seed, 0x4B_52); // "KR"
         let mut samples = HashMap::new();
@@ -105,7 +109,7 @@ impl<'m> KargerRuhl<'m> {
     }
 }
 
-impl NearestPeerAlgo for KargerRuhl<'_> {
+impl<W: WorldStore + ?Sized> NearestPeerAlgo for KargerRuhl<'_, W> {
     fn name(&self) -> &str {
         "karger-ruhl"
     }

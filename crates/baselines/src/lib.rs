@@ -19,11 +19,13 @@
 //! accounting (only overlay-internal latencies are free).
 
 pub mod beacon;
+pub mod factory;
 pub mod karger_ruhl;
 pub mod tapestry;
 pub mod tiers;
 
 pub use beacon::Beaconing;
+pub use factory::{BeaconingFactory, KargerRuhlFactory, TapestryFactory, TiersFactory};
 pub use karger_ruhl::KargerRuhl;
 pub use tapestry::Tapestry;
 pub use tiers::Tiers;

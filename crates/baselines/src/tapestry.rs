@@ -8,7 +8,7 @@
 //! the levels of the target's id from a random start, probing every
 //! table entry it consults; the best probed peer wins.
 
-use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target, WorldStore};
 use np_util::rng::rng_for;
 use np_util::Micros;
 use rand::rngs::StdRng;
@@ -32,10 +32,10 @@ fn shares_prefix(a: u64, b: u64, levels: usize) -> bool {
 }
 
 /// The built overlay.
-pub struct Tapestry<'m> {
+pub struct Tapestry<'m, W: WorldStore + ?Sized = LatencyMatrix> {
     /// Kept for API symmetry; only read during construction.
     #[allow(dead_code)]
-    matrix: &'m LatencyMatrix,
+    matrix: &'m W,
     members: Vec<PeerId>,
     ids: HashMap<PeerId, u64>,
     /// `table[peer][level][digit]` = closest matching peer, if any.
@@ -43,11 +43,11 @@ pub struct Tapestry<'m> {
     max_hops: u32,
 }
 
-impl<'m> Tapestry<'m> {
+impl<'m, W: WorldStore + ?Sized> Tapestry<'m, W> {
     /// Build with closest-eligible-neighbour tables from global
     /// knowledge (what the iterative level-by-level construction
     /// converges to in a static network).
-    pub fn build(matrix: &'m LatencyMatrix, members: Vec<PeerId>, seed: u64) -> Tapestry<'m> {
+    pub fn build(matrix: &'m W, members: Vec<PeerId>, seed: u64) -> Tapestry<'m, W> {
         assert!(!members.is_empty());
         let mut rng = rng_for(seed, 0x54_41_50); // "TAP"
         let ids: HashMap<PeerId, u64> = members.iter().map(|&p| (p, rng.gen())).collect();
@@ -94,7 +94,7 @@ impl<'m> Tapestry<'m> {
     }
 }
 
-impl NearestPeerAlgo for Tapestry<'_> {
+impl<W: WorldStore + ?Sized> NearestPeerAlgo for Tapestry<'_, W> {
     fn name(&self) -> &str {
         "tapestry"
     }

@@ -9,7 +9,7 @@
 //! inside a PoP cluster are mutually equidistant and the descent reduces
 //! to random choice — the paper's §6 argument.
 
-use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target};
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target, WorldStore};
 use np_util::rng::rng_for;
 use np_util::Micros;
 use rand::rngs::StdRng;
@@ -40,23 +40,23 @@ struct Level {
 }
 
 /// The built hierarchy.
-pub struct Tiers<'m> {
+pub struct Tiers<'m, W: WorldStore + ?Sized = LatencyMatrix> {
     /// Kept for API symmetry with overlays that re-measure; the direct
     /// query path only reads it at build time.
     #[allow(dead_code)]
-    matrix: &'m LatencyMatrix,
+    matrix: &'m W,
     members: Vec<PeerId>,
     levels: Vec<Level>,
 }
 
-impl<'m> Tiers<'m> {
+impl<'m, W: WorldStore + ?Sized> Tiers<'m, W> {
     /// Build bottom-up: clusters by nearest-representative assignment.
     pub fn build(
-        matrix: &'m LatencyMatrix,
+        matrix: &'m W,
         members: Vec<PeerId>,
         cfg: TiersConfig,
         seed: u64,
-    ) -> Tiers<'m> {
+    ) -> Tiers<'m, W> {
         assert!(!members.is_empty());
         assert!(cfg.cluster_size >= 2);
         let mut rng = rng_for(seed, 0x54_49_45); // "TIE"
@@ -106,7 +106,7 @@ impl<'m> Tiers<'m> {
     }
 }
 
-impl NearestPeerAlgo for Tiers<'_> {
+impl<W: WorldStore + ?Sized> NearestPeerAlgo for Tiers<'_, W> {
     fn name(&self) -> &str {
         "tiers"
     }

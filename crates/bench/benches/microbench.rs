@@ -300,6 +300,49 @@ fn bench_sharded_build_10k(c: &mut Criterion) {
     });
 }
 
+// --- experiment-pipeline microbench -----------------------------------
+//
+// The declarative layer end to end: spec construction, registry lookup,
+// scenario build (500-peer world), Meridian factory build and a
+// 100-query batch. Records what "one small experiment cell" costs so
+// regressions in the pipeline's overhead (cache, context plumbing,
+// report assembly) show up in BENCH_parallel.json.
+
+fn bench_experiment_pipeline(c: &mut Criterion) {
+    use np_core::experiment::{AlgoSpec, Backend, CellSpec, Experiment, ExperimentSpec, SeedPlan};
+    let registry = np_bench::standard_registry();
+    let threads = np_util::parallel::available_threads();
+    c.bench_function("experiment_pipeline_100q", |b| {
+        b.iter(|| {
+            let spec = ExperimentSpec::query(
+                "bench",
+                "pipeline microbench",
+                "n/a",
+                Backend::Dense,
+                SeedPlan::Single,
+                vec![CellSpec {
+                    label: "500 peers".into(),
+                    world: ClusterWorldSpec {
+                        clusters: 10,
+                        en_per_cluster: 25,
+                        peers_per_en: 2,
+                        delta: 0.2,
+                        mean_hub_ms: (4.0, 6.0),
+                        intra_en: Micros::from_us(100),
+                        hub_pool: 10,
+                    },
+                    n_targets: 20,
+                    base_seed: 7,
+                    queries: 100,
+                    algos: vec![AlgoSpec::new("meridian")],
+                }],
+            );
+            let report = Experiment::new(spec, &registry).run_threads(threads);
+            criterion::black_box(report.cells()[0].rows[0].single().mean_probes)
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -316,6 +359,6 @@ criterion_group! {
               bench_matrix_build_2500_serial, bench_matrix_build_2500_par,
               bench_run_queries_1000_serial, bench_run_queries_1000_par,
               bench_nearest_scan_kernel, bench_nearest_scan_naive,
-              bench_sharded_build_10k
+              bench_sharded_build_10k, bench_experiment_pipeline
 }
 criterion_main!(benches);

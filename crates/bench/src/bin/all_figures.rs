@@ -3,42 +3,33 @@
 //!
 //! Usage: `cargo run --release -p np-bench --bin all_figures [-- --quick] [-- --threads N]`.
 //!
-//! All flags (including `--threads`/`--seed`) are forwarded verbatim to
-//! every figure binary, so one `--threads 8` parallelises the whole
-//! regeneration; per-figure footers report each figure's wall-clock and
-//! measured effective speedup.
+//! The binary list is the shared figure catalogue
+//! (`np_bench::FIGURES`), so a new spec binary registers once and is
+//! regenerated (and smoked in CI) automatically. All flags (including
+//! `--threads`/`--seed`/`--world`) are forwarded verbatim to every
+//! figure binary, so one `--threads 8` parallelises the whole
+//! regeneration and one `--world sharded` runs every cluster-world
+//! figure on the block-compressed backend; per-figure footers report
+//! each figure's wall-clock and measured effective speedup.
 
+use np_bench::FIGURES;
 use std::process::Command;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wall = Instant::now();
-    let bins = [
-        "fig3_4",
-        "fig5",
-        "fig6_7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "ucl_discovery",
-        "ext_baselines",
-        "ext_assumptions",
-        "ext_hybrid",
-        "ext_ablation",
-    ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
-    for bin in bins {
-        println!("\n================ {bin} ================\n");
-        let status = Command::new(dir.join(bin))
+    for figure in FIGURES {
+        println!("\n================ {} ================\n", figure.bin);
+        let status = Command::new(dir.join(figure.bin))
             .args(&args)
             .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", figure.bin));
         if !status.success() {
-            failures.push(bin);
+            failures.push(figure.bin);
         }
     }
     if !failures.is_empty() {

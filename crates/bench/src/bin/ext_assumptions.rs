@@ -4,23 +4,24 @@
 //! intrinsic dimension over (a) a growth-friendly uniform world and
 //! (b) the paper's cluster worlds at increasing cluster sizes. The
 //! clustering condition must inflate all three.
+//!
+//! Honours `--world sharded`: the cluster-world diagnostics then read
+//! latencies through the block-compressed backend (bit-identical on §4
+//! worlds — the hub summary is exact there).
 
-use np_bench::{Args, header, Report};
-use np_core::ClusterScenario;
+use np_bench::{cli, standard_registry, Args};
+use np_core::experiment::{
+    AlgoSpec, Backend, CellSpec, ExperimentSpec, ScenarioHandle, StudyCtx, StudyOutput,
+};
 use np_metric::diagnostics::assumption_report;
 use np_metric::{LatencyMatrix, PeerId};
 use np_util::rng::rng_for;
 use np_util::table::{fmt_f, Table};
 use np_util::Micros;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "Ext B — metric-space diagnostics under clustering",
-        "growth/doubling constants and intrinsic dimension blow up with cluster size",
-        &args,
-    );
-    let report = Report::start(&args);
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
     let mut table = Table::new(&[
         "world",
         "growth max",
@@ -28,7 +29,7 @@ fn main() {
         "doubling (greedy)",
         "intrinsic dim",
     ]);
-    // Uniform reference world: peers on a 50x50 grid, 2 ms spacing.
+    // Uniform reference world: peers on a 30x30 grid, 2 ms spacing.
     let uniform = LatencyMatrix::build(900, |a, b| {
         let (ax, ay) = (a.idx() % 30, a.idx() / 30);
         let (bx, by) = (b.idx() % 30, b.idx() / 30);
@@ -38,7 +39,7 @@ fn main() {
         )
     });
     let members: Vec<PeerId> = (0..900).map(PeerId).collect();
-    let mut rng = rng_for(args.seed, 1);
+    let mut rng = rng_for(ctx.seed, 1);
     let r = assumption_report(&uniform, &members, &mut rng);
     table.row(&[
         "uniform grid".into(),
@@ -48,12 +49,23 @@ fn main() {
         fmt_f(r.intrinsic_dim.unwrap_or(f64::NAN)),
     ]);
     for &x in &[5usize, 25, 125] {
-        let scenario = ClusterScenario::paper(x, 0.2, args.seed.wrapping_add(x as u64));
-        let members: Vec<PeerId> = scenario.overlay.clone();
-        let mut rng = rng_for(args.seed, 2 + x as u64);
-        let r = assumption_report(&scenario.matrix, &members, &mut rng);
+        // Build through the experiment layer's scenario handle so the
+        // diagnostics honour the backend selection.
+        let cell = CellSpec::paper(
+            format!("x={x}"),
+            x,
+            0.2,
+            ctx.seed.wrapping_add(x as u64),
+            0,
+            vec![AlgoSpec::new("brute-force")],
+        );
+        let scenario =
+            ScenarioHandle::build(&cell, ctx.backend, cell.base_seed, ctx.threads);
+        let members: Vec<PeerId> = scenario.overlay().to_vec();
+        let mut rng = rng_for(ctx.seed, 2 + x as u64);
+        let r = assumption_report(scenario.store(), &members, &mut rng);
         table.row(&[
-            format!("cluster world x={x}"),
+            format!("cluster world x={x} ({})", ctx.backend.name()),
             fmt_f(r.growth_max.unwrap_or(f64::NAN)),
             fmt_f(r.growth_p95.unwrap_or(f64::NAN)),
             r.doubling.to_string(),
@@ -61,9 +73,24 @@ fn main() {
         ]);
         eprintln!("x={x} done");
     }
-    println!("{}", table.render());
-    if args.csv {
-        println!("{}", table.to_csv());
+    let _ = write!(out, "{}", table.render());
+    StudyOutput {
+        text: out,
+        tables: vec![("ext_assumptions".into(), table)],
     }
-    report.footer();
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "ext_assumptions",
+        "Ext B — metric-space diagnostics under clustering",
+        "growth/doubling constants and intrinsic dimension blow up with cluster size",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

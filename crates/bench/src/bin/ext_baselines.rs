@@ -3,77 +3,80 @@
 //! same cluster worlds as Figure 8, and all of them should show the
 //! same collapse of P(correct closest) at large cluster sizes while
 //! brute force stays perfect.
+//!
+//! The whole family is one spec: a cell per cluster size, eight
+//! registry names per cell (brute force at a fifth of the query budget
+//! — each of its queries probes the full overlay).
 
-use np_baselines::{
-    beacon::BeaconConfig, karger_ruhl::KrConfig, tiers::TiersConfig, Beaconing, KargerRuhl,
-    Tapestry, Tiers,
-};
-use np_bench::{header, Args, Report};
-use np_coords::walk::build_walk;
-use np_coords::CoordWalk;
-use np_core::{run_queries_threads, ClusterScenario, PaperMetrics};
-use np_meridian::{BuildMode, MeridianConfig, Overlay};
-use np_metric::nearest::{BruteForce, RandomChoice};
+use np_bench::{cli, standard_registry, Args, Rendered};
+use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
 use np_util::table::{fmt_f, fmt_prob, Table};
 
 fn main() {
     let args = Args::parse();
-    header(
-        "Ext A — all algorithms under the clustering condition",
-        "every latency-only scheme collapses at x=250; brute force does not",
-        &args,
-    );
-    let report = Report::start(&args);
-    let threads = args.threads();
     let xs: &[usize] = if args.quick { &[25, 250] } else { &[5, 25, 250] };
     let n_queries = if args.quick { 150 } else { 1_000 };
-    let mut table = Table::new(&[
-        "algorithm",
-        "end-nets/cluster",
-        "P(correct closest)",
-        "P(correct cluster)",
-        "mean probes",
-    ]);
-    for &x in xs {
-        let scenario = ClusterScenario::paper(x, 0.2, args.seed.wrapping_add(x as u64));
-        let run = |name: &str, m: PaperMetrics, table: &mut Table| {
-            table.row(&[
-                name.to_string(),
-                x.to_string(),
-                fmt_prob(m.p_correct_closest),
-                fmt_prob(m.p_correct_cluster),
-                fmt_f(m.mean_probes),
-            ]);
+    let algos = |n: usize| {
+        vec![
+            AlgoSpec::new("meridian"),
+            AlgoSpec::new("karger-ruhl"),
+            AlgoSpec::new("tapestry"),
+            AlgoSpec::new("tiers"),
+            AlgoSpec::new("beaconing"),
+            AlgoSpec::new("coord-walk"),
+            AlgoSpec::new("random"),
+            AlgoSpec::new("brute-force").with_queries(n / 5),
+        ]
+    };
+    let cells = xs
+        .iter()
+        .map(|&x| {
+            CellSpec::paper(
+                format!("x={x}"),
+                x,
+                0.2,
+                args.seed.wrapping_add(x as u64),
+                n_queries,
+                algos(n_queries),
+            )
+        })
+        .collect();
+    let spec = ExperimentSpec::query(
+        "ext_baselines",
+        "Ext A — all algorithms under the clustering condition",
+        "every latency-only scheme collapses at x=250; brute force does not",
+        args.backend(Backend::Dense),
+        args.seed_plan(SeedPlan::Single),
+        cells,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, |report, _| {
+        let mut table = Table::new(&[
+            "algorithm",
+            "end-nets/cluster",
+            "P(correct closest)",
+            "P(correct cluster)",
+            "mean probes",
+        ]);
+        // Single-run cells print the historical plain numbers; a
+        // --seeds sweep prints median [min, max] bands.
+        let prob = |b: np_util::stats::RunBand| {
+            if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
         };
-        let seed = args.seed.wrapping_add(x as u64);
-        let meridian = Overlay::build(
-            &scenario.matrix,
-            scenario.overlay.clone(),
-            MeridianConfig::default(),
-            BuildMode::Omniscient,
-            seed,
-        );
-        run("meridian", run_queries_threads(&meridian, &scenario, n_queries, seed, threads), &mut table);
-        let kr = KargerRuhl::build(&scenario.matrix, scenario.overlay.clone(), KrConfig::default(), seed);
-        run("karger-ruhl", run_queries_threads(&kr, &scenario, n_queries, seed, threads), &mut table);
-        let tap = Tapestry::build(&scenario.matrix, scenario.overlay.clone(), seed);
-        run("tapestry", run_queries_threads(&tap, &scenario, n_queries, seed, threads), &mut table);
-        let tiers = Tiers::build(&scenario.matrix, scenario.overlay.clone(), TiersConfig::default(), seed);
-        run("tiers", run_queries_threads(&tiers, &scenario, n_queries, seed, threads), &mut table);
-        let bcn = Beaconing::build(&scenario.matrix, scenario.overlay.clone(), BeaconConfig::default(), seed);
-        run("beaconing", run_queries_threads(&bcn, &scenario, n_queries, seed, threads), &mut table);
-        let (vivaldi, wseed) = build_walk(&scenario.matrix, scenario.overlay.clone(), 3, seed);
-        let walk = CoordWalk::new(&vivaldi, 16, wseed);
-        run("coord-walk", run_queries_threads(&walk, &scenario, n_queries, seed, threads), &mut table);
-        let rnd = RandomChoice::new(&scenario.matrix, scenario.overlay.clone());
-        run("random", run_queries_threads(&rnd, &scenario, n_queries, seed, threads), &mut table);
-        let bf = BruteForce::new(&scenario.matrix, scenario.overlay.clone());
-        run("brute-force", run_queries_threads(&bf, &scenario, n_queries / 5, seed, threads), &mut table);
-        eprintln!("x={x} done");
-    }
-    println!("{}", table.render());
-    if args.csv {
-        println!("{}", table.to_csv());
-    }
-    report.footer();
+        for (&x, cell) in xs.iter().zip(report.cells()) {
+            for row in &cell.rows {
+                let b = &row.bands;
+                table.row(&[
+                    row.label.clone(),
+                    x.to_string(),
+                    prob(b.p_correct_closest),
+                    prob(b.p_correct_cluster),
+                    fmt_f(b.mean_probes.median),
+                ]);
+            }
+        }
+        Rendered {
+            body: table.render(),
+            csv: Some(table.to_csv()),
+        }
+    });
 }

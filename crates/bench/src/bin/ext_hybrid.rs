@@ -4,106 +4,81 @@
 //! (UCL) *in conjunction with* a latency-only algorithm. In the §4
 //! cluster world, "sharing an upstream router" is exactly "sharing an
 //! end-network", so the UCL registry reduces to an end-network keyed
-//! map. The sweep varies registry deployment coverage: at 0 % the hybrid
-//! is plain Meridian; at 100 % it finds the exact-closest peer whenever
-//! the partner is registered — at a handful of probes instead of dozens.
+//! map (`np_remedies::EnRegistry`). The sweep varies registry
+//! deployment coverage: at 0 % the hybrid is plain Meridian; at 100 %
+//! it finds the exact-closest peer whenever the partner is registered —
+//! at a handful of probes instead of dozens.
+//!
+//! Each coverage level is one `HybridHintFactory` registration; all
+//! rows share one scenario through the pipeline's scenario cache, and
+//! the six identically-configured Meridian fallbacks share one ring
+//! fill through the per-scenario build cache (`BuildCache`).
 
-use np_bench::{header, Args, Report};
-use np_core::hybrid::{HintSource, Hybrid};
-use np_core::{run_queries_threads, ClusterScenario};
-use np_meridian::{BuildMode, MeridianConfig, Overlay};
-use np_metric::PeerId;
-use np_util::rng::rng_for;
+use np_bench::{cli, standard_registry, Args, Rendered};
+use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
+use np_meridian::MeridianFactory;
+use np_remedies::HybridHintFactory;
 use np_util::table::{fmt_f, fmt_prob, Table};
-use rand::seq::SliceRandom;
-use std::collections::HashMap;
 
-/// UCL hints in the cluster world: registered peers keyed by
-/// end-network (= shared first upstream router).
-struct EnRegistry {
-    by_en: HashMap<usize, Vec<PeerId>>,
-    en_of: HashMap<PeerId, usize>,
-}
-
-impl EnRegistry {
-    fn build(scenario: &ClusterScenario, coverage: f64, seed: u64) -> EnRegistry {
-        let mut rng = rng_for(seed, 0x48_59_42);
-        let mut members = scenario.overlay.clone();
-        members.shuffle(&mut rng);
-        let n = (members.len() as f64 * coverage).round() as usize;
-        let mut by_en: HashMap<usize, Vec<PeerId>> = HashMap::new();
-        for &p in &members[..n] {
-            by_en.entry(scenario.world.en_of(p)).or_default().push(p);
-        }
-        // Every peer (even unregistered) knows its own EN key.
-        let en_of = scenario
-            .world
-            .peers()
-            .map(|p| (p, scenario.world.en_of(p)))
-            .collect();
-        EnRegistry { by_en, en_of }
-    }
-}
-
-impl HintSource for EnRegistry {
-    fn candidates(&self, target: PeerId) -> Vec<PeerId> {
-        self.by_en
-            .get(&self.en_of[&target])
-            .cloned()
-            .unwrap_or_default()
-    }
-    fn name(&self) -> &str {
-        "ucl"
-    }
-}
+const COVERAGES: &[f64] = &[0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() {
     let args = Args::parse();
-    header(
-        "Ext C — hybrid (UCL registry + Meridian fallback)",
-        "success tracks registry coverage; probe cost collapses on hits",
-        &args,
-    );
-    let report = Report::start(&args);
-    let threads = args.threads();
     let x = 250; // the hardest Figure 8 configuration
     let n_queries = if args.quick { 300 } else { 2_000 };
-    let scenario = ClusterScenario::paper(x, 0.2, args.seed);
-    let overlay = Overlay::build(
-        &scenario.matrix,
-        scenario.overlay.clone(),
-        MeridianConfig::default(),
-        BuildMode::Omniscient,
-        args.seed,
-    );
-    let mut table = Table::new(&[
-        "registry coverage",
-        "P(correct closest)",
-        "P(correct cluster)",
-        "mean probes",
-    ]);
-    let meridian_only = run_queries_threads(&overlay, &scenario, n_queries, args.seed, threads);
-    table.row(&[
-        "(meridian alone)".into(),
-        fmt_prob(meridian_only.p_correct_closest),
-        fmt_prob(meridian_only.p_correct_cluster),
-        fmt_f(meridian_only.mean_probes),
-    ]);
-    for coverage in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let hints = EnRegistry::build(&scenario, coverage, args.seed.wrapping_add(7));
-        let hybrid = Hybrid::new(&hints, &overlay);
-        let m = run_queries_threads(&hybrid, &scenario, n_queries, args.seed, threads);
-        table.row(&[
+    let mut registry = standard_registry();
+    let mut algos = vec![AlgoSpec::labelled("meridian", "(meridian alone)")];
+    for &coverage in COVERAGES {
+        let name = format!("ucl{:.0}+meridian", coverage * 100.0);
+        registry.register(Box::new(HybridHintFactory::new(
+            name.clone(),
+            coverage,
+            MeridianFactory::omniscient(),
+        )));
+        algos.push(AlgoSpec::labelled(
+            name,
             format!("{:.0}%", coverage * 100.0),
-            fmt_prob(m.p_correct_closest),
-            fmt_prob(m.p_correct_cluster),
-            fmt_f(m.mean_probes),
+        ));
+    }
+    let spec = ExperimentSpec::query(
+        "ext_hybrid",
+        "Ext C — hybrid (UCL registry + Meridian fallback)",
+        "success tracks registry coverage; probe cost collapses on hits",
+        args.backend(Backend::Dense),
+        args.seed_plan(SeedPlan::Single),
+        vec![CellSpec::paper(
+            "x=250",
+            x,
+            0.2,
+            args.seed,
+            n_queries,
+            algos,
+        )],
+    );
+    cli::run_experiment(&args, &registry, spec, |report, _| {
+        let mut table = Table::new(&[
+            "registry coverage",
+            "P(correct closest)",
+            "P(correct cluster)",
+            "mean probes",
         ]);
-        eprintln!("coverage {coverage} done");
-    }
-    println!("{}", table.render());
-    if args.csv {
-        println!("{}", table.to_csv());
-    }
-    report.footer();
+        // Single-run cells print the historical plain numbers; a
+        // --seeds sweep prints median [min, max] bands.
+        let prob = |b: np_util::stats::RunBand| {
+            if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
+        };
+        for row in &report.cells()[0].rows {
+            let b = &row.bands;
+            table.row(&[
+                row.label.clone(),
+                prob(b.p_correct_closest),
+                prob(b.p_correct_cluster),
+                fmt_f(b.mean_probes.median),
+            ]);
+        }
+        Rendered {
+            body: table.render(),
+            csv: Some(table.to_csv()),
+        }
+    });
 }

@@ -4,34 +4,22 @@
 //! Not a paper figure: the paper stops at "about 2500 peers" because
 //! its object is the dense inter-peer latency matrix (25 MB there,
 //! 40 GB at 100 k peers). This binary sweeps world sizes from the
-//! paper's scale up to 50 k peers on `ShardedWorld` — per-cluster dense
-//! blocks plus the generator's exact hub summary — and, at sizes where
+//! paper's scale up to 50 k peers on `ShardedWorld` and, at sizes where
 //! the dense matrix still fits, cross-checks that both backends produce
-//! **bit-identical** `PaperMetrics` for the same seed.
+//! **bit-identical** `PaperMetrics` for the same seed — by running the
+//! same spec cells through a second, dense-backend `Experiment`.
 //!
 //! Per size it reports the backend's memory footprint, build time, and
 //! the throughput of a query batch driven by the brute-force reference
 //! algorithm (the worst-cost probe pattern — every query touches every
 //! overlay member, so this is a stress test of the `rtt` hot path, and
 //! its accuracy doubles as a self-check: brute force must be exact).
-//!
-//! Extra flags on top of the standard set:
-//!
-//! * `--world dense|sharded` — backend for the sweep (default sharded;
-//!   dense refuses sizes whose matrix would not fit CI memory);
-//! * `--shards N` — override the cluster (= shard) count per world
-//!   (default: `peers / 50`, the paper's 25-end-network cluster shape);
-//! * `--max-rss-mb N` — fail if peak RSS exceeds the budget (the CI
-//!   smoke job pins the compressed backend's memory behaviour).
 
-use np_bench::{enforce_rss_budget, header, Args, Report, WorldBackend};
-use np_core::{run_queries_threads, ClusterScenario, PaperMetrics};
-use np_metric::nearest::BruteForce;
-use np_metric::WorldStore;
+use np_bench::{cli, standard_registry, Args, Rendered};
+use np_core::experiment::{AlgoSpec, Backend, CellSpec, Experiment, ExperimentSpec, SeedPlan};
 use np_topology::ClusterWorldSpec;
 use np_util::table::Table;
 use np_util::Micros;
-use std::time::Instant;
 
 /// Dense is quadratic: past this size a single matrix outgrows the CI
 /// memory budget this binary is asserted under.
@@ -60,41 +48,29 @@ fn spec_for(peers: usize, shards: Option<usize>) -> ClusterWorldSpec {
     }
 }
 
-struct SizeResult {
-    metrics: PaperMetrics,
-    backend_mb: f64,
-    build_s: f64,
-    query_s: f64,
-}
-
-fn run_size<W: WorldStore>(
-    scenario: &ClusterScenario<W>,
-    n_queries: usize,
-    seed: u64,
-    threads: usize,
-    build_s: f64,
-) -> SizeResult {
-    let algo = BruteForce::new(&scenario.matrix, scenario.overlay.clone());
-    let t = Instant::now();
-    let metrics = run_queries_threads(&algo, scenario, n_queries, seed, threads);
-    SizeResult {
-        metrics,
-        backend_mb: scenario.matrix.approx_bytes() as f64 / (1024.0 * 1024.0),
-        build_s,
-        query_s: t.elapsed().as_secs_f64(),
-    }
+fn cells_for(sizes: &[usize], args: &Args, n_queries: usize) -> Vec<CellSpec> {
+    sizes
+        .iter()
+        .map(|&requested| {
+            let world = spec_for(requested, args.shards);
+            // With a --shards override the spec rounds to whole
+            // clusters; label the world actually built.
+            let peers = world.total_peers();
+            CellSpec {
+                label: format!("{peers} peers"),
+                world,
+                n_targets: 100,
+                base_seed: args.seed.wrapping_add(peers as u64),
+                queries: n_queries,
+                algos: vec![AlgoSpec::new("brute-force")],
+            }
+        })
+        .collect()
 }
 
 fn main() {
     let args = Args::parse();
-    let backend = args.world.unwrap_or(WorldBackend::Sharded);
-    header(
-        "Extension — sharded worlds beyond the 2.5k-peer dense wall",
-        "memory stays tens of MB while peers grow 20x; dense and sharded metrics agree bit-for-bit at paper scale",
-        &args,
-    );
-    let report = Report::start(&args);
-    let threads = args.threads();
+    let backend = args.backend(Backend::Sharded);
     let sizes: Vec<usize> = if args.quick {
         vec![2_500, 10_000]
     } else {
@@ -104,8 +80,8 @@ fn main() {
     // sizes whose matrix would not fit, rather than aborting mid-run
     // and losing the completed rows.
     let sizes: Vec<usize> = match backend {
-        WorldBackend::Sharded => sizes,
-        WorldBackend::Dense => {
+        Backend::Sharded => sizes,
+        Backend::Dense => {
             let (fit, dropped): (Vec<usize>, Vec<usize>) =
                 sizes.into_iter().partition(|&p| p <= DENSE_LIMIT);
             if !dropped.is_empty() {
@@ -119,73 +95,95 @@ fn main() {
         }
     };
     let n_queries = if args.quick { 250 } else { 1_000 };
-    let batch_header = format!("{n_queries}-query s");
-    let mut table = Table::new(&[
-        "peers",
-        "shards",
-        "backend",
-        "store MB",
-        "build s",
-        &batch_header,
-        "queries/s",
-        "P(correct)",
-        "mean probes",
-    ]);
-    for &requested in &sizes {
-        let spec = spec_for(requested, args.shards);
-        let shards = spec.clusters;
-        // With a --shards override the spec rounds to whole clusters;
-        // report the world actually built, not the requested size.
-        let peers = spec.total_peers();
-        let seed = args.seed.wrapping_add(peers as u64);
-        let result = match backend {
-            WorldBackend::Sharded => {
-                let t = Instant::now();
-                let s = ClusterScenario::build_sharded_threads(spec, 100, seed, threads);
-                let build_s = t.elapsed().as_secs_f64();
-                let r = run_size(&s, n_queries, seed, threads, build_s);
-                // Cross-backend equivalence where dense still fits: the
-                // hub summary is exact on cluster worlds, so the whole
-                // metric set must agree bit-for-bit.
-                if peers <= CROSS_CHECK_LIMIT {
-                    let d = ClusterScenario::build(spec_for(requested, args.shards), 100, seed);
-                    let dense = run_size(&d, n_queries, seed, threads, 0.0);
-                    assert_eq!(
-                        r.metrics, dense.metrics,
-                        "sharded and dense backends diverged at {peers} peers"
-                    );
-                    eprintln!("{peers} peers: dense cross-check identical ✓");
-                }
-                r
-            }
-            WorldBackend::Dense => {
-                let t = Instant::now();
-                let s = ClusterScenario::build(spec, 100, seed);
-                let build_s = t.elapsed().as_secs_f64();
-                run_size(&s, n_queries, seed, threads, build_s)
-            }
-        };
-        assert_eq!(
-            result.metrics.p_correct_closest, 1.0,
-            "brute force must be exact at {peers} peers"
-        );
-        table.row(&[
-            peers.to_string(),
-            shards.to_string(),
-            backend.name().to_string(),
-            format!("{:.1}", result.backend_mb),
-            format!("{:.2}", result.build_s),
-            format!("{:.2}", result.query_s),
-            format!("{:.0}", n_queries as f64 / result.query_s.max(1e-9)),
-            format!("{:.3}", result.metrics.p_correct_closest),
-            format!("{:.0}", result.metrics.mean_probes),
+    let registry = standard_registry();
+    let spec = ExperimentSpec::query(
+        "ext_scale",
+        "Extension — sharded worlds beyond the 2.5k-peer dense wall",
+        "memory stays tens of MB while peers grow 20x; dense and sharded metrics agree bit-for-bit at paper scale",
+        backend,
+        args.seed_plan(SeedPlan::Single),
+        cells_for(&sizes, &args, n_queries),
+    );
+    let report = cli::run_experiment(&args, &registry, spec, |report, args| {
+        let batch_header = format!("{n_queries}-query s");
+        let mut table = Table::new(&[
+            "peers",
+            "shards",
+            "backend",
+            "store MB",
+            "build s",
+            &batch_header,
+            "queries/s",
+            "P(correct)",
+            "mean probes",
         ]);
-        eprintln!("{peers} peers done");
+        for (&requested, cell) in sizes.iter().zip(report.cells()) {
+            let row = &cell.rows[0];
+            let b = &row.bands;
+            let query_s = row.wall.as_secs_f64();
+            let total_queries = row.queries * row.runs.len();
+            table.row(&[
+                cell.peers.to_string(),
+                spec_for(requested, args.shards).clusters.to_string(),
+                report.backend.name().to_string(),
+                format!("{:.1}", cell.store_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.2}", cell.build_wall.as_secs_f64()),
+                format!("{query_s:.2}"),
+                format!("{:.0}", total_queries as f64 / query_s.max(1e-9)),
+                format!("{:.3}", b.p_correct_closest.median),
+                format!("{:.0}", b.mean_probes.median),
+            ]);
+        }
+        Rendered {
+            body: table.render(),
+            csv: Some(table.to_csv()),
+        }
+    });
+    // Self-check on the main path (not the renderer, so it also guards
+    // --out json runs): the brute-force reference must be exact in
+    // every run at every size.
+    for cell in report.cells() {
+        for m in &cell.rows[0].runs {
+            assert_eq!(
+                m.p_correct_closest, 1.0,
+                "brute force must be exact at {} peers",
+                cell.peers
+            );
+        }
     }
-    println!("{}", table.render());
-    if args.csv {
-        println!("{}", table.to_csv());
+    // Cross-backend equivalence where dense still fits: the generator's
+    // hub summary is exact on cluster worlds, so the whole metric set
+    // must agree bit-for-bit. Run the same (small) cells through a
+    // dense-backend experiment and diff the reports.
+    if backend == Backend::Sharded {
+        let small: Vec<usize> = sizes
+            .iter()
+            .copied()
+            .filter(|&p| p <= CROSS_CHECK_LIMIT)
+            .collect();
+        if !small.is_empty() {
+            eprintln!("cross-checking {small:?} peers against the dense backend...");
+            let dense_spec = ExperimentSpec::query(
+                "ext_scale-crosscheck",
+                "dense cross-check",
+                "",
+                Backend::Dense,
+                args.seed_plan(SeedPlan::Single),
+                cells_for(&small, &args, n_queries),
+            );
+            let dense = Experiment::new(dense_spec, &registry).run_threads(args.threads());
+            for (sh, de) in report.cells().iter().zip(dense.cells()) {
+                assert_eq!(
+                    sh.rows[0].runs, de.rows[0].runs,
+                    "sharded and dense backends diverged at {} peers",
+                    sh.peers
+                );
+                println!("{} peers: dense cross-check identical ✓", sh.peers);
+            }
+            // The cross-check allocates dense matrices after the
+            // driver's budget check; re-assert the peak so the CI
+            // guard covers the whole run.
+            cli::enforce_rss_budget(&args);
+        }
     }
-    report.footer();
-    enforce_rss_budget(&args);
 }

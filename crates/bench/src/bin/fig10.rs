@@ -6,35 +6,31 @@
 //! ≈3.9 ms is 4 hops — so tracking 2 routers each discovers those pairs
 //! — and hop-length grows with latency.
 
-use np_bench::{Args, header, Report};
+use np_bench::{cli, standard_registry, Args};
 use np_cluster::TraceGraph;
+use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
 use np_remedies::ucl;
 use np_topology::{HostId, InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::{fmt_f, Table};
 use np_util::Micros;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "Figure 10 — inter-peer router hops vs latency",
-        "hop-length grows with latency; median ~4 hops at ~4 ms",
-        &args,
-    );
-    let report = Report::start(&args);
-    let params = if args.quick {
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
+    let params = if ctx.quick {
         WorldParams::quick_scale()
     } else {
         WorldParams::paper_scale()
     };
-    let world = InternetModel::generate(params, args.seed);
+    let world = InternetModel::generate(params, ctx.seed);
     // The §5 population: peers that answered TCP-pings or traceroutes.
     let peers: Vec<HostId> = world
         .azureus_peers()
         .filter(|&p| world.host(p).tcp_responsive || world.host(p).icmp_responsive)
         .collect();
     eprintln!("responsive peers: {} (paper: 22,796)", peers.len());
-    let tg = TraceGraph::build(&world, &peers, args.seed);
+    let tg = TraceGraph::build(&world, &peers, ctx.seed);
     eprintln!(
         "trace graph: {} nodes, {} edges, {} peers connected",
         tg.graph.len(),
@@ -42,7 +38,7 @@ fn main() {
         tg.connected_peers()
     );
     let samples = ucl::hop_samples(&tg, &peers, Micros::from_ms_u64(10));
-    println!("close pairs (<=10 ms): {}", samples.len());
+    let _ = writeln!(out, "close pairs (<=10 ms): {}", samples.len());
     let scatter = ucl::hop_study(&tg, &peers, Micros::from_ms_u64(10), 10);
     let mut t = Table::new(&["latency (ms)", "p5", "p25", "median", "p75", "p95", "#pairs"]);
     let mut med = Vec::new();
@@ -58,8 +54,9 @@ fn main() {
         ]);
         med.push((b.x, b.band.p50));
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
         "{}",
         Chart::new("Fig 10: median router hop-length vs inter-peer latency", 64, 12)
             .axes(Axis::Log, Axis::Linear)
@@ -69,14 +66,31 @@ fn main() {
     );
     // The paper's reading: n tracked routers discover peers <=2n hops.
     if let Some(b) = scatter.bin_containing(3.9) {
-        println!(
+        let _ = writeln!(
+            out,
             "bin at ~3.9 ms: median hop-length {:.1} -> tracking {} routers each discovers the median pair (paper: 4 -> 2 routers)",
             b.band.p50,
             (b.band.p50 / 2.0).ceil() as u64
         );
     }
-    if args.csv {
-        println!("{}", t.to_csv());
+    out.truncate(out.trim_end_matches('\n').len());
+    StudyOutput {
+        text: out,
+        tables: vec![("fig10_hops".into(), t)],
     }
-    report.footer();
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "fig10",
+        "Figure 10 — inter-peer router hops vs latency",
+        "hop-length grows with latency; median ~4 hops at ~4 ms",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

@@ -7,33 +7,29 @@
 //! bits the FP rate forces ≥hundreds of candidate probes, and longer
 //! prefixes ignore more and more truly-close peers.
 
-use np_bench::{Args, header, Report};
+use np_bench::{cli, standard_registry, Args};
 use np_cluster::TraceGraph;
+use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
 use np_remedies::prefix;
 use np_topology::{HostId, InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::{fmt_prob, Table};
 use np_util::Micros;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "Figure 11 — IP-prefix heuristic error rates",
-        "FP falls / FN rises with prefix length; no sweet spot",
-        &args,
-    );
-    let report = Report::start(&args);
-    let params = if args.quick {
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
+    let params = if ctx.quick {
         WorldParams::quick_scale()
     } else {
         WorldParams::paper_scale()
     };
-    let world = InternetModel::generate(params, args.seed);
+    let world = InternetModel::generate(params, ctx.seed);
     let peers: Vec<HostId> = world
         .azureus_peers()
         .filter(|&p| world.host(p).tcp_responsive || world.host(p).icmp_responsive)
         .collect();
-    let tg = TraceGraph::build(&world, &peers, args.seed);
+    let tg = TraceGraph::build(&world, &peers, ctx.seed);
     let rows = prefix::error_study(
         &world,
         &tg,
@@ -41,7 +37,8 @@ fn main() {
         Micros::from_ms_u64(10),
         (8..=24).map(|l| l as u8),
     );
-    println!(
+    let _ = writeln!(
+        out,
         "population with a <=10 ms neighbour: {} of {} (paper: ~2,400 of 22,796)\n",
         rows.first().map(|r| r.population).unwrap_or(0),
         peers.len()
@@ -58,8 +55,9 @@ fn main() {
         fp_pts.push((f64::from(r.prefix_len), r.false_positive));
         fn_pts.push((f64::from(r.prefix_len), r.false_negative));
     }
-    println!("{}", t.render());
-    println!(
+    let _ = writeln!(out, "{}", t.render());
+    let _ = write!(
+        out,
         "{}",
         Chart::new("Fig 11: [P]=false-positive [N]=false-negative", 64, 14)
             .axes(Axis::Linear, Axis::Linear)
@@ -68,8 +66,23 @@ fn main() {
             .series('N', &fn_pts)
             .render()
     );
-    if args.csv {
-        println!("{}", t.to_csv());
+    StudyOutput {
+        text: out,
+        tables: vec![("fig11_error_rates".into(), t)],
     }
-    report.footer();
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "fig11",
+        "Figure 11 — IP-prefix heuristic error rates",
+        "FP falls / FN rises with prefix length; no sweet spot",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

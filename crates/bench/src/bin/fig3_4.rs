@@ -10,47 +10,47 @@
 //!   bin populations.
 //!
 //! `--show-tree` additionally renders a Figure 2-style sample traceroute
-//! tree.
+//! tree. Runs as a measurement-stack study stage of the Experiment API
+//! (the Internet model has no latency store to swap, so `--world` is
+//! accepted but inert).
 
-use np_bench::{Args, header, Report};
+use np_bench::{cli, standard_registry, Args};
 use np_cluster::dns::{run, DnsStudyConfig};
+use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
 use np_topology::{HostId, InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
 use np_util::binned::{BinScale, BinnedScatter};
 use np_util::table::{fmt_f, Table};
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "Figures 3 & 4 — DNS-pair prediction measure",
-        "~65% of pairs within [0.5, 2]; per-bin medians rise with predicted latency",
-        &args,
-    );
-    let report = Report::start(&args);
-    let params = if args.quick {
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
+    let params = if ctx.quick {
         WorldParams::quick_scale()
     } else {
         WorldParams::paper_scale()
     };
-    let world = InternetModel::generate(params, args.seed);
+    let world = InternetModel::generate(params, ctx.seed);
     eprintln!(
         "world: {} pops, {} dns servers",
         world.n_pops(),
         world.n_dns()
     );
-    if args.rest.iter().any(|a| a == "--show-tree") {
-        let mut tracer = np_probe::Tracer::new(&world, np_probe::NoiseConfig::default(), args.seed);
+    if ctx.flags.iter().any(|a| a == "--show-tree") {
+        let mut tracer = np_probe::Tracer::new(&world, np_probe::NoiseConfig::default(), ctx.seed);
         let targets: Vec<HostId> = world.dns_servers().take(8).collect();
-        println!("--- Figure 2-style sample trace tree ---");
-        println!("{}", tracer.trace_tree(0, &targets));
+        let _ = writeln!(out, "--- Figure 2-style sample trace tree ---");
+        let _ = writeln!(out, "{}", tracer.trace_tree(0, &targets));
     }
-    let study = run(&world, DnsStudyConfig::default(), args.seed);
-    println!(
+    let study = run(&world, DnsStudyConfig::default(), ctx.seed);
+    let _ = writeln!(
+        out,
         "servers mapped to a PoP: {} / {}",
         study.mapped_servers,
         world.n_dns()
     );
-    println!(
+    let _ = writeln!(
+        out,
         "retained pairs: {}   (dropped: same-domain {}, negative {}, hops {}, cap {}, unmeasurable {})",
         study.pairs.len(),
         study.dropped_same_domain,
@@ -60,7 +60,8 @@ fn main() {
         study.dropped_unmeasurable
     );
     let cdf = study.ratio_cdf();
-    println!(
+    let _ = writeln!(
+        out,
         "\nFigure 3: fraction of pairs with prediction measure in [0.5, 2]: {:.3}  (paper: ~0.65)",
         study.fraction_in_band()
     );
@@ -72,8 +73,9 @@ fn main() {
             format!("{:.3}", cdf.fraction_le(x)),
         ]);
     }
-    println!("{}", t3.render());
-    println!(
+    let _ = writeln!(out, "{}", t3.render());
+    let _ = writeln!(
+        out,
         "{}",
         Chart::new("Fig 3: CDF of prediction measure (log x)", 64, 12)
             .axes(Axis::Log, Axis::Linear)
@@ -98,9 +100,10 @@ fn main() {
         ]);
         med_pts.push((b.x, b.band.p50));
     }
-    println!("Figure 4: binned prediction measure vs predicted latency");
-    println!("{}", t4.render());
-    println!(
+    let _ = writeln!(out, "Figure 4: binned prediction measure vs predicted latency");
+    let _ = writeln!(out, "{}", t4.render());
+    let _ = write!(
+        out,
         "{}",
         Chart::new("Fig 4: median prediction measure vs predicted latency", 64, 12)
             .axes(Axis::Log, Axis::Log)
@@ -108,8 +111,23 @@ fn main() {
             .series('m', &med_pts)
             .render()
     );
-    if args.csv {
-        println!("{}", t4.to_csv());
+    StudyOutput {
+        text: out,
+        tables: vec![("fig3_cdf".into(), t3), ("fig4_binned".into(), t4)],
     }
-    report.footer();
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "fig3_4",
+        "Figures 3 & 4 — DNS-pair prediction measure",
+        "~65% of pairs within [0.5, 2]; per-bin medians rise with predicted latency",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

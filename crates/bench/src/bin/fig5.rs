@@ -6,28 +6,25 @@
 //! magnitude smaller than inter-domain ones, and tightening the hop cap
 //! from 10 to 5 changes little.
 
-use np_bench::{Args, header, Report};
+use np_bench::{cli, standard_registry, Args};
 use np_cluster::domain;
+use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
 use np_topology::{InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::Table;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "Figure 5 — intra-domain vs inter-domain latencies",
-        "intra-domain ~10x smaller; predicted tracks measured for inter-domain",
-        &args,
-    );
-    let report = Report::start(&args);
-    let params = if args.quick {
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
+    let params = if ctx.quick {
         WorldParams::quick_scale()
     } else {
         WorldParams::paper_scale()
     };
-    let world = InternetModel::generate(params, args.seed);
-    let s = domain::run(&world, args.seed);
-    println!(
+    let world = InternetModel::generate(params, ctx.seed);
+    let s = domain::run(&world, ctx.seed);
+    let _ = writeln!(
+        out,
         "pairs: intra-domain {} (paper ~500), inter-domain {} (paper ~26,000)\n",
         s.intra_pairs, s.inter_pairs
     );
@@ -45,11 +42,12 @@ fn main() {
             format!("{:.3}", cdf.quantile(0.9).unwrap_or(f64::NAN)),
         ]);
     }
-    println!("{}", t.render());
+    let _ = writeln!(out, "{}", t.render());
     let ratio = s.inter_king_max10.median().unwrap_or(f64::NAN)
         / s.intra_max10.median().unwrap_or(f64::NAN);
-    println!("inter/intra median ratio: {ratio:.1}x  (paper: ~10x)\n");
-    println!(
+    let _ = writeln!(out, "inter/intra median ratio: {ratio:.1}x  (paper: ~10x)\n");
+    let _ = write!(
+        out,
         "{}",
         Chart::new("Fig 5 CDFs: [a]=intra<=5 [b]=intra<=10 [p]=inter-pred [k]=inter-king", 68, 16)
             .axes(Axis::Log, Axis::Linear)
@@ -60,8 +58,23 @@ fn main() {
             .cdf('k', &s.inter_king_max10)
             .render()
     );
-    if args.csv {
-        println!("{}", t.to_csv());
+    StudyOutput {
+        text: out,
+        tables: vec![("fig5_distributions".into(), t)],
     }
-    report.footer();
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "fig5",
+        "Figure 5 — intra-domain vs inter-domain latencies",
+        "intra-domain ~10x smaller; predicted tracks measured for inter-domain",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

@@ -11,31 +11,28 @@
 //! * Fig 7 — hub-to-peer latency distributions of the 5 largest pruned
 //!   clusters (paper sizes: 235/139/113/79/73).
 
-use np_bench::{Args, header, Report};
+use np_bench::{cli, standard_registry, Args};
 use np_cluster::azureus;
 use np_cluster::AzureusStudy;
+use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
 use np_probe::vantage::render_table1;
 use np_topology::{InternetModel, WorldParams};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::Table;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "Figures 6 & 7 — Azureus clustering",
-        "non-negligible fraction of peers in large similar-latency clusters",
-        &args,
-    );
-    let report = Report::start(&args);
-    println!("Table 1 vantage points:\n{}", render_table1());
-    let params = if args.quick {
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1 vantage points:\n{}", render_table1());
+    let params = if ctx.quick {
         WorldParams::quick_scale()
     } else {
         WorldParams::paper_scale()
     };
-    let world = InternetModel::generate(params, args.seed);
-    let s = azureus::run(&world, None, args.seed);
-    println!(
+    let world = InternetModel::generate(params, ctx.seed);
+    let s = azureus::run(&world, None, ctx.seed);
+    let _ = writeln!(
+        out,
         "attrition: {} candidate IPs -> {} responsive (paper 22,796) -> {} consistent survivors (paper 5,904)\n",
         s.total_ips,
         s.responsive.len(),
@@ -54,13 +51,15 @@ fn main() {
         un_pts.push((x as f64, un[i].1 as f64));
         pr_pts.push((x as f64, pr[i].1 as f64));
     }
-    println!("Figure 6: cumulative count of peers by cluster size");
-    println!("{}", t6.render());
-    println!(
+    let _ = writeln!(out, "Figure 6: cumulative count of peers by cluster size");
+    let _ = writeln!(out, "{}", t6.render());
+    let _ = writeln!(
+        out,
         "fraction of surviving peers in pruned clusters >=25: {:.3}  (paper: ~0.16)\n",
         s.fraction_in_large_pruned(25)
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{}",
         Chart::new("Fig 6: cumulative peers vs cluster size [u]=unpruned [p]=pruned", 64, 12)
             .axes(Axis::Log, Axis::Linear)
@@ -71,7 +70,10 @@ fn main() {
     );
 
     // Figure 7.
-    println!("Figure 7: hub-to-peer latencies of the 5 largest pruned clusters");
+    let _ = writeln!(
+        out,
+        "Figure 7: hub-to-peer latencies of the 5 largest pruned clusters"
+    );
     let mut t7 = Table::new(&["rank", "size", "min (ms)", "median (ms)", "max (ms)"]);
     let mut chart = Chart::new("Fig 7: per-cluster latency distributions", 64, 12)
         .axes(Axis::Log, Axis::Linear)
@@ -92,11 +94,25 @@ fn main() {
             .collect();
         chart = chart.series(char::from(b'1' + rank as u8), &pts);
     }
-    println!("{}", t7.render());
-    println!("{}", chart.render());
-    if args.csv {
-        println!("{}", t6.to_csv());
-        println!("{}", t7.to_csv());
+    let _ = writeln!(out, "{}", t7.render());
+    let _ = write!(out, "{}", chart.render());
+    StudyOutput {
+        text: out,
+        tables: vec![("fig6_cumulative".into(), t6), ("fig7_clusters".into(), t7)],
     }
-    report.footer();
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "fig6_7",
+        "Figures 6 & 7 — Azureus clustering",
+        "non-negligible fraction of peers in large similar-latency clusters",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

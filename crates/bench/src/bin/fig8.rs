@@ -7,69 +7,75 @@
 //!   x=25, then falls to ≈0.1–0.15 at x=250 — the phase transition the
 //!   clustering condition causes;
 //! * P(correct cluster): increases monotonically towards ≈1.
+//!
+//! The spec: one cell per cluster size, the `meridian` registry entry,
+//! three-seed sweeps. Output is byte-identical to the pre-API binary
+//! (`crates/bench/tests/golden_fig8.rs` enforces it).
 
-use np_bench::{band, header, Args, Report};
-use np_core::{run_queries_threads, sweep_three_runs_threads, ClusterScenario};
-use np_meridian::{BuildMode, MeridianConfig, Overlay};
+use np_bench::{band, cli, standard_registry, Args, Rendered};
+use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
 use np_util::ascii::{Axis, Chart};
 use np_util::table::Table;
 
 fn main() {
     let args = Args::parse();
-    header(
-        "Figure 8 — Meridian accuracy vs cluster size",
-        "closest-peer curve peaks near x=25 then collapses; cluster curve rises to ~1",
-        &args,
-    );
-    let report = Report::start(&args);
-    let threads = args.threads();
     let xs: &[usize] = &[5, 25, 50, 125, 250];
     let n_queries = if args.quick { 400 } else { 5_000 };
-    let mut table = Table::new(&[
-        "end-nets/cluster",
-        "P(correct closest) med [min,max]",
-        "P(correct cluster) med [min,max]",
-        "mean probes",
-        "mean hops",
-    ]);
-    let mut closest_pts = Vec::new();
-    let mut cluster_pts = Vec::new();
-    for &x in xs {
-        let bands = sweep_three_runs_threads(args.seed.wrapping_add(x as u64), threads, |seed| {
-            let scenario = ClusterScenario::paper(x, 0.2, seed);
-            let overlay = Overlay::build(
-                &scenario.matrix,
-                scenario.overlay.clone(),
-                MeridianConfig::default(),
-                BuildMode::Omniscient,
-                seed,
-            );
-            run_queries_threads(&overlay, &scenario, n_queries, seed, threads)
-        });
-        table.row(&[
-            x.to_string(),
-            band(bands.p_correct_closest),
-            band(bands.p_correct_cluster),
-            format!("{:.1}", bands.mean_probes.median),
-            format!("{:.2}", bands.mean_hops.median),
+    let cells = xs
+        .iter()
+        .map(|&x| {
+            CellSpec::paper(
+                format!("x={x}"),
+                x,
+                0.2,
+                args.seed.wrapping_add(x as u64),
+                n_queries,
+                vec![AlgoSpec::new("meridian")],
+            )
+        })
+        .collect();
+    let spec = ExperimentSpec::query(
+        "fig8",
+        "Figure 8 — Meridian accuracy vs cluster size",
+        "closest-peer curve peaks near x=25 then collapses; cluster curve rises to ~1",
+        args.backend(Backend::Dense),
+        args.seed_plan(SeedPlan::THREE_RUNS),
+        cells,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, |report, _| {
+        let mut table = Table::new(&[
+            "end-nets/cluster",
+            "P(correct closest) med [min,max]",
+            "P(correct cluster) med [min,max]",
+            "mean probes",
+            "mean hops",
         ]);
-        closest_pts.push((x as f64, bands.p_correct_closest.median));
-        cluster_pts.push((x as f64, bands.p_correct_cluster.median));
-        eprintln!("x={x} done");
-    }
-    println!("{}", table.render());
-    let chart = Chart::new(
-        "P(correct closest) [c]  /  P(correct cluster) [K]",
-        64,
-        14,
-    )
-    .axes(Axis::Log, Axis::Linear)
-    .labels("#end-networks in cluster", "prob")
-    .series('c', &closest_pts)
-    .series('K', &cluster_pts);
-    println!("{}", chart.render());
-    if args.csv {
-        println!("{}", table.to_csv());
-    }
-    report.footer();
+        let mut closest_pts = Vec::new();
+        let mut cluster_pts = Vec::new();
+        for (&x, cell) in xs.iter().zip(report.cells()) {
+            let bands = &cell.rows[0].bands;
+            table.row(&[
+                x.to_string(),
+                band(bands.p_correct_closest),
+                band(bands.p_correct_cluster),
+                format!("{:.1}", bands.mean_probes.median),
+                format!("{:.2}", bands.mean_hops.median),
+            ]);
+            closest_pts.push((x as f64, bands.p_correct_closest.median));
+            cluster_pts.push((x as f64, bands.p_correct_cluster.median));
+        }
+        let chart = Chart::new(
+            "P(correct closest) [c]  /  P(correct cluster) [K]",
+            64,
+            14,
+        )
+        .axes(Axis::Log, Axis::Linear)
+        .labels("#end-networks in cluster", "prob")
+        .series('c', &closest_pts)
+        .series('K', &cluster_pts);
+        Rendered {
+            body: format!("{}\n{}", table.render(), chart.render()),
+            csv: Some(table.to_csv()),
+        }
+    });
 }

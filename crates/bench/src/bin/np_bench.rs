@@ -1,0 +1,50 @@
+//! `np-bench` — the harness utility binary.
+//!
+//! * `np-bench list` — print the figure catalogue and the standard
+//!   algorithm registry (names + descriptions): what experiments exist
+//!   and which algorithm names an `ExperimentSpec` may reference.
+//!
+//! CI runs `list` as a registry smoke test: it instantiates every
+//! factory table and fails on any name collision or missing entry.
+
+use np_bench::{standard_registry, FIGURES};
+use np_util::table::Table;
+
+fn list() {
+    println!("figure binaries (cargo run --release -p np-bench --bin <name>):\n");
+    let mut figs = Table::new(&["binary", "kind", "backends", "title"]);
+    for f in FIGURES {
+        figs.row(&[
+            f.bin.to_string(),
+            f.kind.name().to_string(),
+            f.backends.to_string(),
+            f.title.to_string(),
+        ]);
+    }
+    println!("{}", figs.render());
+    let registry = standard_registry();
+    println!(
+        "registered algorithms ({} — ExperimentSpec cells reference these names):\n",
+        registry.len()
+    );
+    let mut algos = Table::new(&["name", "description"]);
+    for (name, desc) in registry.catalogue() {
+        algos.row(&[name.to_string(), desc]);
+    }
+    println!("{}", algos.render());
+    println!(
+        "common flags: --quick --seed N --threads N --world dense|sharded --shards N \
+         --seeds N --out table|json --csv --max-rss-mb N"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") | None => list(),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}; try: np-bench list");
+            std::process::exit(2);
+        }
+    }
+}

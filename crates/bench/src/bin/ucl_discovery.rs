@@ -10,66 +10,72 @@
 //! `--chord` backs the registry with the real Chord ring instead of the
 //! perfect map and reports the lookup-hop cost.
 
-use np_bench::{Args, header, Report};
+use np_bench::{cli, standard_registry, Args};
+use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
 use np_dht::{ChordMap, PerfectMap};
 use np_remedies::ucl::discovery_study;
 use np_topology::{HostId, InternetModel, WorldParams};
 use np_util::table::{fmt_f, fmt_prob, Table};
 use np_util::Micros;
+use std::fmt::Write as _;
 
-fn main() {
-    let args = Args::parse();
-    header(
-        "UCL discovery study (paper Section 5)",
-        "~50% success at 3 tracked routers, ~75% at 6 (5 ms targets)",
-        &args,
-    );
-    let report = Report::start(&args);
-    let params = if args.quick {
+fn study(ctx: &StudyCtx) -> StudyOutput {
+    let mut out = String::new();
+    let params = if ctx.quick {
         WorldParams::quick_scale()
     } else {
         WorldParams::paper_scale()
     };
-    let world = InternetModel::generate(params, args.seed);
+    let world = InternetModel::generate(params, ctx.seed);
     // Evaluate over a subsample of responsive peers (registry inserts are
     // O(peers x track); the paper's evaluation is also over its
     // responsive set).
-    let step = if args.quick { 3 } else { 11 };
+    let step = if ctx.quick { 3 } else { 11 };
     let peers: Vec<HostId> = world
         .azureus_peers()
         .filter(|&p| world.host(p).tcp_responsive || world.host(p).icmp_responsive)
         .step_by(step)
         .collect();
-    println!("evaluated peers: {}", peers.len());
-    let use_chord = args.rest.iter().any(|a| a == "--chord");
+    let _ = writeln!(out, "evaluated peers: {}", peers.len());
+    let use_chord = ctx.flags.iter().any(|a| a == "--chord");
     let target = Micros::from_ms_u64(5);
     let mut t = Table::new(&["tracked routers", "success", "mean candidates", "after filter"]);
-    if use_chord {
-        let rows = discovery_study(&world, &peers, target, 8, || ChordMap::new(128, args.seed));
-        for r in &rows {
-            t.row(&[
-                r.track.to_string(),
-                fmt_prob(r.success),
-                fmt_f(r.mean_candidates),
-                fmt_f(r.mean_filtered),
-            ]);
-        }
-        println!("backend: chord (128 nodes)");
+    let rows = if use_chord {
+        discovery_study(&world, &peers, target, 8, || ChordMap::new(128, ctx.seed))
     } else {
-        let rows = discovery_study(&world, &peers, target, 8, PerfectMap::new);
-        for r in &rows {
-            t.row(&[
-                r.track.to_string(),
-                fmt_prob(r.success),
-                fmt_f(r.mean_candidates),
-                fmt_f(r.mean_filtered),
-            ]);
-        }
-        println!("backend: perfect map (the paper's assumption)");
+        discovery_study(&world, &peers, target, 8, PerfectMap::new)
+    };
+    for r in &rows {
+        t.row(&[
+            r.track.to_string(),
+            fmt_prob(r.success),
+            fmt_f(r.mean_candidates),
+            fmt_f(r.mean_filtered),
+        ]);
     }
-    println!("{}", t.render());
-    if args.csv {
-        println!("{}", t.to_csv());
+    if use_chord {
+        let _ = writeln!(out, "backend: chord (128 nodes)");
+    } else {
+        let _ = writeln!(out, "backend: perfect map (the paper's assumption)");
     }
-    report.footer();
+    let _ = write!(out, "{}", t.render());
+    StudyOutput {
+        text: out,
+        tables: vec![("ucl_discovery".into(), t)],
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let spec = ExperimentSpec::study(
+        "ucl_discovery",
+        "UCL discovery study (paper Section 5)",
+        "~50% success at 3 tracked routers, ~75% at 6 (5 ms targets)",
+        args.backend(Backend::Dense),
+        args.seed,
+        args.quick,
+        args.rest.clone(),
+        study,
+    );
+    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

@@ -1,0 +1,555 @@
+//! Shared CLI parsing and the figure driver.
+//!
+//! Every figure binary supports one flag set, parsed here once:
+//!
+//! * `--quick` — scaled-down smoke run (CI-sized);
+//! * `--seed N` — base seed (default [`DEFAULT_SEED`]);
+//! * `--threads N` — worker threads; precedence `--threads` >
+//!   `$NP_THREADS` > all cores (results identical at any value);
+//! * `--world dense|sharded` — latency backend for cluster-world
+//!   experiments (measurement-pipeline figures accept and note it);
+//! * `--shards N` — shard-count override for sharded worlds;
+//! * `--seeds N` — sweep width override (N runs per cell instead of
+//!   the figure's default seed plan);
+//! * `--out table|json` — human tables (default) or JSON lines;
+//! * `--csv` — additionally emit the table as CSV (table mode);
+//! * `--max-rss-mb N` — fail if peak RSS exceeds the budget.
+//!
+//! [`run_experiment`] is the one driver behind all binaries: it prints
+//! the header, executes the [`ExperimentSpec`] through
+//! [`np_core::experiment::Experiment`], renders via the figure's
+//! renderer (or the JSON sink), and prints the wall-clock /
+//! effective-parallelism footer.
+
+use np_core::experiment::{
+    sink, AlgoRegistry, Backend, Experiment, ExperimentReport, ExperimentSpec, SeedPlan,
+};
+use np_util::parallel::{busy_time, resolve_threads};
+use np_util::rng::DEFAULT_SEED;
+use std::time::{Duration, Instant};
+
+/// Output format selection (`--out`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutFormat {
+    /// Aligned human tables and ASCII charts.
+    #[default]
+    Table,
+    /// One JSON object per (cell, algorithm) row.
+    Json,
+}
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub quick: bool,
+    pub seed: u64,
+    pub csv: bool,
+    /// Explicit `--threads N`, if given. Use [`Args::threads`] for the
+    /// resolved count.
+    pub threads: Option<usize>,
+    /// `--world dense|sharded` — latency backend, if given (binaries
+    /// that support both default to their historical backend).
+    pub world: Option<Backend>,
+    /// `--shards N` — shard-count override for sharded worlds (the
+    /// scale binaries derive cluster counts from it).
+    pub shards: Option<usize>,
+    /// `--seeds N` — runs per cell, overriding the figure's default
+    /// seed plan.
+    pub seeds: Option<usize>,
+    /// `--out table|json`.
+    pub out: OutFormat,
+    /// `--max-rss-mb N` — fail the run if peak RSS exceeds this (CI
+    /// memory regression guard; needs `/proc`, i.e. Linux).
+    pub max_rss_mb: Option<u64>,
+    /// Leftover positional/unknown flags for binary-specific handling.
+    pub rest: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            quick: false,
+            seed: DEFAULT_SEED,
+            csv: false,
+            threads: None,
+            world: None,
+            shards: None,
+            seeds: None,
+            out: OutFormat::Table,
+            max_rss_mb: None,
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args()`; malformed values print the error
+    /// and exit 2.
+    pub fn parse() -> Args {
+        match Self::try_from_iter(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--quick] [--seed N] [--threads N] [--world dense|sharded] \
+                     [--shards N] [--seeds N] [--out table|json] [--csv] [--max-rss-mb N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit iterator, panicking on malformed values
+    /// (the historical API; tests assert the messages).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        Self::try_from_iter(args).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parse from an explicit iterator; malformed values become `Err`
+    /// with a human-readable message naming the flag.
+    pub fn try_from_iter(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        fn value(
+            it: &mut impl Iterator<Item = String>,
+            flag: &str,
+        ) -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        }
+        fn positive(v: &str, flag: &str) -> Result<usize, String> {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("{flag} must be a positive integer"))?;
+            if n < 1 {
+                return Err(format!("{flag} must be at least 1"));
+            }
+            Ok(n)
+        }
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                "--seed" => {
+                    let v = value(&mut it, "--seed")?;
+                    out.seed = v.parse().map_err(|_| "--seed must be a u64".to_string())?;
+                }
+                "--threads" => {
+                    let v = value(&mut it, "--threads")?;
+                    out.threads = Some(positive(&v, "--threads")?);
+                }
+                "--seeds" => {
+                    let v = value(&mut it, "--seeds")?;
+                    out.seeds = Some(positive(&v, "--seeds")?);
+                }
+                "--world" => {
+                    let v = value(&mut it, "--world")?;
+                    out.world = Some(match v.as_str() {
+                        "dense" => Backend::Dense,
+                        "sharded" => Backend::Sharded,
+                        other => {
+                            return Err(format!(
+                                "--world must be 'dense' or 'sharded', got {other:?}"
+                            ))
+                        }
+                    });
+                }
+                "--out" => {
+                    let v = value(&mut it, "--out")?;
+                    out.out = match v.as_str() {
+                        "table" => OutFormat::Table,
+                        "json" => OutFormat::Json,
+                        other => {
+                            return Err(format!("--out must be 'table' or 'json', got {other:?}"))
+                        }
+                    };
+                }
+                "--shards" => {
+                    let v = value(&mut it, "--shards")?;
+                    out.shards = Some(positive(&v, "--shards")?);
+                }
+                "--max-rss-mb" => {
+                    let v = value(&mut it, "--max-rss-mb")?;
+                    out.max_rss_mb =
+                        Some(v.parse().map_err(|_| "--max-rss-mb must be a u64".to_string())?);
+                }
+                _ => out.rest.push(a),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The worker-thread count: `--threads` > `$NP_THREADS` > all cores.
+    pub fn threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+
+    /// The backend: `--world` wins over the figure's default.
+    pub fn backend(&self, default: Backend) -> Backend {
+        self.world.unwrap_or(default)
+    }
+
+    /// The seed plan: `--seeds N` wins over the figure's default plan.
+    /// `--seeds 1` means "exactly one run at the cell's base seed"
+    /// ([`SeedPlan::Single`] — the same numbers a single-run figure
+    /// produces by default); `N ≥ 2` is an N-run sweep whose first
+    /// three seeds coincide with the paper's historical three-run
+    /// sweep.
+    pub fn seed_plan(&self, default: SeedPlan) -> SeedPlan {
+        match self.seeds {
+            Some(1) => SeedPlan::Single,
+            Some(n) => SeedPlan::Sweep(n),
+            None => default,
+        }
+    }
+}
+
+/// Peak resident-set size of this process in MiB, from `VmHWM` in
+/// `/proc/self/status`. `None` where `/proc` is unavailable (non-Linux)
+/// — callers treat that as "cannot check", not as a failure.
+pub fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
+}
+
+/// Enforce `--max-rss-mb`: print the measured peak and exit non-zero
+/// when the budget is exceeded. No-op when the flag wasn't given; a
+/// warning when the platform cannot report RSS. The informational
+/// peak line goes to stderr under `--out json` so stdout stays pure
+/// JSON lines.
+pub fn enforce_rss_budget(args: &Args) {
+    let Some(budget) = args.max_rss_mb else { return };
+    match peak_rss_mb() {
+        Some(peak) => {
+            let line = format!("peak RSS {peak} MiB (budget {budget} MiB)");
+            if args.out == OutFormat::Json {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+            if peak > budget {
+                eprintln!("error: peak RSS {peak} MiB exceeds --max-rss-mb {budget}");
+                std::process::exit(1);
+            }
+        }
+        None => eprintln!("warning: --max-rss-mb given but /proc/self/status is unavailable"),
+    }
+}
+
+/// The standard experiment header block (trailing blank line included).
+pub fn header_block(figure: &str, paper_shape: &str, args: &Args) -> String {
+    format!(
+        "=== {figure} ===\npaper shape: {paper_shape}\nmode: {}, base seed: {:#x}, threads: {}\n",
+        if args.quick { "quick" } else { "paper-scale" },
+        args.seed,
+        args.threads(),
+    )
+}
+
+/// Print the standard experiment header to stdout.
+pub fn header(figure: &str, paper_shape: &str, args: &Args) {
+    println!("{}", header_block(figure, paper_shape, args));
+}
+
+/// Format a `RunBand` as `median [min, max]`.
+pub fn band(b: np_util::stats::RunBand) -> String {
+    format!("{:.3} [{:.3}, {:.3}]", b.median, b.min, b.max)
+}
+
+/// Wall-clock + effective-parallelism accounting for a figure run.
+///
+/// Start one right after [`header`]; [`Report::footer`] prints elapsed
+/// wall-clock and the measured *effective parallelism* — the ratio of
+/// busy time accumulated inside the parallel engine to wall-clock
+/// time. Busy time is workers' in-loop wall time, so when threads do
+/// not exceed free cores the ratio is the speedup over a 1-thread
+/// run; on an oversubscribed machine it reads as the concurrency
+/// level instead (descheduled workers still accumulate busy time).
+pub struct Report {
+    wall_start: Instant,
+    busy_start: Duration,
+    threads: usize,
+}
+
+impl Report {
+    /// Begin timing a figure run.
+    pub fn start(args: &Args) -> Report {
+        Report {
+            wall_start: Instant::now(),
+            busy_start: busy_time(),
+            threads: args.threads(),
+        }
+    }
+
+    /// Elapsed wall-clock since [`Report::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.wall_start.elapsed()
+    }
+
+    /// The footer line: `wall-clock 12.3s · parallel busy 44.1s ·
+    /// effective parallelism 3.6x on 4 threads`.
+    pub fn footer_line(&self) -> String {
+        let wall = self.elapsed();
+        let busy = busy_time().saturating_sub(self.busy_start);
+        let threads = match self.threads {
+            1 => "1 thread".to_string(),
+            n => format!("{n} threads"),
+        };
+        if busy.is_zero() {
+            // Measurement-pipeline figures with no parallel regions.
+            return format!(
+                "wall-clock {:.2}s on {threads} (serial pipeline)",
+                wall.as_secs_f64()
+            );
+        }
+        let speedup = if wall.as_secs_f64() > 0.0 {
+            busy.as_secs_f64() / wall.as_secs_f64()
+        } else {
+            1.0
+        };
+        format!(
+            "wall-clock {:.2}s · parallel busy {:.2}s · effective parallelism {:.2}x on {threads}",
+            wall.as_secs_f64(),
+            busy.as_secs_f64(),
+            speedup,
+        )
+    }
+
+    /// Print the footer to stdout.
+    pub fn footer(&self) {
+        println!();
+        println!("{}", self.footer_line());
+    }
+}
+
+/// What a figure's renderer returns: the human body (tables + charts)
+/// and, optionally, a CSV payload for `--csv`.
+pub struct Rendered {
+    pub body: String,
+    pub csv: Option<String>,
+}
+
+impl Rendered {
+    /// A body with no CSV attachment.
+    pub fn plain(body: impl Into<String>) -> Rendered {
+        Rendered {
+            body: body.into(),
+            csv: None,
+        }
+    }
+}
+
+/// The standard study renderer: the stage's human text as the body,
+/// every study table's CSV as the `--csv` payload.
+pub fn study_rendered(report: &ExperimentReport, _args: &Args) -> Rendered {
+    let study = report.study();
+    let csv = if study.tables.is_empty() {
+        None
+    } else {
+        Some(
+            study
+                .tables
+                .iter()
+                .map(|(_, t)| t.to_csv())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+    };
+    Rendered {
+        body: study.text.clone(),
+        csv,
+    }
+}
+
+/// The one driver behind every figure binary: header → pipeline →
+/// rendered output (table mode uses `render`; `--out json` uses the
+/// generic JSON sink) → footer → RSS budget. Returns the report so
+/// binaries can run extra checks (e.g. `ext_scale`'s dense
+/// cross-check) — against it.
+pub fn run_experiment(
+    args: &Args,
+    registry: &AlgoRegistry,
+    spec: ExperimentSpec,
+    render: impl FnOnce(&ExperimentReport, &Args) -> Rendered,
+) -> ExperimentReport {
+    // Under --out json the human chrome (header, backend note, timing
+    // footer) moves to stderr, keeping stdout pure machine-diffable
+    // JSON lines.
+    let json = args.out == OutFormat::Json;
+    let chrome = |s: &str| {
+        if json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    chrome(&header_block(&spec.title, &spec.paper_shape, args));
+    if spec.backend == Backend::Sharded {
+        chrome("backend: sharded (block-compressed latency store)\n");
+    }
+    let timer = Report::start(args);
+    let report = Experiment::new(spec, registry).run_threads(args.threads());
+    match args.out {
+        OutFormat::Table => {
+            let rendered = render(&report, args);
+            println!("{}", rendered.body);
+            if args.csv {
+                if let Some(csv) = rendered.csv {
+                    println!("{csv}");
+                }
+            }
+        }
+        OutFormat::Json => {
+            print!("{}", sink::render_json_lines(&report));
+        }
+    }
+    chrome("");
+    chrome(&timer.footer_line());
+    enforce_rss_budget(args);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::parallel::resolve_threads_from;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = parse(&["--quick", "--seed", "42", "--csv", "--threads", "3", "extra"]);
+        assert!(a.quick && a.csv);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.threads, Some(3));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(a.rest, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.quick && !a.csv);
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert_eq!(a.threads, None);
+        assert!(a.threads() >= 1);
+        assert_eq!(a.seeds, None);
+        assert_eq!(a.out, OutFormat::Table);
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn world_and_shards_flags() {
+        let a = parse(&["--world", "sharded", "--shards", "32", "--max-rss-mb", "1024"]);
+        assert_eq!(a.world, Some(Backend::Sharded));
+        assert_eq!(a.shards, Some(32));
+        assert_eq!(a.max_rss_mb, Some(1024));
+        let d = parse(&[]);
+        assert_eq!(d.world, None);
+        assert_eq!(d.shards, None);
+        assert_eq!(d.max_rss_mb, None);
+    }
+
+    #[test]
+    fn seeds_and_out_flags() {
+        let a = parse(&["--seeds", "5", "--out", "json"]);
+        assert_eq!(a.seeds, Some(5));
+        assert_eq!(a.out, OutFormat::Json);
+        assert_eq!(a.seed_plan(SeedPlan::THREE_RUNS), SeedPlan::Sweep(5));
+        let d = parse(&["--out", "table"]);
+        assert_eq!(d.out, OutFormat::Table);
+        assert_eq!(d.seed_plan(SeedPlan::Single), SeedPlan::Single);
+    }
+
+    #[test]
+    fn backend_override() {
+        assert_eq!(parse(&[]).backend(Backend::Dense), Backend::Dense);
+        assert_eq!(
+            parse(&["--world", "sharded"]).backend(Backend::Dense),
+            Backend::Sharded
+        );
+        assert_eq!(
+            parse(&["--world", "dense"]).backend(Backend::Sharded),
+            Backend::Dense
+        );
+    }
+
+    #[test]
+    fn threads_flag_beats_env_beats_ambient() {
+        // The precedence rule itself (pure; no env mutation): the
+        // explicit --threads value must win over $NP_THREADS, which
+        // wins over the ambient core count.
+        let a = parse(&["--threads", "3"]);
+        assert_eq!(resolve_threads_from(a.threads, Some("7"), 16), (3, None));
+        let no_flag = parse(&[]);
+        assert_eq!(
+            resolve_threads_from(no_flag.threads, Some("7"), 16),
+            (7, None)
+        );
+        assert_eq!(resolve_threads_from(no_flag.threads, None, 16), (16, None));
+    }
+
+    #[test]
+    fn error_messages_name_the_flag() {
+        let err = |args: &[&str]| {
+            Args::try_from_iter(args.iter().map(|s| s.to_string())).unwrap_err()
+        };
+        assert_eq!(err(&["--seed"]), "--seed requires a value");
+        assert_eq!(err(&["--seed", "banana"]), "--seed must be a u64");
+        assert_eq!(err(&["--threads"]), "--threads requires a value");
+        assert_eq!(
+            err(&["--threads", "2.5"]),
+            "--threads must be a positive integer"
+        );
+        assert_eq!(err(&["--threads", "0"]), "--threads must be at least 1");
+        assert_eq!(err(&["--seeds", "0"]), "--seeds must be at least 1");
+        assert_eq!(
+            err(&["--world", "cubic"]),
+            "--world must be 'dense' or 'sharded', got \"cubic\""
+        );
+        assert_eq!(
+            err(&["--out", "xml"]),
+            "--out must be 'table' or 'json', got \"xml\""
+        );
+        assert_eq!(err(&["--max-rss-mb", "-1"]), "--max-rss-mb must be a u64");
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        // On Linux this must parse; elsewhere None is acceptable.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let mb = peak_rss_mb().expect("VmHWM parses");
+            assert!(mb >= 1, "peak RSS of a running process is non-zero");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed requires a value")]
+    fn seed_needs_value() {
+        Args::from_iter(["--seed".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be at least 1")]
+    fn zero_threads_rejected() {
+        Args::from_iter(["--threads".to_string(), "0".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--world must be")]
+    fn world_rejects_unknown_backend() {
+        Args::from_iter(["--world".to_string(), "cubic".to_string()]);
+    }
+
+    #[test]
+    fn report_footer_mentions_threads() {
+        let a = parse(&["--threads", "2"]);
+        let r = Report::start(&a);
+        let line = r.footer_line();
+        assert!(line.contains("on 2 threads"), "{line}");
+        assert!(line.contains("wall-clock"), "{line}");
+    }
+}

@@ -1,0 +1,153 @@
+//! The figure catalogue: every experiment binary, as data.
+//!
+//! `all_figures` iterates this table to regenerate everything,
+//! `np-bench list` prints it, and the EXPERIMENTS section of the
+//! README is generated from the same rows — one source of truth for
+//! "what experiments exist".
+
+/// How a figure runs through the experiment pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Declarative cells × algorithms × seeds over cluster worlds;
+    /// honours `--world dense|sharded`.
+    QueryMatrix,
+    /// Measurement-stack study over the Internet model (`--world` is
+    /// accepted but inert — there is no latency store to swap).
+    Study,
+}
+
+impl FigureKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FigureKind::QueryMatrix => "query-matrix",
+            FigureKind::Study => "study",
+        }
+    }
+}
+
+/// One experiment binary.
+pub struct FigureInfo {
+    /// Binary name under `crates/bench/src/bin/`.
+    pub bin: &'static str,
+    /// The spec name its `ExperimentSpec` carries.
+    pub spec: &'static str,
+    pub kind: FigureKind,
+    /// Which `--world` backends the binary actually honours.
+    pub backends: &'static str,
+    /// One-line description for `np-bench list`.
+    pub title: &'static str,
+}
+
+/// Every figure/extension binary, in regeneration order. (`all_figures`
+/// itself and the `np-bench` utility are not figures.)
+pub const FIGURES: &[FigureInfo] = &[
+    FigureInfo {
+        bin: "fig3_4",
+        spec: "fig3_4",
+        kind: FigureKind::Study,
+        backends: "n/a (measurement pipeline)",
+        title: "DNS-pair latency-prediction measure (Figures 3 & 4)",
+    },
+    FigureInfo {
+        bin: "fig5",
+        spec: "fig5",
+        kind: FigureKind::Study,
+        backends: "n/a (measurement pipeline)",
+        title: "intra- vs inter-domain latency distributions (Figure 5)",
+    },
+    FigureInfo {
+        bin: "fig6_7",
+        spec: "fig6_7",
+        kind: FigureKind::Study,
+        backends: "n/a (measurement pipeline)",
+        title: "Azureus cluster sizes and latencies (Figures 6 & 7)",
+    },
+    FigureInfo {
+        bin: "fig8",
+        spec: "fig8",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "Meridian accuracy vs cluster size (Figure 8)",
+    },
+    FigureInfo {
+        bin: "fig9",
+        spec: "fig9",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "Meridian accuracy and hub distance vs delta (Figure 9)",
+    },
+    FigureInfo {
+        bin: "fig10",
+        spec: "fig10",
+        kind: FigureKind::Study,
+        backends: "n/a (measurement pipeline)",
+        title: "inter-peer router hops vs latency (Figure 10)",
+    },
+    FigureInfo {
+        bin: "fig11",
+        spec: "fig11",
+        kind: FigureKind::Study,
+        backends: "n/a (measurement pipeline)",
+        title: "IP-prefix heuristic error rates (Figure 11)",
+    },
+    FigureInfo {
+        bin: "ucl_discovery",
+        spec: "ucl_discovery",
+        kind: FigureKind::Study,
+        backends: "n/a (measurement pipeline)",
+        title: "UCL discovery rates vs tracked routers (paper Section 5)",
+    },
+    FigureInfo {
+        bin: "ext_baselines",
+        spec: "ext_baselines",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "all algorithms under the clustering condition (Ext A)",
+    },
+    FigureInfo {
+        bin: "ext_assumptions",
+        spec: "ext_assumptions",
+        kind: FigureKind::Study,
+        backends: "dense|sharded",
+        title: "metric-space diagnostics under clustering (Ext B)",
+    },
+    FigureInfo {
+        bin: "ext_hybrid",
+        spec: "ext_hybrid",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "hybrid UCL registry + Meridian fallback (Ext C)",
+    },
+    FigureInfo {
+        bin: "ext_ablation",
+        spec: "ext_ablation",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "Meridian design-choice ablations (Ext D)",
+    },
+    FigureInfo {
+        bin: "ext_scale",
+        spec: "ext_scale",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "sharded worlds beyond the 2.5k-peer dense wall",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_unique() {
+        assert_eq!(FIGURES.len(), 13, "13 figure binaries + all_figures = 14");
+        let mut bins: Vec<&str> = FIGURES.iter().map(|f| f.bin).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        assert_eq!(bins.len(), FIGURES.len(), "duplicate bin names");
+        for f in FIGURES {
+            assert_eq!(f.bin, f.spec, "spec name tracks binary name");
+            assert!(!f.title.is_empty());
+        }
+    }
+}

@@ -1,324 +1,34 @@
 //! # np-bench
 //!
 //! The experiment harness: one binary per paper figure (under
-//! `src/bin/`), Criterion microbenches (under `benches/`), and this
-//! small shared library — CLI parsing and report formatting.
+//! `src/bin/`), Criterion microbenches (under `benches/`), and the
+//! shared library every binary is a thin client of:
 //!
-//! Every figure binary supports:
+//! * [`cli`] — the one flag parser (`--quick`, `--seed`, `--threads`,
+//!   `--world`, `--shards`, `--seeds`, `--out`, `--csv`,
+//!   `--max-rss-mb`) and [`cli::run_experiment`], the header →
+//!   pipeline → render → footer driver;
+//! * [`registry`] — [`registry::standard_registry`], every
+//!   `AlgoFactory` in the workspace under its canonical name;
+//! * [`figures`] — the figure catalogue (`all_figures` and `np-bench
+//!   list` iterate it).
 //!
-//! * `--quick` — a scaled-down run for smoke checks (CI-sized),
-//! * `--seed N` — override the base seed (default [`np_util::rng::DEFAULT_SEED`]),
-//! * `--threads N` — worker threads for the parallel experiment engine
-//!   (default: `$NP_THREADS`, else all cores; results are identical at
-//!   any value — see `np_util::parallel`),
-//! * `--csv` — additionally emit the series as CSV to stdout.
-//!
-//! Binaries print (a) the experiment header with the paper's expected
-//! shape, (b) the regenerated series as an aligned table, (c) an ASCII
-//! chart of the shape, and (d) a [`Report`] footer with wall-clock time
-//! and the *measured* effective parallelism, so EXPERIMENTS.md can
-//! quote them directly.
+//! Binaries construct an [`np_core::experiment::ExperimentSpec`] (the
+//! declarative what), hand it to `run_experiment` (the how), and render
+//! the typed report into their figure's table/chart layout. Adding a
+//! scenario is a new ~15-line spec, not a new subsystem; see the
+//! README's "Experiment API" section for a worked example.
 
-use np_util::parallel::{busy_time, resolve_threads};
-use np_util::rng::DEFAULT_SEED;
-use std::time::{Duration, Instant};
+pub mod cli;
+pub mod figures;
+pub mod registry;
 
-/// Which latency backend a binary should build its worlds on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WorldBackend {
-    /// The dense `n×n` matrix — the paper's object, exact, quadratic.
-    Dense,
-    /// The block-compressed sharded store — per-cluster dense blocks
-    /// plus a hub summary; what scales past ~2.5 k peers.
-    Sharded,
-}
+pub use cli::{
+    band, enforce_rss_budget, header, peak_rss_mb, Args, OutFormat, Rendered, Report,
+};
+pub use figures::{FigureInfo, FigureKind, FIGURES};
+pub use registry::standard_registry;
 
-impl WorldBackend {
-    /// Short name for tables and headers.
-    pub fn name(self) -> &'static str {
-        match self {
-            WorldBackend::Dense => "dense",
-            WorldBackend::Sharded => "sharded",
-        }
-    }
-}
-
-/// Parsed common CLI arguments.
-#[derive(Debug, Clone)]
-pub struct Args {
-    pub quick: bool,
-    pub seed: u64,
-    pub csv: bool,
-    /// Explicit `--threads N`, if given. Use [`Args::threads`] for the
-    /// resolved count.
-    pub threads: Option<usize>,
-    /// `--world dense|sharded` — latency backend, if given (binaries
-    /// that support both default to their historical backend).
-    pub world: Option<WorldBackend>,
-    /// `--shards N` — shard-count override for sharded worlds (the
-    /// scale binaries derive cluster counts from it).
-    pub shards: Option<usize>,
-    /// `--max-rss-mb N` — fail the run if peak RSS exceeds this (CI
-    /// memory regression guard; needs `/proc`, i.e. Linux).
-    pub max_rss_mb: Option<u64>,
-    /// Leftover positional/unknown flags for binary-specific handling.
-    pub rest: Vec<String>,
-}
-
-impl Args {
-    /// Parse from `std::env::args()`, panicking on malformed `--seed`
-    /// or `--threads`.
-    pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
-    }
-
-    /// Parse from an explicit iterator (testable).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
-        let mut out = Args {
-            quick: false,
-            seed: DEFAULT_SEED,
-            csv: false,
-            threads: None,
-            world: None,
-            shards: None,
-            max_rss_mb: None,
-            rest: Vec::new(),
-        };
-        let mut it = args.into_iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--quick" => out.quick = true,
-                "--csv" => out.csv = true,
-                "--seed" => {
-                    let v = it.next().expect("--seed requires a value");
-                    out.seed = v.parse().expect("--seed must be a u64");
-                }
-                "--threads" => {
-                    let v = it.next().expect("--threads requires a value");
-                    let n: usize = v.parse().expect("--threads must be a positive integer");
-                    assert!(n >= 1, "--threads must be at least 1");
-                    out.threads = Some(n);
-                }
-                "--world" => {
-                    let v = it.next().expect("--world requires a value");
-                    out.world = Some(match v.as_str() {
-                        "dense" => WorldBackend::Dense,
-                        "sharded" => WorldBackend::Sharded,
-                        other => panic!("--world must be 'dense' or 'sharded', got {other:?}"),
-                    });
-                }
-                "--shards" => {
-                    let v = it.next().expect("--shards requires a value");
-                    let n: usize = v.parse().expect("--shards must be a positive integer");
-                    assert!(n >= 1, "--shards must be at least 1");
-                    out.shards = Some(n);
-                }
-                "--max-rss-mb" => {
-                    let v = it.next().expect("--max-rss-mb requires a value");
-                    out.max_rss_mb = Some(v.parse().expect("--max-rss-mb must be a u64"));
-                }
-                _ => out.rest.push(a),
-            }
-        }
-        out
-    }
-
-    /// The worker-thread count: `--threads` > `$NP_THREADS` > all cores.
-    pub fn threads(&self) -> usize {
-        resolve_threads(self.threads)
-    }
-}
-
-/// Peak resident-set size of this process in MiB, from `VmHWM` in
-/// `/proc/self/status`. `None` where `/proc` is unavailable (non-Linux)
-/// — callers treat that as "cannot check", not as a failure.
-pub fn peak_rss_mb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb / 1024)
-}
-
-/// Enforce `--max-rss-mb`: print the measured peak and exit non-zero
-/// when the budget is exceeded. No-op when the flag wasn't given; a
-/// warning when the platform cannot report RSS.
-pub fn enforce_rss_budget(args: &Args) {
-    let Some(budget) = args.max_rss_mb else { return };
-    match peak_rss_mb() {
-        Some(peak) => {
-            println!("peak RSS {peak} MiB (budget {budget} MiB)");
-            if peak > budget {
-                eprintln!("error: peak RSS {peak} MiB exceeds --max-rss-mb {budget}");
-                std::process::exit(1);
-            }
-        }
-        None => eprintln!("warning: --max-rss-mb given but /proc/self/status is unavailable"),
-    }
-}
-
-/// Print the standard experiment header.
-pub fn header(figure: &str, paper_shape: &str, args: &Args) {
-    println!("=== {figure} ===");
-    println!("paper shape: {paper_shape}");
-    println!(
-        "mode: {}, base seed: {:#x}, threads: {}",
-        if args.quick { "quick" } else { "paper-scale" },
-        args.seed,
-        args.threads(),
-    );
-    println!();
-}
-
-/// Format a `RunBand` as `median [min, max]`.
-pub fn band(b: np_util::stats::RunBand) -> String {
-    format!("{:.3} [{:.3}, {:.3}]", b.median, b.min, b.max)
-}
-
-/// Wall-clock + effective-parallelism accounting for a figure run.
-///
-/// Start one right after [`header`]; [`Report::footer`] prints elapsed
-/// wall-clock and the measured *effective parallelism* — the ratio of
-/// busy time accumulated inside the parallel engine to wall-clock
-/// time. Busy time is workers' in-loop wall time, so when threads do
-/// not exceed free cores the ratio is the speedup over a 1-thread
-/// run; on an oversubscribed machine it reads as the concurrency
-/// level instead (descheduled workers still accumulate busy time).
-pub struct Report {
-    wall_start: Instant,
-    busy_start: Duration,
-    threads: usize,
-}
-
-impl Report {
-    /// Begin timing a figure run.
-    pub fn start(args: &Args) -> Report {
-        Report {
-            wall_start: Instant::now(),
-            busy_start: busy_time(),
-            threads: args.threads(),
-        }
-    }
-
-    /// Elapsed wall-clock since [`Report::start`].
-    pub fn elapsed(&self) -> Duration {
-        self.wall_start.elapsed()
-    }
-
-    /// The footer line: `wall-clock 12.3s · parallel busy 44.1s ·
-    /// effective parallelism 3.6x on 4 threads`.
-    pub fn footer_line(&self) -> String {
-        let wall = self.elapsed();
-        let busy = busy_time().saturating_sub(self.busy_start);
-        let threads = match self.threads {
-            1 => "1 thread".to_string(),
-            n => format!("{n} threads"),
-        };
-        if busy.is_zero() {
-            // Measurement-pipeline figures with no parallel regions.
-            return format!(
-                "wall-clock {:.2}s on {threads} (serial pipeline)",
-                wall.as_secs_f64()
-            );
-        }
-        let speedup = if wall.as_secs_f64() > 0.0 {
-            busy.as_secs_f64() / wall.as_secs_f64()
-        } else {
-            1.0
-        };
-        format!(
-            "wall-clock {:.2}s · parallel busy {:.2}s · effective parallelism {:.2}x on {threads}",
-            wall.as_secs_f64(),
-            busy.as_secs_f64(),
-            speedup,
-        )
-    }
-
-    /// Print the footer to stdout.
-    pub fn footer(&self) {
-        println!();
-        println!("{}", self.footer_line());
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parse_flags() {
-        let a = Args::from_iter(
-            ["--quick", "--seed", "42", "--csv", "--threads", "3", "extra"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        assert!(a.quick && a.csv);
-        assert_eq!(a.seed, 42);
-        assert_eq!(a.threads, Some(3));
-        assert_eq!(a.threads(), 3);
-        assert_eq!(a.rest, vec!["extra".to_string()]);
-    }
-
-    #[test]
-    fn defaults() {
-        let a = Args::from_iter(std::iter::empty());
-        assert!(!a.quick && !a.csv);
-        assert_eq!(a.seed, DEFAULT_SEED);
-        assert_eq!(a.threads, None);
-        assert!(a.threads() >= 1);
-        assert!(a.rest.is_empty());
-    }
-
-    #[test]
-    fn world_and_shards_flags() {
-        let a = Args::from_iter(
-            ["--world", "sharded", "--shards", "32", "--max-rss-mb", "1024"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        assert_eq!(a.world, Some(WorldBackend::Sharded));
-        assert_eq!(a.shards, Some(32));
-        assert_eq!(a.max_rss_mb, Some(1024));
-        assert_eq!(WorldBackend::Dense.name(), "dense");
-        assert_eq!(WorldBackend::Sharded.name(), "sharded");
-        let d = Args::from_iter(std::iter::empty());
-        assert_eq!(d.world, None);
-        assert_eq!(d.shards, None);
-        assert_eq!(d.max_rss_mb, None);
-    }
-
-    #[test]
-    #[should_panic(expected = "--world must be")]
-    fn world_rejects_unknown_backend() {
-        Args::from_iter(["--world".to_string(), "cubic".to_string()]);
-    }
-
-    #[test]
-    fn peak_rss_reports_on_linux() {
-        // On Linux this must parse; elsewhere None is acceptable.
-        if std::path::Path::new("/proc/self/status").exists() {
-            let mb = peak_rss_mb().expect("VmHWM parses");
-            assert!(mb >= 1, "peak RSS of a running process is non-zero");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "--seed requires a value")]
-    fn seed_needs_value() {
-        Args::from_iter(["--seed".to_string()]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--threads must be at least 1")]
-    fn zero_threads_rejected() {
-        Args::from_iter(["--threads".to_string(), "0".to_string()]);
-    }
-
-    #[test]
-    fn report_footer_mentions_threads() {
-        let a = Args::from_iter(["--threads".to_string(), "2".to_string()]);
-        let r = Report::start(&a);
-        let line = r.footer_line();
-        assert!(line.contains("on 2 threads"), "{line}");
-        assert!(line.contains("wall-clock"), "{line}");
-    }
-}
+/// Historical alias: the backend enum moved into `np-core`'s
+/// experiment API (`np_core::experiment::Backend`).
+pub use np_core::experiment::Backend as WorldBackend;

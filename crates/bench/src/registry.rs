@@ -1,0 +1,75 @@
+//! The harness's standard algorithm registry.
+//!
+//! One place where every crate's [`AlgoFactory`] meets: binaries start
+//! from [`standard_registry`] and override or extend entries for their
+//! ablations (re-registering a name replaces it).
+
+use np_baselines::{BeaconingFactory, KargerRuhlFactory, TapestryFactory, TiersFactory};
+use np_coords::CoordWalkFactory;
+use np_core::experiment::{AlgoRegistry, BruteForceFactory, RandomChoiceFactory};
+use np_meridian::MeridianFactory;
+use np_remedies::HybridHintFactory;
+
+/// Every algorithm the workspace implements, registered under its
+/// canonical name:
+///
+/// | name | algorithm |
+/// |---|---|
+/// | `brute-force` | probe every member (reference) |
+/// | `random` | one random member (lower bound) |
+/// | `meridian` | Meridian, omniscient fill, β = 0.5 |
+/// | `meridian-gossip` | Meridian, gossip warm-up (8 rounds, fanout 8) |
+/// | `karger-ruhl` | distance-based sampling |
+/// | `tapestry` | identifier-prefix routing |
+/// | `tiers` | hierarchical clustering |
+/// | `beaconing` | beacon latency vectors |
+/// | `coord-walk` | Vivaldi coordinates + greedy walk |
+/// | `ucl+meridian` | §5 UCL registry (full coverage) + Meridian fallback |
+pub fn standard_registry() -> AlgoRegistry {
+    let mut reg = AlgoRegistry::new();
+    reg.register(Box::new(BruteForceFactory));
+    reg.register(Box::new(RandomChoiceFactory));
+    reg.register(Box::new(MeridianFactory::omniscient()));
+    reg.register(Box::new(MeridianFactory::gossip(8, 8)));
+    reg.register(Box::new(KargerRuhlFactory::default()));
+    reg.register(Box::new(TapestryFactory));
+    reg.register(Box::new(TiersFactory::default()));
+    reg.register(Box::new(BeaconingFactory::default()));
+    reg.register(Box::new(CoordWalkFactory::default()));
+    reg.register(Box::new(HybridHintFactory::new(
+        "ucl+meridian",
+        1.0,
+        MeridianFactory::omniscient(),
+    )));
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_names_are_stable() {
+        let reg = standard_registry();
+        let names = reg.names();
+        for expected in [
+            "brute-force",
+            "random",
+            "meridian",
+            "meridian-gossip",
+            "karger-ruhl",
+            "tapestry",
+            "tiers",
+            "beaconing",
+            "coord-walk",
+            "ucl+meridian",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert_eq!(reg.len(), 10);
+        // Every entry self-describes for `np-bench list`.
+        for (name, desc) in reg.catalogue() {
+            assert!(!desc.is_empty(), "{name} has no description");
+        }
+    }
+}

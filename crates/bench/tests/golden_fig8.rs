@@ -1,0 +1,43 @@
+//! Golden-file regression for the Experiment API swap.
+//!
+//! `fixtures/fig8_quick.txt` is the committed stdout of the
+//! **pre-redesign** fig8 binary (hand-rolled scenario/sweep loops) at
+//! `--quick --threads 2`, captured immediately after the parallel
+//! omniscient ring fill landed. The redesigned binary — a declarative
+//! `ExperimentSpec` through the `AlgoFactory` registry and the generic
+//! `Experiment` pipeline — must reproduce it byte for byte: same
+//! header, same table digits, same charts, same ordering.
+//!
+//! Only the wall-clock footer is excluded (it is timing, not
+//! behaviour). Everything else, including every metric digit, must
+//! match — which proves the API redesign is behaviour-preserving, not
+//! merely similar.
+
+use std::process::Command;
+
+fn normalize(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("wall-clock"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fig8_quick_matches_pre_redesign_fixture() {
+    let fixture = include_str!("fixtures/fig8_quick.txt");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig8"))
+        .args(["--quick", "--threads", "2"])
+        .output()
+        .expect("fig8 binary runs");
+    assert!(
+        out.status.success(),
+        "fig8 exited non-zero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("fig8 output is UTF-8");
+    assert_eq!(
+        normalize(&stdout),
+        normalize(fixture),
+        "fig8 --quick output diverged from the pre-redesign fixture"
+    );
+}

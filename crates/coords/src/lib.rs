@@ -17,9 +17,11 @@
 //! * [`walk`] — the greedy closest-peer walk over coordinates with final
 //!   probing, implementing [`np_metric::NearestPeerAlgo`].
 
+pub mod factory;
 pub mod pic;
 pub mod vivaldi;
 pub mod walk;
 
 pub use vivaldi::{Coord, VivaldiConfig, VivaldiSystem};
+pub use factory::CoordWalkFactory;
 pub use walk::CoordWalk;

@@ -6,7 +6,7 @@
 //! of the coordinates plus both heights. Nodes adjust by spring
 //! relaxation with the adaptive timestep weighted by relative error.
 
-use np_metric::{LatencyMatrix, PeerId};
+use np_metric::{PeerId, WorldStore};
 use np_util::rng::rng_for;
 use np_util::Micros;
 use rand::seq::SliceRandom;
@@ -83,9 +83,10 @@ pub struct VivaldiSystem {
 }
 
 impl VivaldiSystem {
-    /// Run the relaxation over `members` of `matrix`.
-    pub fn build(
-        matrix: &LatencyMatrix,
+    /// Run the relaxation over `members` of `matrix` (any latency
+    /// backend — coordinates embed dense and sharded worlds alike).
+    pub fn build<W: WorldStore + ?Sized>(
+        matrix: &W,
         members: Vec<PeerId>,
         cfg: VivaldiConfig,
         seed: u64,
@@ -209,7 +210,12 @@ impl VivaldiSystem {
     }
 
     /// Median relative embedding error over sampled pairs.
-    pub fn median_relative_error(&self, matrix: &LatencyMatrix, samples: usize, seed: u64) -> f64 {
+    pub fn median_relative_error<W: WorldStore + ?Sized>(
+        &self,
+        matrix: &W,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
         let mut rng = rng_for(seed, 0x4552_52);
         let n = self.members.len();
         let mut errs = Vec::with_capacity(samples);
@@ -238,6 +244,7 @@ impl VivaldiSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use np_metric::LatencyMatrix;
 
     /// A 2-D grid world embeds almost perfectly in 3-D.
     fn grid_matrix(side: usize) -> (LatencyMatrix, Vec<PeerId>) {

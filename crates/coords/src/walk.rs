@@ -16,8 +16,13 @@ use rand::Rng;
 use std::collections::HashMap;
 
 /// Greedy-walk search over a Vivaldi system.
-pub struct CoordWalk<'s> {
-    system: &'s VivaldiSystem,
+///
+/// Owns its [`VivaldiSystem`] (coordinates are self-contained once
+/// embedded), so a factory can hand out one boxed, self-sufficient
+/// algorithm; call sites that want to keep the system pass a clone or
+/// rebuild it.
+pub struct CoordWalk {
+    system: VivaldiSystem,
     /// Random neighbours each member knows (the walk's graph).
     neighbours: HashMap<usize, Vec<usize>>,
     /// Number of parallel walks per query.
@@ -28,9 +33,9 @@ pub struct CoordWalk<'s> {
     pub verify: usize,
 }
 
-impl<'s> CoordWalk<'s> {
+impl CoordWalk {
     /// Build over a system; each member gets `degree` random neighbours.
-    pub fn new(system: &'s VivaldiSystem, degree: usize, seed: u64) -> CoordWalk<'s> {
+    pub fn new(system: VivaldiSystem, degree: usize, seed: u64) -> CoordWalk {
         let n = system.members().len();
         let mut rng = np_util::rng::rng_from(sub_seed(seed, 0x57_41_4C));
         let mut neighbours = HashMap::new();
@@ -54,7 +59,7 @@ impl<'s> CoordWalk<'s> {
     }
 }
 
-impl NearestPeerAlgo for CoordWalk<'_> {
+impl NearestPeerAlgo for CoordWalk {
     fn name(&self) -> &str {
         "coord-walk"
     }
@@ -133,8 +138,8 @@ impl NearestPeerAlgo for CoordWalk<'_> {
 }
 
 /// Convenience: build system + walk and keep them together.
-pub fn build_walk(
-    matrix: &np_metric::LatencyMatrix,
+pub fn build_walk<W: np_metric::WorldStore + ?Sized>(
+    matrix: &W,
     members: Vec<PeerId>,
     dims: usize,
     seed: u64,
@@ -171,7 +176,7 @@ mod tests {
         // Hold out every 7th peer as targets.
         let members: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 7 != 0).collect();
         let (sys, seed) = build_walk(&m, members.clone(), 3, 11);
-        let walk = CoordWalk::new(&sys, 8, seed);
+        let walk = CoordWalk::new(sys, 8, seed);
         let mut rng = rng_from(13);
         let mut good = 0;
         let targets: Vec<PeerId> = all.iter().copied().filter(|p| p.0 % 7 == 0).collect();
@@ -205,7 +210,7 @@ mod tests {
         });
         let members: Vec<PeerId> = (2..(g * 2) as u32).map(PeerId).collect();
         let (sys, seed) = build_walk(&m, members, 3, 17);
-        let walk = CoordWalk::new(&sys, 8, seed);
+        let walk = CoordWalk::new(sys, 8, seed);
         let mut rng = rng_from(19);
         let mut exact = 0;
         for _ in 0..30 {
@@ -222,7 +227,7 @@ mod tests {
     fn probes_are_bounded() {
         let (m, members) = grid(8);
         let (sys, seed) = build_walk(&m, members, 3, 23);
-        let walk = CoordWalk::new(&sys, 8, seed);
+        let walk = CoordWalk::new(sys, 8, seed);
         let mut rng = rng_from(29);
         let tgt = Target::new(PeerId(0), &m);
         let out = walk.find_nearest(&tgt, &mut rng);

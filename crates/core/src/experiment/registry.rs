@@ -1,0 +1,287 @@
+//! The object-safe algorithm factory registry.
+//!
+//! An [`AlgoFactory`] builds one configured [`NearestPeerAlgo`] over a
+//! scenario's latency backend. Factories are registered by name in an
+//! [`AlgoRegistry`]; an [`crate::experiment::ExperimentSpec`] cell then
+//! refers to algorithms purely by those names, which is what makes the
+//! spec serialisable-by-eye and a new scenario a ~15-line diff.
+//!
+//! The factory contract is deliberately `dyn`-first: the build context
+//! hands out `&dyn WorldStore`, so one factory serves the dense matrix
+//! and the block-compressed sharded backend alike, and the returned
+//! algorithm is a `Box<dyn NearestPeerAlgo>` borrowing only the
+//! context's lifetime. Determinism: a factory must derive all
+//! randomness from `ctx.seed` (sub-tagged as needed) — never from
+//! thread identity — so reports stay bit-identical at any thread
+//! count.
+
+use np_metric::nearest::{BruteForce, RandomChoice};
+use np_metric::{NearestPeerAlgo, PeerId, WorldStore};
+use np_topology::ClusterWorld;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A per-(cell, seed) cache of expensive world-independent build
+/// artifacts, shared by every factory instantiated over one scenario.
+///
+/// Several registry entries may wrap the same inner structure — the
+/// hybrid coverage sweep builds six Meridian fallbacks over one
+/// scenario — and rebuilding an O(n²) ring fill per entry would undo
+/// the sharing the old hand-rolled binaries had. Factories key their
+/// artifact by configuration (the cache already scopes world and
+/// seed), so identical sub-builds are constructed once and cloned out.
+/// Cached values must be `'static` (own no scenario borrows) and a
+/// pure function of `(scenario, key)` — determinism requires a cache
+/// hit to be indistinguishable from a rebuild.
+#[derive(Default)]
+pub struct BuildCache {
+    slots: Mutex<BTreeMap<String, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl BuildCache {
+    pub fn new() -> BuildCache {
+        BuildCache::default()
+    }
+
+    /// Fetch the artifact under `key`, building it with `f` on the
+    /// first request. Panics if `key` was previously used with a
+    /// different type.
+    pub fn get_or_build<T: Send + Sync + 'static>(
+        &self,
+        key: &str,
+        f: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let mut slots = self.slots.lock().expect("build cache");
+        if let Some(existing) = slots.get(key) {
+            return existing
+                .clone()
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("build-cache key {key:?} reused with another type"));
+        }
+        let built = Arc::new(f());
+        slots.insert(key.to_string(), built.clone() as Arc<dyn Any + Send + Sync>);
+        built
+    }
+}
+
+/// Everything a factory may consume when instantiating an algorithm
+/// for one (cell, seed) scenario.
+pub struct AlgoContext<'a> {
+    /// The latency backend (dense or sharded — factories must not care).
+    pub store: &'a dyn WorldStore,
+    /// The generated cluster world (topology metadata: end-networks,
+    /// clusters, hubs — what §5 hint registries key on).
+    pub world: &'a ClusterWorld,
+    /// The overlay membership (sorted, targets held out).
+    pub overlay: &'a [PeerId],
+    /// The run's seed; all factory randomness derives from it.
+    pub seed: u64,
+    /// Worker threads available for parallel construction (e.g. the
+    /// Meridian omniscient ring fill). Never affects results.
+    pub threads: usize,
+    /// Shared build artifacts for this (cell, seed) — see [`BuildCache`].
+    pub shared: &'a BuildCache,
+}
+
+/// An object-safe builder of one named, configured algorithm.
+pub trait AlgoFactory: Sync {
+    /// The registry key ("meridian", "brute-force", "ucl+meridian", ...).
+    fn name(&self) -> &str;
+
+    /// One-line description for `np-bench list`.
+    fn description(&self) -> String {
+        String::new()
+    }
+
+    /// Instantiate over a scenario. The returned algorithm may borrow
+    /// the context's store/world/overlay.
+    fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a>;
+}
+
+/// A name → factory map with deterministic iteration order.
+#[derive(Default)]
+pub struct AlgoRegistry {
+    factories: BTreeMap<String, Box<dyn AlgoFactory>>,
+}
+
+impl AlgoRegistry {
+    /// An empty registry. Most callers want their harness's standard
+    /// registry (`np-bench`'s `standard_registry()`) and extend it.
+    pub fn new() -> AlgoRegistry {
+        AlgoRegistry::default()
+    }
+
+    /// Register a factory under [`AlgoFactory::name`]. Re-registering a
+    /// name replaces the previous factory (binaries override standard
+    /// entries with custom configs).
+    pub fn register(&mut self, factory: Box<dyn AlgoFactory>) -> &mut Self {
+        self.factories.insert(factory.name().to_string(), factory);
+        self
+    }
+
+    /// Look up a factory.
+    pub fn get(&self, name: &str) -> Option<&dyn AlgoFactory> {
+        self.factories.get(name).map(|f| f.as_ref())
+    }
+
+    /// Look up a factory, panicking with the available names on a miss
+    /// (specs are static data; a bad name is a programming error).
+    pub fn expect(&self, name: &str) -> &dyn AlgoFactory {
+        self.get(name).unwrap_or_else(|| {
+            panic!(
+                "no algorithm {name:?} in the registry; registered: {:?}",
+                self.names()
+            )
+        })
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// (name, description) pairs, sorted by name.
+    pub fn catalogue(&self) -> Vec<(&str, String)> {
+        self.factories
+            .iter()
+            .map(|(n, f)| (n.as_str(), f.description()))
+            .collect()
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+/// Factory for the probe-everything reference algorithm.
+pub struct BruteForceFactory;
+
+impl AlgoFactory for BruteForceFactory {
+    fn name(&self) -> &str {
+        "brute-force"
+    }
+
+    fn description(&self) -> String {
+        "probe every overlay member; optimal accuracy, worst cost".into()
+    }
+
+    fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
+        Box::new(BruteForce::new(ctx.store, ctx.overlay.to_vec()))
+    }
+}
+
+/// Factory for the zero-intelligence baseline.
+pub struct RandomChoiceFactory;
+
+impl AlgoFactory for RandomChoiceFactory {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn description(&self) -> String {
+        "pick one random member; lower bound on accuracy".into()
+    }
+
+    fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
+        Box::new(RandomChoice::new(ctx.store, ctx.overlay.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_metric::{LatencyMatrix, Target};
+    use np_topology::ClusterWorldSpec;
+    use np_util::rng::rng_from;
+    use np_util::Micros;
+
+    fn small_ctx() -> (ClusterWorld, LatencyMatrix, Vec<PeerId>) {
+        let spec = ClusterWorldSpec {
+            clusters: 3,
+            en_per_cluster: 6,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 4,
+        };
+        let world = ClusterWorld::generate(spec, 5);
+        let matrix = world.to_matrix();
+        let overlay: Vec<PeerId> = world.peers().skip(4).collect();
+        (world, matrix, overlay)
+    }
+
+    #[test]
+    fn registry_roundtrip_and_names() {
+        let mut reg = AlgoRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(Box::new(BruteForceFactory));
+        reg.register(Box::new(RandomChoiceFactory));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["brute-force", "random"]);
+        assert!(reg.get("brute-force").is_some());
+        assert!(reg.get("meridian").is_none());
+        let cat = reg.catalogue();
+        assert_eq!(cat[0].0, "brute-force");
+        assert!(cat[0].1.contains("probe every"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no algorithm \"nope\"")]
+    fn expect_names_the_missing_algo() {
+        AlgoRegistry::new().expect("nope");
+    }
+
+    #[test]
+    fn built_algos_run_over_dyn_store() {
+        let (world, matrix, overlay) = small_ctx();
+        let shared = BuildCache::new();
+        let ctx = AlgoContext {
+            store: &matrix,
+            world: &world,
+            overlay: &overlay,
+            seed: 7,
+            threads: 1,
+            shared: &shared,
+        };
+        let bf = BruteForceFactory.build(&ctx);
+        let rnd = RandomChoiceFactory.build(&ctx);
+        assert_eq!(bf.name(), "brute-force");
+        assert_eq!(rnd.name(), "random");
+        let target = world.peers().next().expect("non-empty world");
+        let t = Target::new(target, &matrix);
+        let out = bf.find_nearest(&t, &mut rng_from(1));
+        assert_eq!(out.found, matrix.nearest_within(target, &overlay).unwrap());
+        let t2 = Target::new(target, &matrix);
+        let out2 = rnd.find_nearest(&t2, &mut rng_from(1));
+        assert_eq!(out2.probes, 1);
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        struct Custom;
+        impl AlgoFactory for Custom {
+            fn name(&self) -> &str {
+                "brute-force"
+            }
+            fn description(&self) -> String {
+                "custom".into()
+            }
+            fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
+                Box::new(RandomChoice::new(ctx.store, ctx.overlay.to_vec()))
+            }
+        }
+        let mut reg = AlgoRegistry::new();
+        reg.register(Box::new(BruteForceFactory));
+        reg.register(Box::new(Custom));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.expect("brute-force").description(), "custom");
+    }
+}

@@ -1,0 +1,109 @@
+//! Typed experiment results.
+//!
+//! The runner produces one [`ExperimentReport`] per spec: per-cell,
+//! per-algorithm [`PaperMetrics`] for every run, the aggregated
+//! [`RunBandMetrics`], and the wall-clock/probe accounting the figure
+//! footers and BENCH artifacts quote. Reports are plain data — sinks
+//! (`sink` module) and the figure binaries' renderers consume them.
+
+use crate::runner::{PaperMetrics, RunBandMetrics};
+use crate::experiment::spec::{Backend, StudyOutput};
+use std::time::Duration;
+
+/// Results of one algorithm over one cell, across the seed plan.
+pub struct AlgoReport {
+    /// Registry key the row ran as.
+    pub algo: String,
+    /// Display label (spec override or the registry key).
+    pub label: String,
+    /// Queries per run this row actually used.
+    pub queries: usize,
+    /// Per-run metrics, in seed order.
+    pub runs: Vec<PaperMetrics>,
+    /// Median/min/max bands over `runs`.
+    pub bands: RunBandMetrics,
+    /// Total wall-clock spent in this row's query batches (summed over
+    /// runs; runs may execute concurrently, so this can exceed the
+    /// cell's elapsed time).
+    pub wall: Duration,
+    /// Total probes to targets across all runs (the paper's cost axis).
+    pub total_probes: u64,
+}
+
+impl AlgoReport {
+    /// The single run of a [`crate::experiment::SeedPlan::Single`] row.
+    pub fn single(&self) -> &PaperMetrics {
+        assert_eq!(self.runs.len(), 1, "row has {} runs", self.runs.len());
+        &self.runs[0]
+    }
+}
+
+/// Results of one cell: the built world plus one row per algorithm.
+pub struct CellReport {
+    /// The cell's label ("x=25", "delta=0.4").
+    pub label: String,
+    /// Peers in the generated world.
+    pub peers: usize,
+    /// Approximate heap bytes of the latency backend (per scenario;
+    /// the sharded backend's raison d'être).
+    pub store_bytes: usize,
+    /// Wall-clock spent building this cell's scenarios (world
+    /// generation + backend materialisation, summed over seeds; zero
+    /// for scenarios served from the runner's cache).
+    pub build_wall: Duration,
+    /// One row per algorithm, in spec order.
+    pub rows: Vec<AlgoReport>,
+}
+
+/// The body of a report: the matrix results or a study's output.
+pub enum ReportBody {
+    Query(Vec<CellReport>),
+    Study(StudyOutput),
+}
+
+/// Everything one spec run produced.
+pub struct ExperimentReport {
+    /// The spec's name.
+    pub name: String,
+    /// Backend the run used.
+    pub backend: Backend,
+    /// Worker threads the run was given (results never depend on it).
+    pub threads: usize,
+    /// Runs per cell.
+    pub runs_per_cell: usize,
+    /// The results.
+    pub body: ReportBody,
+    /// End-to-end wall-clock of `Experiment::run`.
+    pub wall: Duration,
+}
+
+impl ExperimentReport {
+    /// The query-matrix cells; panics on a study report (figure
+    /// renderers know their spec's shape).
+    pub fn cells(&self) -> &[CellReport] {
+        match &self.body {
+            ReportBody::Query(cells) => cells,
+            ReportBody::Study(_) => panic!("study report has no query cells"),
+        }
+    }
+
+    /// The study output; panics on a query-matrix report.
+    pub fn study(&self) -> &StudyOutput {
+        match &self.body {
+            ReportBody::Study(s) => s,
+            ReportBody::Query(_) => panic!("query report has no study output"),
+        }
+    }
+
+    /// Total probes across every cell and row.
+    pub fn total_probes(&self) -> u64 {
+        match &self.body {
+            ReportBody::Query(cells) => cells
+                .iter()
+                .flat_map(|c| c.rows.iter())
+                .map(|r| r.total_probes)
+                .sum(),
+            ReportBody::Study(_) => 0,
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The generic spec → report pipeline.
+//!
+//! [`Experiment`] executes an [`ExperimentSpec`] against an
+//! [`AlgoRegistry`]: cells run in spec order (progress is printed per
+//! cell), each cell's seeds fan out over the worker pool exactly like
+//! the historical `sweep_runs_threads`, and every (cell, seed) pair
+//! builds its scenario, instantiates its algorithms through the
+//! registry and drives the batch query runner. Scenario builds are
+//! memoised per `(world spec, targets, seed, backend)` within one run,
+//! so sweeps that revisit a configuration (e.g. the hybrid coverage
+//! sweep — same world, six registry configurations) pay for one build.
+//!
+//! # Determinism
+//!
+//! Same spec + same registry + same seeds ⇒ bit-identical
+//! [`ExperimentReport`] metrics at any thread count. The pipeline adds
+//! no randomness of its own: every seed is taken from the spec
+//! ([`crate::experiment::SeedPlan`]), factories derive theirs from the
+//! context seed, and all reductions run in spec/seed order
+//! (`tests/parallel_determinism.rs` covers the pipeline end to end).
+
+use crate::experiment::registry::{AlgoContext, AlgoRegistry, BuildCache};
+use crate::experiment::report::{AlgoReport, CellReport, ExperimentReport, ReportBody};
+use crate::experiment::spec::{Backend, CellSpec, ExperimentSpec, StudyCtx, Workload};
+use crate::runner::{run_queries_threads, PaperMetrics, RunBandMetrics};
+use crate::scenario::ClusterScenario;
+use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, ShardedWorld, WorldStore};
+use np_topology::ClusterWorld;
+use np_util::parallel::{par_map, resolve_threads};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A built scenario on either backend, dispatching the generic runner
+/// statically per variant.
+pub enum ScenarioHandle {
+    Dense(ClusterScenario<LatencyMatrix>),
+    Sharded(ClusterScenario<ShardedWorld>),
+}
+
+impl ScenarioHandle {
+    /// Build a cell's scenario on `backend`.
+    pub fn build(cell: &CellSpec, backend: Backend, seed: u64, threads: usize) -> ScenarioHandle {
+        match backend {
+            Backend::Dense => ScenarioHandle::Dense(ClusterScenario::build(
+                cell.world.clone(),
+                cell.n_targets,
+                seed,
+            )),
+            Backend::Sharded => ScenarioHandle::Sharded(ClusterScenario::build_sharded_threads(
+                cell.world.clone(),
+                cell.n_targets,
+                seed,
+                threads,
+            )),
+        }
+    }
+
+    /// The latency backend as a trait object (what factories consume).
+    pub fn store(&self) -> &dyn WorldStore {
+        match self {
+            ScenarioHandle::Dense(s) => &s.matrix,
+            ScenarioHandle::Sharded(s) => &s.matrix,
+        }
+    }
+
+    /// The generated topology.
+    pub fn world(&self) -> &ClusterWorld {
+        match self {
+            ScenarioHandle::Dense(s) => &s.world,
+            ScenarioHandle::Sharded(s) => &s.world,
+        }
+    }
+
+    /// The overlay membership.
+    pub fn overlay(&self) -> &[PeerId] {
+        match self {
+            ScenarioHandle::Dense(s) => &s.overlay,
+            ScenarioHandle::Sharded(s) => &s.overlay,
+        }
+    }
+
+    /// Approximate heap bytes of the latency store.
+    pub fn store_bytes(&self) -> usize {
+        self.store().approx_bytes()
+    }
+
+    /// Drive a query batch through the backend-generic runner.
+    pub fn run_queries(
+        &self,
+        algo: &dyn NearestPeerAlgo,
+        n_queries: usize,
+        seed: u64,
+        threads: usize,
+    ) -> PaperMetrics {
+        match self {
+            ScenarioHandle::Dense(s) => run_queries_threads(algo, s, n_queries, seed, threads),
+            ScenarioHandle::Sharded(s) => run_queries_threads(algo, s, n_queries, seed, threads),
+        }
+    }
+}
+
+/// Per-run scenario memoisation (see module docs).
+type ScenarioCache = Mutex<HashMap<String, Arc<ScenarioHandle>>>;
+
+fn cache_key(cell: &CellSpec, backend: Backend, seed: u64) -> String {
+    format!(
+        "{:?}|targets={}|seed={seed}|{}",
+        cell.world,
+        cell.n_targets,
+        backend.name()
+    )
+}
+
+/// What one (cell, seed) pair contributes before aggregation.
+struct SeedRun {
+    scenario: Arc<ScenarioHandle>,
+    /// Zero when the scenario came from the cache.
+    build_wall: Duration,
+    /// `(metrics, batch wall)` per algorithm, in spec order.
+    per_algo: Vec<(PaperMetrics, Duration)>,
+}
+
+/// A spec bound to a registry, ready to run.
+pub struct Experiment<'r> {
+    spec: ExperimentSpec,
+    registry: &'r AlgoRegistry,
+}
+
+impl<'r> Experiment<'r> {
+    pub fn new(spec: ExperimentSpec, registry: &'r AlgoRegistry) -> Experiment<'r> {
+        Experiment { spec, registry }
+    }
+
+    /// The spec under execution.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Run on the ambient thread count (`$NP_THREADS`, else all cores).
+    pub fn run(&self) -> ExperimentReport {
+        self.run_threads(resolve_threads(None))
+    }
+
+    /// Run with an explicit worker count. Metrics are bit-identical at
+    /// any value (see module docs); only wall-clock changes.
+    pub fn run_threads(&self, threads: usize) -> ExperimentReport {
+        let start = Instant::now();
+        let body = match &self.spec.workload {
+            Workload::QueryMatrix(cells) => {
+                let cache: ScenarioCache = Mutex::new(HashMap::new());
+                let reports = cells
+                    .iter()
+                    .map(|cell| {
+                        let report = self.run_cell(cell, threads, &cache);
+                        // Per-cell progress for long sweeps; single-cell
+                        // specs (and microbench loops) stay quiet.
+                        if cells.len() > 1 {
+                            eprintln!("{} done", cell.label);
+                        }
+                        report
+                    })
+                    .collect();
+                ReportBody::Query(reports)
+            }
+            Workload::Study(stage) => {
+                let ctx = StudyCtx {
+                    seed: self.spec.base_seed,
+                    quick: self.spec.quick,
+                    threads,
+                    backend: self.spec.backend,
+                    flags: self.spec.flags.clone(),
+                };
+                ReportBody::Study(stage(&ctx))
+            }
+        };
+        ExperimentReport {
+            name: self.spec.name.clone(),
+            backend: self.spec.backend,
+            threads,
+            runs_per_cell: self.spec.seeds.runs(),
+            body,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// One cell: fan seeds over workers, then reduce in seed order.
+    fn run_cell(&self, cell: &CellSpec, threads: usize, cache: &ScenarioCache) -> CellReport {
+        // Resolve factories up front so a bad name fails before any
+        // world is built.
+        let factories: Vec<_> = cell
+            .algos
+            .iter()
+            .map(|a| self.registry.expect(&a.name))
+            .collect();
+        let seeds = self.spec.seeds.seeds(cell.base_seed);
+        let backend = self.spec.backend;
+        // Outer per-seed parallelism mirrors `sweep_runs_threads`; the
+        // inner query batches also receive `threads` (the engine
+        // tolerates the oversubscription, determinism is unaffected).
+        let runs: Vec<SeedRun> = par_map(threads.min(seeds.len()), &seeds, |_, &seed| {
+            let key = cache_key(cell, backend, seed);
+            let cached = cache.lock().expect("scenario cache").get(&key).cloned();
+            let (scenario, build_wall) = match cached {
+                Some(s) => (s, Duration::ZERO),
+                None => {
+                    let t = Instant::now();
+                    let built = Arc::new(ScenarioHandle::build(cell, backend, seed, threads));
+                    let wall = t.elapsed();
+                    // First build wins on a race; losers' work is
+                    // discarded (identical contents either way).
+                    let mut map = cache.lock().expect("scenario cache");
+                    let entry = map.entry(key).or_insert_with(|| built).clone();
+                    (entry, wall)
+                }
+            };
+            let shared = BuildCache::new();
+            let ctx = AlgoContext {
+                store: scenario.store(),
+                world: scenario.world(),
+                overlay: scenario.overlay(),
+                seed,
+                threads,
+                shared: &shared,
+            };
+            let per_algo = cell
+                .algos
+                .iter()
+                .zip(&factories)
+                .map(|(spec, factory)| {
+                    let algo = factory.build(&ctx);
+                    let n_queries = spec.queries.unwrap_or(cell.queries);
+                    let t = Instant::now();
+                    let metrics = scenario.run_queries(algo.as_ref(), n_queries, seed, threads);
+                    (metrics, t.elapsed())
+                })
+                .collect();
+            SeedRun {
+                scenario,
+                build_wall,
+                per_algo,
+            }
+        });
+        // Reduce in spec × seed order.
+        let rows = cell
+            .algos
+            .iter()
+            .enumerate()
+            .map(|(ai, spec)| {
+                let per_run: Vec<PaperMetrics> =
+                    runs.iter().map(|r| r.per_algo[ai].0).collect();
+                let wall = runs.iter().map(|r| r.per_algo[ai].1).sum();
+                let total_probes = per_run
+                    .iter()
+                    .map(|m| (m.mean_probes * m.queries as f64).round() as u64)
+                    .sum();
+                AlgoReport {
+                    algo: spec.name.clone(),
+                    label: spec.display().to_string(),
+                    queries: spec.queries.unwrap_or(cell.queries),
+                    bands: RunBandMetrics::of(&per_run),
+                    runs: per_run,
+                    wall,
+                    total_probes,
+                }
+            })
+            .collect();
+        let first = runs.first().expect("seed plan is non-empty");
+        CellReport {
+            label: cell.label.clone(),
+            peers: first.scenario.world().len(),
+            store_bytes: first.scenario.store_bytes(),
+            build_wall: runs.iter().map(|r| r.build_wall).sum(),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::registry::{BruteForceFactory, RandomChoiceFactory};
+    use crate::experiment::spec::{AlgoSpec, SeedPlan};
+    use crate::runner::sweep_three_runs_threads;
+    use np_metric::nearest::RandomChoice;
+    use np_topology::ClusterWorldSpec;
+    use np_util::Micros;
+
+    fn small_world() -> ClusterWorldSpec {
+        ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 8,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 5,
+        }
+    }
+
+    fn registry() -> AlgoRegistry {
+        let mut reg = AlgoRegistry::new();
+        reg.register(Box::new(BruteForceFactory));
+        reg.register(Box::new(RandomChoiceFactory));
+        reg
+    }
+
+    fn spec(seeds: SeedPlan, backend: Backend) -> ExperimentSpec {
+        ExperimentSpec::query(
+            "test",
+            "test spec",
+            "n/a",
+            backend,
+            seeds,
+            vec![CellSpec {
+                label: "cell".into(),
+                world: small_world(),
+                n_targets: 8,
+                base_seed: 11,
+                queries: 60,
+                algos: vec![
+                    AlgoSpec::new("brute-force").with_queries(20),
+                    AlgoSpec::new("random"),
+                ],
+            }],
+        )
+    }
+
+    #[test]
+    fn pipeline_reproduces_the_historical_sweep() {
+        // The pipeline's Sweep(3) cell must equal a hand-rolled
+        // sweep_three_runs over the same base seed and algorithm.
+        let reg = registry();
+        let report = Experiment::new(spec(SeedPlan::THREE_RUNS, Backend::Dense), &reg)
+            .run_threads(2);
+        let row = &report.cells()[0].rows[1]; // "random"
+        let expect = sweep_three_runs_threads(11, 2, |seed| {
+            let s = ClusterScenario::build(small_world(), 8, seed);
+            let algo = RandomChoice::new(&s.matrix, s.overlay.clone());
+            run_queries_threads(&algo, &s, 60, seed, 2)
+        });
+        assert_eq!(row.bands.p_correct_closest, expect.p_correct_closest);
+        assert_eq!(row.bands.mean_probes, expect.mean_probes);
+        assert_eq!(row.runs.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_is_thread_count_invariant() {
+        let reg = registry();
+        let base = Experiment::new(spec(SeedPlan::THREE_RUNS, Backend::Dense), &reg)
+            .run_threads(1);
+        for threads in [2, 4, 8] {
+            let other = Experiment::new(spec(SeedPlan::THREE_RUNS, Backend::Dense), &reg)
+                .run_threads(threads);
+            for (a, b) in base.cells().iter().zip(other.cells()) {
+                for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                    assert_eq!(ra.runs, rb.runs, "divergence at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sharded_agree_on_cluster_worlds() {
+        // The generator's hub summary is exact on §4 worlds, so the
+        // same spec must produce bit-identical metrics on both
+        // backends.
+        let reg = registry();
+        let dense =
+            Experiment::new(spec(SeedPlan::Single, Backend::Dense), &reg).run_threads(2);
+        let sharded =
+            Experiment::new(spec(SeedPlan::Single, Backend::Sharded), &reg).run_threads(2);
+        for (a, b) in dense.cells().iter().zip(sharded.cells()) {
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ra.runs, rb.runs);
+            }
+        }
+        assert!(sharded.cells()[0].store_bytes > 0);
+    }
+
+    #[test]
+    fn per_algo_query_override_and_probe_accounting() {
+        let reg = registry();
+        let report =
+            Experiment::new(spec(SeedPlan::Single, Backend::Dense), &reg).run_threads(2);
+        let cell = &report.cells()[0];
+        let bf = &cell.rows[0];
+        let rnd = &cell.rows[1];
+        assert_eq!(bf.queries, 20);
+        assert_eq!(rnd.queries, 60);
+        assert_eq!(bf.single().queries, 20);
+        // Brute force probes every member on every query (targets are
+        // held out of the overlay, so none is skipped).
+        let members = cell.peers - 8; // overlay = world minus targets
+        assert_eq!(bf.total_probes, 20 * members as u64);
+        assert_eq!(rnd.total_probes, 60);
+        assert_eq!(report.total_probes(), bf.total_probes + rnd.total_probes);
+        assert_eq!(report.runs_per_cell, 1);
+    }
+
+    #[test]
+    fn scenario_cache_shares_identical_cells() {
+        // Two cells over the same (world, seed) must reuse one scenario
+        // build: the second cell's build_wall is zero.
+        let reg = registry();
+        let mut s = spec(SeedPlan::Single, Backend::Dense);
+        if let Workload::QueryMatrix(cells) = &mut s.workload {
+            let mut second = cells[0].clone();
+            second.label = "cell-again".into();
+            cells.push(second);
+        }
+        let report = Experiment::new(s, &reg).run_threads(2);
+        assert_eq!(report.cells().len(), 2);
+        assert_eq!(report.cells()[1].build_wall, Duration::ZERO);
+        for (ra, rb) in report.cells()[0]
+            .rows
+            .iter()
+            .zip(&report.cells()[1].rows)
+        {
+            assert_eq!(ra.runs, rb.runs);
+        }
+    }
+
+    #[test]
+    fn study_workload_runs_through_the_pipeline() {
+        let reg = AlgoRegistry::new();
+        let spec = ExperimentSpec::study(
+            "study-test",
+            "study",
+            "n/a",
+            Backend::Dense,
+            77,
+            true,
+            vec!["--flag".into()],
+            |ctx: &StudyCtx| {
+                assert_eq!(ctx.seed, 77);
+                assert!(ctx.quick);
+                assert_eq!(ctx.flags, vec!["--flag".to_string()]);
+                crate::experiment::StudyOutput {
+                    text: format!("threads={}", ctx.threads),
+                    tables: Vec::new(),
+                }
+            },
+        );
+        let report = Experiment::new(spec, &reg).run_threads(3);
+        assert_eq!(report.study().text, "threads=3");
+        assert_eq!(report.total_probes(), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The declarative experiment description.
+//!
+//! An [`ExperimentSpec`] is the whole experiment as data: which worlds
+//! to generate, on which latency backend, which registered algorithms
+//! to run over them, how many queries, and across which seeds. The
+//! [`crate::experiment::Experiment`] runner turns a spec into a typed
+//! [`crate::experiment::ExperimentReport`]; nothing about *how* the
+//! matrix of cells executes (parallelism, scenario caching, metric
+//! aggregation) lives in the spec.
+//!
+//! Measurement-stack figures (the §3/§5 studies over the Internet
+//! model, Figures 3–7, 10, 11) do not fit the world × algorithm ×
+//! seed matrix; they plug in as a [`Workload::Study`] stage instead,
+//! so every binary — figure or extension — still runs through the one
+//! `ExperimentSpec → Experiment::run` pipeline.
+
+use np_topology::ClusterWorldSpec;
+use np_util::rng::sub_seed;
+
+/// Which latency backend a spec's worlds are materialised on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The dense `n×n` matrix — the paper's object, exact, quadratic.
+    Dense,
+    /// The block-compressed sharded store — per-cluster dense blocks
+    /// plus a hub summary; what scales past ~2.5 k peers.
+    Sharded,
+}
+
+impl Backend {
+    /// Short name for tables and headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Dense => "dense",
+            Backend::Sharded => "sharded",
+        }
+    }
+}
+
+/// How many runs a cell aggregates, and how their seeds derive from
+/// the cell's base seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedPlan {
+    /// One run at exactly the cell's base seed (no derivation) — the
+    /// single-configuration extension experiments.
+    Single,
+    /// `n`-seed sweep with the workspace's historical derivation:
+    /// run `i` uses `sub_seed(base + i, "RN")`. `Sweep(3)` is the
+    /// paper's three-run sweep, bit-compatible with
+    /// [`crate::runner::sweep_three_runs`].
+    Sweep(usize),
+}
+
+impl SeedPlan {
+    /// The paper's three-run sweep.
+    pub const THREE_RUNS: SeedPlan = SeedPlan::Sweep(3);
+
+    /// The effective per-run seeds for a cell with `base` seed.
+    pub fn seeds(&self, base: u64) -> Vec<u64> {
+        match *self {
+            SeedPlan::Single => vec![base],
+            SeedPlan::Sweep(n) => {
+                assert!(n >= 1, "empty seed sweep");
+                (0..n as u64)
+                    .map(|i| sub_seed(base.wrapping_add(i), 0x52_4E)) // "RN"
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of runs per cell.
+    pub fn runs(&self) -> usize {
+        match *self {
+            SeedPlan::Single => 1,
+            SeedPlan::Sweep(n) => n,
+        }
+    }
+}
+
+/// One algorithm to run in a cell: a registry name plus presentation
+/// overrides.
+#[derive(Debug, Clone)]
+pub struct AlgoSpec {
+    /// Key into the [`crate::experiment::AlgoRegistry`].
+    pub name: String,
+    /// Display label (defaults to the registry name).
+    pub label: Option<String>,
+    /// Per-algorithm query-count override (e.g. brute force at a fifth
+    /// of the budget — every probe pattern is the full overlay).
+    pub queries: Option<usize>,
+}
+
+impl AlgoSpec {
+    pub fn new(name: impl Into<String>) -> AlgoSpec {
+        AlgoSpec {
+            name: name.into(),
+            label: None,
+            queries: None,
+        }
+    }
+
+    pub fn labelled(name: impl Into<String>, label: impl Into<String>) -> AlgoSpec {
+        AlgoSpec {
+            name: name.into(),
+            label: Some(label.into()),
+            queries: None,
+        }
+    }
+
+    pub fn with_queries(mut self, queries: usize) -> AlgoSpec {
+        self.queries = Some(queries);
+        self
+    }
+
+    /// The display label: explicit override or the registry name.
+    pub fn display(&self) -> &str {
+        self.label.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One cell of the experiment matrix: a world configuration, the
+/// algorithms to run over it, and its query/seed budget.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Progress/report label ("x=25", "delta=0.4", "10000 peers").
+    pub label: String,
+    /// The §4 cluster-world generator configuration.
+    pub world: ClusterWorldSpec,
+    /// Held-out target count (the paper uses 100).
+    pub n_targets: usize,
+    /// The cell's base seed; the spec's [`SeedPlan`] derives per-run
+    /// seeds from it.
+    pub base_seed: u64,
+    /// Queries per run (unless an [`AlgoSpec`] overrides).
+    pub queries: usize,
+    /// Algorithms to run, in report order.
+    pub algos: Vec<AlgoSpec>,
+}
+
+impl CellSpec {
+    /// A cell over the paper's world shape (`ClusterWorldSpec::paper`).
+    pub fn paper(
+        label: impl Into<String>,
+        en_per_cluster: usize,
+        delta: f64,
+        base_seed: u64,
+        queries: usize,
+        algos: Vec<AlgoSpec>,
+    ) -> CellSpec {
+        CellSpec {
+            label: label.into(),
+            world: ClusterWorldSpec::paper(en_per_cluster, delta),
+            n_targets: 100,
+            base_seed,
+            queries,
+            algos,
+        }
+    }
+}
+
+/// A measurement-stack stage's execution context.
+pub struct StudyCtx {
+    /// Base seed for the study's world generation.
+    pub seed: u64,
+    /// Scaled-down smoke run?
+    pub quick: bool,
+    /// Worker threads for any parallel regions the study enters.
+    pub threads: usize,
+    /// The spec's backend selection — cluster-world studies honour it,
+    /// Internet-model studies note it as inert.
+    pub backend: Backend,
+    /// Binary-specific passthrough flags (`--show-tree`, `--chord`).
+    pub flags: Vec<String>,
+}
+
+/// What a measurement-stack stage returns: the rendered human output
+/// plus the named tables behind it (the JSON sink re-emits those as
+/// structured rows).
+pub struct StudyOutput {
+    /// The full human rendering (tables, charts, commentary).
+    pub text: String,
+    /// The tables behind the rendering, named, for `--out json`.
+    pub tables: Vec<(String, np_util::table::Table)>,
+}
+
+/// The work a spec describes.
+pub enum Workload {
+    /// The declarative matrix: cells × algorithms × seeds through the
+    /// batch query runner.
+    QueryMatrix(Vec<CellSpec>),
+    /// A measurement-stack study (Figures 3–7, 10, 11, UCL discovery):
+    /// an opaque stage the pipeline times, renders and sinks like any
+    /// other experiment.
+    Study(Box<dyn Fn(&StudyCtx) -> StudyOutput + Sync>),
+}
+
+/// The complete declarative experiment.
+pub struct ExperimentSpec {
+    /// Registry/spec name ("fig8", "ext_scale", ...).
+    pub name: String,
+    /// Human title for headers.
+    pub title: String,
+    /// The paper's expected shape, quoted in headers.
+    pub paper_shape: String,
+    /// Latency backend for every cell.
+    pub backend: Backend,
+    /// Seed schedule shared by all cells.
+    pub seeds: SeedPlan,
+    /// Base seed handed to [`Workload::Study`] stages (query cells
+    /// carry their own base seeds).
+    pub base_seed: u64,
+    /// Quick-mode flag handed to study stages.
+    pub quick: bool,
+    /// Binary-specific passthrough flags for study stages.
+    pub flags: Vec<String>,
+    /// The work itself.
+    pub workload: Workload,
+}
+
+impl ExperimentSpec {
+    /// A query-matrix spec.
+    pub fn query(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        paper_shape: impl Into<String>,
+        backend: Backend,
+        seeds: SeedPlan,
+        cells: Vec<CellSpec>,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            title: title.into(),
+            paper_shape: paper_shape.into(),
+            backend,
+            seeds,
+            base_seed: 0,
+            quick: false,
+            flags: Vec::new(),
+            workload: Workload::QueryMatrix(cells),
+        }
+    }
+
+    /// A measurement-stack study spec.
+    pub fn study(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        paper_shape: impl Into<String>,
+        backend: Backend,
+        base_seed: u64,
+        quick: bool,
+        flags: Vec<String>,
+        stage: impl Fn(&StudyCtx) -> StudyOutput + Sync + 'static,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            title: title.into(),
+            paper_shape: paper_shape.into(),
+            backend,
+            seeds: SeedPlan::Single,
+            base_seed,
+            quick,
+            flags,
+            workload: Workload::Study(Box::new(stage)),
+        }
+    }
+
+    /// Number of cells (1 for studies).
+    pub fn cell_count(&self) -> usize {
+        match &self.workload {
+            Workload::QueryMatrix(cells) => cells.len(),
+            Workload::Study(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_util::rng::{sub_seed, three_runs};
+
+    #[test]
+    fn seed_plan_single_is_identity() {
+        assert_eq!(SeedPlan::Single.seeds(42), vec![42]);
+        assert_eq!(SeedPlan::Single.runs(), 1);
+    }
+
+    #[test]
+    fn seed_plan_three_matches_historical_sweep() {
+        // sweep_runs over three_runs(base) applies sub_seed(s, "RN") to
+        // each — Sweep(3) must reproduce those exact seeds.
+        let base = 21u64;
+        let expect: Vec<u64> = three_runs(base)
+            .iter()
+            .map(|&s| sub_seed(s, 0x52_4E))
+            .collect();
+        assert_eq!(SeedPlan::THREE_RUNS.seeds(base), expect);
+        assert_eq!(SeedPlan::Sweep(3).seeds(base), expect);
+    }
+
+    #[test]
+    fn seed_plan_sweep_extends_three_runs() {
+        let five = SeedPlan::Sweep(5).seeds(9);
+        assert_eq!(five.len(), 5);
+        assert_eq!(&five[..3], &SeedPlan::Sweep(3).seeds(9)[..]);
+        // All distinct.
+        let mut uniq = five.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5);
+    }
+
+    #[test]
+    fn algo_spec_display_prefers_label() {
+        assert_eq!(AlgoSpec::new("meridian").display(), "meridian");
+        assert_eq!(
+            AlgoSpec::labelled("meridian", "beta=0.25").display(),
+            "beta=0.25"
+        );
+        assert_eq!(
+            AlgoSpec::new("brute-force").with_queries(40).queries,
+            Some(40)
+        );
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(Backend::Dense.name(), "dense");
+        assert_eq!(Backend::Sharded.name(), "sharded");
+    }
+}

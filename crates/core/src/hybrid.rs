@@ -25,10 +25,25 @@ pub trait HintSource: Sync {
     fn name(&self) -> &str;
 }
 
+/// References delegate, so a [`Hybrid`] can borrow or own its source.
+impl<H: HintSource + ?Sized> HintSource for &H {
+    fn candidates(&self, target: PeerId) -> Vec<PeerId> {
+        (**self).candidates(target)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// Hybrid = hints + fallback.
-pub struct Hybrid<'a, H: HintSource, A: NearestPeerAlgo> {
-    hints: &'a H,
-    fallback: &'a A,
+///
+/// Holds both parts by value; pass references (`Hybrid::new(&hints,
+/// &overlay)`) to borrow, or move owned parts in — that is what lets
+/// the experiment registry's hybrid factory return one self-contained
+/// boxed algorithm.
+pub struct Hybrid<H: HintSource, A: NearestPeerAlgo> {
+    hints: H,
+    fallback: A,
     /// Probe at most this many hint candidates (cost bound).
     pub max_candidates: usize,
     /// Accept a hinted peer without fallback when its RTT is below this
@@ -37,8 +52,8 @@ pub struct Hybrid<'a, H: HintSource, A: NearestPeerAlgo> {
     name: String,
 }
 
-impl<'a, H: HintSource, A: NearestPeerAlgo> Hybrid<'a, H, A> {
-    pub fn new(hints: &'a H, fallback: &'a A) -> Self {
+impl<H: HintSource, A: NearestPeerAlgo> Hybrid<H, A> {
+    pub fn new(hints: H, fallback: A) -> Self {
         let name = format!("{}+{}", hints.name(), fallback.name());
         Hybrid {
             hints,
@@ -50,7 +65,7 @@ impl<'a, H: HintSource, A: NearestPeerAlgo> Hybrid<'a, H, A> {
     }
 }
 
-impl<H: HintSource, A: NearestPeerAlgo> NearestPeerAlgo for Hybrid<'_, H, A> {
+impl<H: HintSource, A: NearestPeerAlgo> NearestPeerAlgo for Hybrid<H, A> {
     fn name(&self) -> &str {
         &self.name
     }

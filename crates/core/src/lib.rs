@@ -18,15 +18,27 @@
 //!   registry (UCL/prefix) first and fall back to a latency-only
 //!   algorithm when the registry has no close candidate (wired to the
 //!   registries in `np-remedies` through the [`hybrid::HintSource`]
-//!   trait, so `np-core` stays dependency-light).
+//!   trait, so `np-core` stays dependency-light),
+//! * [`experiment`] — the declarative layer over all of the above: an
+//!   [`experiment::ExperimentSpec`] (cells × algorithms × seeds ×
+//!   backend) runs through the object-safe
+//!   [`experiment::AlgoFactory`] registry and the generic
+//!   [`experiment::Experiment`] pipeline into typed
+//!   [`experiment::ExperimentReport`]s with pluggable sinks — every
+//!   figure binary in `np-bench` is such a spec.
 //!
 //! Downstream users normally `use nearest_peer::prelude::*` (the facade
 //! crate re-exports everything here).
 
+pub mod experiment;
 pub mod hybrid;
 pub mod runner;
 pub mod scenario;
 
+pub use experiment::{
+    AlgoFactory, AlgoRegistry, AlgoSpec, Backend, CellSpec, Experiment, ExperimentReport,
+    ExperimentSpec, SeedPlan,
+};
 pub use runner::{
     run_queries, run_queries_threads, sweep_runs, sweep_runs_threads, sweep_three_runs,
     sweep_three_runs_threads, PaperMetrics, RunBandMetrics,

@@ -1,0 +1,224 @@
+//! [`AlgoFactory`] for Meridian overlays.
+//!
+//! Registers the paper's §4 Meridian (omniscient simulator fill,
+//! β = 0.5) and the deployable gossip warm-up under distinct names;
+//! ablation binaries register further variants via
+//! [`MeridianFactory::custom`].
+
+use crate::overlay::{BuildMode, Overlay};
+use crate::MeridianConfig;
+use np_core::experiment::{AlgoContext, AlgoFactory};
+use np_metric::NearestPeerAlgo;
+
+/// Builds a Meridian [`Overlay`] with a fixed configuration.
+pub struct MeridianFactory {
+    name: String,
+    cfg: MeridianConfig,
+    mode: BuildMode,
+}
+
+impl MeridianFactory {
+    /// The paper's configuration with the simulator's omniscient ring
+    /// fill — registry name `"meridian"`.
+    pub fn omniscient() -> MeridianFactory {
+        MeridianFactory::custom("meridian", MeridianConfig::default(), BuildMode::Omniscient)
+    }
+
+    /// The decentralised gossip warm-up — registry name
+    /// `"meridian-gossip"`.
+    pub fn gossip(rounds: usize, fanout: usize) -> MeridianFactory {
+        MeridianFactory::custom(
+            "meridian-gossip",
+            MeridianConfig::default(),
+            BuildMode::Gossip { rounds, fanout },
+        )
+    }
+
+    /// Any configuration under any registry name (ablations).
+    pub fn custom(
+        name: impl Into<String>,
+        cfg: MeridianConfig,
+        mode: BuildMode,
+    ) -> MeridianFactory {
+        MeridianFactory {
+            name: name.into(),
+            cfg,
+            mode,
+        }
+    }
+}
+
+impl AlgoFactory for MeridianFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> String {
+        let mode = match self.mode {
+            BuildMode::Omniscient => "omniscient fill".to_string(),
+            BuildMode::Gossip { rounds, fanout } => {
+                format!("gossip warm-up ({rounds} rounds, fanout {fanout})")
+            }
+        };
+        format!(
+            "Meridian beta-routing (beta={}, {} manage rounds, {mode})",
+            self.cfg.beta, self.cfg.manage_rounds
+        )
+    }
+
+    fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
+        // The O(n²) ring fill is a pure function of (world, members,
+        // cfg, mode, seed); the context's build cache already scopes
+        // world and seed, so identical configurations registered under
+        // several names (the hybrid coverage sweep wraps this factory
+        // six times) share one fill and clone the rings out.
+        let key = format!("meridian-rings|{:?}|{:?}", self.cfg, self.mode);
+        let parts = ctx.shared.get_or_build(&key, || {
+            Overlay::build_threads(
+                ctx.store,
+                ctx.overlay.to_vec(),
+                self.cfg,
+                self.mode,
+                ctx.seed,
+                ctx.threads,
+            )
+            .into_parts()
+        });
+        let (cfg, members, rings) = (*parts).clone();
+        Box::new(Overlay::from_parts(ctx.store, cfg, members, rings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::line_world;
+    use np_metric::{PeerId, Target, WorldStore};
+    use np_topology::{ClusterWorld, ClusterWorldSpec};
+    use np_util::rng::rng_from;
+    use np_util::Micros;
+
+    #[test]
+    fn factory_builds_a_working_overlay() {
+        let spec = ClusterWorldSpec {
+            clusters: 3,
+            en_per_cluster: 6,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 4,
+        };
+        let world = ClusterWorld::generate(spec, 3);
+        let matrix = world.to_matrix();
+        let overlay: Vec<PeerId> = world.peers().skip(2).collect();
+        let shared = np_core::experiment::BuildCache::new();
+        let ctx = AlgoContext {
+            store: &matrix,
+            world: &world,
+            overlay: &overlay,
+            seed: 9,
+            threads: 2,
+            shared: &shared,
+        };
+        let factory = MeridianFactory::omniscient();
+        assert_eq!(factory.name(), "meridian");
+        assert!(factory.description().contains("beta=0.5"));
+        let algo = factory.build(&ctx);
+        assert_eq!(algo.name(), "meridian");
+        let t = Target::new(PeerId(0), &matrix);
+        let out = algo.find_nearest(&t, &mut rng_from(1));
+        assert!(out.probes > 0);
+        assert!(overlay.contains(&out.found));
+    }
+
+    #[test]
+    fn cached_rebuild_is_indistinguishable() {
+        // Two builds from one context share the cached ring fill; a
+        // build from a fresh context refills from scratch. All three
+        // must answer identically — a cache hit is not allowed to be
+        // observable.
+        let m = line_world(48);
+        let members: Vec<PeerId> = (0..48).map(PeerId).collect();
+        let world = ClusterWorld::generate(
+            ClusterWorldSpec {
+                clusters: 1,
+                en_per_cluster: 1,
+                peers_per_en: 2,
+                delta: 0.2,
+                mean_hub_ms: (4.0, 6.0),
+                intra_en: Micros::from_us(100),
+                hub_pool: 2,
+            },
+            1,
+        );
+        let ctx_for = |shared| AlgoContext {
+            store: &m,
+            world: &world,
+            overlay: &members,
+            seed: 33,
+            threads: 2,
+            shared,
+        };
+        let shared = np_core::experiment::BuildCache::new();
+        let fresh = np_core::experiment::BuildCache::new();
+        let factory = MeridianFactory::omniscient();
+        let first = factory.build(&ctx_for(&shared));
+        let second = factory.build(&ctx_for(&shared)); // cache hit
+        let scratch = factory.build(&ctx_for(&fresh)); // full refill
+        for t in [3u32, 17, 40] {
+            let outs: Vec<_> = [&first, &second, &scratch]
+                .iter()
+                .map(|algo| {
+                    let target = Target::new(PeerId(t), &m);
+                    algo.find_nearest(&target, &mut rng_from(9))
+                })
+                .collect();
+            assert_eq!(outs[0], outs[1], "cache hit diverged");
+            assert_eq!(outs[0], outs[2], "cache path diverged from scratch build");
+        }
+    }
+
+    #[test]
+    fn factory_build_matches_direct_build() {
+        // The factory is sugar, not semantics: same seed ⇒ the same
+        // rings and answers as calling Overlay::build directly.
+        let m = line_world(32);
+        let members: Vec<PeerId> = (0..32).map(PeerId).collect();
+        let direct = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            21,
+        );
+        let fake_world = ClusterWorld::generate(
+            ClusterWorldSpec {
+                clusters: 1,
+                en_per_cluster: 1,
+                peers_per_en: 2,
+                delta: 0.2,
+                mean_hub_ms: (4.0, 6.0),
+                intra_en: Micros::from_us(100),
+                hub_pool: 2,
+            },
+            1,
+        );
+        let store: &dyn WorldStore = &m;
+        let shared = np_core::experiment::BuildCache::new();
+        let ctx = AlgoContext {
+            store,
+            world: &fake_world, // meridian ignores topology metadata
+            overlay: &members,
+            seed: 21,
+            threads: 4,
+            shared: &shared,
+        };
+        let via_factory = MeridianFactory::omniscient().build(&ctx);
+        let t1 = Target::new(PeerId(5), &m);
+        let t2 = Target::new(PeerId(5), &m);
+        let a = direct.find_nearest(&t1, &mut rng_from(3));
+        let b = via_factory.find_nearest(&t2, &mut rng_from(3));
+        assert_eq!(a, b);
+    }
+}

@@ -23,9 +23,11 @@
 //!   `np-netsim` kernel (probe RPCs, timeouts), used to check that the
 //!   query logic survives real message interleavings.
 
+pub mod factory;
 pub mod hypervolume;
 pub mod overlay;
 pub mod proto;
 pub mod rings;
 
+pub use factory::MeridianFactory;
 pub use overlay::{BuildMode, MeridianConfig, Overlay};

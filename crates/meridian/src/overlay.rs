@@ -22,11 +22,19 @@
 
 use crate::rings::{RingConfig, RingSet};
 use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, Target, WorldStore};
-use np_util::rng::rng_for;
+use np_util::parallel::{item_seed, par_map, resolve_threads};
+use np_util::rng::{rng_for, rng_from};
 use np_util::Micros;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use std::collections::HashMap;
+
+/// Seed tag for the per-node RNG streams of the omniscient ring fill.
+/// Each node's offer order is drawn from `item_seed(seed, FILL_TAG, i)`
+/// — a pure function of `(seed, member index)` — which is what lets the
+/// fill run on any number of workers and still produce bit-identical
+/// rings (enforced by `tests/parallel_determinism.rs`).
+const FILL_TAG: u64 = 0x4D46_494C; // "MFIL"
 
 /// Meridian parameters (§4 of the paper: β = 0.5, 16 per ring).
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +86,9 @@ pub struct Overlay<'m, W: WorldStore + ?Sized = LatencyMatrix> {
 }
 
 impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
-    /// Build an overlay over `members` (must be non-empty).
+    /// Build an overlay over `members` (must be non-empty), on the
+    /// ambient thread count (`$NP_THREADS`, else all cores). Results
+    /// are identical at any worker count — see [`Overlay::build_threads`].
     pub fn build(
         world: &'m W,
         members: Vec<PeerId>,
@@ -86,33 +96,68 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
         mode: BuildMode,
         seed: u64,
     ) -> Overlay<'m, W> {
+        Overlay::build_threads(world, members, cfg, mode, seed, resolve_threads(None))
+    }
+
+    /// [`Overlay::build`] with an explicit worker count.
+    ///
+    /// In [`BuildMode::Omniscient`] each node's ring membership is a
+    /// pure function of the matrix and its own offer-order RNG stream
+    /// (`item_seed(seed, FILL_TAG, index)`), so per-node fill + ring
+    /// management run in parallel via [`par_map`] and the rings come
+    /// out bit-identical at any `threads`, including 1. The gossip
+    /// warm-up is inherently sequential (nodes exchange evolving ring
+    /// contents) and stays serial regardless of `threads`.
+    pub fn build_threads(
+        world: &'m W,
+        members: Vec<PeerId>,
+        cfg: MeridianConfig,
+        mode: BuildMode,
+        seed: u64,
+        threads: usize,
+    ) -> Overlay<'m, W> {
         assert!(!members.is_empty(), "empty overlay");
         assert!(
             (0.0..1.0).contains(&cfg.beta) && cfg.beta > 0.0,
             "beta must be in (0,1)"
         );
-        let mut rng = rng_for(seed, 0x4D45_5244); // "MERD"
-        let mut rings: HashMap<PeerId, RingSet> = members
-            .iter()
-            .map(|&p| (p, RingSet::new(p, cfg.rings)))
-            .collect();
+        let mut rng = rng_for(seed, 0x4D45_5244); // "MERD" (gossip mode)
+        let mut rings: HashMap<PeerId, RingSet>;
         match mode {
             BuildMode::Omniscient => {
                 // Offer every member to every node in (per-node) random
                 // order, so capacity eviction is unbiased like gossip
-                // arrival order would be.
-                let mut order = members.clone();
-                for &p in &members {
-                    order.shuffle(&mut rng);
-                    let rs = rings.get_mut(&p).expect("member ring set");
+                // arrival order would be. Per-node work — fill plus this
+                // node's management rounds — is independent given the
+                // matrix, so it fans out across workers.
+                let filled = par_map(threads, &members, |i, &p| {
+                    let mut order_rng = rng_from(item_seed(seed, FILL_TAG, i as u64));
+                    let mut order = members.clone();
+                    order.shuffle(&mut order_rng);
+                    let mut rs = RingSet::new(p, cfg.rings);
                     for &q in &order {
                         if q != p {
                             rs.insert(q, world.rtt(p, q));
                         }
                     }
-                }
+                    for _ in 0..cfg.manage_rounds {
+                        rs.manage(|a, b| world.rtt(a, b));
+                    }
+                    rs
+                });
+                rings = members.iter().copied().zip(filled).collect();
+                return Overlay {
+                    cfg,
+                    world,
+                    members,
+                    rings,
+                };
             }
             BuildMode::Gossip { rounds, fanout } => {
+                rings = members
+                    .iter()
+                    .map(|&p| (p, RingSet::new(p, cfg.rings)))
+                    .collect();
                 // Bootstrap: everyone knows `fanout` random members.
                 for &p in &members {
                     for _ in 0..fanout {
@@ -162,6 +207,36 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             members,
             rings,
         }
+    }
+
+    /// Reassemble an overlay from previously built parts (see
+    /// [`Overlay::into_parts`]). `world` must be the same latency
+    /// space the parts were built over — `join`/`leave`/`manage` read
+    /// it — but the query path itself only consults the rings and the
+    /// probe-counted target, which is what makes the parts cacheable.
+    pub fn from_parts(
+        world: &'m W,
+        cfg: MeridianConfig,
+        members: Vec<PeerId>,
+        rings: HashMap<PeerId, RingSet>,
+    ) -> Overlay<'m, W> {
+        assert_eq!(members.len(), rings.len(), "parts out of sync");
+        Overlay {
+            cfg,
+            world,
+            members,
+            rings,
+        }
+    }
+
+    /// Decompose into the world-independent parts: configuration,
+    /// membership and the filled ring sets. The parts are `'static`
+    /// (rings store peer ids + RTT values, not matrix borrows), so an
+    /// expensive build can be cached and re-borrowed against the same
+    /// world — the experiment registry's Meridian factory does this
+    /// when several registry entries wrap the same configuration.
+    pub fn into_parts(self) -> (MeridianConfig, Vec<PeerId>, HashMap<PeerId, RingSet>) {
+        (self.cfg, self.members, self.rings)
     }
 
     /// The configuration in use.

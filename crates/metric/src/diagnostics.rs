@@ -18,7 +18,8 @@
 //!   estimator; clusters inflate it because distinguishing n equidistant
 //!   end-networks needs ~n dimensions.
 
-use crate::matrix::{LatencyMatrix, PeerId};
+use crate::matrix::PeerId;
+use crate::world::WorldStore;
 use np_util::Micros;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -44,7 +45,7 @@ impl GrowthSample {
 /// (`inner >= min_inner`) are kept — ratios over singleton balls say
 /// nothing about the space.
 pub fn growth_samples<R: Rng + ?Sized>(
-    matrix: &LatencyMatrix,
+    matrix: &dyn WorldStore,
     members: &[PeerId],
     n_peers: usize,
     n_radii: usize,
@@ -110,7 +111,7 @@ pub fn growth_constant(samples: &[GrowthSample]) -> Option<f64> {
 /// Greedy cover is a ln(n)-approximation of the optimal cover — good
 /// enough to *witness* the blow-up the paper describes (the true doubling
 /// constant is only smaller by a log factor).
-pub fn cover_count(matrix: &LatencyMatrix, members: &[PeerId], center: PeerId, r: Micros) -> usize {
+pub fn cover_count(matrix: &dyn WorldStore, members: &[PeerId], center: PeerId, r: Micros) -> usize {
     let mut uncovered: Vec<PeerId> = members
         .iter()
         .copied()
@@ -128,7 +129,7 @@ pub fn cover_count(matrix: &LatencyMatrix, members: &[PeerId], center: PeerId, r
 /// The doubling constant estimate: the max greedy [`cover_count`] over
 /// `n_centers` sampled centres and `n_radii` log-spaced radii.
 pub fn doubling_constant<R: Rng + ?Sized>(
-    matrix: &LatencyMatrix,
+    matrix: &dyn WorldStore,
     members: &[PeerId],
     n_centers: usize,
     n_radii: usize,
@@ -167,7 +168,7 @@ pub fn doubling_constant<R: Rng + ?Sized>(
 /// estimator needs strictly positive ratios; the clamp only *underestimates*
 /// dimension, making the reported blow-up conservative.
 pub fn intrinsic_dimension<R: Rng + ?Sized>(
-    matrix: &LatencyMatrix,
+    matrix: &dyn WorldStore,
     members: &[PeerId],
     k: usize,
     n_samples: usize,
@@ -210,7 +211,7 @@ pub struct AssumptionReport {
 
 /// Run all three diagnostics with moderate sampling budgets.
 pub fn assumption_report<R: Rng + ?Sized>(
-    matrix: &LatencyMatrix,
+    matrix: &dyn WorldStore,
     members: &[PeerId],
     rng: &mut R,
 ) -> AssumptionReport {
@@ -229,6 +230,7 @@ pub fn assumption_report<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::LatencyMatrix;
     use np_util::rng::rng_from;
 
     /// A uniform line: growth-friendly space.

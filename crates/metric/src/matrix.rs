@@ -206,6 +206,11 @@ impl WorldStore for LatencyMatrix {
         self.n
     }
 
+    fn diameter(&self) -> Micros {
+        // The inherent flat-array scan, not the trait's O(n²) default.
+        LatencyMatrix::diameter(self)
+    }
+
     #[inline]
     fn rtt(&self, a: PeerId, b: PeerId) -> Micros {
         LatencyMatrix::rtt(self, a, b)

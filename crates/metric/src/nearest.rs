@@ -125,6 +125,34 @@ pub trait NearestPeerAlgo: Sync {
     fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome;
 }
 
+/// References delegate, so generic wrappers (e.g. the hybrid) can own
+/// or borrow their inner algorithm interchangeably.
+impl<A: NearestPeerAlgo + ?Sized> NearestPeerAlgo for &A {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn members(&self) -> &[PeerId] {
+        (**self).members()
+    }
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        (**self).find_nearest(target, rng)
+    }
+}
+
+/// Boxes delegate too — the [`crate::world::WorldStore`]-agnostic
+/// factory registry hands out `Box<dyn NearestPeerAlgo>`s.
+impl<A: NearestPeerAlgo + ?Sized> NearestPeerAlgo for Box<A> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn members(&self) -> &[PeerId] {
+        (**self).members()
+    }
+    fn find_nearest(&self, target: &Target<'_>, rng: &mut StdRng) -> QueryOutcome {
+        (**self).find_nearest(target, rng)
+    }
+}
+
 /// Brute force: probe every member. The optimal-accuracy / worst-cost
 /// reference point — under the clustering condition the paper argues all
 /// latency-only algorithms degenerate towards this.

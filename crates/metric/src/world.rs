@@ -78,6 +78,23 @@ pub trait WorldStore: Sync {
         v
     }
 
+    /// Largest pairwise RTT — the metric-space diameter the §2.2
+    /// diagnostics normalise against. Default scans all pairs (O(n²)
+    /// `rtt` calls); the dense backend overrides with a flat array max.
+    fn diameter(&self) -> Micros {
+        let n = self.len() as u32;
+        let mut max = Micros::ZERO;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = self.rtt(PeerId(a), PeerId(b));
+                if d > max {
+                    max = d;
+                }
+            }
+        }
+        max
+    }
+
     /// Number of peers in `members` strictly closer to `target` than `d`.
     fn count_within(&self, target: PeerId, members: &[PeerId], d: Micros) -> usize {
         members

@@ -21,9 +21,11 @@
 //! "perfect map" for evaluation, the Chord ring for deployment realism.
 
 pub mod central;
+pub mod cluster_hints;
 pub mod multicast;
 pub mod prefix;
 pub mod ucl;
 
+pub use cluster_hints::{EnRegistry, HybridHintFactory};
 pub use prefix::PrefixRegistry;
 pub use ucl::UclRegistry;

@@ -43,15 +43,9 @@ pub const THREADS_ENV: &str = "NP_THREADS";
 /// then a positive integer in `$NP_THREADS`, then all available cores.
 /// Always at least 1.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
-    if let Some(n) = explicit {
-        return n.max(1);
-    }
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    let env = std::env::var(THREADS_ENV).ok();
+    let (n, invalid_env) = resolve_threads_from(explicit, env.as_deref(), available_threads());
+    if let Some(v) = invalid_env {
         // Resolution runs once per parallel entry point; warn once,
         // not once per query batch.
         static WARNED: std::sync::Once = std::sync::Once::new();
@@ -59,7 +53,29 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
             eprintln!("warning: ignoring invalid {THREADS_ENV}={v:?} (want a positive integer)");
         });
     }
-    available_threads()
+    n
+}
+
+/// The pure precedence rule behind [`resolve_threads`]:
+/// `explicit > env > ambient`, result always ≥ 1. Returns the resolved
+/// count and, when the env value was present but unusable, that value
+/// (so the caller can warn). Split out so the precedence is unit
+/// testable without mutating the process environment.
+pub fn resolve_threads_from(
+    explicit: Option<usize>,
+    env: Option<&str>,
+    ambient: usize,
+) -> (usize, Option<String>) {
+    if let Some(n) = explicit {
+        return (n.max(1), None);
+    }
+    if let Some(v) = env {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return (n, None),
+            _ => return (ambient.max(1), Some(v.to_string())),
+        }
+    }
+    (ambient.max(1), None)
 }
 
 /// The machine's available parallelism (1 if unknown).
@@ -318,10 +334,32 @@ mod tests {
     fn resolve_threads_precedence() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert_eq!(resolve_threads(Some(0)), 1, "explicit 0 clamps to 1");
-        // Env-var and fallback paths are covered implicitly; mutating
-        // the process environment in a threaded test harness is UB-ish,
-        // so only the pure paths are asserted here.
+        // Env-var and fallback paths are covered via the pure helper;
+        // mutating the process environment in a threaded test harness
+        // is UB-ish.
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_from_full_precedence() {
+        // explicit beats env beats ambient.
+        assert_eq!(resolve_threads_from(Some(3), Some("5"), 8), (3, None));
+        assert_eq!(resolve_threads_from(None, Some("5"), 8), (5, None));
+        assert_eq!(resolve_threads_from(None, None, 8), (8, None));
+        // Whitespace tolerated; garbage falls through to ambient with
+        // the offending value reported.
+        assert_eq!(resolve_threads_from(None, Some(" 2 "), 8), (2, None));
+        assert_eq!(
+            resolve_threads_from(None, Some("many"), 8),
+            (8, Some("many".to_string()))
+        );
+        assert_eq!(
+            resolve_threads_from(None, Some("0"), 8),
+            (8, Some("0".to_string()))
+        );
+        // Everything clamps to at least one worker.
+        assert_eq!(resolve_threads_from(None, None, 0), (1, None));
+        assert_eq!(resolve_threads_from(Some(0), None, 0), (1, None));
     }
 
     #[test]

@@ -41,6 +41,16 @@ impl Table {
         self.row(&cells)
     }
 
+    /// The column headers (structured sinks key JSON rows on these).
+    pub fn columns(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order.
+    pub fn data_rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

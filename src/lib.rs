@@ -24,7 +24,7 @@
 //! | [`baselines`] | Karger–Ruhl, Tapestry, Tiers, Beaconing |
 //! | [`dht`] | Chord and the key-value map facade |
 //! | [`remedies`] | §5: UCL, IP-prefix, multicast, central registries |
-//! | [`core`] | scenarios, the experiment runner, the hybrid algorithm |
+//! | [`core`] | scenarios, the experiment runner, the hybrid algorithm, and the declarative `ExperimentSpec` → `AlgoFactory` registry → `Experiment` pipeline behind every figure binary |
 //!
 //! ## Quickstart
 //!
@@ -77,6 +77,10 @@ pub use np_util as util;
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use np_core::hybrid::{HintSource, Hybrid};
+    pub use np_core::experiment::{
+        AlgoContext, AlgoFactory, AlgoRegistry, AlgoSpec, Backend, CellSpec, Experiment,
+        ExperimentReport, ExperimentSpec, SeedPlan,
+    };
     pub use np_core::{run_queries, sweep_three_runs, ClusterScenario, PaperMetrics};
     pub use np_dht::{ChordMap, ChordRing, KeyValueMap, PerfectMap};
     pub use np_meridian::{BuildMode, MeridianConfig, Overlay};

@@ -257,3 +257,107 @@ fn nearest_cache_identical_at_any_thread_count() {
         }
     }
 }
+
+/// Satellite of the Experiment-API PR: the parallel omniscient ring
+/// fill. Per-node offer order comes from `item_seed(seed, "MFIL",
+/// index)`, so the rings a 1-thread build produces must be
+/// bit-identical to an 8-thread build's — member for member, ring for
+/// ring, rtt for rtt.
+#[test]
+fn omniscient_ring_fill_identical_at_any_thread_count() {
+    let s = scenario(707);
+    let serial = Overlay::build_threads(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        707,
+        1,
+    );
+    for threads in THREAD_COUNTS {
+        let par = Overlay::build_threads(
+            &s.matrix,
+            s.overlay.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            707,
+            threads,
+        );
+        assert_eq!(
+            serial.total_ring_entries(),
+            par.total_ring_entries(),
+            "ring totals diverged at {threads} threads"
+        );
+        for &p in serial.members() {
+            let a: Vec<(np_metric::PeerId, Micros)> = serial
+                .rings_of(p)
+                .primaries()
+                .map(|m| (m.peer, m.rtt))
+                .collect();
+            let b: Vec<(np_metric::PeerId, Micros)> = par
+                .rings_of(p)
+                .primaries()
+                .map(|m| (m.peer, m.rtt))
+                .collect();
+            assert_eq!(a, b, "rings of {p} diverged at {threads} threads");
+        }
+    }
+}
+
+/// The declarative pipeline end to end: an `ExperimentSpec` with a
+/// three-seed sweep over two algorithms produces bit-identical reports
+/// at any thread count, on both backends.
+#[test]
+fn experiment_pipeline_identical_at_any_thread_count() {
+    use np_core::experiment::{
+        AlgoRegistry, AlgoSpec, Backend, BruteForceFactory, CellSpec, Experiment,
+        ExperimentSpec, RandomChoiceFactory, SeedPlan,
+    };
+    let mut registry = AlgoRegistry::new();
+    registry.register(Box::new(BruteForceFactory));
+    registry.register(Box::new(RandomChoiceFactory));
+    let spec = |backend| {
+        ExperimentSpec::query(
+            "determinism",
+            "pipeline determinism",
+            "n/a",
+            backend,
+            SeedPlan::THREE_RUNS,
+            vec![CellSpec {
+                label: "cell".into(),
+                world: ClusterWorldSpec {
+                    clusters: 4,
+                    en_per_cluster: 12,
+                    peers_per_en: 2,
+                    delta: 0.2,
+                    mean_hub_ms: (4.0, 6.0),
+                    intra_en: Micros::from_us(100),
+                    hub_pool: 6,
+                },
+                n_targets: 16,
+                base_seed: 909,
+                queries: 80,
+                algos: vec![
+                    AlgoSpec::new("random"),
+                    AlgoSpec::new("brute-force").with_queries(20),
+                ],
+            }],
+        )
+    };
+    for backend in [Backend::Dense, Backend::Sharded] {
+        let serial = Experiment::new(spec(backend), &registry).run_threads(1);
+        for threads in THREAD_COUNTS {
+            let par = Experiment::new(spec(backend), &registry).run_threads(threads);
+            for (sc, pc) in serial.cells().iter().zip(par.cells()) {
+                for (sr, pr) in sc.rows.iter().zip(&pc.rows) {
+                    assert_eq!(
+                        sr.runs, pr.runs,
+                        "{} diverged at {threads} threads ({})",
+                        sr.label,
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}
