@@ -300,6 +300,66 @@ fn bench_sharded_build_10k(c: &mut Criterion) {
     });
 }
 
+// The shard-local Meridian ring fill at 10k peers (200 shards) — the
+// build that makes fig8-style curves affordable past the dense wall —
+// against its omniscient twin over the same store (ring-identical
+// results, per tests/shard_local_fill.rs; only the cost differs). CI
+// records `meridian_shard_fill`; the `_omniscient` twin is the
+// committed local baseline (it is what the fast path replaces, and at
+// 10k it is already painfully quadratic).
+fn shard_fill_fixture() -> (np_metric::ShardedWorld, Vec<PeerId>) {
+    let w = ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 200,
+            en_per_cluster: 25,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 200,
+        },
+        7,
+    );
+    let sharded = w.to_sharded_threads(np_util::parallel::available_threads());
+    let members: Vec<PeerId> = w.peers().collect();
+    (sharded, members)
+}
+
+fn bench_meridian_shard_fill(c: &mut Criterion) {
+    let (sharded, members) = shard_fill_fixture();
+    let threads = np_util::parallel::available_threads();
+    c.bench_function("meridian_shard_fill", |b| {
+        b.iter(|| {
+            let o = Overlay::build_shard_local_threads(
+                &sharded,
+                members.clone(),
+                MeridianConfig::default(),
+                1,
+                threads,
+            );
+            criterion::black_box(o.total_ring_entries())
+        })
+    });
+}
+
+fn bench_meridian_omniscient_fill_10k(c: &mut Criterion) {
+    let (sharded, members) = shard_fill_fixture();
+    let threads = np_util::parallel::available_threads();
+    c.bench_function("meridian_omniscient_fill_10k", |b| {
+        b.iter(|| {
+            let o = Overlay::build_threads(
+                &sharded,
+                members.clone(),
+                MeridianConfig::default(),
+                BuildMode::Omniscient,
+                1,
+                threads,
+            );
+            criterion::black_box(o.total_ring_entries())
+        })
+    });
+}
+
 // --- experiment-pipeline microbench -----------------------------------
 //
 // The declarative layer end to end: spec construction, registry lookup,
@@ -338,7 +398,7 @@ fn bench_experiment_pipeline(c: &mut Criterion) {
                 }],
             );
             let report = Experiment::new(spec, &registry).run_threads(threads);
-            criterion::black_box(report.cells()[0].rows[0].single().mean_probes)
+            criterion::black_box(report.query_cells().expect("query spec")[0].rows[0].single().mean_probes)
         })
     });
 }
@@ -348,6 +408,16 @@ fn config() -> Criterion {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// Config for benches whose single iteration runs for seconds (the
+/// 10k-peer overlay fill): a couple of samples document the number
+/// without monopolising the CI bench step.
+fn heavy_config() -> Criterion {
+    Criterion::default()
+        .sample_size(2)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(1))
 }
 
 criterion_group! {
@@ -361,4 +431,9 @@ criterion_group! {
               bench_nearest_scan_kernel, bench_nearest_scan_naive,
               bench_sharded_build_10k, bench_experiment_pipeline
 }
-criterion_main!(benches);
+criterion_group! {
+    name = heavy_benches;
+    config = heavy_config();
+    targets = bench_meridian_shard_fill, bench_meridian_omniscient_fill_10k
+}
+criterion_main!(benches, heavy_benches);

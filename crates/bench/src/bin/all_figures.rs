@@ -12,22 +12,38 @@
 //! figure on the block-compressed backend; per-figure footers report
 //! each figure's wall-clock and measured effective speedup.
 
-use np_bench::FIGURES;
+use np_bench::{cli, Args, FIGURES};
 use std::process::Command;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Validate the shared flags once up front: a malformed value exits
+    // 2 with usage here instead of failing 13 child binaries in turn
+    // (unknown extras stay allowed — they are forwarded verbatim).
+    if let Err(e) = Args::try_from_iter(args.clone()) {
+        cli::exit_usage(&e);
+    }
     let wall = Instant::now();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
     for figure in FIGURES {
         println!("\n================ {} ================\n", figure.bin);
-        let status = Command::new(dir.join(figure.bin))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", figure.bin));
+        let status = match Command::new(dir.join(figure.bin)).args(&args).status() {
+            Ok(status) => status,
+            Err(e) => {
+                // A missing/unspawnable sibling binary is an
+                // environment error, not a figure failure: report it
+                // plainly and exit 2, no backtrace.
+                eprintln!(
+                    "error: failed to spawn {}: {e} (expected next to {})",
+                    figure.bin,
+                    exe.display()
+                );
+                std::process::exit(2);
+            }
+        };
         if !status.success() {
             failures.push(figure.bin);
         }

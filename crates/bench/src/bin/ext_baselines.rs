@@ -62,7 +62,7 @@ fn main() {
         let prob = |b: np_util::stats::RunBand| {
             if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
         };
-        for (&x, cell) in xs.iter().zip(report.cells()) {
+        for (&x, cell) in xs.iter().zip(report.query_cells().unwrap_or_default()) {
             for row in &cell.rows {
                 let b = &row.bands;
                 table.row(&[

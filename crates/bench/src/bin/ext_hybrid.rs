@@ -67,7 +67,7 @@ fn main() {
         let prob = |b: np_util::stats::RunBand| {
             if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
         };
-        for row in &report.cells()[0].rows {
+        for row in report.query_cells().unwrap_or_default().iter().flat_map(|c| &c.rows) {
             let b = &row.bands;
             table.row(&[
                 row.label.clone(),

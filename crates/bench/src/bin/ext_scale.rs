@@ -13,7 +13,14 @@
 //! the throughput of a query batch driven by the brute-force reference
 //! algorithm (the worst-cost probe pattern — every query touches every
 //! overlay member, so this is a stress test of the `rtt` hot path, and
-//! its accuracy doubles as a self-check: brute force must be exact).
+//! its accuracy doubles as a self-check: brute force must be exact) —
+//! plus a **Meridian column**: the paper's central algorithm at every
+//! size, its overlay built through the shard-local ring fill (the
+//! `MeridianFactory` picks it automatically on the sharded store),
+//! which is what makes a 50 k-peer Meridian build routine instead of
+//! prohibitive. The paper-scale cross-check covers the Meridian rows
+//! too, so the shard-local fill is asserted bit-identical to the dense
+//! omniscient fill on every run.
 
 use np_bench::{cli, standard_registry, Args, Rendered};
 use np_core::experiment::{AlgoSpec, Backend, CellSpec, Experiment, ExperimentSpec, SeedPlan};
@@ -62,7 +69,7 @@ fn cells_for(sizes: &[usize], args: &Args, n_queries: usize) -> Vec<CellSpec> {
                 n_targets: 100,
                 base_seed: args.seed.wrapping_add(peers as u64),
                 queries: n_queries,
-                algos: vec![AlgoSpec::new("brute-force")],
+                algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
             }
         })
         .collect()
@@ -105,7 +112,7 @@ fn main() {
         cells_for(&sizes, &args, n_queries),
     );
     let report = cli::run_experiment(&args, &registry, spec, |report, args| {
-        let batch_header = format!("{n_queries}-query s");
+        let batch_header = format!("bf {n_queries}q s");
         let mut table = Table::new(&[
             "peers",
             "shards",
@@ -113,15 +120,20 @@ fn main() {
             "store MB",
             "build s",
             &batch_header,
-            "queries/s",
-            "P(correct)",
-            "mean probes",
+            "bf queries/s",
+            "P(bf)",
+            "bf probes",
+            "P(meridian)",
+            "mer probes",
+            "mer hops",
         ]);
-        for (&requested, cell) in sizes.iter().zip(report.cells()) {
-            let row = &cell.rows[0];
-            let b = &row.bands;
-            let query_s = row.wall.as_secs_f64();
-            let total_queries = row.queries * row.runs.len();
+        for (&requested, cell) in sizes.iter().zip(report.query_cells().unwrap_or_default()) {
+            let bf = &cell.rows[0];
+            let mer = &cell.rows[1];
+            let b = &bf.bands;
+            let m = &mer.bands;
+            let query_s = bf.wall.as_secs_f64();
+            let total_queries = bf.queries * bf.runs.len();
             table.row(&[
                 cell.peers.to_string(),
                 spec_for(requested, args.shards).clusters.to_string(),
@@ -132,6 +144,9 @@ fn main() {
                 format!("{:.0}", total_queries as f64 / query_s.max(1e-9)),
                 format!("{:.3}", b.p_correct_closest.median),
                 format!("{:.0}", b.mean_probes.median),
+                format!("{:.3}", m.p_correct_closest.median),
+                format!("{:.0}", m.mean_probes.median),
+                format!("{:.2}", m.mean_hops.median),
             ]);
         }
         Rendered {
@@ -139,14 +154,22 @@ fn main() {
             csv: Some(table.to_csv()),
         }
     });
-    // Self-check on the main path (not the renderer, so it also guards
-    // --out json runs): the brute-force reference must be exact in
-    // every run at every size.
-    for cell in report.cells() {
+    // Self-checks on the main path (not the renderer, so they also
+    // guard --out json runs): the brute-force reference must be exact,
+    // and the shard-locally built Meridian overlay must stay a working
+    // query structure (members answer, probes are spent) at every size.
+    for cell in report.query_cells().expect("ext_scale is a query spec") {
         for m in &cell.rows[0].runs {
             assert_eq!(
                 m.p_correct_closest, 1.0,
                 "brute force must be exact at {} peers",
+                cell.peers
+            );
+        }
+        for m in &cell.rows[1].runs {
+            assert!(
+                m.mean_probes > 0.0 && m.p_correct_cluster > 0.0,
+                "meridian degenerate at {} peers",
                 cell.peers
             );
         }
@@ -172,12 +195,20 @@ fn main() {
                 cells_for(&small, &args, n_queries),
             );
             let dense = Experiment::new(dense_spec, &registry).run_threads(args.threads());
-            for (sh, de) in report.cells().iter().zip(dense.cells()) {
-                assert_eq!(
-                    sh.rows[0].runs, de.rows[0].runs,
-                    "sharded and dense backends diverged at {} peers",
-                    sh.peers
-                );
+            let sharded_cells = report.query_cells().expect("ext_scale is a query spec");
+            let dense_cells = dense.query_cells().expect("cross-check is a query spec");
+            for (sh, de) in sharded_cells.iter().zip(dense_cells) {
+                // Every row — including Meridian, whose sharded overlay
+                // came from the shard-local fill while the dense one
+                // used the omniscient fill. Bit-equality here is the
+                // pipeline-level proof the two fills are the same.
+                for (sr, dr) in sh.rows.iter().zip(&de.rows) {
+                    assert_eq!(
+                        sr.runs, dr.runs,
+                        "sharded and dense {} diverged at {} peers",
+                        sr.algo, sh.peers
+                    );
+                }
                 println!("{} peers: dense cross-check identical ✓", sh.peers);
             }
             // The cross-check allocates dense matrices after the

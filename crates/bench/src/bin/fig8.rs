@@ -52,7 +52,7 @@ fn main() {
         ]);
         let mut closest_pts = Vec::new();
         let mut cluster_pts = Vec::new();
-        for (&x, cell) in xs.iter().zip(report.cells()) {
+        for (&x, cell) in xs.iter().zip(report.query_cells().unwrap_or_default()) {
             let bands = &cell.rows[0].bands;
             table.row(&[
                 x.to_string(),

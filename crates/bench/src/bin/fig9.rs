@@ -47,7 +47,7 @@ fn main() {
         ]);
         let mut acc_pts = Vec::new();
         let mut hub_pts = Vec::new();
-        for (&delta, cell) in deltas.iter().zip(report.cells()) {
+        for (&delta, cell) in deltas.iter().zip(report.query_cells().unwrap_or_default()) {
             let bands = &cell.rows[0].bands;
             table.row(&[
                 format!("{delta:.1}"),

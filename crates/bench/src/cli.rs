@@ -82,27 +82,19 @@ impl Default for Args {
     }
 }
 
+/// The shared flag synopsis every binary quotes on a parse error.
+pub const USAGE: &str = "usage: [--quick] [--seed N] [--threads N] [--world dense|sharded] \
+[--shards N] [--seeds N] [--out table|json] [--csv] [--max-rss-mb N]";
+
 impl Args {
     /// Parse from `std::env::args()`; malformed values print the error
-    /// and exit 2.
+    /// plus [`USAGE`] to stderr and exit 2 — never a panic backtrace
+    /// (asserted end-to-end by `crates/bench/tests/cli_errors.rs`).
     pub fn parse() -> Args {
         match Self::try_from_iter(std::env::args().skip(1)) {
             Ok(args) => args,
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprintln!(
-                    "usage: [--quick] [--seed N] [--threads N] [--world dense|sharded] \
-                     [--shards N] [--seeds N] [--out table|json] [--csv] [--max-rss-mb N]"
-                );
-                std::process::exit(2);
-            }
+            Err(e) => exit_usage(&e),
         }
-    }
-
-    /// Parse from an explicit iterator, panicking on malformed values
-    /// (the historical API; tests assert the messages).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
-        Self::try_from_iter(args).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Parse from an explicit iterator; malformed values become `Err`
@@ -201,6 +193,15 @@ impl Args {
             None => default,
         }
     }
+}
+
+/// Print a flag error plus [`USAGE`] to stderr and exit with code 2
+/// (the conventional usage-error status). Shared by [`Args::parse`]
+/// and binaries with their own pre-flight validation (`all_figures`).
+pub fn exit_usage(error: &str) -> ! {
+    eprintln!("error: {error}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
 }
 
 /// Peak resident-set size of this process in MiB, from `VmHWM` in
@@ -341,9 +342,13 @@ impl Rendered {
 }
 
 /// The standard study renderer: the stage's human text as the body,
-/// every study table's CSV as the `--csv` payload.
+/// every study table's CSV as the `--csv` payload. Handed a
+/// query-matrix report by mistake, it degrades to the generic table
+/// sink instead of aborting the run.
 pub fn study_rendered(report: &ExperimentReport, _args: &Args) -> Rendered {
-    let study = report.study();
+    let Some(study) = report.study_output() else {
+        return Rendered::plain(sink::render_table(report));
+    };
     let csv = if study.tables.is_empty() {
         None
     } else {
@@ -416,7 +421,7 @@ mod tests {
     use np_util::parallel::resolve_threads_from;
 
     fn parse(args: &[&str]) -> Args {
-        Args::from_iter(args.iter().map(|s| s.to_string()))
+        Args::try_from_iter(args.iter().map(|s| s.to_string())).expect("well-formed flags")
     }
 
     #[test]
@@ -527,21 +532,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--seed requires a value")]
-    fn seed_needs_value() {
-        Args::from_iter(["--seed".to_string()]);
+    fn malformed_flags_are_errors_not_panics() {
+        // The Result API is the only parse path; there is no panicking
+        // variant left for a binary to reach a backtrace through.
+        let err = |args: &[&str]| {
+            Args::try_from_iter(args.iter().map(|s| s.to_string())).unwrap_err()
+        };
+        assert_eq!(err(&["--seed"]), "--seed requires a value");
+        assert_eq!(err(&["--threads", "0"]), "--threads must be at least 1");
+        assert!(err(&["--world", "cubic"]).starts_with("--world must be"));
     }
 
     #[test]
-    #[should_panic(expected = "--threads must be at least 1")]
-    fn zero_threads_rejected() {
-        Args::from_iter(["--threads".to_string(), "0".to_string()]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--world must be")]
-    fn world_rejects_unknown_backend() {
-        Args::from_iter(["--world".to_string(), "cubic".to_string()]);
+    fn usage_names_every_flag() {
+        for flag in [
+            "--quick", "--seed", "--threads", "--world", "--shards", "--seeds", "--out",
+            "--csv", "--max-rss-mb",
+        ] {
+            assert!(USAGE.contains(flag), "{flag} missing from USAGE");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! scenario is a new ~15-line spec, not a new subsystem; see the
 //! README's "Experiment API" section for a worked example.
 
+pub mod bench_report;
 pub mod cli;
 pub mod figures;
 pub mod registry;

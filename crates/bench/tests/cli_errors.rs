@@ -1,0 +1,93 @@
+//! Malformed flags must exit 2 with the error and usage on stderr — a
+//! diagnostic, not a panic backtrace — on every bench binary
+//! (acceptance criterion of the error-path bugfix; the library-level
+//! messages are unit-tested in `np_bench::cli`).
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("binary spawns");
+    (out.status.code(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+fn assert_usage_error(bin: &str, args: &[&str], expect_msg: &str) {
+    let (code, stderr) = run(bin, args);
+    assert_eq!(code, Some(2), "{bin} {args:?} must exit 2; stderr: {stderr}");
+    assert!(stderr.contains(expect_msg), "{bin} stderr missing {expect_msg:?}: {stderr}");
+    assert!(stderr.contains("usage:"), "{bin} stderr missing usage line: {stderr}");
+    assert!(
+        !stderr.contains("panicked at"),
+        "{bin} printed a panic backtrace: {stderr}"
+    );
+}
+
+#[test]
+fn fig8_malformed_flags_exit_2_with_usage() {
+    let bin = env!("CARGO_BIN_EXE_fig8");
+    assert_usage_error(bin, &["--seed", "banana"], "--seed must be a u64");
+    assert_usage_error(bin, &["--threads"], "--threads requires a value");
+    assert_usage_error(bin, &["--world", "cubic"], "--world must be");
+}
+
+#[test]
+fn ext_scale_malformed_flags_exit_2_with_usage() {
+    assert_usage_error(
+        env!("CARGO_BIN_EXE_ext_scale"),
+        &["--seeds", "0"],
+        "--seeds must be at least 1",
+    );
+}
+
+#[test]
+fn all_figures_validates_flags_before_spawning_children() {
+    // One usage error up front — not 13 failing child binaries.
+    assert_usage_error(
+        env!("CARGO_BIN_EXE_all_figures"),
+        &["--out", "xml"],
+        "--out must be",
+    );
+}
+
+#[test]
+fn np_bench_unknown_subcommand_exits_2() {
+    let (code, stderr) = run(env!("CARGO_BIN_EXE_np-bench"), &["frobnicate"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn np_bench_speedup_reports_and_gates() {
+    let json = r#"{
+  "x_serial": {"mean_ns": 40.0, "median_ns": 40.0, "min_ns": 40.0, "samples": 3, "iters_per_sample": 1},
+  "x_par": {"mean_ns": 10.0, "median_ns": 10.0, "min_ns": 10.0, "samples": 3, "iters_per_sample": 1}
+}
+"#;
+    let dir = std::env::temp_dir().join("np_bench_speedup_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.json");
+    std::fs::write(&path, json).expect("fixture written");
+    let bin = env!("CARGO_BIN_EXE_np-bench");
+    let path_s = path.to_str().expect("utf-8 path");
+    // 4x speedup passes a 2x gate...
+    let out = Command::new(bin)
+        .args(["speedup", "--min", "2.0", "--json", path_s])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4.00x"), "{stdout}");
+    assert!(stdout.contains("speedup gate passed"), "{stdout}");
+    // ...and fails a 5x gate with exit 1 (a measurement failure, not a
+    // usage error).
+    let out = Command::new(bin)
+        .args(["speedup", "--min", "5.0", "--json", path_s])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("below the required"), "{stderr}");
+}

@@ -13,6 +13,15 @@
 //! match — which proves the API redesign is behaviour-preserving, not
 //! merely similar.
 
+//! `fixtures/fig8_sharded_quick.txt` pins the **shard-local Meridian
+//! fill** the same way: it is the committed stdout of `fig8 --quick
+//! --threads 2 --world sharded`, where the `MeridianFactory` routes the
+//! omniscient fill through `Overlay::build_shard_local`. Byte-equality
+//! here freezes the fast path; the cross-fixture test below further
+//! asserts the sharded output equals the *dense* fixture modulo the
+//! backend chrome — the shard-local fill changes nothing but the build
+//! cost.
+
 use std::process::Command;
 
 fn normalize(s: &str) -> String {
@@ -20,6 +29,22 @@ fn normalize(s: &str) -> String {
         .filter(|l| !l.starts_with("wall-clock"))
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+/// Drop backend chrome and collapse blank runs: what must be invariant
+/// across latency backends on §4 worlds.
+fn normalize_backend(s: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for l in s.lines() {
+        if l.starts_with("wall-clock") || l.starts_with("backend:") {
+            continue;
+        }
+        if l.is_empty() && out.last().is_some_and(|p| p.is_empty()) {
+            continue;
+        }
+        out.push(l);
+    }
+    out.join("\n")
 }
 
 #[test]
@@ -39,5 +64,35 @@ fn fig8_quick_matches_pre_redesign_fixture() {
         normalize(&stdout),
         normalize(fixture),
         "fig8 --quick output diverged from the pre-redesign fixture"
+    );
+}
+
+#[test]
+fn fig8_sharded_quick_pins_the_shard_local_fill() {
+    let fixture = include_str!("fixtures/fig8_sharded_quick.txt");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig8"))
+        .args(["--quick", "--threads", "2", "--world", "sharded"])
+        .output()
+        .expect("fig8 binary runs");
+    assert!(
+        out.status.success(),
+        "fig8 --world sharded exited non-zero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("fig8 output is UTF-8");
+    assert_eq!(
+        normalize(&stdout),
+        normalize(fixture),
+        "fig8 --quick --world sharded diverged from the shard-local-fill fixture"
+    );
+    // The two fixtures must agree modulo backend chrome: on §4 worlds
+    // the block-compressed store is exact and the shard-local fill is
+    // ring-identical to the omniscient one, so every metric digit of
+    // the sharded run equals the dense run's.
+    let dense = include_str!("fixtures/fig8_quick.txt");
+    assert_eq!(
+        normalize_backend(fixture),
+        normalize_backend(dense),
+        "sharded and dense fig8 fixtures diverged beyond backend chrome"
     );
 }

@@ -59,7 +59,7 @@
 //!     }],
 //! );
 //! let report = Experiment::new(spec, &registry).run_threads(2);
-//! let cell = &report.cells()[0];
+//! let cell = &report.query_cells().expect("query spec")[0];
 //! assert_eq!(cell.rows[0].single().p_correct_closest, 1.0);
 //! assert!(cell.rows[1].single().p_correct_closest < 1.0);
 //! ```

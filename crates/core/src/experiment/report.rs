@@ -61,6 +61,16 @@ pub enum ReportBody {
     Study(StudyOutput),
 }
 
+impl ReportBody {
+    /// Short variant name for diagnostics ("query" / "study").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReportBody::Query(_) => "query",
+            ReportBody::Study(_) => "study",
+        }
+    }
+}
+
 /// Everything one spec run produced.
 pub struct ExperimentReport {
     /// The spec's name.
@@ -78,20 +88,23 @@ pub struct ExperimentReport {
 }
 
 impl ExperimentReport {
-    /// The query-matrix cells; panics on a study report (figure
-    /// renderers know their spec's shape).
-    pub fn cells(&self) -> &[CellReport] {
+    /// The query-matrix cells, or `None` on a study report. Renderers
+    /// that statically know their spec's shape typically
+    /// `unwrap_or_default()` (an empty table beats aborting a
+    /// half-finished run); the generic sinks match on [`ReportBody`]
+    /// directly.
+    pub fn query_cells(&self) -> Option<&[CellReport]> {
         match &self.body {
-            ReportBody::Query(cells) => cells,
-            ReportBody::Study(_) => panic!("study report has no query cells"),
+            ReportBody::Query(cells) => Some(cells),
+            ReportBody::Study(_) => None,
         }
     }
 
-    /// The study output; panics on a query-matrix report.
-    pub fn study(&self) -> &StudyOutput {
+    /// The study output, or `None` on a query-matrix report.
+    pub fn study_output(&self) -> Option<&StudyOutput> {
         match &self.body {
-            ReportBody::Study(s) => s,
-            ReportBody::Query(_) => panic!("query report has no study output"),
+            ReportBody::Study(s) => Some(s),
+            ReportBody::Query(_) => None,
         }
     }
 
@@ -105,5 +118,38 @@ impl ExperimentReport {
                 .sum(),
             ReportBody::Study(_) => 0,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(body: ReportBody) -> ExperimentReport {
+        ExperimentReport {
+            name: "shape-test".into(),
+            backend: Backend::Dense,
+            threads: 1,
+            runs_per_cell: 1,
+            body,
+            wall: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn wrong_variant_accessors_return_none_instead_of_aborting() {
+        let query = report(ReportBody::Query(Vec::new()));
+        assert!(query.query_cells().is_some());
+        assert!(query.study_output().is_none());
+        assert_eq!(query.body.kind(), "query");
+        let study = report(ReportBody::Study(StudyOutput {
+            text: "t".into(),
+            tables: Vec::new(),
+        }));
+        assert!(study.query_cells().is_none());
+        assert!(study.study_output().is_some());
+        assert_eq!(study.body.kind(), "study");
+        // The degrade idiom renderers use: an empty slice, not a panic.
+        assert!(study.query_cells().unwrap_or_default().is_empty());
     }
 }

@@ -333,7 +333,7 @@ mod tests {
         let reg = registry();
         let report = Experiment::new(spec(SeedPlan::THREE_RUNS, Backend::Dense), &reg)
             .run_threads(2);
-        let row = &report.cells()[0].rows[1]; // "random"
+        let row = &report.query_cells().expect("query spec")[0].rows[1]; // "random"
         let expect = sweep_three_runs_threads(11, 2, |seed| {
             let s = ClusterScenario::build(small_world(), 8, seed);
             let algo = RandomChoice::new(&s.matrix, s.overlay.clone());
@@ -352,7 +352,7 @@ mod tests {
         for threads in [2, 4, 8] {
             let other = Experiment::new(spec(SeedPlan::THREE_RUNS, Backend::Dense), &reg)
                 .run_threads(threads);
-            for (a, b) in base.cells().iter().zip(other.cells()) {
+            for (a, b) in base.query_cells().expect("query spec").iter().zip(other.query_cells().expect("query spec")) {
                 for (ra, rb) in a.rows.iter().zip(&b.rows) {
                     assert_eq!(ra.runs, rb.runs, "divergence at {threads} threads");
                 }
@@ -370,12 +370,12 @@ mod tests {
             Experiment::new(spec(SeedPlan::Single, Backend::Dense), &reg).run_threads(2);
         let sharded =
             Experiment::new(spec(SeedPlan::Single, Backend::Sharded), &reg).run_threads(2);
-        for (a, b) in dense.cells().iter().zip(sharded.cells()) {
+        for (a, b) in dense.query_cells().expect("query spec").iter().zip(sharded.query_cells().expect("query spec")) {
             for (ra, rb) in a.rows.iter().zip(&b.rows) {
                 assert_eq!(ra.runs, rb.runs);
             }
         }
-        assert!(sharded.cells()[0].store_bytes > 0);
+        assert!(sharded.query_cells().expect("query spec")[0].store_bytes > 0);
     }
 
     #[test]
@@ -383,7 +383,7 @@ mod tests {
         let reg = registry();
         let report =
             Experiment::new(spec(SeedPlan::Single, Backend::Dense), &reg).run_threads(2);
-        let cell = &report.cells()[0];
+        let cell = &report.query_cells().expect("query spec")[0];
         let bf = &cell.rows[0];
         let rnd = &cell.rows[1];
         assert_eq!(bf.queries, 20);
@@ -410,12 +410,10 @@ mod tests {
             cells.push(second);
         }
         let report = Experiment::new(s, &reg).run_threads(2);
-        assert_eq!(report.cells().len(), 2);
-        assert_eq!(report.cells()[1].build_wall, Duration::ZERO);
-        for (ra, rb) in report.cells()[0]
-            .rows
-            .iter()
-            .zip(&report.cells()[1].rows)
+        assert_eq!(report.query_cells().expect("query spec").len(), 2);
+        assert_eq!(report.query_cells().expect("query spec")[1].build_wall, Duration::ZERO);
+        let cells = report.query_cells().expect("query spec");
+        for (ra, rb) in cells[0].rows.iter().zip(&cells[1].rows)
         {
             assert_eq!(ra.runs, rb.runs);
         }
@@ -443,7 +441,7 @@ mod tests {
             },
         );
         let report = Experiment::new(spec, &reg).run_threads(3);
-        assert_eq!(report.study().text, "threads=3");
+        assert_eq!(report.study_output().expect("study spec").text, "threads=3");
         assert_eq!(report.total_probes(), 0);
     }
 }

@@ -67,22 +67,45 @@ impl AlgoFactory for MeridianFactory {
     }
 
     fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
-        // The O(n²) ring fill is a pure function of (world, members,
-        // cfg, mode, seed); the context's build cache already scopes
-        // world and seed, so identical configurations registered under
+        // The ring fill is a pure function of (world, members, cfg,
+        // mode, seed); the context's build cache already scopes world
+        // and seed, so identical configurations registered under
         // several names (the hybrid coverage sweep wraps this factory
         // six times) share one fill and clone the rings out.
-        let key = format!("meridian-rings|{:?}|{:?}", self.cfg, self.mode);
+        //
+        // When the backend exposes shard structure (the block-compressed
+        // sharded store) the omniscient fill runs through the
+        // shard-local fast path — identical rings, a fraction of the
+        // work. The fill flavour is part of the cache key so the two
+        // paths never alias a slot, even though their contents agree.
+        let shard_local =
+            self.mode == BuildMode::Omniscient && ctx.store.shard_view().is_some();
+        let key = format!(
+            "meridian-rings|{:?}|{:?}|fill={}",
+            self.cfg,
+            self.mode,
+            if shard_local { "shard-local" } else { "direct" }
+        );
         let parts = ctx.shared.get_or_build(&key, || {
-            Overlay::build_threads(
-                ctx.store,
-                ctx.overlay.to_vec(),
-                self.cfg,
-                self.mode,
-                ctx.seed,
-                ctx.threads,
-            )
-            .into_parts()
+            let overlay = if shard_local {
+                Overlay::build_shard_local_threads(
+                    ctx.store,
+                    ctx.overlay.to_vec(),
+                    self.cfg,
+                    ctx.seed,
+                    ctx.threads,
+                )
+            } else {
+                Overlay::build_threads(
+                    ctx.store,
+                    ctx.overlay.to_vec(),
+                    self.cfg,
+                    self.mode,
+                    ctx.seed,
+                    ctx.threads,
+                )
+            };
+            overlay.into_parts()
         });
         let (cfg, members, rings) = (*parts).clone();
         Box::new(Overlay::from_parts(ctx.store, cfg, members, rings))
@@ -177,6 +200,50 @@ mod tests {
             assert_eq!(outs[0], outs[1], "cache hit diverged");
             assert_eq!(outs[0], outs[2], "cache path diverged from scratch build");
         }
+    }
+
+    #[test]
+    fn sharded_store_auto_picks_shard_local_and_matches_dense() {
+        // On a §4 world the hub summary is exact, so the factory's
+        // shard-local fast path (sharded store) must answer exactly
+        // like the omniscient fill over the dense store.
+        let spec = ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 8,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 5,
+        };
+        let world = ClusterWorld::generate(spec, 11);
+        let matrix = world.to_matrix();
+        let sharded = world.to_sharded_threads(2);
+        let overlay: Vec<PeerId> = world.peers().skip(4).collect();
+        let factory = MeridianFactory::omniscient();
+        let build_on = |store: &dyn WorldStore| {
+            let shared = np_core::experiment::BuildCache::new();
+            let ctx = AlgoContext {
+                store,
+                world: &world,
+                overlay: &overlay,
+                seed: 13,
+                threads: 2,
+                shared: &shared,
+            };
+            let algo = factory.build(&ctx);
+            (0..4u32)
+                .map(|t| {
+                    let target = Target::new(PeerId(t), store);
+                    algo.find_nearest(&target, &mut rng_from(t as u64 + 1))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            build_on(&matrix),
+            build_on(&sharded),
+            "shard-local fast path diverged from the dense omniscient fill"
+        );
     }
 
     #[test]

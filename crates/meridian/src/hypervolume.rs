@@ -30,21 +30,39 @@
 /// error).
 pub fn cm_volume_measure(d2: &[Vec<f64>]) -> f64 {
     let n = d2.len();
+    let mut scratch = Vec::new();
+    cm_volume_measure_flat(n, |i, j| d2[i][j], &mut scratch)
+}
+
+/// [`cm_volume_measure`] without per-call allocation: the CM matrix is
+/// assembled row-major into `scratch` (grown as needed, reused across
+/// calls). Identical arithmetic, identical operation order, identical
+/// result bits — the ring-management hot loop runs thousands of these
+/// per overlay node, and the `Vec<Vec<f64>>` churn of the naive version
+/// dominated the Meridian build long before the floating-point work
+/// did.
+pub fn cm_volume_measure_flat(
+    n: usize,
+    mut d2: impl FnMut(usize, usize) -> f64,
+    scratch: &mut Vec<f64>,
+) -> f64 {
     if n <= 1 {
         return 0.0;
     }
     let m = n + 1;
-    let mut a = vec![vec![0.0f64; m]; m];
+    scratch.clear();
+    scratch.resize(m * m, 0.0);
+    let a = scratch.as_mut_slice();
     for i in 1..m {
-        a[0][i] = 1.0;
-        a[i][0] = 1.0;
+        a[i] = 1.0;
+        a[i * m] = 1.0;
     }
     for i in 0..n {
         for j in 0..n {
-            a[i + 1][j + 1] = d2[i][j];
+            a[(i + 1) * m + j + 1] = d2(i, j);
         }
     }
-    let det = determinant(&mut a);
+    let det = determinant(a, m);
     if n % 2 == 0 {
         det
     } else {
@@ -52,34 +70,40 @@ pub fn cm_volume_measure(d2: &[Vec<f64>]) -> f64 {
     }
 }
 
-/// In-place LU determinant with partial pivoting.
-fn determinant(a: &mut [Vec<f64>]) -> f64 {
-    let n = a.len();
+/// In-place LU determinant with partial pivoting over a row-major
+/// `n×n` slice. Same pivoting rule and update order as the historical
+/// `Vec<Vec<f64>>` version — bit-identical determinants.
+fn determinant(a: &mut [f64], n: usize) -> f64 {
     let mut det = 1.0f64;
     for col in 0..n {
         // Pivot.
         let mut pivot = col;
         for row in (col + 1)..n {
-            if a[row][col].abs() > a[pivot][col].abs() {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
                 pivot = row;
             }
         }
-        if a[pivot][col] == 0.0 {
+        if a[pivot * n + col] == 0.0 {
             return 0.0;
         }
         if pivot != col {
-            a.swap(pivot, col);
+            for k in 0..n {
+                a.swap(pivot * n + k, col * n + k);
+            }
             det = -det;
         }
-        det *= a[col][col];
-        let inv = 1.0 / a[col][col];
+        det *= a[col * n + col];
+        let inv = 1.0 / a[col * n + col];
         for row in (col + 1)..n {
-            let f = a[row][col] * inv;
+            let f = a[row * n + col] * inv;
             if f == 0.0 {
                 continue;
             }
+            let (upper, lower) = a.split_at_mut(row * n);
+            let src = &upper[col * n..col * n + n];
+            let dst = &mut lower[..n];
             for k in col..n {
-                a[row][k] -= f * a[col][k];
+                dst[k] -= f * src[k];
             }
         }
     }
@@ -98,15 +122,18 @@ pub fn select_max_volume(n: usize, k: usize, mut dist: impl FnMut(usize, usize) 
     if n <= k {
         return keep;
     }
-    // Precompute squared distances once.
-    let mut d2 = vec![vec![0.0f64; n]; n];
+    // Precompute squared distances once (flat row-major; the values and
+    // every use below match the historical Vec<Vec> version bit for
+    // bit).
+    let mut d2 = vec![0.0f64; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
             let d = dist(i, j);
-            d2[i][j] = d * d;
-            d2[j][i] = d * d;
+            d2[i * n + j] = d * d;
+            d2[j * n + i] = d * d;
         }
     }
+    let mut scratch = Vec::new();
     while keep.len() > k {
         let mut best_drop = 0usize;
         let mut best_vol = f64::NEG_INFINITY;
@@ -116,24 +143,22 @@ pub fn select_max_volume(n: usize, k: usize, mut dist: impl FnMut(usize, usize) 
         let mut pairs = 0usize;
         for (a, &i) in keep.iter().enumerate() {
             for &j in keep.iter().skip(a + 1) {
-                mean_d2 += d2[i][j];
+                mean_d2 += d2[i * n + j];
                 pairs += 1;
             }
         }
         mean_d2 /= pairs.max(1) as f64;
         let degenerate_floor = 1e-9 * mean_d2.max(1e-300).powi(keep.len() as i32 - 2);
         for drop_pos in 0..keep.len() {
-            let subset: Vec<usize> = keep
-                .iter()
-                .enumerate()
-                .filter(|&(p, _)| p != drop_pos)
-                .map(|(_, &c)| c)
-                .collect();
-            let sub_d2: Vec<Vec<f64>> = subset
-                .iter()
-                .map(|&i| subset.iter().map(|&j| d2[i][j]).collect())
-                .collect();
-            let vol = cm_volume_measure(&sub_d2);
+            // The CM matrix of `keep` minus position `drop_pos`,
+            // assembled straight into the reused scratch buffer — no
+            // per-candidate subset vectors.
+            let sub = |p: usize| keep[if p < drop_pos { p } else { p + 1 }];
+            let vol = cm_volume_measure_flat(
+                keep.len() - 1,
+                |i, j| d2[sub(i) * n + sub(j)],
+                &mut scratch,
+            );
             // `>=` prefers dropping later candidates on ties.
             if vol >= best_vol {
                 best_vol = vol;
@@ -147,7 +172,7 @@ pub fn select_max_volume(n: usize, k: usize, mut dist: impl FnMut(usize, usize) 
             // objective so the choice stays deterministic and still
             // prefers spread members.
             let sub: Vec<usize> = keep.clone();
-            let chosen = select_max_dispersion(sub.len(), k, |i, j| d2[sub[i]][sub[j]].sqrt());
+            let chosen = select_max_dispersion(sub.len(), k, |i, j| d2[sub[i] * n + sub[j]].sqrt());
             return chosen.into_iter().map(|i| sub[i]).collect();
         }
         keep.remove(best_drop);

@@ -36,6 +36,35 @@ use std::collections::HashMap;
 /// rings (enforced by `tests/parallel_determinism.rs`).
 const FILL_TAG: u64 = 0x4D46_494C; // "MFIL"
 
+/// Ring-boundary table for a [`RingConfig`]: `bounds[i]` is the
+/// smallest whole-µs latency whose ring index exceeds `i`, found by
+/// binary search with [`RingConfig::ring_of`] itself as the oracle
+/// (`ring_of` is monotone in latency — property-tested in `rings.rs`).
+/// Classification then becomes a partition-point search over at most
+/// `n_rings - 1` `u64`s — pointwise equal to `ring_of`, with no
+/// logarithm per candidate. The shard-local fill's hot loop
+/// `debug_assert`s that equality on every classified pair.
+fn ring_bounds(cfg: &RingConfig) -> Vec<u64> {
+    // Far beyond any generated latency; ring_of saturates at the
+    // outermost ring long before this.
+    const HI: u64 = 1 << 45;
+    (0..cfg.n_rings.saturating_sub(1))
+        .map(|i| {
+            debug_assert!(cfg.ring_of(Micros(HI)) > i);
+            let (mut lo, mut hi) = (0u64, HI);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if cfg.ring_of(Micros(mid)) > i {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            lo
+        })
+        .collect()
+}
+
 /// Meridian parameters (§4 of the paper: β = 0.5, 16 per ring).
 #[derive(Debug, Clone, Copy)]
 pub struct MeridianConfig {
@@ -201,6 +230,150 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
                     .manage(|a, b| world.rtt(a, b));
             }
         }
+        Overlay {
+            cfg,
+            world,
+            members,
+            rings,
+        }
+    }
+
+    /// [`Overlay::build_shard_local`] on the ambient thread count.
+    pub fn build_shard_local(
+        world: &'m W,
+        members: Vec<PeerId>,
+        cfg: MeridianConfig,
+        seed: u64,
+    ) -> Overlay<'m, W> {
+        Overlay::build_shard_local_threads(world, members, cfg, seed, resolve_threads(None))
+    }
+
+    /// The shard-local omniscient ring fill, for backends exposing a
+    /// [`ShardView`] (the block-compressed `ShardedWorld`). Produces
+    /// rings **bit-identical** to [`BuildMode::Omniscient`] under the
+    /// same seed — it is a fast path, not an approximation — while
+    /// reading only (a) the node's own shard's dense block and (b) the
+    /// hub summary for every other shard's members.
+    ///
+    /// Why it is exact: offered once each at a fixed RTT, a ring's
+    /// members after the omniscient fill are precisely the **first
+    /// `k`** arrivals (the primaries, in arrival order) plus the
+    /// **last ≤ `l`** arrivals after them (the secondaries — the FIFO
+    /// recycle keeps exactly the trailing window). So the fill only
+    /// needs, per (node, ring), those `k + l` survivors of the node's
+    /// shuffled offer order — which this path computes with a
+    /// boundary-table ring classification over hub-summary sums (one
+    /// `u64` add + a partition-point search per candidate, no `ln`, no
+    /// per-offer ring bookkeeping) and then replays into a [`RingSet`].
+    /// The per-node offer order is drawn from the *same*
+    /// `item_seed(seed, FILL_TAG, index)` streams as the omniscient
+    /// fill, so the two paths agree member for member, ring for ring
+    /// (enforced by `tests/shard_local_fill.rs`), and results are
+    /// bit-identical at any `threads` (enforced by
+    /// `tests/parallel_determinism.rs`).
+    ///
+    /// `members` must not contain duplicates (scenario overlays are
+    /// sorted and unique).
+    ///
+    /// # Panics
+    /// Panics when the backend has no shard structure
+    /// ([`WorldStore::shard_view`] returns `None`), when `members` is
+    /// empty, or when `cfg.beta` is out of range.
+    pub fn build_shard_local_threads(
+        world: &'m W,
+        members: Vec<PeerId>,
+        cfg: MeridianConfig,
+        seed: u64,
+        threads: usize,
+    ) -> Overlay<'m, W> {
+        let view = world
+            .shard_view()
+            .expect("build_shard_local needs a backend with shard structure (WorldStore::shard_view)");
+        assert!(!members.is_empty(), "empty overlay");
+        assert!(
+            (0.0..1.0).contains(&cfg.beta) && cfg.beta > 0.0,
+            "beta must be in (0,1)"
+        );
+        let n_world = world.len();
+        let n_shards = view.n_shards();
+        // Flat per-peer shard/offset tables: one pass of trait calls,
+        // then the per-pair hot loop is pure array reads.
+        let shard_of: Vec<u32> = (0..n_world as u32)
+            .map(|i| view.shard_of(PeerId(i)) as u32)
+            .collect();
+        let off_us: Vec<u64> = (0..n_world as u32)
+            .map(|i| view.hub_offset_us(PeerId(i)))
+            .collect();
+        let bounds = ring_bounds(&cfg.rings);
+        let (k, l, n_rings) = (cfg.rings.k, cfg.rings.l, cfg.rings.n_rings);
+        let filled = par_map(threads, &members, |i, &p| {
+            let mut order_rng = rng_from(item_seed(seed, FILL_TAG, i as u64));
+            let mut order = members.clone();
+            order.shuffle(&mut order_rng);
+            let sp = shard_of[p.idx()] as usize;
+            // base[s] = offset(p) + hub(s_p, s): the inter-shard prefix
+            // of the exact u64 microsecond sum `rtt` reassembles.
+            let base: Vec<u64> = (0..n_shards)
+                .map(|s| {
+                    if s == sp {
+                        0
+                    } else {
+                        off_us[p.idx()] + view.hub_rtt_us(sp, s)
+                    }
+                })
+                .collect();
+            // Per ring: the first k arrivals, plus a circular window of
+            // the ≤l arrivals after them.
+            let mut first: Vec<Vec<(PeerId, u64)>> = vec![Vec::new(); n_rings];
+            let mut late: Vec<Vec<(PeerId, u64)>> = vec![Vec::new(); n_rings];
+            let mut late_start = vec![0usize; n_rings];
+            for &q in &order {
+                if q == p {
+                    continue;
+                }
+                let sq = shard_of[q.idx()] as usize;
+                let d = if sq == sp {
+                    world.rtt(p, q).as_us() // own shard: the dense block
+                } else {
+                    base[sq] + off_us[q.idx()] // hub-summary neighbour
+                };
+                let r = bounds.partition_point(|&b| d >= b);
+                debug_assert_eq!(
+                    r,
+                    cfg.rings.ring_of(Micros(d)),
+                    "boundary table diverged from ring_of at {d} us"
+                );
+                if first[r].len() < k {
+                    first[r].push((q, d));
+                } else if l > 0 {
+                    let lt = &mut late[r];
+                    if lt.len() < l {
+                        lt.push((q, d));
+                    } else {
+                        lt[late_start[r]] = (q, d);
+                        late_start[r] = (late_start[r] + 1) % l;
+                    }
+                }
+            }
+            // Replay the survivors in arrival order: identical RingSet
+            // state to having offered every member.
+            let mut rs = RingSet::new(p, cfg.rings);
+            for r in 0..n_rings {
+                for &(q, d) in &first[r] {
+                    rs.insert(q, Micros(d));
+                }
+                let lt = &late[r];
+                for j in 0..lt.len() {
+                    let (q, d) = lt[(late_start[r] + j) % lt.len()];
+                    rs.insert(q, Micros(d));
+                }
+            }
+            for _ in 0..cfg.manage_rounds {
+                rs.manage(|a, b| world.rtt(a, b));
+            }
+            rs
+        });
+        let rings = members.iter().copied().zip(filled).collect();
         Overlay {
             cfg,
             world,
@@ -612,6 +785,109 @@ mod tests {
         let target = Target::new(PeerId(1), &m);
         let out = overlay.find_nearest(&target, &mut rng);
         assert!(m.rtt(out.found, PeerId(1)) <= Micros::from_ms_u64(3));
+    }
+
+    #[test]
+    fn ring_bounds_classify_exactly_like_ring_of() {
+        for cfg in [
+            RingConfig::default(),
+            RingConfig {
+                alpha: Micros::from_us(700),
+                s: 1.7,
+                n_rings: 9,
+                ..RingConfig::default()
+            },
+            RingConfig {
+                n_rings: 1,
+                ..RingConfig::default()
+            },
+        ] {
+            let bounds = ring_bounds(&cfg);
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "bounds must be sorted");
+            // Dense sweep near the origin plus every boundary's
+            // neighbourhood — the spots where a float log could
+            // disagree with the table.
+            let mut probes: Vec<u64> = (0..5_000).collect();
+            for &b in &bounds {
+                probes.extend([b.saturating_sub(1), b, b + 1]);
+            }
+            probes.extend([1 << 30, 1 << 40, (1 << 45) - 1]);
+            for d in probes {
+                assert_eq!(
+                    bounds.partition_point(|&b| d >= b),
+                    cfg.ring_of(Micros(d)),
+                    "classification diverged at {d} us (alpha {:?}, s {})",
+                    cfg.alpha,
+                    cfg.s
+                );
+            }
+        }
+    }
+
+    /// The tentpole contract in miniature: the shard-local fill is a
+    /// fast path, not an approximation — identical rings to the
+    /// omniscient fill over the same sharded store and seed.
+    #[test]
+    fn shard_local_fill_matches_omniscient_rings() {
+        use np_topology::{ClusterWorld, ClusterWorldSpec};
+        let world = ClusterWorld::generate(
+            ClusterWorldSpec {
+                clusters: 5,
+                en_per_cluster: 12,
+                peers_per_en: 2,
+                delta: 0.3,
+                mean_hub_ms: (4.0, 6.0),
+                intra_en: Micros::from_us(100),
+                hub_pool: 7,
+            },
+            31,
+        );
+        let sharded = world.to_sharded_threads(2);
+        let members: Vec<PeerId> = world.peers().skip(8).collect();
+        let omniscient = Overlay::build_threads(
+            &sharded,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            31,
+            2,
+        );
+        let local = Overlay::build_shard_local_threads(
+            &sharded,
+            members.clone(),
+            MeridianConfig::default(),
+            31,
+            2,
+        );
+        assert_eq!(omniscient.total_ring_entries(), local.total_ring_entries());
+        for &p in &members {
+            let a: Vec<(PeerId, Micros)> = omniscient
+                .rings_of(p)
+                .primaries()
+                .map(|m| (m.peer, m.rtt))
+                .collect();
+            let b: Vec<(PeerId, Micros)> = local
+                .rings_of(p)
+                .primaries()
+                .map(|m| (m.peer, m.rtt))
+                .collect();
+            assert_eq!(a, b, "rings of {p} diverged");
+        }
+        // And the query path sees no difference either.
+        let t1 = Target::new(PeerId(0), &sharded);
+        let t2 = Target::new(PeerId(0), &sharded);
+        assert_eq!(
+            omniscient.find_nearest(&t1, &mut rng_from(5)),
+            local.find_nearest(&t2, &mut rng_from(5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard structure")]
+    fn shard_local_fill_rejects_flat_backends() {
+        let m = line_world(8);
+        let members: Vec<PeerId> = (0..8).map(PeerId).collect();
+        Overlay::build_shard_local(&m, members, MeridianConfig::default(), 1);
     }
 
     #[test]

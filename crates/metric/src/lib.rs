@@ -45,4 +45,4 @@ pub use cache::NearestCache;
 pub use matrix::{LatencyMatrix, PeerId};
 pub use nearest::{NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};
 pub use sharded::ShardedWorld;
-pub use world::WorldStore;
+pub use world::{ShardView, WorldStore};

@@ -46,7 +46,7 @@
 //! latencies of every generated world) free of float re-rounding.
 
 use crate::matrix::{LatencyMatrix, PeerId};
-use crate::world::WorldStore;
+use crate::world::{ShardView, WorldStore};
 use np_util::parallel::par_for_rows;
 use np_util::Micros;
 
@@ -74,6 +74,13 @@ pub struct ShardedWorld {
 }
 
 impl ShardedWorld {
+    /// Sentinel shard id for peers that match **no** cluster (spills):
+    /// [`ShardedWorld::compress`] routes each such peer into its own
+    /// singleton overflow shard instead of producing out-of-bounds
+    /// shard indices. [`ShardedWorld::build_par`] rejects the sentinel
+    /// outright — it has no matrix to derive an overflow hub from.
+    pub const NO_SHARD: u32 = u32::MAX;
+
     /// Build from a shard assignment, a hub summary, and an exact
     /// pairwise latency function (consulted only for intra-shard
     /// pairs, once per unordered pair — the same discipline as
@@ -97,6 +104,10 @@ impl ShardedWorld {
     ) -> ShardedWorld {
         let n = shard_of.len();
         assert_eq!(offset.len(), n, "one hub offset per peer");
+        assert!(
+            shard_of.iter().all(|&s| s != ShardedWorld::NO_SHARD),
+            "NO_SHARD spills are resolved by ShardedWorld::compress, not build_par"
+        );
         let n_shards = shard_of.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
         assert_eq!(
             hub_rtt.len(),
@@ -159,10 +170,49 @@ impl ShardedWorld {
     /// hub-to-hub RTTs are read straight from the matrix. Intra-shard
     /// queries stay exact; inter-shard distances carry the triangle
     /// detour error bounded in the module docs.
+    ///
+    /// # Spills
+    ///
+    /// A peer assigned [`ShardedWorld::NO_SHARD`] (it matched no
+    /// cluster — e.g. an np-cluster assignment that left it
+    /// unclassified) is routed into its own **singleton overflow
+    /// shard**: the peer is its own hub with offset 0, and its
+    /// hub-to-hub row is read from the matrix like any other. Overflow
+    /// shards are appended after the real clusters in ascending peer-id
+    /// order.
+    ///
+    /// **Error bound:** a spill's distances are *better* approximated
+    /// than a regular inter-shard pair's — `d(spill, b) = d(spill, h_b)
+    /// + d(b, h_b)`, a **single** triangle detour, overestimating by at
+    /// most `2·d(b, h_b)` (the other endpoint's detour only; the
+    /// spill's own detour term is zero). Spill-to-spill distances are
+    /// exact. The price is storage: each spill adds one hub row, so
+    /// `S² ` grows as `(S + spills)²`.
     pub fn compress(matrix: &LatencyMatrix, shard_of: &[u32], threads: usize) -> ShardedWorld {
         assert_eq!(shard_of.len(), matrix.len(), "one shard id per peer");
         let n = matrix.len();
-        let n_shards = shard_of.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        let real_shards = shard_of
+            .iter()
+            .filter(|&&s| s != ShardedWorld::NO_SHARD)
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(0);
+        // Remap spills onto appended singleton shards (ascending peer
+        // id), so the stored assignment is dense again.
+        let mut next_overflow = real_shards as u32;
+        let shard_of: Vec<u32> = shard_of
+            .iter()
+            .map(|&s| {
+                if s == ShardedWorld::NO_SHARD {
+                    let id = next_overflow;
+                    next_overflow += 1;
+                    id
+                } else {
+                    s
+                }
+            })
+            .collect();
+        let n_shards = (next_overflow as usize).max(real_shards).max(1);
         let mut membership: Vec<Vec<PeerId>> = vec![Vec::new(); n_shards];
         for i in 0..n {
             membership[shard_of[i] as usize].push(PeerId(i as u32));
@@ -195,7 +245,7 @@ impl ShardedWorld {
                 matrix.rtt(PeerId(i as u32), hub).as_us() as f32
             })
             .collect();
-        ShardedWorld::build_par(shard_of, hub_rtt, offset, threads, |a, b| matrix.rtt(a, b))
+        ShardedWorld::build_par(&shard_of, hub_rtt, offset, threads, |a, b| matrix.rtt(a, b))
     }
 
     /// Number of shards.
@@ -267,6 +317,38 @@ impl ShardedWorld {
     }
 }
 
+impl ShardView for ShardedWorld {
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, p: PeerId) -> usize {
+        self.shard_of[p.idx()] as usize
+    }
+
+    fn shard_members(&self, shard: usize) -> &[PeerId] {
+        &self.shards[shard].members
+    }
+
+    #[inline]
+    fn hub_offset_us(&self, p: PeerId) -> u64 {
+        self.offset[p.idx()] as u64
+    }
+
+    #[inline]
+    fn hub_rtt_us(&self, a: usize, b: usize) -> u64 {
+        self.hub_rtt[a * self.shards.len() + b] as u64
+    }
+
+    fn hub_peer(&self, shard: usize) -> Option<PeerId> {
+        self.shards[shard]
+            .members
+            .iter()
+            .copied()
+            .min_by_key(|&m| (self.offset[m.idx()] as u64, m))
+    }
+}
+
 impl WorldStore for ShardedWorld {
     fn len(&self) -> usize {
         self.n
@@ -300,6 +382,10 @@ impl WorldStore for ShardedWorld {
             .map(|s| s.data.len() * 4 + s.members.len() * 4)
             .sum();
         blocks + self.hub_rtt.len() * 4 + (self.offset.len() + self.shard_of.len() + self.local_of.len()) * 4
+    }
+
+    fn shard_view(&self) -> Option<&dyn ShardView> {
+        Some(self)
     }
 }
 
@@ -433,5 +519,93 @@ mod tests {
     #[should_panic(expected = "hub matrix")]
     fn wrong_hub_dimensions_panic() {
         ShardedWorld::build_par(&[0, 1], vec![0.0], vec![0.0, 0.0], 1, star_rtt);
+    }
+
+    #[test]
+    #[should_panic(expected = "NO_SHARD")]
+    fn build_par_rejects_the_spill_sentinel() {
+        ShardedWorld::build_par(
+            &[0, ShardedWorld::NO_SHARD],
+            vec![0.0],
+            vec![0.0, 0.0],
+            1,
+            star_rtt,
+        );
+    }
+
+    #[test]
+    fn shard_view_reassembles_rtt_and_names_hub_peers() {
+        let w = star_world(3, 2);
+        let view: &dyn ShardView = &w;
+        assert_eq!(ShardView::n_shards(view), 3);
+        for p in w.peers() {
+            assert_eq!(ShardView::shard_of(view, p), (p.0 / 4) as usize);
+        }
+        assert_eq!(ShardView::shard_members(view, 1), &[PeerId(4), PeerId(5), PeerId(6), PeerId(7)]);
+        // Inter-shard rtt must reassemble from the view's components
+        // exactly as WorldStore::rtt sums them.
+        for a in w.peers() {
+            for b in w.peers() {
+                let (sa, sb) = (view.shard_of(a), view.shard_of(b));
+                if sa != sb {
+                    let sum = view.hub_offset_us(a) + view.hub_rtt_us(sa, sb) + view.hub_offset_us(b);
+                    assert_eq!(Micros(sum), w.rtt(a, b), "view sum diverged for ({a},{b})");
+                }
+            }
+        }
+        // Hub peer: minimum offset (1 ms for id % 4 == 0), ties by id.
+        assert_eq!(view.hub_peer(0), Some(PeerId(0)));
+        assert_eq!(view.hub_peer(2), Some(PeerId(8)));
+        // The dense matrix has no shard structure.
+        let dense = LatencyMatrix::build(8, star_rtt);
+        assert!(WorldStore::shard_view(&dense).is_none());
+        assert!(WorldStore::shard_view(&w).is_some());
+    }
+
+    #[test]
+    fn compress_routes_spills_into_singleton_overflow_shards() {
+        // 16-peer star world: shards 0..2 assigned normally, the last
+        // four peers match no cluster (NO_SHARD).
+        let n = 16usize;
+        let dense = LatencyMatrix::build(n, star_rtt);
+        let shard_of: Vec<u32> = (0..n as u32)
+            .map(|i| if i < 12 { i / 4 } else { ShardedWorld::NO_SHARD })
+            .collect();
+        let w = ShardedWorld::compress(&dense, &shard_of, 2);
+        w.validate().expect("valid");
+        // 3 real shards + one singleton per spill, in peer-id order.
+        assert_eq!(w.n_shards(), 7);
+        for (k, spill) in (12u32..16).enumerate() {
+            let s = 3 + k;
+            assert_eq!(w.shard(PeerId(spill)), s);
+            assert_eq!(w.shard_members(s), &[PeerId(spill)]);
+            // A singleton's hub is the peer itself, offset zero.
+            assert_eq!(ShardView::hub_peer(&w, s), Some(PeerId(spill)));
+            assert_eq!(ShardView::hub_offset_us(&w, PeerId(spill)), 0);
+        }
+        for a in dense.peers() {
+            for b in dense.peers() {
+                if w.shard(a) == w.shard(b) {
+                    assert_eq!(w.rtt(a, b), dense.rtt(a, b), "intra-shard must stay exact");
+                } else {
+                    // One detour per non-spill endpoint: never an
+                    // underestimate, and bounded by the endpoints' hub
+                    // detours (zero for spills).
+                    let hub_detour = |p: PeerId| {
+                        let hub = ShardView::hub_peer(&w, w.shard(p)).expect("non-empty");
+                        dense.rtt(p, hub)
+                    };
+                    let bound = dense.rtt(a, b) + hub_detour(a).scale(2.0) + hub_detour(b).scale(2.0);
+                    assert!(w.rtt(a, b) >= dense.rtt(a, b), "underestimated {a}->{b}");
+                    assert!(w.rtt(a, b) <= bound, "error beyond the detour bound for {a}->{b}");
+                }
+            }
+        }
+        // Spill-to-spill pairs are hub-to-hub reads: exact.
+        for a in 12u32..16 {
+            for b in 12u32..16 {
+                assert_eq!(w.rtt(PeerId(a), PeerId(b)), dense.rtt(PeerId(a), PeerId(b)));
+            }
+        }
     }
 }

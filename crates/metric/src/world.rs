@@ -102,6 +102,53 @@ pub trait WorldStore: Sync {
             .filter(|&&m| m != target && self.rtt(target, m) < d)
             .count()
     }
+
+    /// The backend's shard structure, when it has one. The dense matrix
+    /// (and any other flat backend) returns `None`; the block-compressed
+    /// [`crate::ShardedWorld`] returns itself. This is the object-safe
+    /// bridge that lets consumers holding a `&dyn WorldStore` (the
+    /// experiment factories) discover shard locality — e.g. the Meridian
+    /// shard-local overlay fill — without the algorithm stack going
+    /// generic over the backend.
+    fn shard_view(&self) -> Option<&dyn ShardView> {
+        None
+    }
+}
+
+/// Shard structure exposed by block-compressed backends: membership and
+/// iteration (`shard_of`, `shard_members`), the hub summary the
+/// inter-shard distances are reassembled from, and the per-shard hub
+/// ids. Everything a *shard-local* consumer needs to reproduce
+/// [`WorldStore::rtt`] without touching a dense row:
+///
+/// * intra-shard pairs read the shard's dense block (via
+///   [`WorldStore::rtt`], which is O(1) there);
+/// * inter-shard pairs are `hub_offset_us(a) + hub_rtt_us(s(a), s(b)) +
+///   hub_offset_us(b)` — **exactly** the `u64` microsecond sum `rtt`
+///   computes, so shard-local reconstruction is bit-identical, not
+///   approximate.
+pub trait ShardView: WorldStore {
+    /// Number of shards.
+    fn n_shards(&self) -> usize;
+
+    /// The shard a peer belongs to.
+    fn shard_of(&self, p: PeerId) -> usize;
+
+    /// Members of one shard, ascending id.
+    fn shard_members(&self, shard: usize) -> &[PeerId];
+
+    /// Peer → its shard hub latency in whole µs (the stored component,
+    /// truncated exactly as [`WorldStore::rtt`] sums it).
+    fn hub_offset_us(&self, p: PeerId) -> u64;
+
+    /// Hub-to-hub latency in whole µs (zero on the diagonal).
+    fn hub_rtt_us(&self, a: usize, b: usize) -> u64;
+
+    /// The shard's hub id: the member closest to its hub (minimum
+    /// offset, ties by lowest id). For worlds built by
+    /// `ShardedWorld::compress` this is the medoid itself (offset 0);
+    /// `None` for an empty shard.
+    fn hub_peer(&self, shard: usize) -> Option<PeerId>;
 }
 
 #[cfg(test)]

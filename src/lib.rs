@@ -85,7 +85,8 @@ pub mod prelude {
     pub use np_dht::{ChordMap, ChordRing, KeyValueMap, PerfectMap};
     pub use np_meridian::{BuildMode, MeridianConfig, Overlay};
     pub use np_metric::{
-        LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, ShardedWorld, Target, WorldStore,
+        LatencyMatrix, NearestPeerAlgo, PeerId, QueryOutcome, ShardView, ShardedWorld, Target,
+        WorldStore,
     };
     pub use np_probe::{King, NoiseConfig, Pinger, TcpPing, Tracer};
     pub use np_remedies::{PrefixRegistry, UclRegistry};

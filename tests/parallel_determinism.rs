@@ -304,6 +304,62 @@ fn omniscient_ring_fill_identical_at_any_thread_count() {
     }
 }
 
+/// Tentpole of the shard-local-fill PR: `Overlay::build_shard_local`
+/// draws per-node offer orders from `item_seed(seed, "MFIL", index)`
+/// exactly like the omniscient fill, so its rings must be bit-identical
+/// at 1, 2, 4 and 8 threads — and equal to the omniscient fill over the
+/// same sharded store.
+#[test]
+fn shard_local_fill_identical_at_any_thread_count() {
+    let s = sharded_scenario(808);
+    let serial = Overlay::build_shard_local_threads(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        808,
+        1,
+    );
+    let rings_of = |o: &Overlay<'_, ShardedWorld>, p| -> Vec<(np_metric::PeerId, Micros)> {
+        o.rings_of(p).primaries().map(|m| (m.peer, m.rtt)).collect()
+    };
+    for threads in THREAD_COUNTS {
+        let par = Overlay::build_shard_local_threads(
+            &s.matrix,
+            s.overlay.clone(),
+            MeridianConfig::default(),
+            808,
+            threads,
+        );
+        for &p in serial.members() {
+            assert_eq!(
+                rings_of(&serial, p),
+                rings_of(&par, p),
+                "shard-local rings of {p} diverged at {threads} threads"
+            );
+        }
+    }
+    // And the fast path agrees with the omniscient fill it replaces.
+    let omniscient = Overlay::build_threads(
+        &s.matrix,
+        s.overlay.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        808,
+        4,
+    );
+    for &p in serial.members() {
+        assert_eq!(
+            rings_of(&serial, p),
+            omniscient
+                .rings_of(p)
+                .primaries()
+                .map(|m| (m.peer, m.rtt))
+                .collect::<Vec<_>>(),
+            "shard-local fill diverged from omniscient for {p}"
+        );
+    }
+}
+
 /// The declarative pipeline end to end: an `ExperimentSpec` with a
 /// three-seed sweep over two algorithms produces bit-identical reports
 /// at any thread count, on both backends.
@@ -348,7 +404,12 @@ fn experiment_pipeline_identical_at_any_thread_count() {
         let serial = Experiment::new(spec(backend), &registry).run_threads(1);
         for threads in THREAD_COUNTS {
             let par = Experiment::new(spec(backend), &registry).run_threads(threads);
-            for (sc, pc) in serial.cells().iter().zip(par.cells()) {
+            for (sc, pc) in serial
+                .query_cells()
+                .expect("query spec")
+                .iter()
+                .zip(par.query_cells().expect("query spec"))
+            {
                 for (sr, pr) in sc.rows.iter().zip(&pc.rows) {
                     assert_eq!(
                         sr.runs, pr.runs,
