@@ -394,6 +394,8 @@ fn bench_experiment_pipeline(c: &mut Criterion) {
                     n_targets: 20,
                     base_seed: 7,
                     queries: 100,
+                    quick_queries: None,
+                    in_quick: true,
                     algos: vec![AlgoSpec::new("meridian")],
                 }],
             );

@@ -11,104 +11,21 @@
 //!   deployable gossip warm-up.
 //!
 //! Each variant is a `MeridianFactory::custom` registered under its own
-//! name — the ablation *is* the registry extension mechanism.
+//! name (in `np_bench::full_registry`) — the ablation *is* the registry
+//! extension mechanism. Spec + renderer live in
+//! `np_bench::specs::ext_ablation`.
 
-use np_bench::{cli, standard_registry, Args, Rendered};
-use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
-use np_meridian::{BuildMode, MeridianConfig, MeridianFactory};
-use np_util::table::{fmt_f, fmt_prob, Table};
+use np_bench::specs::{self, ext_ablation};
+use np_bench::{cli, full_registry, Args};
 
 fn main() {
     let args = Args::parse();
-    let n_queries = if args.quick { 300 } else { 2_000 };
-    let base = MeridianConfig::default();
-    let variants: &[(&str, &str, MeridianConfig, BuildMode)] = &[
-        (
-            "ablate-base",
-            "baseline (beta=0.5, manage=2, omniscient)",
-            base,
-            BuildMode::Omniscient,
-        ),
-        (
-            "ablate-b25",
-            "beta=0.25",
-            MeridianConfig { beta: 0.25, ..base },
-            BuildMode::Omniscient,
-        ),
-        (
-            "ablate-b75",
-            "beta=0.75",
-            MeridianConfig { beta: 0.75, ..base },
-            BuildMode::Omniscient,
-        ),
-        (
-            "ablate-nomanage",
-            "no ring management",
-            MeridianConfig {
-                manage_rounds: 0,
-                ..base
-            },
-            BuildMode::Omniscient,
-        ),
-        (
-            "ablate-gossip",
-            "gossip build (8 rounds, fanout 8)",
-            base,
-            BuildMode::Gossip {
-                rounds: 8,
-                fanout: 8,
-            },
-        ),
-    ];
-    let mut registry = standard_registry();
-    for &(name, _, cfg, mode) in variants {
-        registry.register(Box::new(MeridianFactory::custom(name, cfg, mode)));
-    }
-    let algos = variants
-        .iter()
-        .map(|&(name, label, _, _)| AlgoSpec::labelled(name, label))
-        .collect();
-    let spec = ExperimentSpec::query(
-        "ext_ablation",
-        "Ext D — Meridian ablations at x=125, delta=0.2",
-        "beta trades probes for accuracy; ring management is ~neutral under clustering",
-        args.backend(Backend::Dense),
-        args.seed_plan(SeedPlan::Single),
-        vec![CellSpec::paper(
-            "x=125",
-            125,
-            0.2,
-            args.seed,
-            n_queries,
-            algos,
-        )],
+    let figure = np_bench::figure("ext_ablation").expect("ext_ablation is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &full_registry(),
+        specs::spec_for_args(figure, &args),
+        ext_ablation::render,
     );
-    cli::run_experiment(&args, &registry, spec, |report, _| {
-        let mut table = Table::new(&[
-            "variant",
-            "P(correct closest)",
-            "P(correct cluster)",
-            "mean probes",
-            "mean hops",
-        ]);
-        // Single-run cells print the historical plain numbers; a
-        // --seeds sweep prints median [min, max] bands.
-        let prob = |b: np_util::stats::RunBand| {
-            if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
-        };
-        for row in report.query_cells().unwrap_or_default().iter().flat_map(|c| &c.rows) {
-            let b = &row.bands;
-            table.row(&[
-                row.label.clone(),
-                prob(b.p_correct_closest),
-                prob(b.p_correct_cluster),
-                fmt_f(b.mean_probes.median),
-                fmt_f(b.mean_hops.median),
-            ]);
-        }
-        Rendered {
-            body: table.render(),
-            csv: Some(table.to_csv()),
-        }
-    });
+    cli::exit_on_failed_cells(&report);
 }

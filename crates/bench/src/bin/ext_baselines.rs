@@ -4,79 +4,20 @@
 //! same collapse of P(correct closest) at large cluster sizes while
 //! brute force stays perfect.
 //!
-//! The whole family is one spec: a cell per cluster size, eight
-//! registry names per cell (brute force at a fifth of the query budget
-//! — each of its queries probes the full overlay).
+//! Spec + renderer live in `np_bench::specs::ext_baselines` (shared
+//! with `np-bench run experiments/ext_baselines.toml`).
 
-use np_bench::{cli, standard_registry, Args, Rendered};
-use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
-use np_util::table::{fmt_f, fmt_prob, Table};
+use np_bench::specs::{self, ext_baselines};
+use np_bench::{cli, standard_registry, Args};
 
 fn main() {
     let args = Args::parse();
-    let xs: &[usize] = if args.quick { &[25, 250] } else { &[5, 25, 250] };
-    let n_queries = if args.quick { 150 } else { 1_000 };
-    let algos = |n: usize| {
-        vec![
-            AlgoSpec::new("meridian"),
-            AlgoSpec::new("karger-ruhl"),
-            AlgoSpec::new("tapestry"),
-            AlgoSpec::new("tiers"),
-            AlgoSpec::new("beaconing"),
-            AlgoSpec::new("coord-walk"),
-            AlgoSpec::new("random"),
-            AlgoSpec::new("brute-force").with_queries(n / 5),
-        ]
-    };
-    let cells = xs
-        .iter()
-        .map(|&x| {
-            CellSpec::paper(
-                format!("x={x}"),
-                x,
-                0.2,
-                args.seed.wrapping_add(x as u64),
-                n_queries,
-                algos(n_queries),
-            )
-        })
-        .collect();
-    let spec = ExperimentSpec::query(
-        "ext_baselines",
-        "Ext A — all algorithms under the clustering condition",
-        "every latency-only scheme collapses at x=250; brute force does not",
-        args.backend(Backend::Dense),
-        args.seed_plan(SeedPlan::Single),
-        cells,
+    let figure = np_bench::figure("ext_baselines").expect("ext_baselines is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        ext_baselines::render,
     );
-    cli::run_experiment(&args, &standard_registry(), spec, |report, _| {
-        let mut table = Table::new(&[
-            "algorithm",
-            "end-nets/cluster",
-            "P(correct closest)",
-            "P(correct cluster)",
-            "mean probes",
-        ]);
-        // Single-run cells print the historical plain numbers; a
-        // --seeds sweep prints median [min, max] bands.
-        let prob = |b: np_util::stats::RunBand| {
-            if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
-        };
-        for (&x, cell) in xs.iter().zip(report.query_cells().unwrap_or_default()) {
-            for row in &cell.rows {
-                let b = &row.bands;
-                table.row(&[
-                    row.label.clone(),
-                    x.to_string(),
-                    prob(b.p_correct_closest),
-                    prob(b.p_correct_cluster),
-                    fmt_f(b.mean_probes.median),
-                ]);
-            }
-        }
-        Rendered {
-            body: table.render(),
-            csv: Some(table.to_csv()),
-        }
-    });
+    cli::exit_on_failed_cells(&report);
 }

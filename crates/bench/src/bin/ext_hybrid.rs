@@ -9,76 +9,24 @@
 //! it finds the exact-closest peer whenever the partner is registered —
 //! at a handful of probes instead of dozens.
 //!
-//! Each coverage level is one `HybridHintFactory` registration; all
-//! rows share one scenario through the pipeline's scenario cache, and
-//! the six identically-configured Meridian fallbacks share one ring
-//! fill through the per-scenario build cache (`BuildCache`).
+//! Each coverage level is one `HybridHintFactory` registration (in
+//! `np_bench::full_registry`); all rows share one scenario through the
+//! pipeline's scenario cache, and the identically-configured Meridian
+//! fallbacks share one ring fill through the per-scenario build cache
+//! (`BuildCache`). Spec + renderer live in
+//! `np_bench::specs::ext_hybrid`.
 
-use np_bench::{cli, standard_registry, Args, Rendered};
-use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
-use np_meridian::MeridianFactory;
-use np_remedies::HybridHintFactory;
-use np_util::table::{fmt_f, fmt_prob, Table};
-
-const COVERAGES: &[f64] = &[0.0, 0.25, 0.5, 0.75, 1.0];
+use np_bench::specs::{self, ext_hybrid};
+use np_bench::{cli, full_registry, Args};
 
 fn main() {
     let args = Args::parse();
-    let x = 250; // the hardest Figure 8 configuration
-    let n_queries = if args.quick { 300 } else { 2_000 };
-    let mut registry = standard_registry();
-    let mut algos = vec![AlgoSpec::labelled("meridian", "(meridian alone)")];
-    for &coverage in COVERAGES {
-        let name = format!("ucl{:.0}+meridian", coverage * 100.0);
-        registry.register(Box::new(HybridHintFactory::new(
-            name.clone(),
-            coverage,
-            MeridianFactory::omniscient(),
-        )));
-        algos.push(AlgoSpec::labelled(
-            name,
-            format!("{:.0}%", coverage * 100.0),
-        ));
-    }
-    let spec = ExperimentSpec::query(
-        "ext_hybrid",
-        "Ext C — hybrid (UCL registry + Meridian fallback)",
-        "success tracks registry coverage; probe cost collapses on hits",
-        args.backend(Backend::Dense),
-        args.seed_plan(SeedPlan::Single),
-        vec![CellSpec::paper(
-            "x=250",
-            x,
-            0.2,
-            args.seed,
-            n_queries,
-            algos,
-        )],
+    let figure = np_bench::figure("ext_hybrid").expect("ext_hybrid is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &full_registry(),
+        specs::spec_for_args(figure, &args),
+        ext_hybrid::render,
     );
-    cli::run_experiment(&args, &registry, spec, |report, _| {
-        let mut table = Table::new(&[
-            "registry coverage",
-            "P(correct closest)",
-            "P(correct cluster)",
-            "mean probes",
-        ]);
-        // Single-run cells print the historical plain numbers; a
-        // --seeds sweep prints median [min, max] bands.
-        let prob = |b: np_util::stats::RunBand| {
-            if report.runs_per_cell == 1 { fmt_prob(b.median) } else { np_bench::band(b) }
-        };
-        for row in report.query_cells().unwrap_or_default().iter().flat_map(|c| &c.rows) {
-            let b = &row.bands;
-            table.row(&[
-                row.label.clone(),
-                prob(b.p_correct_closest),
-                prob(b.p_correct_cluster),
-                fmt_f(b.mean_probes.median),
-            ]);
-        }
-        Rendered {
-            body: table.render(),
-            csv: Some(table.to_csv()),
-        }
-    });
+    cli::exit_on_failed_cells(&report);
 }

@@ -10,150 +10,48 @@
 //! same spec cells through a second, dense-backend `Experiment`.
 //!
 //! Per size it reports the backend's memory footprint, build time, and
-//! the throughput of a query batch driven by the brute-force reference
-//! algorithm (the worst-cost probe pattern — every query touches every
-//! overlay member, so this is a stress test of the `rtt` hot path, and
-//! its accuracy doubles as a self-check: brute force must be exact) —
-//! plus a **Meridian column**: the paper's central algorithm at every
-//! size, its overlay built through the shard-local ring fill (the
-//! `MeridianFactory` picks it automatically on the sharded store),
-//! which is what makes a 50 k-peer Meridian build routine instead of
-//! prohibitive. The paper-scale cross-check covers the Meridian rows
-//! too, so the shard-local fill is asserted bit-identical to the dense
-//! omniscient fill on every run.
+//! the throughput of a brute-force query batch, plus a **Meridian
+//! column** built through the shard-local ring fill — see
+//! `np_bench::specs::ext_scale` (shared with `np-bench run
+//! experiments/ext_scale.toml`) for the spec and renderer. The binary
+//! adds what a config file cannot: the brute-force/Meridian exactness
+//! self-checks and the dense cross-check below.
 
-use np_bench::{cli, standard_registry, Args, Rendered};
-use np_core::experiment::{AlgoSpec, Backend, CellSpec, Experiment, ExperimentSpec, SeedPlan};
-use np_topology::ClusterWorldSpec;
-use np_util::table::Table;
-use np_util::Micros;
-
-/// Dense is quadratic: past this size a single matrix outgrows the CI
-/// memory budget this binary is asserted under.
-const DENSE_LIMIT: usize = 12_000;
-
-/// Cross-check sharded-vs-dense only at paper scale: the point of the
-/// larger sizes is the memory ceiling, and materialising a dense
-/// 10k×10k cross-check matrix (400 MB) would dominate the peak-RSS
-/// number the CI job asserts on.
-const CROSS_CHECK_LIMIT: usize = 4_000;
-
-/// The cluster-world spec for `peers` total peers: the paper's shape
-/// (2 peers per end-network, 25 end-networks per cluster) unless
-/// `--shards` overrides the cluster count.
-fn spec_for(peers: usize, shards: Option<usize>) -> ClusterWorldSpec {
-    let clusters = shards.unwrap_or_else(|| (peers / 50).max(1));
-    let en_per_cluster = (peers / (clusters * 2)).max(1);
-    ClusterWorldSpec {
-        clusters,
-        en_per_cluster,
-        peers_per_en: 2,
-        delta: 0.2,
-        mean_hub_ms: (4.0, 6.0),
-        intra_en: Micros::from_us(100),
-        hub_pool: clusters.max(2),
-    }
-}
-
-fn cells_for(sizes: &[usize], args: &Args, n_queries: usize) -> Vec<CellSpec> {
-    sizes
-        .iter()
-        .map(|&requested| {
-            let world = spec_for(requested, args.shards);
-            // With a --shards override the spec rounds to whole
-            // clusters; label the world actually built.
-            let peers = world.total_peers();
-            CellSpec {
-                label: format!("{peers} peers"),
-                world,
-                n_targets: 100,
-                base_seed: args.seed.wrapping_add(peers as u64),
-                queries: n_queries,
-                algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
-            }
-        })
-        .collect()
-}
+use np_bench::specs::{self, ext_scale};
+use np_bench::{cli, standard_registry, Args};
+use np_core::experiment::{Experiment, Workload};
 
 fn main() {
     let args = Args::parse();
-    let backend = args.backend(Backend::Sharded);
-    let sizes: Vec<usize> = if args.quick {
-        vec![2_500, 10_000]
-    } else {
-        vec![2_500, 10_000, 25_000, 50_000]
-    };
+    let mut spec = specs::with_args(ext_scale::build_with(args.seed, args.shards), &args);
     // Validate the sweep up front: a dense sweep silently drops the
     // sizes whose matrix would not fit, rather than aborting mid-run
-    // and losing the completed rows.
-    let sizes: Vec<usize> = match backend {
-        Backend::Sharded => sizes,
-        Backend::Dense => {
-            let (fit, dropped): (Vec<usize>, Vec<usize>) =
-                sizes.into_iter().partition(|&p| p <= DENSE_LIMIT);
-            if !dropped.is_empty() {
-                eprintln!(
-                    "skipping {dropped:?} peers: a dense matrix past {DENSE_LIMIT} peers \
-                     does not fit the CI budget; use --world sharded"
-                );
-            }
-            assert!(!fit.is_empty(), "no sweep sizes fit the dense backend");
-            fit
-        }
+    // and losing the completed rows. (`np-bench run` applies the same
+    // policy through the catalogue's clamp hook.)
+    let dropped = ext_scale::drop_oversized_dense_cells(&mut spec);
+    if !dropped.is_empty() {
+        eprintln!(
+            "skipping {dropped:?}: a dense matrix past {} peers \
+             does not fit the CI budget; use --world sharded",
+            ext_scale::DENSE_LIMIT
+        );
+    }
+    assert!(spec.cell_count() > 0, "no sweep sizes fit the dense backend");
+    let backend = spec.backend;
+    let cross_check_cells: Vec<_> = match &spec.workload {
+        Workload::QueryMatrix(cells) => cells
+            .iter()
+            .filter(|c| c.world.total_peers() <= ext_scale::CROSS_CHECK_LIMIT)
+            .cloned()
+            .collect(),
+        Workload::Study(_) => Vec::new(),
     };
-    let n_queries = if args.quick { 250 } else { 1_000 };
     let registry = standard_registry();
-    let spec = ExperimentSpec::query(
-        "ext_scale",
-        "Extension — sharded worlds beyond the 2.5k-peer dense wall",
-        "memory stays tens of MB while peers grow 20x; dense and sharded metrics agree bit-for-bit at paper scale",
-        backend,
-        args.seed_plan(SeedPlan::Single),
-        cells_for(&sizes, &args, n_queries),
-    );
-    let report = cli::run_experiment(&args, &registry, spec, |report, args| {
-        let batch_header = format!("bf {n_queries}q s");
-        let mut table = Table::new(&[
-            "peers",
-            "shards",
-            "backend",
-            "store MB",
-            "build s",
-            &batch_header,
-            "bf queries/s",
-            "P(bf)",
-            "bf probes",
-            "P(meridian)",
-            "mer probes",
-            "mer hops",
-        ]);
-        for (&requested, cell) in sizes.iter().zip(report.query_cells().unwrap_or_default()) {
-            let bf = &cell.rows[0];
-            let mer = &cell.rows[1];
-            let b = &bf.bands;
-            let m = &mer.bands;
-            let query_s = bf.wall.as_secs_f64();
-            let total_queries = bf.queries * bf.runs.len();
-            table.row(&[
-                cell.peers.to_string(),
-                spec_for(requested, args.shards).clusters.to_string(),
-                report.backend.name().to_string(),
-                format!("{:.1}", cell.store_bytes as f64 / (1024.0 * 1024.0)),
-                format!("{:.2}", cell.build_wall.as_secs_f64()),
-                format!("{query_s:.2}"),
-                format!("{:.0}", total_queries as f64 / query_s.max(1e-9)),
-                format!("{:.3}", b.p_correct_closest.median),
-                format!("{:.0}", b.mean_probes.median),
-                format!("{:.3}", m.p_correct_closest.median),
-                format!("{:.0}", m.mean_probes.median),
-                format!("{:.2}", m.mean_hops.median),
-            ]);
-        }
-        Rendered {
-            body: table.render(),
-            csv: Some(table.to_csv()),
-        }
-    });
+    let report = cli::run_experiment(&args, &registry, spec, ext_scale::render);
+    // A cell the runner marked failed has no rows to check below: the
+    // rendered report preserved the healthy cells; exit 1 with the
+    // failure labels, not an index panic.
+    cli::exit_on_failed_cells(&report);
     // Self-checks on the main path (not the renderer, so they also
     // guard --out json runs): the brute-force reference must be exact,
     // and the shard-locally built Meridian overlay must stay a working
@@ -178,43 +76,40 @@ fn main() {
     // hub summary is exact on cluster worlds, so the whole metric set
     // must agree bit-for-bit. Run the same (small) cells through a
     // dense-backend experiment and diff the reports.
-    if backend == Backend::Sharded {
-        let small: Vec<usize> = sizes
-            .iter()
-            .copied()
-            .filter(|&p| p <= CROSS_CHECK_LIMIT)
-            .collect();
-        if !small.is_empty() {
-            eprintln!("cross-checking {small:?} peers against the dense backend...");
-            let dense_spec = ExperimentSpec::query(
-                "ext_scale-crosscheck",
-                "dense cross-check",
-                "",
-                Backend::Dense,
-                args.seed_plan(SeedPlan::Single),
-                cells_for(&small, &args, n_queries),
-            );
-            let dense = Experiment::new(dense_spec, &registry).run_threads(args.threads());
-            let sharded_cells = report.query_cells().expect("ext_scale is a query spec");
-            let dense_cells = dense.query_cells().expect("cross-check is a query spec");
-            for (sh, de) in sharded_cells.iter().zip(dense_cells) {
-                // Every row — including Meridian, whose sharded overlay
-                // came from the shard-local fill while the dense one
-                // used the omniscient fill. Bit-equality here is the
-                // pipeline-level proof the two fills are the same.
-                for (sr, dr) in sh.rows.iter().zip(&de.rows) {
-                    assert_eq!(
-                        sr.runs, dr.runs,
-                        "sharded and dense {} diverged at {} peers",
-                        sr.algo, sh.peers
-                    );
-                }
-                println!("{} peers: dense cross-check identical ✓", sh.peers);
+    if backend == np_core::experiment::Backend::Sharded && !cross_check_cells.is_empty() {
+        let labels: Vec<&str> = cross_check_cells.iter().map(|c| c.label.as_str()).collect();
+        eprintln!("cross-checking {labels:?} against the dense backend...");
+        let dense_spec = np_core::experiment::ExperimentSpec::query(
+            "ext_scale-crosscheck",
+            "dense cross-check",
+            "",
+            np_core::experiment::Backend::Dense,
+            args.seed_plan(np_core::experiment::SeedPlan::Single),
+            cross_check_cells,
+        );
+        let dense = Experiment::new(dense_spec, &registry).run_threads(args.threads());
+        let sharded_cells = report.query_cells().expect("ext_scale is a query spec");
+        let dense_cells = dense.query_cells().expect("cross-check is a query spec");
+        for (sh, de) in sharded_cells.iter().zip(dense_cells) {
+            // Every row — including Meridian, whose sharded overlay
+            // came from the shard-local fill while the dense one
+            // used the omniscient fill. Bit-equality here is the
+            // pipeline-level proof the two fills are the same.
+            for (sr, dr) in sh.rows.iter().zip(&de.rows) {
+                assert_eq!(
+                    sr.runs, dr.runs,
+                    "sharded and dense {} diverged at {} peers",
+                    sr.algo, sh.peers
+                );
             }
-            // The cross-check allocates dense matrices after the
-            // driver's budget check; re-assert the peak so the CI
-            // guard covers the whole run.
-            cli::enforce_rss_budget(&args);
+            cli::chrome(
+                &args,
+                &format!("{} peers: dense cross-check identical ✓", sh.peers),
+            );
         }
+        // The cross-check allocates dense matrices after the
+        // driver's budget check; re-assert the peak so the CI
+        // guard covers the whole run.
+        cli::enforce_rss_budget(&args);
     }
 }

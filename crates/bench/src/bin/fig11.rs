@@ -6,83 +6,20 @@
 //! with longer prefixes, FN rises, and there is no sweet spot: at ≤14
 //! bits the FP rate forces ≥hundreds of candidate probes, and longer
 //! prefixes ignore more and more truly-close peers.
+//!
+//! The study stage lives in `np_bench::specs::fig11` (shared with
+//! `np-bench run experiments/fig11.toml`).
 
+use np_bench::specs;
 use np_bench::{cli, standard_registry, Args};
-use np_cluster::TraceGraph;
-use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
-use np_remedies::prefix;
-use np_topology::{HostId, InternetModel, WorldParams};
-use np_util::ascii::{Axis, Chart};
-use np_util::table::{fmt_prob, Table};
-use np_util::Micros;
-use std::fmt::Write as _;
-
-fn study(ctx: &StudyCtx) -> StudyOutput {
-    let mut out = String::new();
-    let params = if ctx.quick {
-        WorldParams::quick_scale()
-    } else {
-        WorldParams::paper_scale()
-    };
-    let world = InternetModel::generate(params, ctx.seed);
-    let peers: Vec<HostId> = world
-        .azureus_peers()
-        .filter(|&p| world.host(p).tcp_responsive || world.host(p).icmp_responsive)
-        .collect();
-    let tg = TraceGraph::build(&world, &peers, ctx.seed);
-    let rows = prefix::error_study(
-        &world,
-        &tg,
-        &peers,
-        Micros::from_ms_u64(10),
-        (8..=24).map(|l| l as u8),
-    );
-    let _ = writeln!(
-        out,
-        "population with a <=10 ms neighbour: {} of {} (paper: ~2,400 of 22,796)\n",
-        rows.first().map(|r| r.population).unwrap_or(0),
-        peers.len()
-    );
-    let mut t = Table::new(&["prefix bits", "false-positive", "false-negative"]);
-    let mut fp_pts = Vec::new();
-    let mut fn_pts = Vec::new();
-    for r in &rows {
-        t.row(&[
-            r.prefix_len.to_string(),
-            fmt_prob(r.false_positive),
-            fmt_prob(r.false_negative),
-        ]);
-        fp_pts.push((f64::from(r.prefix_len), r.false_positive));
-        fn_pts.push((f64::from(r.prefix_len), r.false_negative));
-    }
-    let _ = writeln!(out, "{}", t.render());
-    let _ = write!(
-        out,
-        "{}",
-        Chart::new("Fig 11: [P]=false-positive [N]=false-negative", 64, 14)
-            .axes(Axis::Linear, Axis::Linear)
-            .labels("prefix bits", "rate")
-            .series('P', &fp_pts)
-            .series('N', &fn_pts)
-            .render()
-    );
-    StudyOutput {
-        text: out,
-        tables: vec![("fig11_error_rates".into(), t)],
-    }
-}
 
 fn main() {
     let args = Args::parse();
-    let spec = ExperimentSpec::study(
-        "fig11",
-        "Figure 11 — IP-prefix heuristic error rates",
-        "FP falls / FN rises with prefix length; no sweet spot",
-        args.backend(Backend::Dense),
-        args.seed,
-        args.quick,
-        args.rest.clone(),
-        study,
+    let figure = np_bench::figure("fig11").expect("fig11 is catalogued");
+    cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        cli::study_rendered,
     );
-    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

@@ -5,76 +5,20 @@
 //! cap 10). The headline: intra-domain latencies are about an order of
 //! magnitude smaller than inter-domain ones, and tightening the hop cap
 //! from 10 to 5 changes little.
+//!
+//! The study stage lives in `np_bench::specs::fig5` (shared with
+//! `np-bench run experiments/fig5.toml`).
 
+use np_bench::specs;
 use np_bench::{cli, standard_registry, Args};
-use np_cluster::domain;
-use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
-use np_topology::{InternetModel, WorldParams};
-use np_util::ascii::{Axis, Chart};
-use np_util::table::Table;
-use std::fmt::Write as _;
-
-fn study(ctx: &StudyCtx) -> StudyOutput {
-    let mut out = String::new();
-    let params = if ctx.quick {
-        WorldParams::quick_scale()
-    } else {
-        WorldParams::paper_scale()
-    };
-    let world = InternetModel::generate(params, ctx.seed);
-    let s = domain::run(&world, ctx.seed);
-    let _ = writeln!(
-        out,
-        "pairs: intra-domain {} (paper ~500), inter-domain {} (paper ~26,000)\n",
-        s.intra_pairs, s.inter_pairs
-    );
-    let mut t = Table::new(&["distribution", "p10 (ms)", "median (ms)", "p90 (ms)"]);
-    for (name, cdf) in [
-        ("same-domain, <=5 hops (predicted)", &s.intra_max5),
-        ("same-domain, <=10 hops (predicted)", &s.intra_max10),
-        ("diff-domain, <=10 hops (predicted)", &s.inter_predicted_max10),
-        ("diff-domain, <=10 hops (King)", &s.inter_king_max10),
-    ] {
-        t.row(&[
-            name.to_string(),
-            format!("{:.3}", cdf.quantile(0.1).unwrap_or(f64::NAN)),
-            format!("{:.3}", cdf.median().unwrap_or(f64::NAN)),
-            format!("{:.3}", cdf.quantile(0.9).unwrap_or(f64::NAN)),
-        ]);
-    }
-    let _ = writeln!(out, "{}", t.render());
-    let ratio = s.inter_king_max10.median().unwrap_or(f64::NAN)
-        / s.intra_max10.median().unwrap_or(f64::NAN);
-    let _ = writeln!(out, "inter/intra median ratio: {ratio:.1}x  (paper: ~10x)\n");
-    let _ = write!(
-        out,
-        "{}",
-        Chart::new("Fig 5 CDFs: [a]=intra<=5 [b]=intra<=10 [p]=inter-pred [k]=inter-king", 68, 16)
-            .axes(Axis::Log, Axis::Linear)
-            .labels("latency (ms)", "F")
-            .cdf('a', &s.intra_max5)
-            .cdf('b', &s.intra_max10)
-            .cdf('p', &s.inter_predicted_max10)
-            .cdf('k', &s.inter_king_max10)
-            .render()
-    );
-    StudyOutput {
-        text: out,
-        tables: vec![("fig5_distributions".into(), t)],
-    }
-}
 
 fn main() {
     let args = Args::parse();
-    let spec = ExperimentSpec::study(
-        "fig5",
-        "Figure 5 — intra-domain vs inter-domain latencies",
-        "intra-domain ~10x smaller; predicted tracks measured for inter-domain",
-        args.backend(Backend::Dense),
-        args.seed,
-        args.quick,
-        args.rest.clone(),
-        study,
+    let figure = np_bench::figure("fig5").expect("fig5 is catalogued");
+    cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        cli::study_rendered,
     );
-    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

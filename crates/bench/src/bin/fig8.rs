@@ -8,74 +8,22 @@
 //!   clustering condition causes;
 //! * P(correct cluster): increases monotonically towards ≈1.
 //!
-//! The spec: one cell per cluster size, the `meridian` registry entry,
-//! three-seed sweeps. Output is byte-identical to the pre-API binary
-//! (`crates/bench/tests/golden_fig8.rs` enforces it).
+//! The spec and renderer live in `np_bench::specs::fig8` (shared with
+//! `np-bench run experiments/fig8.toml`); output is byte-identical to
+//! the pre-API binary (`crates/bench/tests/golden_fig8.rs` enforces
+//! it).
 
-use np_bench::{band, cli, standard_registry, Args, Rendered};
-use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
-use np_util::ascii::{Axis, Chart};
-use np_util::table::Table;
+use np_bench::specs::{self, fig8};
+use np_bench::{cli, standard_registry, Args};
 
 fn main() {
     let args = Args::parse();
-    let xs: &[usize] = &[5, 25, 50, 125, 250];
-    let n_queries = if args.quick { 400 } else { 5_000 };
-    let cells = xs
-        .iter()
-        .map(|&x| {
-            CellSpec::paper(
-                format!("x={x}"),
-                x,
-                0.2,
-                args.seed.wrapping_add(x as u64),
-                n_queries,
-                vec![AlgoSpec::new("meridian")],
-            )
-        })
-        .collect();
-    let spec = ExperimentSpec::query(
-        "fig8",
-        "Figure 8 — Meridian accuracy vs cluster size",
-        "closest-peer curve peaks near x=25 then collapses; cluster curve rises to ~1",
-        args.backend(Backend::Dense),
-        args.seed_plan(SeedPlan::THREE_RUNS),
-        cells,
+    let figure = np_bench::figure("fig8").expect("fig8 is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        fig8::render,
     );
-    cli::run_experiment(&args, &standard_registry(), spec, |report, _| {
-        let mut table = Table::new(&[
-            "end-nets/cluster",
-            "P(correct closest) med [min,max]",
-            "P(correct cluster) med [min,max]",
-            "mean probes",
-            "mean hops",
-        ]);
-        let mut closest_pts = Vec::new();
-        let mut cluster_pts = Vec::new();
-        for (&x, cell) in xs.iter().zip(report.query_cells().unwrap_or_default()) {
-            let bands = &cell.rows[0].bands;
-            table.row(&[
-                x.to_string(),
-                band(bands.p_correct_closest),
-                band(bands.p_correct_cluster),
-                format!("{:.1}", bands.mean_probes.median),
-                format!("{:.2}", bands.mean_hops.median),
-            ]);
-            closest_pts.push((x as f64, bands.p_correct_closest.median));
-            cluster_pts.push((x as f64, bands.p_correct_cluster.median));
-        }
-        let chart = Chart::new(
-            "P(correct closest) [c]  /  P(correct cluster) [K]",
-            64,
-            14,
-        )
-        .axes(Axis::Log, Axis::Linear)
-        .labels("#end-networks in cluster", "prob")
-        .series('c', &closest_pts)
-        .series('K', &cluster_pts);
-        Rendered {
-            body: format!("{}\n{}", table.render(), chart.render()),
-            csv: Some(table.to_csv()),
-        }
-    });
+    cli::exit_on_failed_cells(&report);
 }

@@ -7,78 +7,21 @@
 //! * the median hub latency of the *wrongly* found peer falls from ≈5 ms
 //!   to ≈2 ms — Meridian preferentially returns peers near the
 //!   cluster-hub, the load-concentration effect the paper discusses.
+//!
+//! Spec + renderer live in `np_bench::specs::fig9` (shared with
+//! `np-bench run experiments/fig9.toml`).
 
-use np_bench::{band, cli, standard_registry, Args, Rendered};
-use np_core::experiment::{AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan};
-use np_util::ascii::{Axis, Chart};
-use np_util::table::Table;
+use np_bench::specs::{self, fig9};
+use np_bench::{cli, standard_registry, Args};
 
 fn main() {
     let args = Args::parse();
-    let deltas: &[f64] = &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
-    let n_queries = if args.quick { 400 } else { 5_000 };
-    let cells = deltas
-        .iter()
-        .map(|&delta| {
-            CellSpec::paper(
-                format!("delta={delta}"),
-                125,
-                delta,
-                args.seed.wrapping_add((delta * 1000.0) as u64),
-                n_queries,
-                vec![AlgoSpec::new("meridian")],
-            )
-        })
-        .collect();
-    let spec = ExperimentSpec::query(
-        "fig9",
-        "Figure 9 — Meridian accuracy and hub distance of found peers vs delta",
-        "accuracy rises ~0.08 -> ~0.4 with delta; hub latency of found peers falls ~5 -> ~2 ms",
-        args.backend(Backend::Dense),
-        args.seed_plan(SeedPlan::THREE_RUNS),
-        cells,
+    let figure = np_bench::figure("fig9").expect("fig9 is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        fig9::render,
     );
-    cli::run_experiment(&args, &standard_registry(), spec, |report, _| {
-        let mut table = Table::new(&[
-            "delta",
-            "P(correct closest) med [min,max]",
-            "median hub-lat of wrong peer (ms)",
-            "mean probes",
-        ]);
-        let mut acc_pts = Vec::new();
-        let mut hub_pts = Vec::new();
-        for (&delta, cell) in deltas.iter().zip(report.query_cells().unwrap_or_default()) {
-            let bands = &cell.rows[0].bands;
-            table.row(&[
-                format!("{delta:.1}"),
-                band(bands.p_correct_closest),
-                format!(
-                    "{:.2} [{:.2}, {:.2}]",
-                    bands.median_hub_latency_wrong_ms.median,
-                    bands.median_hub_latency_wrong_ms.min,
-                    bands.median_hub_latency_wrong_ms.max
-                ),
-                format!("{:.1}", bands.mean_probes.median),
-            ]);
-            acc_pts.push((delta, bands.p_correct_closest.median));
-            hub_pts.push((delta, bands.median_hub_latency_wrong_ms.median));
-        }
-        let acc_chart = Chart::new("P(correct closest) vs delta", 60, 12)
-            .axes(Axis::Linear, Axis::Linear)
-            .labels("delta", "prob")
-            .series('a', &acc_pts);
-        let hub_chart = Chart::new("median hub latency of wrongly-found peer (ms)", 60, 12)
-            .axes(Axis::Linear, Axis::Linear)
-            .labels("delta", "ms")
-            .series('h', &hub_pts);
-        Rendered {
-            body: format!(
-                "{}\n{}\n{}",
-                table.render(),
-                acc_chart.render(),
-                hub_chart.render()
-            ),
-            csv: Some(table.to_csv()),
-        }
-    });
+    cli::exit_on_failed_cells(&report);
 }

@@ -1,8 +1,17 @@
 //! `np-bench` — the harness utility binary.
 //!
-//! * `np-bench list` — print the figure catalogue and the standard
+//! * `np-bench list` — print the figure catalogue and the full
 //!   algorithm registry (names + descriptions): what experiments exist
 //!   and which algorithm names an `ExperimentSpec` may reference.
+//! * `np-bench run <spec.toml> [flags]` — load a serialised
+//!   `ExperimentSpec` (see `experiments/`) and drive it through the
+//!   standard pipeline with the usual
+//!   `--quick/--seed/--threads/--seeds/--out/--world` overrides plus
+//!   `--algos a,b,c`; a `[catalogue]` manifest runs every listed spec
+//!   in order. New scenario = a config file, not a recompile.
+//! * `np-bench specs [--check] [--dir DIR]` — regenerate the
+//!   `experiments/` spec files from the figure catalogue; `--check`
+//!   diffs instead (CI's anti-drift gate).
 //! * `np-bench speedup [--min X] [--json PATH]` — read
 //!   `BENCH_parallel.json`, report every `_serial`/`_par` engine pair's
 //!   measured speedup (plus notable single benches like
@@ -15,24 +24,25 @@
 //! factory table and fails on any name collision or missing entry.
 
 use np_bench::bench_report::{engine_speedups, parse_bench_json};
-use np_bench::{standard_registry, FIGURES};
+use np_bench::{full_registry, spec_files, FIGURES};
 use np_util::table::Table;
 
 fn list() {
     println!("figure binaries (cargo run --release -p np-bench --bin <name>):\n");
-    let mut figs = Table::new(&["binary", "kind", "backends", "title"]);
+    let mut figs = Table::new(&["binary", "kind", "backends", "spec file", "title"]);
     for f in FIGURES {
         figs.row(&[
             f.bin.to_string(),
             f.kind.name().to_string(),
             f.backends.to_string(),
+            format!("experiments/{}", spec_files::spec_file_name(f.spec)),
             f.title.to_string(),
         ]);
     }
     println!("{}", figs.render());
-    let registry = standard_registry();
+    let registry = full_registry();
     println!(
-        "registered algorithms ({} — ExperimentSpec cells reference these names):\n",
+        "registered algorithms ({} — ExperimentSpec cells and spec files reference these names):\n",
         registry.len()
     );
     let mut algos = Table::new(&["name", "description"]);
@@ -44,6 +54,7 @@ fn list() {
         "common flags: --quick --seed N --threads N --world dense|sharded --shards N \
          --seeds N --out table|json --csv --max-rss-mb N"
     );
+    println!("spec files: np-bench run experiments/<name>.toml  (np-bench specs regenerates them)");
 }
 
 fn speedup(args: &[String]) {
@@ -133,8 +144,13 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") | None => list(),
         Some("speedup") => speedup(&args[1..]),
+        Some("run") => spec_files::cmd_run(&args[1..]),
+        Some("specs") => spec_files::cmd_specs(&args[1..]),
         Some(other) => {
-            eprintln!("unknown subcommand {other:?}; try: np-bench list | np-bench speedup");
+            eprintln!(
+                "unknown subcommand {other:?}; try: np-bench list | np-bench run <spec.toml> | \
+                 np-bench specs | np-bench speedup"
+            );
             std::process::exit(2);
         }
     }

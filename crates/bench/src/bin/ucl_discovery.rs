@@ -9,73 +9,20 @@
 //! the latency estimates, and success is checked against ground truth.
 //! `--chord` backs the registry with the real Chord ring instead of the
 //! perfect map and reports the lookup-hop cost.
+//!
+//! The study stage lives in `np_bench::specs::ucl_discovery` (shared
+//! with `np-bench run experiments/ucl_discovery.toml`).
 
+use np_bench::specs;
 use np_bench::{cli, standard_registry, Args};
-use np_core::experiment::{Backend, ExperimentSpec, StudyCtx, StudyOutput};
-use np_dht::{ChordMap, PerfectMap};
-use np_remedies::ucl::discovery_study;
-use np_topology::{HostId, InternetModel, WorldParams};
-use np_util::table::{fmt_f, fmt_prob, Table};
-use np_util::Micros;
-use std::fmt::Write as _;
-
-fn study(ctx: &StudyCtx) -> StudyOutput {
-    let mut out = String::new();
-    let params = if ctx.quick {
-        WorldParams::quick_scale()
-    } else {
-        WorldParams::paper_scale()
-    };
-    let world = InternetModel::generate(params, ctx.seed);
-    // Evaluate over a subsample of responsive peers (registry inserts are
-    // O(peers x track); the paper's evaluation is also over its
-    // responsive set).
-    let step = if ctx.quick { 3 } else { 11 };
-    let peers: Vec<HostId> = world
-        .azureus_peers()
-        .filter(|&p| world.host(p).tcp_responsive || world.host(p).icmp_responsive)
-        .step_by(step)
-        .collect();
-    let _ = writeln!(out, "evaluated peers: {}", peers.len());
-    let use_chord = ctx.flags.iter().any(|a| a == "--chord");
-    let target = Micros::from_ms_u64(5);
-    let mut t = Table::new(&["tracked routers", "success", "mean candidates", "after filter"]);
-    let rows = if use_chord {
-        discovery_study(&world, &peers, target, 8, || ChordMap::new(128, ctx.seed))
-    } else {
-        discovery_study(&world, &peers, target, 8, PerfectMap::new)
-    };
-    for r in &rows {
-        t.row(&[
-            r.track.to_string(),
-            fmt_prob(r.success),
-            fmt_f(r.mean_candidates),
-            fmt_f(r.mean_filtered),
-        ]);
-    }
-    if use_chord {
-        let _ = writeln!(out, "backend: chord (128 nodes)");
-    } else {
-        let _ = writeln!(out, "backend: perfect map (the paper's assumption)");
-    }
-    let _ = write!(out, "{}", t.render());
-    StudyOutput {
-        text: out,
-        tables: vec![("ucl_discovery".into(), t)],
-    }
-}
 
 fn main() {
     let args = Args::parse();
-    let spec = ExperimentSpec::study(
-        "ucl_discovery",
-        "UCL discovery study (paper Section 5)",
-        "~50% success at 3 tracked routers, ~75% at 6 (5 ms targets)",
-        args.backend(Backend::Dense),
-        args.seed,
-        args.quick,
-        args.rest.clone(),
-        study,
+    let figure = np_bench::figure("ucl_discovery").expect("ucl_discovery is catalogued");
+    cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        cli::study_rendered,
     );
-    cli::run_experiment(&args, &standard_registry(), spec, cli::study_rendered);
 }

@@ -22,7 +22,7 @@
 //! effective-parallelism footer.
 
 use np_core::experiment::{
-    sink, AlgoRegistry, Backend, Experiment, ExperimentReport, ExperimentSpec, SeedPlan,
+    sink, AlgoRegistry, Backend, Experiment, ExperimentReport, ExperimentSpec, SeedPlan, Workload,
 };
 use np_util::parallel::{busy_time, resolve_threads};
 use np_util::rng::DEFAULT_SEED;
@@ -43,6 +43,9 @@ pub enum OutFormat {
 pub struct Args {
     pub quick: bool,
     pub seed: u64,
+    /// Was `--seed` given explicitly? (`np-bench run` only rebases a
+    /// spec file's committed seeds on an explicit override.)
+    pub seed_explicit: bool,
     pub csv: bool,
     /// Explicit `--threads N`, if given. Use [`Args::threads`] for the
     /// resolved count.
@@ -70,6 +73,7 @@ impl Default for Args {
         Args {
             quick: false,
             seed: DEFAULT_SEED,
+            seed_explicit: false,
             csv: false,
             threads: None,
             world: None,
@@ -124,6 +128,7 @@ impl Args {
                 "--seed" => {
                     let v = value(&mut it, "--seed")?;
                     out.seed = v.parse().map_err(|_| "--seed must be a u64".to_string())?;
+                    out.seed_explicit = true;
                 }
                 "--threads" => {
                     let v = value(&mut it, "--threads")?;
@@ -202,6 +207,60 @@ pub fn exit_usage(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+/// Print a non-flag input error (bad spec file, unknown algorithm) to
+/// stderr and exit 2 — a diagnostic, never a panic backtrace. The flag
+/// synopsis is omitted: the problem is the input, not the flags.
+pub fn exit_error(error: &str) -> ! {
+    eprintln!("error: {error}");
+    std::process::exit(2);
+}
+
+/// Print a human-facing chrome line: stdout normally, stderr under
+/// `--out json` (whose stdout must stay pure JSON lines). The one
+/// routing rule for headers, footers, banners and check marks.
+pub fn chrome(args: &Args, s: &str) {
+    if args.out == OutFormat::Json {
+        eprintln!("{s}");
+    } else {
+        println!("{s}");
+    }
+}
+
+/// Exit 1 if the report carries any marked cell failure. The runner's
+/// `catch_unwind` keeps a panicking cell from killing its siblings,
+/// but a figure whose run lost a cell must not report success to CI —
+/// every query binary calls this on the returned report. (The spec
+/// runner instead maps failures to its own exit/catalogue accounting.)
+pub fn exit_on_failed_cells(report: &ExperimentReport) {
+    let failed: Vec<&str> = report
+        .query_cells()
+        .unwrap_or_default()
+        .iter()
+        .filter(|c| c.error.is_some())
+        .map(|c| c.label.as_str())
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("error: {} cell(s) failed: {failed:?}", failed.len());
+        std::process::exit(1);
+    }
+}
+
+/// Resolve every algorithm name a query spec references, so a bad name
+/// is one catalogue-and-hint diagnostic *before* any world is built —
+/// not a panic backtrace out of the pipeline. Exits 2 on a miss.
+fn check_spec_algos(spec: &ExperimentSpec, registry: &AlgoRegistry) {
+    let Workload::QueryMatrix(cells) = &spec.workload else {
+        return;
+    };
+    for cell in cells {
+        for algo in &cell.algos {
+            if let Err(e) = registry.lookup(&algo.name) {
+                exit_error(&format!("cell {:?}: {e}", cell.label));
+            }
+        }
+    }
 }
 
 /// Peak resident-set size of this process in MiB, from `VmHWM` in
@@ -380,18 +439,11 @@ pub fn run_experiment(
 ) -> ExperimentReport {
     // Under --out json the human chrome (header, backend note, timing
     // footer) moves to stderr, keeping stdout pure machine-diffable
-    // JSON lines.
-    let json = args.out == OutFormat::Json;
-    let chrome = |s: &str| {
-        if json {
-            eprintln!("{s}");
-        } else {
-            println!("{s}");
-        }
-    };
-    chrome(&header_block(&spec.title, &spec.paper_shape, args));
+    // JSON lines — see [`chrome`].
+    check_spec_algos(&spec, registry);
+    chrome(args, &header_block(&spec.title, &spec.paper_shape, args));
     if spec.backend == Backend::Sharded {
-        chrome("backend: sharded (block-compressed latency store)\n");
+        chrome(args, "backend: sharded (block-compressed latency store)\n");
     }
     let timer = Report::start(args);
     let report = Experiment::new(spec, registry).run_threads(args.threads());
@@ -409,8 +461,8 @@ pub fn run_experiment(
             print!("{}", sink::render_json_lines(&report));
         }
     }
-    chrome("");
-    chrome(&timer.footer_line());
+    chrome(args, "");
+    chrome(args, &timer.footer_line());
     enforce_rss_budget(args);
     report
 }

@@ -1,9 +1,14 @@
 //! The figure catalogue: every experiment binary, as data.
 //!
 //! `all_figures` iterates this table to regenerate everything,
-//! `np-bench list` prints it, and the EXPERIMENTS section of the
-//! README is generated from the same rows — one source of truth for
-//! "what experiments exist".
+//! `np-bench list` prints it, `np-bench specs` serialises each entry's
+//! [`FigureInfo::build`] output into `experiments/*.toml`, and
+//! `np-bench run` resolves a loaded spec's renderer/study stage here —
+//! one source of truth for "what experiments exist".
+
+use crate::cli::{Args, Rendered};
+use crate::specs;
+use np_core::experiment::{ExperimentReport, ExperimentSpec, StudyCtx, StudyOutput, StudyStage};
 
 /// How a figure runs through the experiment pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +41,22 @@ pub struct FigureInfo {
     pub backends: &'static str,
     /// One-line description for `np-bench list`.
     pub title: &'static str,
+    /// Build the figure's dual-budget [`ExperimentSpec`] at a base
+    /// seed (paper query counts plus `quick_queries`/`in_quick`
+    /// markers; `resolve_quick` picks a mode). `np-bench specs`
+    /// serialises exactly this.
+    pub build: fn(u64) -> ExperimentSpec,
+    /// The figure's bespoke renderer (query figures; `None` for
+    /// studies, which render through `cli::study_rendered`).
+    pub render: Option<fn(&ExperimentReport, &Args) -> Rendered>,
+    /// The measurement stage (study figures only) — what a TOML-loaded
+    /// study spec resolves by name.
+    pub study: Option<fn(&StudyCtx) -> StudyOutput>,
+    /// Figure-specific backend policy applied after the CLI overrides
+    /// resolve (e.g. ext_scale drops cells whose dense matrix cannot
+    /// fit the CI budget). Returns the labels of dropped cells; the
+    /// caller reports them. Shared by the binary and `np-bench run`.
+    pub clamp: Option<fn(&mut ExperimentSpec) -> Vec<String>>,
 }
 
 /// Every figure/extension binary, in regeneration order. (`all_figures`
@@ -47,6 +68,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "n/a (measurement pipeline)",
         title: "DNS-pair latency-prediction measure (Figures 3 & 4)",
+        build: specs::fig3_4::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::fig3_4::study),
     },
     FigureInfo {
         bin: "fig5",
@@ -54,6 +79,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "n/a (measurement pipeline)",
         title: "intra- vs inter-domain latency distributions (Figure 5)",
+        build: specs::fig5::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::fig5::study),
     },
     FigureInfo {
         bin: "fig6_7",
@@ -61,6 +90,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "n/a (measurement pipeline)",
         title: "Azureus cluster sizes and latencies (Figures 6 & 7)",
+        build: specs::fig6_7::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::fig6_7::study),
     },
     FigureInfo {
         bin: "fig8",
@@ -68,6 +101,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::QueryMatrix,
         backends: "dense|sharded",
         title: "Meridian accuracy vs cluster size (Figure 8)",
+        build: specs::fig8::build,
+        render: Some(specs::fig8::render),
+        study: None,
+        clamp: None,
     },
     FigureInfo {
         bin: "fig9",
@@ -75,6 +112,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::QueryMatrix,
         backends: "dense|sharded",
         title: "Meridian accuracy and hub distance vs delta (Figure 9)",
+        build: specs::fig9::build,
+        render: Some(specs::fig9::render),
+        study: None,
+        clamp: None,
     },
     FigureInfo {
         bin: "fig10",
@@ -82,6 +123,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "n/a (measurement pipeline)",
         title: "inter-peer router hops vs latency (Figure 10)",
+        build: specs::fig10::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::fig10::study),
     },
     FigureInfo {
         bin: "fig11",
@@ -89,6 +134,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "n/a (measurement pipeline)",
         title: "IP-prefix heuristic error rates (Figure 11)",
+        build: specs::fig11::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::fig11::study),
     },
     FigureInfo {
         bin: "ucl_discovery",
@@ -96,6 +145,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "n/a (measurement pipeline)",
         title: "UCL discovery rates vs tracked routers (paper Section 5)",
+        build: specs::ucl_discovery::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::ucl_discovery::study),
     },
     FigureInfo {
         bin: "ext_baselines",
@@ -103,6 +156,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::QueryMatrix,
         backends: "dense|sharded",
         title: "all algorithms under the clustering condition (Ext A)",
+        build: specs::ext_baselines::build,
+        render: Some(specs::ext_baselines::render),
+        study: None,
+        clamp: None,
     },
     FigureInfo {
         bin: "ext_assumptions",
@@ -110,6 +167,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::Study,
         backends: "dense|sharded",
         title: "metric-space diagnostics under clustering (Ext B)",
+        build: specs::ext_assumptions::build,
+        render: None,
+        clamp: None,
+        study: Some(specs::ext_assumptions::study),
     },
     FigureInfo {
         bin: "ext_hybrid",
@@ -117,6 +178,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::QueryMatrix,
         backends: "dense|sharded",
         title: "hybrid UCL registry + Meridian fallback (Ext C)",
+        build: specs::ext_hybrid::build,
+        render: Some(specs::ext_hybrid::render),
+        study: None,
+        clamp: None,
     },
     FigureInfo {
         bin: "ext_ablation",
@@ -124,6 +189,10 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::QueryMatrix,
         backends: "dense|sharded",
         title: "Meridian design-choice ablations (Ext D)",
+        build: specs::ext_ablation::build,
+        render: Some(specs::ext_ablation::render),
+        study: None,
+        clamp: None,
     },
     FigureInfo {
         bin: "ext_scale",
@@ -131,8 +200,25 @@ pub const FIGURES: &[FigureInfo] = &[
         kind: FigureKind::QueryMatrix,
         backends: "dense|sharded",
         title: "sharded worlds beyond the 2.5k-peer dense wall",
+        build: specs::ext_scale::build,
+        render: Some(specs::ext_scale::render),
+        study: None,
+        clamp: Some(specs::ext_scale::drop_oversized_dense_cells),
     },
 ];
+
+/// The catalogue entry whose spec name is `name`.
+pub fn figure(name: &str) -> Option<&'static FigureInfo> {
+    FIGURES.iter().find(|f| f.spec == name)
+}
+
+/// The boxed study stage registered under `name` — the resolver
+/// `ExperimentSpec::from_toml_with` wants.
+pub fn study_stage(name: &str) -> Option<StudyStage> {
+    figure(name)
+        .and_then(|f| f.study)
+        .map(|stage| Box::new(stage) as StudyStage)
+}
 
 #[cfg(test)]
 mod tests {
@@ -149,5 +235,31 @@ mod tests {
             assert_eq!(f.bin, f.spec, "spec name tracks binary name");
             assert!(!f.title.is_empty());
         }
+    }
+
+    #[test]
+    fn builders_study_stages_and_kinds_agree() {
+        for f in FIGURES {
+            let spec = (f.build)(1);
+            assert_eq!(spec.name, f.spec, "{}: spec name drifted", f.bin);
+            match f.kind {
+                FigureKind::QueryMatrix => {
+                    assert!(f.render.is_some(), "{}: query figures render", f.bin);
+                    assert!(f.study.is_none());
+                    assert!(spec.cell_count() >= 1);
+                    assert!(study_stage(f.spec).is_none());
+                }
+                FigureKind::Study => {
+                    assert!(f.render.is_none());
+                    assert!(f.study.is_some(), "{}: study figures need a stage", f.bin);
+                    assert!(study_stage(f.spec).is_some());
+                }
+            }
+            // Every built-in spec passes its own validation.
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: invalid built-in spec: {e}", f.bin));
+        }
+        assert!(figure("fig8").is_some());
+        assert!(figure("nope").is_none());
     }
 }

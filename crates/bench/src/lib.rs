@@ -23,12 +23,14 @@ pub mod bench_report;
 pub mod cli;
 pub mod figures;
 pub mod registry;
+pub mod spec_files;
+pub mod specs;
 
 pub use cli::{
     band, enforce_rss_budget, header, peak_rss_mb, Args, OutFormat, Rendered, Report,
 };
-pub use figures::{FigureInfo, FigureKind, FIGURES};
-pub use registry::standard_registry;
+pub use figures::{figure, study_stage, FigureInfo, FigureKind, FIGURES};
+pub use registry::{full_registry, standard_registry};
 
 /// Historical alias: the backend enum moved into `np-core`'s
 /// experiment API (`np_core::experiment::Backend`).

@@ -44,6 +44,24 @@ pub fn standard_registry() -> AlgoRegistry {
     reg
 }
 
+/// [`standard_registry`] plus every extension-figure variant: the Ext D
+/// Meridian ablations (`ablate-*`) and the Ext C hybrid coverage sweep
+/// (`ucl{0,25,50,75,100}+meridian`). This is the registry `np-bench
+/// run` resolves spec files against — a checked-in
+/// `experiments/*.toml` may reference any of these names — and what
+/// the extension binaries themselves use (registering an entry costs
+/// nothing until a cell names it).
+pub fn full_registry() -> AlgoRegistry {
+    let mut reg = standard_registry();
+    for factory in crate::specs::ext_ablation::variant_factories() {
+        reg.register(Box::new(factory));
+    }
+    for factory in crate::specs::ext_hybrid::coverage_factories() {
+        reg.register(Box::new(factory));
+    }
+    reg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +89,28 @@ mod tests {
         for (name, desc) in reg.catalogue() {
             assert!(!desc.is_empty(), "{name} has no description");
         }
+    }
+
+    #[test]
+    fn full_registry_adds_the_extension_variants() {
+        let reg = full_registry();
+        assert_eq!(reg.len(), 10 + 5 + 5);
+        for expected in [
+            "ablate-base",
+            "ablate-b25",
+            "ablate-b75",
+            "ablate-nomanage",
+            "ablate-gossip",
+            "ucl0+meridian",
+            "ucl25+meridian",
+            "ucl50+meridian",
+            "ucl75+meridian",
+            "ucl100+meridian",
+        ] {
+            assert!(reg.get(expected).is_some(), "missing {expected}");
+        }
+        // The standard names survive unreplaced.
+        assert!(reg.get("meridian").is_some());
+        assert!(reg.get("ucl+meridian").is_some());
     }
 }

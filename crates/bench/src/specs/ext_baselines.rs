@@ -1,0 +1,110 @@
+//! **Ext A** spec: every implemented nearest-peer algorithm over the
+//! Figure 8 cluster worlds — the §2.3/§6 collapse, tested empirically.
+//! Brute force runs at a fifth of the budget (each of its queries
+//! probes the whole overlay).
+
+use crate::cli::{Args, Rendered};
+use np_core::experiment::{
+    AlgoSpec, Backend, CellSpec, ExperimentReport, ExperimentSpec, SeedPlan,
+};
+use np_util::table::{fmt_f, fmt_prob, Table};
+
+/// Cluster sizes: the full sweep; `--quick` keeps the 25/250 contrast.
+pub const XS: &[usize] = &[5, 25, 250];
+const QUERIES: usize = 1_000;
+const QUICK_QUERIES: usize = 150;
+
+/// The dual-budget Ext A spec at `seed`.
+pub fn build(seed: u64) -> ExperimentSpec {
+    let algos = || {
+        vec![
+            AlgoSpec::new("meridian"),
+            AlgoSpec::new("karger-ruhl"),
+            AlgoSpec::new("tapestry"),
+            AlgoSpec::new("tiers"),
+            AlgoSpec::new("beaconing"),
+            AlgoSpec::new("coord-walk"),
+            AlgoSpec::new("random"),
+            AlgoSpec::new("brute-force")
+                .with_queries(QUERIES / 5)
+                .with_quick_queries(QUICK_QUERIES / 5),
+        ]
+    };
+    let cells = XS
+        .iter()
+        .map(|&x| {
+            let cell = CellSpec::paper(
+                format!("x={x}"),
+                x,
+                0.2,
+                seed.wrapping_add(x as u64),
+                QUERIES,
+                algos(),
+            )
+            .with_quick_queries(QUICK_QUERIES);
+            // Quick keeps the smallest-vs-largest contrast only.
+            if x == 5 {
+                cell.paper_scale_only()
+            } else {
+                cell
+            }
+        })
+        .collect();
+    let mut spec = ExperimentSpec::query(
+        "ext_baselines",
+        "Ext A — all algorithms under the clustering condition",
+        "every latency-only scheme collapses at x=250; brute force does not",
+        Backend::Dense,
+        SeedPlan::Single,
+        cells,
+    );
+    spec.base_seed = seed;
+    spec
+}
+
+/// The Ext A all-algorithms table renderer.
+pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
+    let mut table = Table::new(&[
+        "algorithm",
+        "end-nets/cluster",
+        "P(correct closest)",
+        "P(correct cluster)",
+        "mean probes",
+    ]);
+    // Single-run cells print the historical plain numbers; a
+    // --seeds sweep prints median [min, max] bands.
+    let prob = |b: np_util::stats::RunBand| {
+        if report.runs_per_cell == 1 {
+            fmt_prob(b.median)
+        } else {
+            crate::cli::band(b)
+        }
+    };
+    for cell in report.query_cells().unwrap_or_default() {
+        let x = super::label_value(&cell.label).unwrap_or(f64::NAN);
+        if let Some(error) = &cell.error {
+            table.row(&[
+                format!("FAILED: {error}"),
+                format!("{x:.0}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        for row in &cell.rows {
+            let b = &row.bands;
+            table.row(&[
+                row.label.clone(),
+                format!("{x:.0}"),
+                prob(b.p_correct_closest),
+                prob(b.p_correct_cluster),
+                fmt_f(b.mean_probes.median),
+            ]);
+        }
+    }
+    Rendered {
+        body: table.render(),
+        csv: Some(table.to_csv()),
+    }
+}

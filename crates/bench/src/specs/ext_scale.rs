@@ -1,0 +1,191 @@
+//! **Extension — scale** spec: cluster worlds past the dense matrix's
+//! ~2.5 k-peer wall on the block-compressed sharded backend, with a
+//! brute-force reference column and a Meridian column built through
+//! the shard-local ring fill. The binary adds the dense cross-check
+//! and the exactness self-checks on top of this spec.
+
+use crate::cli::{Args, Rendered};
+use np_core::experiment::{
+    AlgoSpec, Backend, CellSpec, ExperimentReport, ExperimentSpec, SeedPlan,
+};
+use np_topology::ClusterWorldSpec;
+use np_util::table::Table;
+use np_util::Micros;
+
+/// Sweep sizes (requested peers; worlds round to whole clusters).
+pub const SIZES: &[usize] = &[2_500, 10_000, 25_000, 50_000];
+/// Sizes that also run under `--quick`.
+pub const QUICK_SIZES: &[usize] = &[2_500, 10_000];
+
+/// Dense is quadratic: past this size a single matrix outgrows the CI
+/// memory budget this binary is asserted under.
+pub const DENSE_LIMIT: usize = 12_000;
+
+/// Cross-check sharded-vs-dense only at paper scale: the point of the
+/// larger sizes is the memory ceiling, and materialising a dense
+/// 10k×10k cross-check matrix (400 MB) would dominate the peak-RSS
+/// number the CI job asserts on.
+pub const CROSS_CHECK_LIMIT: usize = 4_000;
+
+/// The cluster-world spec for `peers` total peers: the paper's shape
+/// (2 peers per end-network, 25 end-networks per cluster) unless
+/// `shards` overrides the cluster count.
+pub fn world_for(peers: usize, shards: Option<usize>) -> ClusterWorldSpec {
+    let clusters = shards.unwrap_or_else(|| (peers / 50).max(1));
+    let en_per_cluster = (peers / (clusters * 2)).max(1);
+    ClusterWorldSpec {
+        clusters,
+        en_per_cluster,
+        peers_per_en: 2,
+        delta: 0.2,
+        mean_hub_ms: (4.0, 6.0),
+        intra_en: Micros::from_us(100),
+        hub_pool: clusters.max(2),
+    }
+}
+
+/// The dual-budget scale spec at `seed`, with an optional `--shards`
+/// cluster-count override (the serialised `experiments/ext_scale.toml`
+/// is the `shards = None` shape).
+pub fn build_with(seed: u64, shards: Option<usize>) -> ExperimentSpec {
+    let cells = SIZES
+        .iter()
+        .map(|&requested| {
+            let world = world_for(requested, shards);
+            // With a --shards override the spec rounds to whole
+            // clusters; label the world actually built.
+            let peers = world.total_peers();
+            let cell = CellSpec {
+                label: format!("{peers} peers"),
+                world,
+                n_targets: 100,
+                base_seed: seed.wrapping_add(peers as u64),
+                queries: 1_000,
+                quick_queries: Some(250),
+                in_quick: QUICK_SIZES.contains(&requested),
+                algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
+            };
+            cell
+        })
+        .collect();
+    let mut spec = ExperimentSpec::query(
+        "ext_scale",
+        "Extension — sharded worlds beyond the 2.5k-peer dense wall",
+        "memory stays tens of MB while peers grow 20x; dense and sharded metrics agree bit-for-bit at paper scale",
+        Backend::Sharded,
+        SeedPlan::Single,
+        cells,
+    );
+    spec.base_seed = seed;
+    spec
+}
+
+/// The catalogue builder (no shard override).
+pub fn build(seed: u64) -> ExperimentSpec {
+    build_with(seed, None)
+}
+
+/// Drop cells whose dense matrix would not fit the CI budget. Returns
+/// the labels dropped (callers report them; an empty sweep is the
+/// caller's error to raise).
+pub fn drop_oversized_dense_cells(spec: &mut ExperimentSpec) -> Vec<String> {
+    use np_core::experiment::Workload;
+    let mut dropped = Vec::new();
+    if spec.backend == Backend::Dense {
+        if let Workload::QueryMatrix(cells) = &mut spec.workload {
+            cells.retain(|c| {
+                let fits = c.world.total_peers() <= DENSE_LIMIT;
+                if !fits {
+                    dropped.push(c.label.clone());
+                }
+                fits
+            });
+        }
+    }
+    dropped
+}
+
+/// The scale sweep table renderer: store footprint, build and batch
+/// timings, and the brute-force + Meridian accuracy columns.
+pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
+    let cells = report.query_cells().unwrap_or_default();
+    let n_queries = cells
+        .iter()
+        .flat_map(|c| c.rows.iter().find(|r| r.algo == "brute-force"))
+        .map(|r| r.queries)
+        .next()
+        .unwrap_or(0);
+    let batch_header = format!("bf {n_queries}q s");
+    let mut table = Table::new(&[
+        "peers",
+        "shards",
+        "backend",
+        "store MB",
+        "build s",
+        &batch_header,
+        "bf queries/s",
+        "P(bf)",
+        "bf probes",
+        "P(meridian)",
+        "mer probes",
+        "mer hops",
+    ]);
+    for cell in cells {
+        // A failed cell is marked; a successful cell renders whatever
+        // rows it has — matched by registry name, not position, so an
+        // `--algos` override never puts one algorithm's numbers under
+        // another's columns.
+        if cell.rows.is_empty() {
+            let why = cell.error.as_deref().unwrap_or("no rows");
+            let mut row = vec![cell.label.clone(), format!("FAILED: {why}")];
+            row.resize(12, "-".into());
+            table.row(&row);
+            continue;
+        }
+        let bf = cell.rows.iter().find(|r| r.algo == "brute-force");
+        let mer = cell.rows.iter().find(|r| r.algo == "meridian");
+        let bf_cols = match bf {
+            Some(bf) => {
+                let b = &bf.bands;
+                let query_s = bf.wall.as_secs_f64();
+                let total_queries = bf.queries * bf.runs.len();
+                [
+                    format!("{query_s:.2}"),
+                    format!("{:.0}", total_queries as f64 / query_s.max(1e-9)),
+                    format!("{:.3}", b.p_correct_closest.median),
+                    format!("{:.0}", b.mean_probes.median),
+                ]
+            }
+            None => ["-".into(), "-".into(), "-".into(), "-".into()],
+        };
+        let mer_cols = match mer {
+            Some(mer) => {
+                let m = &mer.bands;
+                [
+                    format!("{:.3}", m.p_correct_closest.median),
+                    format!("{:.0}", m.mean_probes.median),
+                    format!("{:.2}", m.mean_hops.median),
+                ]
+            }
+            None => ["-".into(), "-".into(), "-".into()],
+        };
+        table.row(&[
+            cell.peers.to_string(),
+            cell.clusters.to_string(),
+            report.backend.name().to_string(),
+            format!("{:.1}", cell.store_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", cell.build_wall.as_secs_f64()),
+            bf_cols[0].clone(),
+            bf_cols[1].clone(),
+            bf_cols[2].clone(),
+            bf_cols[3].clone(),
+            mer_cols[0].clone(),
+            mer_cols[1].clone(),
+            mer_cols[2].clone(),
+        ]);
+    }
+    Rendered {
+        body: table.render(),
+        csv: Some(table.to_csv()),
+    }
+}

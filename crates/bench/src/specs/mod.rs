@@ -1,0 +1,77 @@
+//! The figure specs and renderers, as library code.
+//!
+//! Every figure binary used to own its `ExperimentSpec` construction
+//! and its renderer; `np-bench run <spec.toml>` needs both reachable
+//! *by spec name* — the TOML file supplies the spec data, the
+//! catalogue supplies the matching renderer (query figures) or study
+//! stage (measurement figures). So each figure lives here as a module
+//! with:
+//!
+//! * `build(seed) -> ExperimentSpec` — the **dual-budget** spec: paper
+//!   query counts plus `quick_queries`/`in_quick` markers, exactly what
+//!   `np-bench specs` serialises into `experiments/*.toml`;
+//! * `render(report, args) -> Rendered` for query figures, or
+//!   `study(ctx) -> StudyOutput` for measurement figures.
+//!
+//! The binaries are thin wrappers: parse flags, call
+//! [`spec_for_args`], hand the result to `cli::run_experiment` with
+//! the module's renderer. Renderers read everything they need from the
+//! typed report (cell labels carry the sweep variable), so the same
+//! renderer serves a binary-built spec and a TOML-loaded one.
+
+pub mod ext_ablation;
+pub mod ext_assumptions;
+pub mod ext_baselines;
+pub mod ext_hybrid;
+pub mod ext_scale;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3_4;
+pub mod fig5;
+pub mod fig6_7;
+pub mod fig8;
+pub mod fig9;
+pub mod ucl_discovery;
+
+use crate::cli::Args;
+use crate::figures::FigureInfo;
+use np_core::experiment::ExperimentSpec;
+
+/// Apply the shared CLI overrides to a figure's dual-budget spec:
+/// `--world` picks the backend, `--seeds` the sweep width, leftover
+/// flags pass through to study stages, and `--quick` resolves the
+/// quick/paper budget pair. The result is exactly the spec the
+/// pre-refactor binary would have built inline.
+pub fn spec_for_args(figure: &FigureInfo, args: &Args) -> ExperimentSpec {
+    with_args((figure.build)(args.seed), args)
+}
+
+/// [`spec_for_args`] for an already-built spec (the TOML loader and
+/// binaries with extra build inputs use this half directly).
+pub fn with_args(mut spec: ExperimentSpec, args: &Args) -> ExperimentSpec {
+    spec.backend = args.backend(spec.backend);
+    spec.seeds = args.seed_plan(spec.seeds);
+    spec.flags.extend(args.rest.iter().cloned());
+    spec.resolve_quick(args.quick)
+}
+
+/// The numeric sweep variable a cell label carries ("x=25" → 25.0,
+/// "delta=0.4" → 0.4, "10000 peers" → 10000.0). Renderers chart by it.
+pub fn label_value(label: &str) -> Option<f64> {
+    let token = label.split(['=', ' ']).find(|t| !t.is_empty() && t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-'))?;
+    token.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_parse() {
+        assert_eq!(label_value("x=25"), Some(25.0));
+        assert_eq!(label_value("delta=0.4"), Some(0.4));
+        assert_eq!(label_value("10000 peers"), Some(10000.0));
+        assert_eq!(label_value("delta=0"), Some(0.0));
+        assert_eq!(label_value("no numbers"), None);
+    }
+}

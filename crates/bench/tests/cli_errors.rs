@@ -51,6 +51,144 @@ fn all_figures_validates_flags_before_spawning_children() {
     );
 }
 
+/// Exit 2 with a diagnostic containing `expect_msg` and no backtrace
+/// (usage line not required: these are input errors, not flag errors).
+fn assert_input_error(bin: &str, args: &[&str], expect_msg: &str) {
+    let (code, stderr) = run(bin, args);
+    assert_eq!(code, Some(2), "{bin} {args:?} must exit 2; stderr: {stderr}");
+    assert!(stderr.contains(expect_msg), "{bin} stderr missing {expect_msg:?}: {stderr}");
+    assert!(
+        !stderr.contains("panicked at"),
+        "{bin} printed a panic backtrace: {stderr}"
+    );
+}
+
+fn write_spec(name: &str, content: &str) -> String {
+    let dir = std::env::temp_dir().join("np_bench_run_error_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("spec written");
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+/// A well-formed tiny query spec the tests then corrupt.
+const TINY_SPEC: &str = r#"
+[experiment]
+name = "tiny"
+title = "tiny"
+paper_shape = "n/a"
+backend = "dense"
+seeds = "single"
+base_seed = 7
+workload = "query"
+
+[[cell]]
+label = "c"
+base_seed = 7
+targets = 4
+queries = 10
+
+[cell.world]
+clusters = 2
+en_per_cluster = 4
+peers_per_en = 2
+delta = 0.2
+mean_hub_ms = [4.0, 6.0]
+intra_en_us = 100
+hub_pool = 2
+
+[[cell.algo]]
+name = "random"
+"#;
+
+#[test]
+fn np_bench_run_rejects_malformed_specs_with_named_diagnostics() {
+    let bin = env!("CARGO_BIN_EXE_np-bench");
+    // Missing file.
+    assert_input_error(bin, &["run", "/nonexistent/nope.toml"], "cannot read");
+    // No path at all is a usage error.
+    assert_usage_error(bin, &["run", "--quick"], "run requires a spec file path");
+    // TOML syntax error names the line.
+    let bad = write_spec("syntax.toml", "[experiment\nname = \"x\"");
+    assert_input_error(bin, &["run", &bad], "TOML line 1");
+    // A typo'd key names the full path and the valid keys.
+    let bad = write_spec("typo.toml", &TINY_SPEC.replace("targets = 4", "targest = 4"));
+    assert_input_error(bin, &["run", &bad], "unknown key `cell[0].targest`");
+    // A degenerate world names the offending key.
+    let bad = write_spec("degen.toml", &TINY_SPEC.replace("clusters = 2", "clusters = 0"));
+    assert_input_error(bin, &["run", &bad], "cell[0].world.clusters");
+    let bad = write_spec("swallow.toml", &TINY_SPEC.replace("targets = 4", "targets = 99"));
+    assert_input_error(bin, &["run", &bad], "overlay must be non-empty");
+    // A study spec whose stage nothing registers.
+    let study = "[experiment]\nname = \"mystery\"\ntitle = \"t\"\npaper_shape = \"p\"\n\
+                 backend = \"dense\"\nseeds = \"single\"\nbase_seed = 1\nworkload = \"study\"\n";
+    let bad = write_spec("study.toml", study);
+    assert_input_error(bin, &["run", &bad], "no study named \"mystery\"");
+}
+
+#[test]
+fn np_bench_run_unknown_algorithm_exits_2_with_hint() {
+    let bin = env!("CARGO_BIN_EXE_np-bench");
+    let spec = write_spec("algos.toml", TINY_SPEC);
+    // A typo in the spec file itself…
+    let misspelt = write_spec("misspelt.toml", &TINY_SPEC.replace("\"random\"", "\"randmo\""));
+    assert_input_error(bin, &["run", &misspelt], "did you mean \"random\"?");
+    // …and via the --algos override; both list the catalogue.
+    let (code, stderr) = run(bin, &["run", &spec, "--algos", "meridain"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("no algorithm \"meridain\""), "{stderr}");
+    assert!(stderr.contains("did you mean \"meridian\"?"), "{stderr}");
+    assert!(stderr.contains("registered"), "{stderr}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn np_bench_run_catalogue_keeps_going_past_a_broken_member() {
+    // One member with an unknown algorithm, one healthy member: the
+    // healthy one must still run, the summary must name the broken
+    // one, and the exit is 1 (run failure), not 2 (usage).
+    let bin = env!("CARGO_BIN_EXE_np-bench");
+    write_spec("cat_ok.toml", TINY_SPEC);
+    write_spec(
+        "cat_bad.toml",
+        &TINY_SPEC
+            .replace("name = \"tiny\"", "name = \"tiny-bad\"")
+            .replace("\"random\"", "\"randmo\""),
+    );
+    let manifest = write_spec(
+        "cat.toml",
+        "[catalogue]\nname = \"cat\"\nspecs = [\"cat_bad.toml\", \"cat_ok.toml\"]\n",
+    );
+    let out = Command::new(bin)
+        .args(["run", &manifest, "--threads", "2"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1), "one failed member = exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stderr.contains("did you mean \"random\"?"), "{stderr}");
+    assert!(stderr.contains("FAILED: [\"cat_bad.toml\"]"), "{stderr}");
+    assert!(stdout.contains("tiny"), "healthy member still ran: {stdout}");
+    assert!(!stderr.contains("panicked at"), "{stderr}");
+}
+
+#[test]
+fn np_bench_run_executes_a_tiny_spec() {
+    // The happy path end to end on a world small enough for a test:
+    // loads, resolves, runs, renders the generic table.
+    let bin = env!("CARGO_BIN_EXE_np-bench");
+    let spec = write_spec("ok.toml", TINY_SPEC);
+    let out = Command::new(bin)
+        .args(["run", &spec, "--threads", "2", "--algos", "random,brute-force"])
+        .output()
+        .expect("spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("random"), "{stdout}");
+    assert!(stdout.contains("brute-force"), "{stdout}");
+}
+
 #[test]
 fn np_bench_unknown_subcommand_exits_2() {
     let (code, stderr) = run(env!("CARGO_BIN_EXE_np-bench"), &["frobnicate"]);

@@ -68,6 +68,32 @@ fn fig8_quick_matches_pre_redesign_fixture() {
 }
 
 #[test]
+fn np_bench_run_fig8_toml_matches_the_fixture() {
+    // The serialised-spec path end to end: `np-bench run
+    // experiments/fig8.toml --quick` must reproduce the same bytes the
+    // fig8 binary produces (modulo the wall-clock footer) — the TOML
+    // file, the loader, the seed handling and the catalogue-resolved
+    // renderer are all on the line here.
+    let fixture = include_str!("fixtures/fig8_quick.txt");
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../experiments/fig8.toml");
+    let out = Command::new(env!("CARGO_BIN_EXE_np-bench"))
+        .args(["run", spec_path, "--quick", "--threads", "2"])
+        .output()
+        .expect("np-bench binary runs");
+    assert!(
+        out.status.success(),
+        "np-bench run exited non-zero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("output is UTF-8");
+    assert_eq!(
+        normalize(&stdout),
+        normalize(fixture),
+        "np-bench run experiments/fig8.toml --quick diverged from the fig8 fixture"
+    );
+}
+
+#[test]
 fn fig8_sharded_quick_pins_the_shard_local_fill() {
     let fixture = include_str!("fixtures/fig8_sharded_quick.txt");
     let out = Command::new(env!("CARGO_BIN_EXE_fig8"))

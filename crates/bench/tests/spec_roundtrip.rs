@@ -1,0 +1,83 @@
+//! Serialisable-spec invariants over the whole figure catalogue:
+//!
+//! 1. **Round trip** — for every figure, `from_toml(to_toml(spec)) ==
+//!    spec` (study stages resolve by name; spec equality is data
+//!    equality).
+//! 2. **Anti-drift** — every checked-in `experiments/*.toml` is
+//!    byte-identical to what `np-bench specs` would regenerate from
+//!    `np_bench::FIGURES`, so a spec file cannot silently disagree
+//!    with the builder that defines its figure. (CI additionally runs
+//!    `np-bench specs --check`.)
+
+use np_bench::spec_files::{all_spec_files, spec_file_content, spec_file_name};
+use np_bench::{study_stage, FIGURES};
+use np_core::experiment::ExperimentSpec;
+use np_util::rng::DEFAULT_SEED;
+use std::path::PathBuf;
+
+fn experiments_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../experiments")
+}
+
+#[test]
+fn every_figure_spec_round_trips_through_toml() {
+    for f in FIGURES {
+        for seed in [DEFAULT_SEED, 1, 0xDEAD_BEEF] {
+            let spec = (f.build)(seed);
+            let text = spec.to_toml();
+            let back = ExperimentSpec::from_toml_with(&text, study_stage)
+                .unwrap_or_else(|e| panic!("{} (seed {seed:#x}): {e}\n---\n{text}", f.spec));
+            assert_eq!(back, spec, "{} (seed {seed:#x}) diverged", f.spec);
+            // Serialisation is a fixed point: emit(parse(emit(x))) == emit(x).
+            assert_eq!(back.to_toml(), text, "{}: emission not stable", f.spec);
+        }
+    }
+}
+
+#[test]
+fn checked_in_spec_files_match_the_catalogue() {
+    let dir = experiments_dir();
+    for f in FIGURES {
+        let path = dir.join(spec_file_name(f.spec));
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} is not checked in: {e}", path.display()));
+        assert_eq!(
+            on_disk,
+            spec_file_content(f),
+            "{} drifted from np_bench::FIGURES — regenerate with `np-bench specs`",
+            path.display()
+        );
+    }
+    // The manifest (the all_figures equivalent) too — 14 files total.
+    let files = all_spec_files();
+    assert_eq!(files.len(), 14);
+    let (manifest_name, manifest) = files.last().expect("manifest");
+    let on_disk = std::fs::read_to_string(dir.join(manifest_name)).expect("manifest checked in");
+    assert_eq!(&on_disk, manifest);
+}
+
+#[test]
+fn checked_in_specs_load_resolve_and_validate() {
+    let dir = experiments_dir();
+    let registry = np_bench::full_registry();
+    for f in FIGURES {
+        let text = std::fs::read_to_string(dir.join(spec_file_name(f.spec))).expect("exists");
+        let spec = ExperimentSpec::from_toml_with(&text, study_stage)
+            .unwrap_or_else(|e| panic!("{}: {e}", f.spec));
+        // Every algorithm name a checked-in spec references must
+        // resolve in the registry `np-bench run` uses.
+        if let np_core::experiment::Workload::QueryMatrix(cells) = &spec.workload {
+            for cell in cells {
+                for algo in &cell.algos {
+                    registry
+                        .lookup(&algo.name)
+                        .unwrap_or_else(|e| panic!("{}: {e}", f.spec));
+                }
+            }
+        }
+        // Both budget resolutions stay valid.
+        assert!(spec.resolve_quick(true).validate().is_ok(), "{}", f.spec);
+        let spec = ExperimentSpec::from_toml_with(&text, study_stage).expect("reload");
+        assert!(spec.resolve_quick(false).validate().is_ok(), "{}", f.spec);
+    }
+}

@@ -55,6 +55,8 @@
 //!         n_targets: 8,
 //!         base_seed: 42,
 //!         queries: 40,
+//!         quick_queries: None,
+//!         in_quick: true,
 //!         algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("random")],
 //!     }],
 //! );
@@ -69,12 +71,16 @@ pub mod report;
 pub mod run;
 pub mod sink;
 pub mod spec;
+pub mod spec_toml;
 
 pub use registry::{
     AlgoContext, AlgoFactory, AlgoRegistry, BruteForceFactory, BuildCache, RandomChoiceFactory,
+    UnknownAlgo,
 };
 pub use report::{AlgoReport, CellReport, ExperimentReport, ReportBody};
 pub use run::{Experiment, ScenarioHandle};
 pub use spec::{
-    AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan, StudyCtx, StudyOutput, Workload,
+    AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan, StudyCtx, StudyOutput, StudyStage,
+    Workload,
 };
+pub use spec_toml::SpecError;

@@ -47,12 +47,18 @@ impl BuildCache {
     /// Fetch the artifact under `key`, building it with `f` on the
     /// first request. Panics if `key` was previously used with a
     /// different type.
+    ///
+    /// A panicking factory elsewhere in the cell poisons this mutex;
+    /// the lock recovers the inner value instead of propagating, so
+    /// one failed build does not cascade into "build cache" panics
+    /// across the remaining seeds and algorithms (any artifact already
+    /// cached is complete — insertion happens after construction).
     pub fn get_or_build<T: Send + Sync + 'static>(
         &self,
         key: &str,
         f: impl FnOnce() -> T,
     ) -> Arc<T> {
-        let mut slots = self.slots.lock().expect("build cache");
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(existing) = slots.get(key) {
             return existing
                 .clone()
@@ -125,15 +131,35 @@ impl AlgoRegistry {
         self.factories.get(name).map(|f| f.as_ref())
     }
 
-    /// Look up a factory, panicking with the available names on a miss
-    /// (specs are static data; a bad name is a programming error).
-    pub fn expect(&self, name: &str) -> &dyn AlgoFactory {
-        self.get(name).unwrap_or_else(|| {
-            panic!(
-                "no algorithm {name:?} in the registry; registered: {:?}",
-                self.names()
-            )
+    /// Look up a factory, with a diagnostic-quality error on a miss:
+    /// the full catalogue plus (when something registered is close) a
+    /// nearest-name hint. CLI layers print this and exit 2; there is no
+    /// reason for an unknown *user-supplied* name to reach a panic.
+    pub fn lookup(&self, name: &str) -> Result<&dyn AlgoFactory, UnknownAlgo> {
+        self.get(name).ok_or_else(|| UnknownAlgo {
+            name: name.to_string(),
+            hint: self.nearest_name(name),
+            registered: self.names().iter().map(|s| s.to_string()).collect(),
         })
+    }
+
+    /// Look up a factory, panicking with the available names on a miss.
+    /// For registry-internal/static names only — anything that can
+    /// carry a user-typed name goes through [`AlgoRegistry::lookup`].
+    pub fn expect(&self, name: &str) -> &dyn AlgoFactory {
+        self.lookup(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The registered name closest to `name` by edit distance, when
+    /// close enough to plausibly be a typo.
+    fn nearest_name(&self, name: &str) -> Option<String> {
+        let budget = (name.chars().count() / 3).max(2);
+        self.factories
+            .keys()
+            .map(|k| (edit_distance(name, k), k))
+            .filter(|&(d, _)| d <= budget)
+            .min_by_key(|&(d, k)| (d, k.clone()))
+            .map(|(_, k)| k.clone())
     }
 
     /// Registered names, sorted.
@@ -158,6 +184,46 @@ impl AlgoRegistry {
     pub fn is_empty(&self) -> bool {
         self.factories.is_empty()
     }
+}
+
+/// An algorithm name no factory is registered under: the name, the
+/// catalogue, and — when plausible — the typo the caller meant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgo {
+    pub name: String,
+    /// Closest registered name by edit distance, if close enough.
+    pub hint: Option<String>,
+    /// Every registered name, sorted.
+    pub registered: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no algorithm {:?} in the registry", self.name)?;
+        if let Some(hint) = &self.hint {
+            write!(f, " (did you mean {hint:?}?)")?;
+        }
+        write!(f, "; registered: {:?}", self.registered)
+    }
+}
+
+impl std::error::Error for UnknownAlgo {}
+
+/// Levenshtein distance (for the unknown-algorithm nearest-name hint).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// Factory for the probe-everything reference algorithm.
@@ -237,6 +303,52 @@ mod tests {
     #[should_panic(expected = "no algorithm \"nope\"")]
     fn expect_names_the_missing_algo() {
         AlgoRegistry::new().expect("nope");
+    }
+
+    #[test]
+    fn lookup_reports_catalogue_and_typo_hint() {
+        let mut reg = AlgoRegistry::new();
+        reg.register(Box::new(BruteForceFactory));
+        reg.register(Box::new(RandomChoiceFactory));
+        assert!(reg.lookup("random").is_ok());
+        let Err(err) = reg.lookup("randmo") else {
+            panic!("lookup of a typo must fail")
+        };
+        assert_eq!(err.name, "randmo");
+        assert_eq!(err.hint.as_deref(), Some("random"));
+        assert_eq!(err.registered, vec!["brute-force", "random"]);
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean \"random\"?"), "{msg}");
+        assert!(msg.contains("brute-force"), "{msg}");
+        // Nothing close: no hint, catalogue still listed.
+        let Err(err) = reg.lookup("meridian") else {
+            panic!("lookup of an unregistered name must fail")
+        };
+        assert_eq!(err.hint, None);
+        assert!(err.to_string().contains("registered"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_smoke() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("meridian", "meridian"), 0);
+        assert_eq!(edit_distance("meridain", "meridian"), 2);
+        assert_eq!(edit_distance("tiers", "tapestry"), 5);
+    }
+
+    #[test]
+    fn build_cache_recovers_from_poison() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let cache = BuildCache::new();
+        cache.get_or_build("good", || 1u32);
+        // A factory that panics *while holding the cache lock* poisons
+        // the mutex; later callers must still be served.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_build::<u32>("bad", || panic!("factory exploded"));
+        }));
+        assert!(result.is_err(), "panic propagates to the failing cell");
+        assert_eq!(*cache.get_or_build("good", || 99u32), 1, "cache state survives");
+        assert_eq!(*cache.get_or_build("fresh", || 7u32), 7, "new builds still work");
     }
 
     #[test]

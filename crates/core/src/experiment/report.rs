@@ -44,6 +44,8 @@ pub struct CellReport {
     pub label: String,
     /// Peers in the generated world.
     pub peers: usize,
+    /// Clusters (= shards on the sharded backend) in the cell's world.
+    pub clusters: usize,
     /// Approximate heap bytes of the latency backend (per scenario;
     /// the sharded backend's raison d'être).
     pub store_bytes: usize,
@@ -53,6 +55,25 @@ pub struct CellReport {
     pub build_wall: Duration,
     /// One row per algorithm, in spec order.
     pub rows: Vec<AlgoReport>,
+    /// A cell that panicked mid-run (a factory or query batch aborted):
+    /// the panic message. Its `rows` are empty; sinks and renderers
+    /// mark the cell as failed instead of dropping the whole report.
+    pub error: Option<String>,
+}
+
+impl CellReport {
+    /// The marker for a cell whose run panicked: no rows, the message.
+    pub fn failed(label: impl Into<String>, error: impl Into<String>) -> CellReport {
+        CellReport {
+            label: label.into(),
+            peers: 0,
+            clusters: 0,
+            store_bytes: 0,
+            build_wall: Duration::ZERO,
+            rows: Vec::new(),
+            error: Some(error.into()),
+        }
+    }
 }
 
 /// The body of a report: the matrix results or a study's output.

@@ -103,6 +103,24 @@ impl ScenarioHandle {
 /// Per-run scenario memoisation (see module docs).
 type ScenarioCache = Mutex<HashMap<String, Arc<ScenarioHandle>>>;
 
+/// Extract the human message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lock a scenario-cache mutex, recovering from poisoning: a panicking
+/// cell unwinds through its guard, but complete entries are inserted
+/// only after construction, so the inner map is always consistent.
+fn lock_cache(cache: &ScenarioCache) -> std::sync::MutexGuard<'_, HashMap<String, Arc<ScenarioHandle>>> {
+    cache.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 fn cache_key(cell: &CellSpec, backend: Backend, seed: u64) -> String {
     format!(
         "{:?}|targets={}|seed={seed}|{}",
@@ -152,7 +170,19 @@ impl<'r> Experiment<'r> {
                 let reports = cells
                     .iter()
                     .map(|cell| {
-                        let report = self.run_cell(cell, threads, &cache);
+                        // A cell whose run panics (a factory abort, a
+                        // degenerate build) becomes a marked failure in
+                        // the report instead of killing the remaining
+                        // cells; the caches recover their poisoned
+                        // locks, so completed artifacts stay usable.
+                        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || self.run_cell(cell, threads, &cache),
+                        ))
+                        .unwrap_or_else(|payload| {
+                            let msg = panic_message(payload.as_ref());
+                            eprintln!("cell {} FAILED: {msg}", cell.label);
+                            CellReport::failed(cell.label.clone(), msg)
+                        });
                         // Per-cell progress for long sweeps; single-cell
                         // specs (and microbench loops) stay quiet.
                         if cells.len() > 1 {
@@ -200,7 +230,7 @@ impl<'r> Experiment<'r> {
         // tolerates the oversubscription, determinism is unaffected).
         let runs: Vec<SeedRun> = par_map(threads.min(seeds.len()), &seeds, |_, &seed| {
             let key = cache_key(cell, backend, seed);
-            let cached = cache.lock().expect("scenario cache").get(&key).cloned();
+            let cached = lock_cache(cache).get(&key).cloned();
             let (scenario, build_wall) = match cached {
                 Some(s) => (s, Duration::ZERO),
                 None => {
@@ -209,7 +239,7 @@ impl<'r> Experiment<'r> {
                     let wall = t.elapsed();
                     // First build wins on a race; losers' work is
                     // discarded (identical contents either way).
-                    let mut map = cache.lock().expect("scenario cache");
+                    let mut map = lock_cache(cache);
                     let entry = map.entry(key).or_insert_with(|| built).clone();
                     (entry, wall)
                 }
@@ -269,9 +299,11 @@ impl<'r> Experiment<'r> {
         CellReport {
             label: cell.label.clone(),
             peers: first.scenario.world().len(),
+            clusters: first.scenario.world().spec().clusters,
             store_bytes: first.scenario.store_bytes(),
             build_wall: runs.iter().map(|r| r.build_wall).sum(),
             rows,
+            error: None,
         }
     }
 }
@@ -279,7 +311,7 @@ impl<'r> Experiment<'r> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::registry::{BruteForceFactory, RandomChoiceFactory};
+    use crate::experiment::registry::{AlgoFactory, BruteForceFactory, RandomChoiceFactory};
     use crate::experiment::spec::{AlgoSpec, SeedPlan};
     use crate::runner::sweep_three_runs_threads;
     use np_metric::nearest::RandomChoice;
@@ -318,6 +350,8 @@ mod tests {
                 n_targets: 8,
                 base_seed: 11,
                 queries: 60,
+                quick_queries: None,
+                in_quick: true,
                 algos: vec![
                     AlgoSpec::new("brute-force").with_queries(20),
                     AlgoSpec::new("random"),
@@ -417,6 +451,61 @@ mod tests {
         {
             assert_eq!(ra.runs, rb.runs);
         }
+    }
+
+    #[test]
+    fn panicking_factory_marks_its_cell_and_spares_the_rest() {
+        // One cell's factory aborts; the other cells must still run and
+        // the report must carry a marked failure, not lose everything.
+        struct Exploding;
+        impl AlgoFactory for Exploding {
+            fn name(&self) -> &str {
+                "exploding"
+            }
+            fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
+                // Poison the shared build cache on the way out, the way
+                // a real factory panic inside get_or_build would.
+                ctx.shared.get_or_build::<u32>("boom", || panic!("factory exploded"))
+                    .as_ref();
+                unreachable!()
+            }
+        }
+        let mut reg = registry();
+        reg.register(Box::new(Exploding));
+        let mut s = spec(SeedPlan::Single, Backend::Dense);
+        if let Workload::QueryMatrix(cells) = &mut s.workload {
+            let mut bad = cells[0].clone();
+            bad.label = "bad-cell".into();
+            bad.algos = vec![AlgoSpec::new("exploding")];
+            cells.insert(0, bad);
+        }
+        let report = Experiment::new(s, &reg).run_threads(2);
+        let cells = report.query_cells().expect("query spec");
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].label, "bad-cell");
+        assert!(cells[0].rows.is_empty());
+        let err = cells[0].error.as_deref().expect("failure is marked");
+        assert!(err.contains("factory exploded"), "{err}");
+        // The healthy cell ran to completion after the poisoned locks.
+        assert!(cells[1].error.is_none());
+        assert_eq!(cells[1].rows.len(), 2);
+        assert_eq!(cells[1].rows[0].single().p_correct_closest, 1.0);
+
+        // The same failure on a multi-seed sweep, where the panic
+        // unwinds out of a par_map *worker thread*: the original
+        // message must survive the join (par_map re-raises the worker
+        // payload instead of replacing it).
+        let mut s = spec(SeedPlan::THREE_RUNS, Backend::Dense);
+        if let Workload::QueryMatrix(cells) = &mut s.workload {
+            cells[0].algos = vec![AlgoSpec::new("exploding")];
+        }
+        let report = Experiment::new(s, &reg).run_threads(2);
+        let cells = report.query_cells().expect("query spec");
+        let err = cells[0].error.as_deref().expect("failure is marked");
+        assert!(
+            err.contains("factory exploded"),
+            "threaded sweep lost the panic message: {err}"
+        );
     }
 
     #[test]

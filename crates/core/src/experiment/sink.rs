@@ -71,6 +71,14 @@ pub fn render_json_lines(report: &ExperimentReport) -> String {
     match &report.body {
         ReportBody::Query(cells) => {
             for cell in cells {
+                if let Some(error) = &cell.error {
+                    out.push_str(&format!(
+                        "{{{head},\"cell\":\"{}\",\"error\":\"{}\"}}\n",
+                        json_escape(&cell.label),
+                        json_escape(error)
+                    ));
+                    continue;
+                }
                 for row in &cell.rows {
                     let mut line = String::from("{");
                     let _ = write!(
@@ -150,6 +158,17 @@ pub fn render_table(report: &ExperimentReport) -> String {
                 "mean hops",
             ]);
             for cell in cells {
+                if let Some(error) = &cell.error {
+                    t.row(&[
+                        cell.label.clone(),
+                        format!("FAILED: {error}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                    continue;
+                }
                 for row in &cell.rows {
                     let fmt_band = |b: RunBand| {
                         if report.runs_per_cell == 1 {
@@ -220,8 +239,10 @@ mod tests {
             body: ReportBody::Query(vec![CellReport {
                 label: "x=25".into(),
                 peers: 2_500,
+                clusters: 25,
                 store_bytes: 25_000_000,
                 build_wall: Duration::from_secs(1),
+                error: None,
                 rows: vec![AlgoReport {
                     algo: "meridian".into(),
                     label: "meridian".into(),
@@ -279,6 +300,23 @@ mod tests {
         assert!(json.contains("\"table\":\"latencies\""));
         assert!(json.contains("\"v\":1.5"));
         assert!(json.contains("\"v\":\"not-a-number\""));
+    }
+
+    #[test]
+    fn failed_cells_are_marked_not_dropped() {
+        let mut report = query_report();
+        if let ReportBody::Query(cells) = &mut report.body {
+            cells.push(CellReport::failed("x=250", "factory exploded"));
+        }
+        let table = render_table(&report);
+        assert!(table.contains("FAILED: factory exploded"), "{table}");
+        assert!(table.contains("x=25"), "healthy cells still render");
+        let json = render_json_lines(&report);
+        assert_eq!(json.lines().count(), 2);
+        assert!(
+            json.contains("\"cell\":\"x=250\",\"error\":\"factory exploded\""),
+            "{json}"
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl SeedPlan {
 
 /// One algorithm to run in a cell: a registry name plus presentation
 /// overrides.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgoSpec {
     /// Key into the [`crate::experiment::AlgoRegistry`].
     pub name: String,
@@ -88,6 +88,10 @@ pub struct AlgoSpec {
     /// Per-algorithm query-count override (e.g. brute force at a fifth
     /// of the budget — every probe pattern is the full overlay).
     pub queries: Option<usize>,
+    /// The `queries` override to use instead under `--quick`
+    /// ([`ExperimentSpec::resolve_quick`] applies it). Inert at paper
+    /// scale; exists so one serialised spec carries both budgets.
+    pub quick_queries: Option<usize>,
 }
 
 impl AlgoSpec {
@@ -96,6 +100,7 @@ impl AlgoSpec {
             name: name.into(),
             label: None,
             queries: None,
+            quick_queries: None,
         }
     }
 
@@ -104,11 +109,18 @@ impl AlgoSpec {
             name: name.into(),
             label: Some(label.into()),
             queries: None,
+            quick_queries: None,
         }
     }
 
     pub fn with_queries(mut self, queries: usize) -> AlgoSpec {
         self.queries = Some(queries);
+        self
+    }
+
+    /// Attach the `--quick` query override (paper/quick budget pair).
+    pub fn with_quick_queries(mut self, queries: usize) -> AlgoSpec {
+        self.quick_queries = Some(queries);
         self
     }
 
@@ -120,7 +132,7 @@ impl AlgoSpec {
 
 /// One cell of the experiment matrix: a world configuration, the
 /// algorithms to run over it, and its query/seed budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellSpec {
     /// Progress/report label ("x=25", "delta=0.4", "10000 peers").
     pub label: String,
@@ -133,6 +145,12 @@ pub struct CellSpec {
     pub base_seed: u64,
     /// Queries per run (unless an [`AlgoSpec`] overrides).
     pub queries: usize,
+    /// Query budget to use instead under `--quick`
+    /// ([`ExperimentSpec::resolve_quick`] applies it).
+    pub quick_queries: Option<usize>,
+    /// Whether this cell participates in `--quick` runs (the scale and
+    /// baseline sweeps drop their expensive cells there).
+    pub in_quick: bool,
     /// Algorithms to run, in report order.
     pub algos: Vec<AlgoSpec>,
 }
@@ -153,8 +171,22 @@ impl CellSpec {
             n_targets: 100,
             base_seed,
             queries,
+            quick_queries: None,
+            in_quick: true,
             algos,
         }
+    }
+
+    /// Attach the `--quick` query budget (paper/quick budget pair).
+    pub fn with_quick_queries(mut self, queries: usize) -> CellSpec {
+        self.quick_queries = Some(queries);
+        self
+    }
+
+    /// Exclude this cell from `--quick` runs.
+    pub fn paper_scale_only(mut self) -> CellSpec {
+        self.in_quick = false;
+        self
     }
 }
 
@@ -183,6 +215,10 @@ pub struct StudyOutput {
     pub tables: Vec<(String, np_util::table::Table)>,
 }
 
+/// A boxed measurement-stack stage — what [`Workload::Study`] holds
+/// and what a study resolver hands `ExperimentSpec::from_toml_with`.
+pub type StudyStage = Box<dyn Fn(&StudyCtx) -> StudyOutput + Sync>;
+
 /// The work a spec describes.
 pub enum Workload {
     /// The declarative matrix: cells × algorithms × seeds through the
@@ -191,10 +227,33 @@ pub enum Workload {
     /// A measurement-stack study (Figures 3–7, 10, 11, UCL discovery):
     /// an opaque stage the pipeline times, renders and sinks like any
     /// other experiment.
-    Study(Box<dyn Fn(&StudyCtx) -> StudyOutput + Sync>),
+    Study(StudyStage),
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Workload::QueryMatrix(cells) => f.debug_tuple("QueryMatrix").field(cells).finish(),
+            Workload::Study(_) => f.write_str("Study(<stage>)"),
+        }
+    }
+}
+
+/// Spec equality is *data* equality: two study workloads compare equal
+/// regardless of their stage closures (stages are resolved by spec
+/// name, not serialised — see `ExperimentSpec::from_toml_with`).
+impl PartialEq for Workload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Workload::QueryMatrix(a), Workload::QueryMatrix(b)) => a == b,
+            (Workload::Study(_), Workload::Study(_)) => true,
+            _ => false,
+        }
+    }
 }
 
 /// The complete declarative experiment.
+#[derive(Debug, PartialEq)]
 pub struct ExperimentSpec {
     /// Registry/spec name ("fig8", "ext_scale", ...).
     pub name: String,
@@ -270,6 +329,37 @@ impl ExperimentSpec {
             Workload::QueryMatrix(cells) => cells.len(),
             Workload::Study(_) => 1,
         }
+    }
+
+    /// Resolve the spec's dual query budgets for one mode: under
+    /// `quick`, cells not [`CellSpec::in_quick`] are dropped and every
+    /// `quick_queries` replaces its `queries`; in both modes the quick
+    /// fields are cleared, so the result is a plain single-budget spec
+    /// (the pipeline never reads the quick fields). `self.quick` is set
+    /// for [`Workload::Study`] stages either way.
+    pub fn resolve_quick(mut self, quick: bool) -> ExperimentSpec {
+        self.quick = quick;
+        if let Workload::QueryMatrix(cells) = &mut self.workload {
+            if quick {
+                cells.retain(|c| c.in_quick);
+            }
+            for cell in cells.iter_mut() {
+                if let Some(q) = cell.quick_queries.take() {
+                    if quick {
+                        cell.queries = q;
+                    }
+                }
+                cell.in_quick = true;
+                for algo in &mut cell.algos {
+                    if let Some(q) = algo.quick_queries.take() {
+                        if quick {
+                            algo.queries = Some(q);
+                        }
+                    }
+                }
+            }
+        }
+        self
     }
 }
 

@@ -24,7 +24,7 @@ use np_util::rng::rng_for;
 use np_util::Micros;
 
 /// Parameters of the §4 world.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterWorldSpec {
     /// Number of clusters (PoPs).
     pub clusters: usize,

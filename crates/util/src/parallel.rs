@@ -201,8 +201,17 @@ where
                 })
                 .collect();
             for handle in handles {
-                for (i, r) in handle.join().expect("parallel worker panicked") {
-                    slots[i] = Some(r);
+                // Re-raise a worker panic with its original payload
+                // (not a synthetic "worker panicked" string), so
+                // callers that catch_unwind around a parallel region
+                // still see the real message.
+                match handle.join() {
+                    Ok(rows) => {
+                        for (i, r) in rows {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });

@@ -393,6 +393,8 @@ fn experiment_pipeline_identical_at_any_thread_count() {
                 n_targets: 16,
                 base_seed: 909,
                 queries: 80,
+                quick_queries: None,
+                in_quick: true,
                 algos: vec![
                     AlgoSpec::new("random"),
                     AlgoSpec::new("brute-force").with_queries(20),
