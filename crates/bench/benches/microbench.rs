@@ -396,6 +396,7 @@ fn bench_experiment_pipeline(c: &mut Criterion) {
                     queries: 100,
                     quick_queries: None,
                     in_quick: true,
+                    churn: None,
                     algos: vec![AlgoSpec::new("meridian")],
                 }],
             );

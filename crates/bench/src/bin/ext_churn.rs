@@ -1,0 +1,50 @@
+//! **Ext E** (beyond the paper): accuracy and repair cost under
+//! event-clocked churn — seeded join/leave/drift schedules, probe loss
+//! with deterministic retry, and Meridian's incremental ring repair,
+//! swept over membership-event rate on the paper's 500-peer world.
+//!
+//! Spec + renderer live in `np_bench::specs::ext_churn` (shared with
+//! `np-bench run experiments/ext_churn.toml`).
+
+use np_bench::specs::{self, ext_churn};
+use np_bench::{cli, standard_registry, Args};
+
+fn main() {
+    let args = Args::parse();
+    let figure = np_bench::figure("ext_churn").expect("ext_churn is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &standard_registry(),
+        specs::spec_for_args(figure, &args),
+        ext_churn::render,
+    );
+    cli::exit_on_failed_cells(&report);
+    // Self-checks on the main path (they also guard --out json runs):
+    // the dynamic pipeline must keep the brute-force reference exact —
+    // its NearestCache is incrementally evicted/admitted across churn
+    // epochs, and a stale truth table would silently corrupt every
+    // accuracy column — and each churn cell must report its repair
+    // accounting.
+    for cell in report.query_cells().expect("ext_churn is a query spec") {
+        let bf = cell
+            .rows
+            .iter()
+            .find(|r| r.algo == "brute-force")
+            .expect("brute-force row present");
+        for m in &bf.runs {
+            assert_eq!(
+                m.p_correct_closest, 1.0,
+                "brute force must stay exact under churn ({})",
+                cell.label
+            );
+        }
+        for row in &cell.rows {
+            let stats = row.churn.expect("churn cells carry ChurnStats");
+            assert!(
+                stats.epochs >= row.runs.len() as u64,
+                "at least the initial epoch per run ({})",
+                cell.label
+            );
+        }
+    }
+}

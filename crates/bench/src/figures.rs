@@ -205,6 +205,17 @@ pub const FIGURES: &[FigureInfo] = &[
         study: None,
         clamp: Some(specs::ext_scale::drop_oversized_dense_cells),
     },
+    FigureInfo {
+        bin: "ext_churn",
+        spec: "ext_churn",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "accuracy and repair cost under event-clocked churn (Ext E)",
+        build: specs::ext_churn::build,
+        render: Some(specs::ext_churn::render),
+        study: None,
+        clamp: None,
+    },
 ];
 
 /// The catalogue entry whose spec name is `name`.
@@ -226,7 +237,7 @@ mod tests {
 
     #[test]
     fn catalogue_is_complete_and_unique() {
-        assert_eq!(FIGURES.len(), 13, "13 figure binaries + all_figures = 14");
+        assert_eq!(FIGURES.len(), 14, "14 figure binaries + all_figures = 15");
         let mut bins: Vec<&str> = FIGURES.iter().map(|f| f.bin).collect();
         bins.sort_unstable();
         bins.dedup();

@@ -63,6 +63,7 @@ pub fn build_with(seed: u64, shards: Option<usize>) -> ExperimentSpec {
                 queries: 1_000,
                 quick_queries: Some(250),
                 in_quick: QUICK_SIZES.contains(&requested),
+                churn: None,
                 algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
             };
             cell

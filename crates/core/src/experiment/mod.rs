@@ -57,6 +57,7 @@
 //!         queries: 40,
 //!         quick_queries: None,
 //!         in_quick: true,
+//!         churn: None,
 //!         algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("random")],
 //!     }],
 //! );

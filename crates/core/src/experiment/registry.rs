@@ -103,6 +103,21 @@ pub trait AlgoFactory: Sync {
     /// Instantiate over a scenario. The returned algorithm may borrow
     /// the context's store/world/overlay.
     fn build<'a>(&self, ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a>;
+
+    /// Optional churn-aware wrapper for dynamic (event-clocked) runs.
+    ///
+    /// The default `None` gives the factory the universal
+    /// rebuild-each-epoch behaviour (see [`crate::churn::dynamic_algo`],
+    /// which callers go through instead of calling this directly).
+    /// Factories with cheaper-than-rebuild maintenance override it —
+    /// Meridian returns its incremental ring-repair wrapper. The same
+    /// determinism contract as [`AlgoFactory::build`] applies.
+    fn dynamic_override<'a>(
+        &'a self,
+        _ctx: &AlgoContext<'a>,
+    ) -> Option<Box<dyn crate::churn::DynamicAlgo<'a> + 'a>> {
+        None
+    }
 }
 
 /// A name → factory map with deterministic iteration order.

@@ -6,6 +6,7 @@
 //! footers and BENCH artifacts quote. Reports are plain data — sinks
 //! (`sink` module) and the figure binaries' renderers consume them.
 
+use crate::churn::ChurnStats;
 use crate::runner::{PaperMetrics, RunBandMetrics};
 use crate::experiment::spec::{Backend, StudyOutput};
 use std::time::Duration;
@@ -28,6 +29,9 @@ pub struct AlgoReport {
     pub wall: Duration,
     /// Total probes to targets across all runs (the paper's cost axis).
     pub total_probes: u64,
+    /// Dynamic-world accounting, summed over the seed plan's runs:
+    /// `Some` iff the cell ran under churn ([`crate::experiment::CellSpec::churn`]).
+    pub churn: Option<ChurnStats>,
 }
 
 impl AlgoReport {

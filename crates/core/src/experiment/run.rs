@@ -19,7 +19,8 @@
 //! context seed, and all reductions run in spec/seed order
 //! (`tests/parallel_determinism.rs` covers the pipeline end to end).
 
-use crate::experiment::registry::{AlgoContext, AlgoRegistry, BuildCache};
+use crate::churn::{dynamic_algo, run_dynamic_threads, ChurnConfig, ChurnSchedule, ChurnStats};
+use crate::experiment::registry::{AlgoContext, AlgoFactory, AlgoRegistry, BuildCache};
 use crate::experiment::report::{AlgoReport, CellReport, ExperimentReport, ReportBody};
 use crate::experiment::spec::{Backend, CellSpec, ExperimentSpec, StudyCtx, Workload};
 use crate::runner::{run_queries_threads, PaperMetrics, RunBandMetrics};
@@ -98,6 +99,46 @@ impl ScenarioHandle {
             ScenarioHandle::Sharded(s) => run_queries_threads(algo, s, n_queries, seed, threads),
         }
     }
+
+    /// Drive one algorithm's dynamic run through the backend-generic
+    /// churn runner (schedule and per-epoch caches prepared by the
+    /// caller so every row of the cell shares them).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_dynamic<'a>(
+        &'a self,
+        factory: &'a dyn AlgoFactory,
+        ctx: &AlgoContext<'a>,
+        schedule: &'a ChurnSchedule,
+        caches: &'a [BuildCache],
+        cfg: &ChurnConfig,
+        n_queries: usize,
+        seed: u64,
+        threads: usize,
+    ) -> (PaperMetrics, ChurnStats) {
+        let mut algo = dynamic_algo(factory, ctx);
+        match self {
+            ScenarioHandle::Dense(s) => run_dynamic_threads(
+                algo.as_mut(),
+                s,
+                schedule,
+                caches,
+                cfg,
+                n_queries,
+                seed,
+                threads,
+            ),
+            ScenarioHandle::Sharded(s) => run_dynamic_threads(
+                algo.as_mut(),
+                s,
+                schedule,
+                caches,
+                cfg,
+                n_queries,
+                seed,
+                threads,
+            ),
+        }
+    }
 }
 
 /// Per-run scenario memoisation (see module docs).
@@ -135,8 +176,9 @@ struct SeedRun {
     scenario: Arc<ScenarioHandle>,
     /// Zero when the scenario came from the cache.
     build_wall: Duration,
-    /// `(metrics, batch wall)` per algorithm, in spec order.
-    per_algo: Vec<(PaperMetrics, Duration)>,
+    /// `(metrics, batch wall, churn accounting)` per algorithm, in spec
+    /// order; the stats are `Some` iff the cell ran under churn.
+    per_algo: Vec<(PaperMetrics, Duration, Option<ChurnStats>)>,
 }
 
 /// A spec bound to a registry, ready to run.
@@ -253,18 +295,58 @@ impl<'r> Experiment<'r> {
                 threads,
                 shared: &shared,
             };
-            let per_algo = cell
-                .algos
-                .iter()
-                .zip(&factories)
-                .map(|(spec, factory)| {
-                    let algo = factory.build(&ctx);
-                    let n_queries = spec.queries.unwrap_or(cell.queries);
-                    let t = Instant::now();
-                    let metrics = scenario.run_queries(algo.as_ref(), n_queries, seed, threads);
-                    (metrics, t.elapsed())
-                })
-                .collect();
+            let per_algo = match cell.churn {
+                None => cell
+                    .algos
+                    .iter()
+                    .zip(&factories)
+                    .map(|(spec, factory)| {
+                        let algo = factory.build(&ctx);
+                        let n_queries = spec.queries.unwrap_or(cell.queries);
+                        let t = Instant::now();
+                        let metrics =
+                            scenario.run_queries(algo.as_ref(), n_queries, seed, threads);
+                        (metrics, t.elapsed(), None)
+                    })
+                    .collect(),
+                Some(churn) => {
+                    // Event scripts depend only on (config, overlay,
+                    // seed) — the query count just partitions queries
+                    // over epochs — so rows with different query
+                    // budgets share the same epochs and one set of
+                    // per-epoch build caches.
+                    let mut schedules: HashMap<usize, ChurnSchedule> = HashMap::new();
+                    for spec in &cell.algos {
+                        let n = spec.queries.unwrap_or(cell.queries);
+                        schedules.entry(n).or_insert_with(|| {
+                            ChurnSchedule::generate(
+                                &churn,
+                                scenario.overlay(),
+                                scenario.world().len(),
+                                n,
+                                seed,
+                            )
+                        });
+                    }
+                    let n_epochs = schedules.values().next().expect("non-empty").epochs.len();
+                    let caches: Vec<BuildCache> =
+                        (0..n_epochs).map(|_| BuildCache::new()).collect();
+                    cell.algos
+                        .iter()
+                        .zip(&factories)
+                        .map(|(spec, factory)| {
+                            let n_queries = spec.queries.unwrap_or(cell.queries);
+                            let schedule = &schedules[&n_queries];
+                            let t = Instant::now();
+                            let (metrics, stats) = scenario.run_dynamic(
+                                *factory, &ctx, schedule, &caches, &churn, n_queries, seed,
+                                threads,
+                            );
+                            (metrics, t.elapsed(), Some(stats))
+                        })
+                        .collect()
+                }
+            };
             SeedRun {
                 scenario,
                 build_wall,
@@ -284,6 +366,15 @@ impl<'r> Experiment<'r> {
                     .iter()
                     .map(|m| (m.mean_probes * m.queries as f64).round() as u64)
                     .sum();
+                // Churn accounting sums over the seed plan (in seed
+                // order; ChurnStats addition is commutative anyway).
+                let churn = runs.iter().fold(None::<ChurnStats>, |acc, r| {
+                    r.per_algo[ai].2.map(|s| {
+                        let mut total = acc.unwrap_or_default();
+                        total += s;
+                        total
+                    })
+                });
                 AlgoReport {
                     algo: spec.name.clone(),
                     label: spec.display().to_string(),
@@ -292,6 +383,7 @@ impl<'r> Experiment<'r> {
                     runs: per_run,
                     wall,
                     total_probes,
+                    churn,
                 }
             })
             .collect();
@@ -352,6 +444,7 @@ mod tests {
                 queries: 60,
                 quick_queries: None,
                 in_quick: true,
+                churn: None,
                 algos: vec![
                     AlgoSpec::new("brute-force").with_queries(20),
                     AlgoSpec::new("random"),
@@ -506,6 +599,74 @@ mod tests {
             err.contains("factory exploded"),
             "threaded sweep lost the panic message: {err}"
         );
+    }
+
+    #[test]
+    fn single_threaded_runs_also_isolate_cell_panics() {
+        // Cell isolation is not a by-product of the thread pool: the
+        // catch_unwind sits in the per-cell loop, so a worker count of
+        // one still converts a panicking cell into a marked failure and
+        // runs the remaining cells. (Pinned here because the isolation
+        // was once believed to hold only on multi-threaded runs.)
+        struct Exploding;
+        impl AlgoFactory for Exploding {
+            fn name(&self) -> &str {
+                "exploding"
+            }
+            fn build<'a>(&self, _ctx: &AlgoContext<'a>) -> Box<dyn NearestPeerAlgo + 'a> {
+                panic!("factory exploded single-threaded")
+            }
+        }
+        let mut reg = registry();
+        reg.register(Box::new(Exploding));
+        let mut s = spec(SeedPlan::Single, Backend::Dense);
+        if let Workload::QueryMatrix(cells) = &mut s.workload {
+            let mut bad = cells[0].clone();
+            bad.label = "bad-cell".into();
+            bad.algos = vec![AlgoSpec::new("exploding")];
+            cells.insert(0, bad);
+        }
+        let report = Experiment::new(s, &reg).run_threads(1);
+        let cells = report.query_cells().expect("query spec");
+        assert_eq!(cells.len(), 2);
+        let err = cells[0].error.as_deref().expect("failure is marked");
+        assert!(err.contains("factory exploded single-threaded"), "{err}");
+        assert!(cells[1].error.is_none());
+        assert_eq!(cells[1].rows.len(), 2);
+    }
+
+    #[test]
+    fn churn_cells_route_through_the_dynamic_runner() {
+        use crate::churn::ChurnConfig;
+        let reg = registry();
+        let mut s = spec(SeedPlan::THREE_RUNS, Backend::Dense);
+        if let Workload::QueryMatrix(cells) = &mut s.workload {
+            cells[0].churn = Some(ChurnConfig {
+                events_per_min: 20.0,
+                duration_s: 60.0,
+                drift_max_us: 1_000,
+                offline_frac: 0.1,
+                loss: 0.0,
+                retries: 1,
+            });
+        }
+        let report = Experiment::new(s, &reg).run_threads(2);
+        let cell = &report.query_cells().expect("query spec")[0];
+        for row in &cell.rows {
+            let stats = row.churn.expect("dynamic rows carry churn stats");
+            assert_eq!(stats.epochs, stats.events + 3, "three seeds, one initial epoch each");
+            assert!(stats.repair.full_rebuilds >= 3, "every run rebuilds at epoch 0");
+        }
+        // Lossless brute force over the true live set stays perfect
+        // even as members come and go.
+        assert_eq!(cell.rows[0].bands.p_correct_closest.min, 1.0);
+        // Static cells carry no churn accounting.
+        let static_report =
+            Experiment::new(spec(SeedPlan::Single, Backend::Dense), &reg).run_threads(2);
+        assert!(static_report.query_cells().expect("query spec")[0]
+            .rows
+            .iter()
+            .all(|r| r.churn.is_none()));
     }
 
     #[test]

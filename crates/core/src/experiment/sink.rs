@@ -103,6 +103,23 @@ pub fn render_json_lines(report: &ExperimentReport) -> String {
                     band_fields(&mut line, "mean_probes", row.bands.mean_probes);
                     line.push(',');
                     band_fields(&mut line, "mean_hops", row.bands.mean_hops);
+                    if let Some(churn) = &row.churn {
+                        let _ = write!(
+                            line,
+                            ",\"churn_epochs\":{},\"churn_events\":{},\"churn_joins\":{},\
+                             \"churn_leaves\":{},\"churn_drifts\":{},\"full_rebuilds\":{},\
+                             \"rings_replayed\":{},\"ring_inserts\":{},\"fallback_leaves\":{}",
+                            churn.epochs,
+                            churn.events,
+                            churn.joins,
+                            churn.leaves,
+                            churn.drifts,
+                            churn.repair.full_rebuilds,
+                            churn.repair.rings_replayed,
+                            churn.repair.ring_inserts,
+                            churn.repair.fallback_leaves,
+                        );
+                    }
                     let _ = write!(
                         line,
                         ",\"total_probes\":{},\"wall_s\":{},\"store_bytes\":{}}}",
@@ -251,6 +268,7 @@ mod tests {
                     runs,
                     wall: Duration::from_millis(1500),
                     total_probes: 12_000,
+                    churn: None,
                 }],
             }]),
             wall: Duration::from_secs(2),
@@ -268,6 +286,37 @@ mod tests {
         assert!(line.contains("\"p_correct_closest_min\":0.25"));
         assert!(line.contains("\"total_probes\":12000"));
         assert_eq!(out.lines().count(), 1);
+    }
+
+    #[test]
+    fn churn_rows_carry_their_accounting_in_json() {
+        use crate::churn::{ChurnStats, RepairCost};
+        let mut report = query_report();
+        if let ReportBody::Query(cells) = &mut report.body {
+            cells[0].rows[0].churn = Some(ChurnStats {
+                epochs: 12,
+                events: 9,
+                joins: 2,
+                leaves: 4,
+                drifts: 3,
+                repair: RepairCost {
+                    full_rebuilds: 5,
+                    rings_replayed: 17,
+                    ring_inserts: 230,
+                    fallback_leaves: 0,
+                },
+            });
+        }
+        let out = render_json_lines(&report);
+        let line = out.lines().next().expect("one row");
+        assert!(line.contains("\"churn_epochs\":12"), "{line}");
+        assert!(line.contains("\"churn_leaves\":4"), "{line}");
+        assert!(line.contains("\"full_rebuilds\":5"), "{line}");
+        assert!(line.contains("\"rings_replayed\":17"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        // Static rows emit no churn keys at all.
+        let static_out = render_json_lines(&query_report());
+        assert!(!static_out.contains("churn_epochs"), "{static_out}");
     }
 
     #[test]

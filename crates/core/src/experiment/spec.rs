@@ -14,6 +14,7 @@
 //! so every binary — figure or extension — still runs through the one
 //! `ExperimentSpec → Experiment::run` pipeline.
 
+use crate::churn::ChurnConfig;
 use np_topology::ClusterWorldSpec;
 use np_util::rng::sub_seed;
 
@@ -151,6 +152,11 @@ pub struct CellSpec {
     /// Whether this cell participates in `--quick` runs (the scale and
     /// baseline sweeps drop their expensive cells there).
     pub in_quick: bool,
+    /// Dynamic-world knobs: `Some` routes the cell through the
+    /// event-clocked churn runner ([`crate::churn::run_dynamic_threads`])
+    /// instead of the static one; `None` (the default everywhere) keeps
+    /// the cell static.
+    pub churn: Option<ChurnConfig>,
     /// Algorithms to run, in report order.
     pub algos: Vec<AlgoSpec>,
 }
@@ -173,6 +179,7 @@ impl CellSpec {
             queries,
             quick_queries: None,
             in_quick: true,
+            churn: None,
             algos,
         }
     }
@@ -180,6 +187,12 @@ impl CellSpec {
     /// Attach the `--quick` query budget (paper/quick budget pair).
     pub fn with_quick_queries(mut self, queries: usize) -> CellSpec {
         self.quick_queries = Some(queries);
+        self
+    }
+
+    /// Run this cell as a dynamic world under `churn`.
+    pub fn with_churn(mut self, churn: ChurnConfig) -> CellSpec {
+        self.churn = Some(churn);
         self
     }
 

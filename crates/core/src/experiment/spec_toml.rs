@@ -34,6 +34,15 @@
 //! name = "meridian"
 //! # label = "display override"
 //! # queries = 1000 / quick_queries = 200   (per-algorithm budgets)
+//!
+//! # optional: run the cell as a dynamic world (ext_churn does)
+//! [cell.churn]
+//! events_per_min = 6.0
+//! duration_s = 60.0
+//! drift_max_us = 2000
+//! offline_frac = 0.05
+//! loss = 0.05
+//! retries = 3
 //! ```
 //!
 //! A `workload = "study"` spec has no cells; its measurement stage is
@@ -44,6 +53,7 @@
 //! world (zero clusters, targets ≥ peers, …) is a typed [`SpecError`]
 //! naming the offending key/line — never a panic downstream.
 
+use crate::churn::ChurnConfig;
 use crate::experiment::spec::{
     AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan, StudyStage, Workload,
 };
@@ -267,6 +277,17 @@ fn algo_table(a: &AlgoSpec) -> toml::Table {
     t
 }
 
+fn churn_table(c: &ChurnConfig) -> toml::Table {
+    let mut t = toml::Table::new();
+    t.insert("events_per_min", toml::Value::Float(c.events_per_min));
+    t.insert("duration_s", toml::Value::Float(c.duration_s));
+    t.insert("drift_max_us", toml::Value::Int(c.drift_max_us as i64));
+    t.insert("offline_frac", toml::Value::Float(c.offline_frac));
+    t.insert("loss", toml::Value::Float(c.loss));
+    t.insert("retries", toml::Value::Int(i64::from(c.retries)));
+    t
+}
+
 fn cell_table(c: &CellSpec) -> toml::Table {
     let mut t = toml::Table::new();
     t.insert("label", toml::Value::Str(c.label.clone()));
@@ -278,6 +299,9 @@ fn cell_table(c: &CellSpec) -> toml::Table {
     }
     if !c.in_quick {
         t.insert("quick", toml::Value::Bool(false));
+    }
+    if let Some(churn) = &c.churn {
+        t.insert("churn", toml::Value::Table(churn_table(churn)));
     }
     t.insert("world", toml::Value::Table(world_table(&c.world)));
     t.insert(
@@ -293,7 +317,10 @@ const EXPERIMENT_KEYS: &[&str] = &[
     "name", "title", "paper_shape", "backend", "seeds", "base_seed", "workload", "flags",
 ];
 const CELL_KEYS: &[&str] = &[
-    "label", "base_seed", "targets", "queries", "quick_queries", "quick", "world", "algo",
+    "label", "base_seed", "targets", "queries", "quick_queries", "quick", "churn", "world", "algo",
+];
+const CHURN_KEYS: &[&str] = &[
+    "events_per_min", "duration_s", "drift_max_us", "offline_frac", "loss", "retries",
 ];
 const WORLD_KEYS: &[&str] = &[
     "clusters", "en_per_cluster", "peers_per_en", "delta", "mean_hub_ms", "intra_en_us", "hub_pool",
@@ -518,6 +545,35 @@ impl ExperimentSpec {
             if c.quick_queries == Some(0) {
                 return Err(invalid(key("quick_queries"), "at least 1 query", 0));
             }
+            if let Some(churn) = &c.churn {
+                if !(churn.events_per_min >= 0.0 && churn.events_per_min.is_finite()) {
+                    return Err(invalid(
+                        key("churn.events_per_min"),
+                        "a finite rate >= 0",
+                        churn.events_per_min,
+                    ));
+                }
+                if !(churn.duration_s > 0.0 && churn.duration_s.is_finite()) {
+                    return Err(invalid(
+                        key("churn.duration_s"),
+                        "a finite duration > 0",
+                        churn.duration_s,
+                    ));
+                }
+                if !(0.0..1.0).contains(&churn.offline_frac) {
+                    return Err(invalid(
+                        key("churn.offline_frac"),
+                        "a fraction in [0, 1)",
+                        churn.offline_frac,
+                    ));
+                }
+                if !(0.0..1.0).contains(&churn.loss) {
+                    return Err(invalid(key("churn.loss"), "a probability in [0, 1)", churn.loss));
+                }
+                if churn.retries < 1 {
+                    return Err(invalid(key("churn.retries"), "at least 1 attempt", 0));
+                }
+            }
             if c.algos.is_empty() {
                 return Err(SpecError::Missing { key: key("algo") });
             }
@@ -582,6 +638,26 @@ fn parse_cell(t: &toml::Table, idx: usize) -> Result<CellSpec, SpecError> {
         intra_en: Micros::from_us(world.usize("intra_en_us")? as u64),
         hub_pool: world.usize("hub_pool")?,
     };
+    let churn = match t.get("churn") {
+        None => None,
+        Some(v) => {
+            let churn_tbl = v
+                .as_table()
+                .ok_or_else(|| invalid(format!("{path}.churn"), "a table", v.type_name()))?;
+            let ch = Reader::new(churn_tbl, format!("{path}.churn"));
+            ch.check_keys(CHURN_KEYS)?;
+            let retries = ch.usize("retries")?;
+            Some(ChurnConfig {
+                events_per_min: ch.f64("events_per_min")?,
+                duration_s: ch.f64("duration_s")?,
+                drift_max_us: ch.usize("drift_max_us")? as u64,
+                offline_frac: ch.f64("offline_frac")?,
+                loss: ch.f64("loss")?,
+                retries: u32::try_from(retries)
+                    .map_err(|_| invalid(format!("{path}.churn.retries"), "a u32", retries))?,
+            })
+        }
+    };
     let algo_tables = cell.tables("algo")?;
     let mut algos = Vec::new();
     for (j, at) in algo_tables.iter().enumerate() {
@@ -602,6 +678,7 @@ fn parse_cell(t: &toml::Table, idx: usize) -> Result<CellSpec, SpecError> {
         queries: cell.usize("queries")?,
         quick_queries: cell.opt_usize("quick_queries")?,
         in_quick: cell.opt_bool("quick", true)?,
+        churn,
         algos,
     })
 }
@@ -622,7 +699,15 @@ mod tests {
             SeedPlan::Sweep(3),
             vec![
                 CellSpec::paper("x=5", 5, 0.2, 101, 5_000, vec![AlgoSpec::new("meridian")])
-                    .with_quick_queries(400),
+                    .with_quick_queries(400)
+                    .with_churn(ChurnConfig {
+                        events_per_min: 6.0,
+                        duration_s: 60.0,
+                        drift_max_us: 2_000,
+                        offline_frac: 0.05,
+                        loss: 0.05,
+                        retries: 3,
+                    }),
                 CellSpec::paper(
                     "x=25",
                     25,
@@ -742,6 +827,12 @@ mod tests {
         case("hub_pool = 250", "hub_pool = 1", "hub pool");
         case("seeds = 3", "seeds = 0", "experiment.seeds");
         case("backend = \"sharded\"", "backend = \"cubic\"", "experiment.backend");
+        // Churn knobs validate too.
+        case("duration_s = 60.0", "duration_s = 0.0", "churn.duration_s");
+        case("events_per_min = 6.0", "events_per_min = -1.0", "churn.events_per_min");
+        case("offline_frac = 0.05", "offline_frac = 1.0", "churn.offline_frac");
+        case("loss = 0.05", "loss = 1.5", "churn.loss");
+        case("retries = 3", "retries = 0", "churn.retries");
     }
 
     #[test]
@@ -794,6 +885,18 @@ mod tests {
                             None
                         },
                         in_quick: rng.gen_range(0..2u32) == 0,
+                        churn: if rng.gen_range(0..2u32) == 0 {
+                            Some(ChurnConfig {
+                                events_per_min: (rng.gen_range(0..600u32) as f64) / 10.0,
+                                duration_s: (1 + rng.gen_range(0..300u32)) as f64,
+                                drift_max_us: rng.gen_range(0..10_000u64),
+                                offline_frac: (rng.gen_range(0..100u32) as f64) / 101.0,
+                                loss: (rng.gen_range(0..100u32) as f64) / 101.0,
+                                retries: 1 + rng.gen_range(0..5u32),
+                            })
+                        } else {
+                            None
+                        },
                         algos: (0..n_algos)
                             .map(|j| AlgoSpec {
                                 name: format!("algo-{j}"),

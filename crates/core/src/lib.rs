@@ -19,6 +19,13 @@
 //!   algorithm when the registry has no close candidate (wired to the
 //!   registries in `np-remedies` through the [`hybrid::HintSource`]
 //!   trait, so `np-core` stays dependency-light),
+//! * [`churn`] — event-clocked dynamic worlds: seeded
+//!   [`churn::ChurnSchedule`]s of join/leave/drift events, the
+//!   [`churn::DynamicAlgo`] per-epoch advancement contract (rebuild by
+//!   default, incremental repair where an algorithm offers it), probe
+//!   fault injection, and [`churn::run_dynamic_threads`] — the dynamic
+//!   twin of the static runner with the same bit-identical-at-any-
+//!   thread-count determinism contract,
 //! * [`experiment`] — the declarative layer over all of the above: an
 //!   [`experiment::ExperimentSpec`] (cells × algorithms × seeds ×
 //!   backend) runs through the object-safe
@@ -30,11 +37,16 @@
 //! Downstream users normally `use nearest_peer::prelude::*` (the facade
 //! crate re-exports everything here).
 
+pub mod churn;
 pub mod experiment;
 pub mod hybrid;
 pub mod runner;
 pub mod scenario;
 
+pub use churn::{
+    dynamic_algo, run_dynamic_threads, ChurnConfig, ChurnSchedule, ChurnStats, DynamicAlgo,
+    EpochMembership, RebuildEachEpoch, RepairCost,
+};
 pub use experiment::{
     AlgoFactory, AlgoRegistry, AlgoSpec, Backend, CellSpec, Experiment, ExperimentReport,
     ExperimentSpec, SeedPlan,

@@ -29,9 +29,9 @@ use rand::seq::SliceRandom;
 /// Seed tag of the master RNG drawing the target schedule. The
 /// schedule depends only on `(seed, this tag, n_queries)` — never on
 /// the algorithm under test or the thread count.
-const RUN_TAG: u64 = 0x52_554E; // "RUN"
+pub(crate) const RUN_TAG: u64 = 0x52_554E; // "RUN"
 /// Seed tag for per-query RNG streams (start-peer choice, tie breaks).
-const QUERY_TAG: u64 = 0x51_5259; // "QRY"
+pub(crate) const QUERY_TAG: u64 = 0x51_5259; // "QRY"
 
 /// The metrics the paper reports for a batch of queries (Figures 8, 9).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,15 +57,80 @@ pub struct PaperMetrics {
 }
 
 /// What one query contributes to the reduction. Kept tiny so the
-/// parallel map's per-item traffic is a few words.
-struct QueryRecord {
-    exact: bool,
-    cluster_hit: bool,
-    same_en: bool,
+/// parallel map's per-item traffic is a few words. Shared with the
+/// churn runner (`crate::churn`) so static and dynamic batches reduce
+/// through the exact same code.
+pub(crate) struct QueryRecord {
+    pub(crate) exact: bool,
+    pub(crate) cluster_hit: bool,
+    pub(crate) same_en: bool,
     /// Hub latency of the found peer when the query was wrong.
-    wrong_hub_lat: Option<Micros>,
+    pub(crate) wrong_hub_lat: Option<Micros>,
+    pub(crate) probes: u64,
+    pub(crate) hops: u32,
+}
+
+/// Build one query's record from its outcome. `exact` is the caller's
+/// correctness verdict (it depends on which world — static or drifted —
+/// the query ran against); the topology verdicts come from the cluster
+/// world's metadata.
+pub(crate) fn query_record(
+    world: &np_topology::ClusterWorld,
+    found: PeerId,
+    target: PeerId,
+    exact: bool,
     probes: u64,
     hops: u32,
+) -> QueryRecord {
+    QueryRecord {
+        exact,
+        cluster_hit: world.same_cluster(found, target),
+        same_en: world.same_en(found, target),
+        wrong_hub_lat: (!exact).then(|| world.hub_latency(found)),
+        probes,
+        hops,
+    }
+}
+
+/// Ordered associative reduction of per-query records into the paper's
+/// metrics (counts and integer sums commute; the median's input vector
+/// is in query order, so float accumulation never depends on
+/// scheduling).
+pub(crate) fn reduce_records(records: &[QueryRecord], n_queries: usize) -> PaperMetrics {
+    let mut correct = 0usize;
+    let mut cluster_hits = 0usize;
+    let mut same_en = 0usize;
+    let mut wrong_hub_lat = Vec::new();
+    let mut probes = 0u64;
+    let mut hops = 0u64;
+    for r in records {
+        if r.exact {
+            correct += 1;
+        }
+        if let Some(lat) = r.wrong_hub_lat {
+            wrong_hub_lat.push(lat);
+        }
+        if r.cluster_hit {
+            cluster_hits += 1;
+        }
+        if r.same_en {
+            same_en += 1;
+        }
+        probes += r.probes;
+        hops += u64::from(r.hops);
+    }
+    let n = n_queries as f64;
+    PaperMetrics {
+        p_correct_closest: correct as f64 / n,
+        p_correct_cluster: cluster_hits as f64 / n,
+        p_same_en: same_en as f64 / n,
+        median_hub_latency_wrong_ms: median_micros(&wrong_hub_lat)
+            .map(|m| m.as_ms())
+            .unwrap_or(0.0),
+        mean_probes: probes as f64 / n,
+        mean_hops: hops as f64 / n,
+        queries: n_queries,
+    }
 }
 
 /// Run `n_queries` queries of `algo` against random targets of the
@@ -114,51 +179,10 @@ pub fn run_queries_threads<W: WorldStore>(
         // at exactly the true-closest RTT (equidistant ties are as good).
         let exact = out.found == nearest
             || scenario.matrix.rtt(out.found, t) == scenario.matrix.rtt(nearest, t);
-        QueryRecord {
-            exact,
-            cluster_hit: scenario.world.same_cluster(out.found, t),
-            same_en: scenario.world.same_en(out.found, t),
-            wrong_hub_lat: (!exact).then(|| scenario.world.hub_latency(out.found)),
-            probes: out.probes,
-            hops: out.hops,
-        }
+        query_record(&scenario.world, out.found, t, exact, out.probes, out.hops)
     });
-    // Phase 4: ordered associative reduction (counts and integer sums
-    // commute; the median's input vector is in query order).
-    let mut correct = 0usize;
-    let mut cluster_hits = 0usize;
-    let mut same_en = 0usize;
-    let mut wrong_hub_lat = Vec::new();
-    let mut probes = 0u64;
-    let mut hops = 0u64;
-    for r in &records {
-        if r.exact {
-            correct += 1;
-        }
-        if let Some(lat) = r.wrong_hub_lat {
-            wrong_hub_lat.push(lat);
-        }
-        if r.cluster_hit {
-            cluster_hits += 1;
-        }
-        if r.same_en {
-            same_en += 1;
-        }
-        probes += r.probes;
-        hops += u64::from(r.hops);
-    }
-    let n = n_queries as f64;
-    PaperMetrics {
-        p_correct_closest: correct as f64 / n,
-        p_correct_cluster: cluster_hits as f64 / n,
-        p_same_en: same_en as f64 / n,
-        median_hub_latency_wrong_ms: median_micros(&wrong_hub_lat)
-            .map(|m| m.as_ms())
-            .unwrap_or(0.0),
-        mean_probes: probes as f64 / n,
-        mean_hops: hops as f64 / n,
-        queries: n_queries,
-    }
+    // Phase 4: ordered associative reduction.
+    reduce_records(&records, n_queries)
 }
 
 /// Per-metric median/min/max over the paper's three runs.

@@ -7,8 +7,10 @@
 
 use crate::overlay::{BuildMode, Overlay};
 use crate::MeridianConfig;
-use np_core::experiment::{AlgoContext, AlgoFactory};
-use np_metric::NearestPeerAlgo;
+use np_core::churn::{DynamicAlgo, EpochMembership, RepairCost, EVT_TAG};
+use np_core::experiment::{AlgoContext, AlgoFactory, BuildCache};
+use np_metric::{NearestPeerAlgo, PeerId, WorldStore};
+use np_util::parallel::item_seed;
 
 /// Builds a Meridian [`Overlay`] with a fixed configuration.
 pub struct MeridianFactory {
@@ -107,8 +109,118 @@ impl AlgoFactory for MeridianFactory {
             };
             overlay.into_parts()
         });
-        let (cfg, members, rings) = (*parts).clone();
-        Box::new(Overlay::from_parts(ctx.store, cfg, members, rings))
+        let (cfg, members, rings, origin) = (*parts).clone();
+        Box::new(Overlay::from_parts(ctx.store, cfg, members, rings, origin))
+    }
+
+    fn dynamic_override<'a>(
+        &'a self,
+        ctx: &AlgoContext<'a>,
+    ) -> Option<Box<dyn DynamicAlgo<'a> + 'a>> {
+        // Gossip fills have no replayable offer streams, so they take
+        // the universal rebuild-each-epoch default.
+        if self.mode != BuildMode::Omniscient {
+            return None;
+        }
+        Some(Box::new(MeridianDynamic {
+            cfg: self.cfg,
+            store: ctx.store,
+            seed: ctx.seed,
+            threads: ctx.threads,
+            overlay: None,
+            epoch: 0,
+        }))
+    }
+}
+
+/// Meridian's churn-aware wrapper: incremental overlay repair instead
+/// of rebuild-per-epoch.
+///
+/// Epoch policy:
+/// * **epoch 0** — full omniscient fill over the live set at the run
+///   seed (shard-local fast path when the backend offers it), so a
+///   null churn schedule is bit-identical to the static pipeline;
+/// * **join epochs** — full rebuild at `item_seed(seed, EVT_TAG,
+///   epoch)`: a joiner changes every node's offer stream, so there is
+///   nothing incremental to salvage (and the paper-faithful simulator
+///   fill is the reference structure);
+/// * **leave-only epochs** — [`Overlay::repair_after_leaves_threads`]:
+///   replay only the rings that lost a member, bit-identical to a
+///   full rebuild over the survivors (the tentpole contract, pinned
+///   in `tests/overlay_repair.rs`);
+/// * **drift-only epochs** — no structural work: rings keep their
+///   stale fill-time measurements, exactly like a deployed overlay
+///   whose members do not refill rings when latencies wander.
+struct MeridianDynamic<'a> {
+    cfg: MeridianConfig,
+    store: &'a dyn WorldStore,
+    seed: u64,
+    threads: usize,
+    overlay: Option<Overlay<'a, dyn WorldStore + 'a>>,
+    epoch: u64,
+}
+
+impl<'a> MeridianDynamic<'a> {
+    fn full_build(&self, seed: u64, live: &[PeerId]) -> Overlay<'a, dyn WorldStore + 'a> {
+        if self.store.shard_view().is_some() {
+            Overlay::build_shard_local_threads(
+                self.store,
+                live.to_vec(),
+                self.cfg,
+                seed,
+                self.threads,
+            )
+        } else {
+            Overlay::build_threads(
+                self.store,
+                live.to_vec(),
+                self.cfg,
+                BuildMode::Omniscient,
+                seed,
+                self.threads,
+            )
+        }
+    }
+}
+
+impl<'a> DynamicAlgo<'a> for MeridianDynamic<'a> {
+    fn advance(&mut self, ep: &'a EpochMembership, _fresh: &'a BuildCache) -> RepairCost {
+        let cost = if self.epoch == 0 {
+            self.overlay = Some(self.full_build(self.seed, &ep.live));
+            RepairCost {
+                full_rebuilds: 1,
+                ..RepairCost::default()
+            }
+        } else if !ep.joined.is_empty() {
+            let seed = item_seed(self.seed, EVT_TAG, self.epoch);
+            self.overlay = Some(self.full_build(seed, &ep.live));
+            RepairCost {
+                full_rebuilds: 1,
+                ..RepairCost::default()
+            }
+        } else if !ep.departed.is_empty() {
+            let stats = self
+                .overlay
+                .as_mut()
+                .expect("advance() runs epoch 0 first")
+                .repair_after_leaves_threads(&ep.departed, self.threads);
+            RepairCost {
+                full_rebuilds: 0,
+                rings_replayed: stats.rings_replayed,
+                ring_inserts: stats.ring_inserts,
+                fallback_leaves: stats.fallback_leaves,
+            }
+        } else {
+            RepairCost::default() // drift-only: rings stay as measured
+        };
+        self.epoch += 1;
+        cost
+    }
+
+    fn algo(&self) -> &(dyn NearestPeerAlgo + '_) {
+        self.overlay
+            .as_ref()
+            .expect("advance() must run before algo()")
     }
 }
 
@@ -244,6 +356,131 @@ mod tests {
             build_on(&sharded),
             "shard-local fast path diverged from the dense omniscient fill"
         );
+    }
+
+    #[test]
+    fn dynamic_meridian_null_churn_matches_the_static_pipeline() {
+        use np_core::churn::{dynamic_algo, run_dynamic_threads, ChurnConfig, ChurnSchedule};
+        use np_core::{run_queries_threads, ClusterScenario};
+        let spec = ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 8,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 5,
+        };
+        let s = ClusterScenario::build(spec, 8, 3);
+        let cfg = ChurnConfig::null(60.0);
+        let sched = ChurnSchedule::generate(&cfg, &s.overlay, s.world.len(), 50, 7);
+        let caches = vec![BuildCache::new()];
+        let shared = BuildCache::new();
+        let ctx = AlgoContext {
+            store: &s.matrix,
+            world: &s.world,
+            overlay: &s.overlay,
+            seed: 7,
+            threads: 2,
+            shared: &shared,
+        };
+        let factory = MeridianFactory::omniscient();
+        let mut dynamic = dynamic_algo(&factory, &ctx);
+        let (dyn_metrics, stats) =
+            run_dynamic_threads(dynamic.as_mut(), &s, &sched, &caches, &cfg, 50, 7, 2);
+        let static_algo = factory.build(&ctx);
+        let static_metrics = run_queries_threads(static_algo.as_ref(), &s, 50, 7, 2);
+        assert_eq!(dyn_metrics, static_metrics, "null churn must be invisible");
+        assert_eq!(stats.repair.full_rebuilds, 1);
+        assert_eq!(stats.repair.rings_replayed, 0);
+    }
+
+    #[test]
+    fn dynamic_meridian_repairs_under_churn_and_is_thread_invariant() {
+        use np_core::churn::{dynamic_algo, run_dynamic_threads, ChurnConfig, ChurnSchedule};
+        use np_core::ClusterScenario;
+        let spec = ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 8,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 5,
+        };
+        let s = ClusterScenario::build(spec, 8, 5);
+        let cfg = ChurnConfig {
+            events_per_min: 20.0,
+            duration_s: 60.0,
+            drift_max_us: 2_000,
+            offline_frac: 0.1,
+            loss: 0.05,
+            retries: 3,
+        };
+        let sched = ChurnSchedule::generate(&cfg, &s.overlay, s.world.len(), 60, 9);
+        assert!(sched.leaves > 0, "schedule must exercise the repair path");
+        let factory = MeridianFactory::omniscient();
+        let run_at = |threads: usize| {
+            let caches: Vec<BuildCache> =
+                (0..sched.epochs.len()).map(|_| BuildCache::new()).collect();
+            let shared = BuildCache::new();
+            let ctx = AlgoContext {
+                store: &s.matrix,
+                world: &s.world,
+                overlay: &s.overlay,
+                seed: 9,
+                threads,
+                shared: &shared,
+            };
+            let mut dynamic = dynamic_algo(&factory, &ctx);
+            run_dynamic_threads(dynamic.as_mut(), &s, &sched, &caches, &cfg, 60, 9, threads)
+        };
+        let (metrics, stats) = run_at(1);
+        // Leave-only epochs went through incremental repair, not rebuild.
+        assert!(stats.repair.rings_replayed > 0, "{stats:?}");
+        assert!(
+            stats.repair.full_rebuilds <= 1 + sched.joins,
+            "only epoch 0 and join epochs may rebuild: {stats:?}"
+        );
+        assert_eq!(stats.repair.fallback_leaves, 0);
+        assert_eq!(metrics.queries, 60);
+        assert!(metrics.p_correct_closest > 0.0);
+        for threads in [2, 4] {
+            assert_eq!(
+                (metrics, stats),
+                run_at(threads),
+                "dynamic meridian diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_mode_has_no_dynamic_override() {
+        let m = line_world(24);
+        let members: Vec<PeerId> = (0..24).map(PeerId).collect();
+        let world = ClusterWorld::generate(
+            ClusterWorldSpec {
+                clusters: 1,
+                en_per_cluster: 1,
+                peers_per_en: 2,
+                delta: 0.2,
+                mean_hub_ms: (4.0, 6.0),
+                intra_en: Micros::from_us(100),
+                hub_pool: 2,
+            },
+            1,
+        );
+        let shared = BuildCache::new();
+        let ctx = AlgoContext {
+            store: &m,
+            world: &world,
+            overlay: &members,
+            seed: 3,
+            threads: 1,
+            shared: &shared,
+        };
+        assert!(MeridianFactory::gossip(4, 4).dynamic_override(&ctx).is_none());
+        assert!(MeridianFactory::omniscient().dynamic_override(&ctx).is_some());
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod proto;
 pub mod rings;
 
 pub use factory::MeridianFactory;
-pub use overlay::{BuildMode, MeridianConfig, Overlay};
+pub use overlay::{BuildMode, FillOrigin, MeridianConfig, Overlay, RepairStats};

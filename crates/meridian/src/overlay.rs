@@ -27,7 +27,7 @@ use np_util::rng::{rng_for, rng_from};
 use np_util::Micros;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Seed tag for the per-node RNG streams of the omniscient ring fill.
 /// Each node's offer order is drawn from `item_seed(seed, FILL_TAG, i)`
@@ -89,6 +89,49 @@ impl Default for MeridianConfig {
     }
 }
 
+/// Provenance of an omniscient ring fill, recorded so churn repair can
+/// replay exactly the offer streams that built the rings.
+///
+/// The omniscient fill (dense or shard-local) offers every roster
+/// member to every node once, in an order drawn from
+/// `item_seed(seed, FILL_TAG, roster index)`. Ring state is therefore
+/// a pure function of `(seed, roster, removed-so-far)` — and after a
+/// departure, only the rings whose arrival subsequence contained the
+/// departed peer can change. [`Overlay::repair_after_leaves_threads`]
+/// exploits that: it replays *only the dirty rings* from these
+/// streams, with a bit-identical-to-full-rebuild contract (see
+/// [`Overlay::rebuild_surviving`] and `tests/overlay_repair.rs`).
+///
+/// `removed` accumulates every peer repaired away since the fill, so
+/// repeated repairs keep replaying over the correct survivor set.
+/// Gossip builds and post-hoc `join`/`leave` mutations have no replay
+/// stream; they carry no origin and repair falls back to plain
+/// [`Overlay::leave`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillOrigin {
+    /// Seed of the omniscient fill that produced the rings.
+    pub seed: u64,
+    /// Full membership at fill time, in fill order (index `i` owns the
+    /// offer stream `item_seed(seed, FILL_TAG, i)`).
+    pub roster: Vec<PeerId>,
+    /// Peers repaired out since the fill (cumulative, in departure order).
+    pub removed: Vec<PeerId>,
+}
+
+/// Cost accounting for one [`Overlay::repair_after_leaves_threads`]
+/// call: how much ring state had to be touched, versus the full
+/// rebuild the repair replaces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Rings cleared and replayed from the fill's offer streams.
+    pub rings_replayed: u64,
+    /// Ring insertions performed during those replays.
+    pub ring_inserts: u64,
+    /// Departures handled by plain [`Overlay::leave`] because no fill
+    /// origin was recorded (gossip builds, post-join overlays).
+    pub fallback_leaves: u64,
+}
+
 /// How ring members are discovered at build time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuildMode {
@@ -112,6 +155,7 @@ pub struct Overlay<'m, W: WorldStore + ?Sized = LatencyMatrix> {
     world: &'m W,
     members: Vec<PeerId>,
     rings: HashMap<PeerId, RingSet>,
+    origin: Option<FillOrigin>,
 }
 
 impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
@@ -175,11 +219,17 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
                     rs
                 });
                 rings = members.iter().copied().zip(filled).collect();
+                let origin = Some(FillOrigin {
+                    seed,
+                    roster: members.clone(),
+                    removed: Vec::new(),
+                });
                 return Overlay {
                     cfg,
                     world,
                     members,
                     rings,
+                    origin,
                 };
             }
             BuildMode::Gossip { rounds, fanout } => {
@@ -235,6 +285,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             world,
             members,
             rings,
+            origin: None, // gossip arrivals have no replayable stream
         }
     }
 
@@ -374,11 +425,17 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             rs
         });
         let rings = members.iter().copied().zip(filled).collect();
+        let origin = Some(FillOrigin {
+            seed,
+            roster: members.clone(),
+            removed: Vec::new(),
+        });
         Overlay {
             cfg,
             world,
             members,
             rings,
+            origin,
         }
     }
 
@@ -392,6 +449,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
         cfg: MeridianConfig,
         members: Vec<PeerId>,
         rings: HashMap<PeerId, RingSet>,
+        origin: Option<FillOrigin>,
     ) -> Overlay<'m, W> {
         assert_eq!(members.len(), rings.len(), "parts out of sync");
         Overlay {
@@ -399,17 +457,34 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             world,
             members,
             rings,
+            origin,
         }
     }
 
     /// Decompose into the world-independent parts: configuration,
-    /// membership and the filled ring sets. The parts are `'static`
-    /// (rings store peer ids + RTT values, not matrix borrows), so an
+    /// membership, the filled ring sets and the fill origin (replay
+    /// provenance for churn repair). The parts are `'static` (rings
+    /// store peer ids + RTT values, not matrix borrows), so an
     /// expensive build can be cached and re-borrowed against the same
     /// world — the experiment registry's Meridian factory does this
     /// when several registry entries wrap the same configuration.
-    pub fn into_parts(self) -> (MeridianConfig, Vec<PeerId>, HashMap<PeerId, RingSet>) {
-        (self.cfg, self.members, self.rings)
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        MeridianConfig,
+        Vec<PeerId>,
+        HashMap<PeerId, RingSet>,
+        Option<FillOrigin>,
+    ) {
+        (self.cfg, self.members, self.rings, self.origin)
+    }
+
+    /// Replay provenance of the ring fill, if this overlay still has
+    /// one (omniscient fills record it; gossip builds and overlays
+    /// mutated by [`Overlay::join`]/[`Overlay::leave`] do not).
+    pub fn origin(&self) -> Option<&FillOrigin> {
+        self.origin.as_ref()
     }
 
     /// The configuration in use.
@@ -433,9 +508,26 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
     }
 
     /// Run one closest-node query from an explicit start node.
+    ///
+    /// Fault tolerance: probes go through
+    /// [`Target::try_probe_from`], so when the target carries a
+    /// [`np_metric::FaultPlan`] a candidate whose probe budget is
+    /// exhausted is simply *skipped* — the query routes around dead
+    /// peers instead of panicking or returning garbage latencies. If
+    /// the **start** node itself cannot reach the target, the query
+    /// degrades gracefully to `(start, ∞)` with the attempts still
+    /// counted. Without a fault plan every probe succeeds and the path
+    /// is bit-identical to the fault-free implementation.
     pub fn query_from(&self, start: PeerId, target: &Target<'_>) -> QueryOutcome {
         let mut current = start;
-        let mut d = target.probe_from(current);
+        let Some(mut d) = target.try_probe_from(current) else {
+            return QueryOutcome {
+                found: start,
+                rtt_to_target: Micros::INFINITY,
+                probes: target.probes(),
+                hops: 0,
+            };
+        };
         // Global best over every probe made (Meridian returns the closest
         // node *seen*, which may not be the final hop).
         let mut best = (d, current);
@@ -448,10 +540,13 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             let lo = d.scale(1.0 - self.cfg.beta);
             let hi = d.scale(1.0 + self.cfg.beta);
             let candidates = self.rings[&current].primaries_in(lo, hi);
-            // Every annulus member measures its latency to the target.
+            // Every annulus member measures its latency to the target;
+            // unreachable members drop out of the round.
             let mut round_best: Option<(Micros, PeerId)> = None;
             for m in candidates {
-                let dm = target.probe_from(m.peer);
+                let Some(dm) = target.try_probe_from(m.peer) else {
+                    continue;
+                };
                 if dm < best.0 || (dm == best.0 && m.peer < best.1) {
                     best = (dm, m.peer);
                 }
@@ -514,9 +609,17 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
         self.rings.insert(p, rs);
         let pos = self.members.binary_search(&p).unwrap_or_else(|e| e);
         self.members.insert(pos, p);
+        // Ring state is no longer a pure replay of the fill streams.
+        self.origin = None;
     }
 
     /// A member departs gracefully: every ring set purges it.
+    ///
+    /// This is the *online* departure path (a removed primary promotes
+    /// a cached secondary), which intentionally differs from replaying
+    /// the fill without the departed peer — so it forfeits the replay
+    /// provenance. Use [`Overlay::repair_after_leaves_threads`] when
+    /// the rebuild-equivalence contract matters.
     pub fn leave(&mut self, p: PeerId) {
         if self.rings.remove(&p).is_none() {
             return;
@@ -526,6 +629,193 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
         }
         for rs in self.rings.values_mut() {
             rs.remove(p);
+        }
+        self.origin = None;
+    }
+
+    /// Incremental overlay repair after a batch of departures, with a
+    /// **bit-identical-to-full-rebuild** contract: afterwards the
+    /// rings equal those of [`Overlay::rebuild_surviving`] — a from-
+    /// scratch omniscient fill replay over the survivor set — member
+    /// for member, ring for ring (property-tested in
+    /// `tests/overlay_repair.rs`).
+    ///
+    /// Why only a fraction of the rings need touching: in the
+    /// omniscient fill each peer `q` is offered to node `p` exactly
+    /// once, at the fixed latency `rtt(p, q)`, and lands in the single
+    /// ring `ring_of(rtt(p, q))`; ring management never moves peers
+    /// across rings. So removing `q` from the offer stream can only
+    /// change that one ring of each survivor — every other ring sees
+    /// the *identical* arrival subsequence and (being managed
+    /// per-ring, independently) ends up in the identical state. The
+    /// repair clears exactly those dirty rings and replays them from
+    /// the recorded [`FillOrigin`] streams, filtered to survivors —
+    /// `|departed|` rings per node instead of all `n_rings`, with ring
+    /// management (the hypervolume selection that dominates fill cost)
+    /// rerun only on the dirty rings.
+    ///
+    /// Per-survivor work is a pure function of the origin and the
+    /// cumulative removed set, so it fans out across `threads` workers
+    /// and the result is bit-identical at any worker count.
+    ///
+    /// Overlays without replay provenance (gossip builds, overlays
+    /// mutated by `join`/`leave`) fall back to plain
+    /// [`Overlay::leave`] per departure, counted in
+    /// [`RepairStats::fallback_leaves`].
+    ///
+    /// Departures not currently in the overlay are ignored.
+    pub fn repair_after_leaves_threads(
+        &mut self,
+        departed: &[PeerId],
+        threads: usize,
+    ) -> RepairStats {
+        let mut stats = RepairStats::default();
+        let going: Vec<PeerId> = {
+            let mut seen = HashSet::new();
+            departed
+                .iter()
+                .copied()
+                .filter(|p| self.rings.contains_key(p) && seen.insert(*p))
+                .collect()
+        };
+        if going.is_empty() {
+            return stats;
+        }
+        let Some(origin) = self.origin.as_mut() else {
+            for &p in &going {
+                self.leave(p);
+                stats.fallback_leaves += 1;
+            }
+            return stats;
+        };
+        assert!(
+            going.len() < self.members.len(),
+            "repair would empty the overlay"
+        );
+        origin.removed.extend_from_slice(&going);
+        let removed: HashSet<PeerId> = origin.removed.iter().copied().collect();
+        let origin = self.origin.clone().expect("origin checked above");
+        // Drop the departed themselves.
+        for &p in &going {
+            self.rings.remove(&p);
+            if let Ok(pos) = self.members.binary_search(&p) {
+                self.members.remove(pos);
+            }
+        }
+        let stream_of: HashMap<PeerId, u64> = origin
+            .roster
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u64))
+            .collect();
+        let (world, cfg) = (self.world, self.cfg);
+        let rings = &self.rings;
+        // Per-survivor: find the dirty rings, clear + replay them from
+        // the fill stream over the survivor set, re-manage only those
+        // rings. Pure per-node function → parallel and deterministic.
+        let repaired = par_map(threads, &self.members, |_, &p| {
+            let mut dirty: Vec<usize> = going
+                .iter()
+                .filter(|&&q| q != p)
+                .map(|&q| cfg.rings.ring_of(world.rtt(p, q)))
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            if dirty.is_empty() {
+                return (None, 0u64);
+            }
+            let mut rs = rings[&p].clone();
+            for &r in &dirty {
+                rs.clear_ring(r);
+            }
+            let stream = stream_of[&p];
+            let mut order_rng = rng_from(item_seed(origin.seed, FILL_TAG, stream));
+            let mut order = origin.roster.clone();
+            order.shuffle(&mut order_rng);
+            let mut inserts = 0u64;
+            for &q in &order {
+                if q == p || removed.contains(&q) {
+                    continue;
+                }
+                let d = world.rtt(p, q);
+                if dirty.binary_search(&cfg.rings.ring_of(d)).is_ok() {
+                    rs.insert(q, d);
+                    inserts += 1;
+                }
+            }
+            for _ in 0..cfg.manage_rounds {
+                for &r in &dirty {
+                    rs.manage_ring(r, |a, b| world.rtt(a, b));
+                }
+            }
+            (Some((rs, dirty.len() as u64)), inserts)
+        });
+        for (i, (res, inserts)) in repaired.into_iter().enumerate() {
+            stats.ring_inserts += inserts;
+            if let Some((rs, n_dirty)) = res {
+                stats.rings_replayed += n_dirty;
+                self.rings.insert(self.members[i], rs);
+            }
+        }
+        stats
+    }
+
+    /// Full from-scratch rebuild over the current survivor set, by
+    /// replaying the recorded fill streams with every removed peer
+    /// filtered out of every offer order. This is the reference
+    /// implementation the incremental
+    /// [`Overlay::repair_after_leaves_threads`] is contractually
+    /// bit-identical to; the equivalence is what `tests/overlay_repair.rs`
+    /// pins.
+    ///
+    /// # Panics
+    /// Panics when the overlay has no replay provenance
+    /// ([`Overlay::origin`] is `None`).
+    pub fn rebuild_surviving(&self, threads: usize) -> Overlay<'m, W> {
+        let origin = self
+            .origin
+            .clone()
+            .expect("rebuild_surviving needs a recorded fill origin");
+        let removed: HashSet<PeerId> = origin.removed.iter().copied().collect();
+        let (world, cfg) = (self.world, self.cfg);
+        let survivors: Vec<(u64, PeerId)> = origin
+            .roster
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !removed.contains(p))
+            .map(|(i, &p)| (i as u64, p))
+            .collect();
+        let filled = par_map(threads, &survivors, |_, &(stream, p)| {
+            let mut order_rng = rng_from(item_seed(origin.seed, FILL_TAG, stream));
+            let mut order = origin.roster.clone();
+            order.shuffle(&mut order_rng);
+            let mut rs = RingSet::new(p, cfg.rings);
+            for &q in &order {
+                if q != p && !removed.contains(&q) {
+                    rs.insert(q, world.rtt(p, q));
+                }
+            }
+            for _ in 0..cfg.manage_rounds {
+                rs.manage(|a, b| world.rtt(a, b));
+            }
+            rs
+        });
+        let members: Vec<PeerId> = {
+            let mut m: Vec<PeerId> = survivors.iter().map(|&(_, p)| p).collect();
+            m.sort_unstable();
+            m
+        };
+        let rings = survivors
+            .iter()
+            .map(|&(_, p)| p)
+            .zip(filled)
+            .collect();
+        Overlay {
+            cfg,
+            world,
+            members,
+            rings,
+            origin: Some(origin),
         }
     }
 
@@ -888,6 +1178,187 @@ mod tests {
         let m = line_world(8);
         let members: Vec<PeerId> = (0..8).map(PeerId).collect();
         Overlay::build_shard_local(&m, members, MeridianConfig::default(), 1);
+    }
+
+    /// Exhaustive ring-state comparison (primaries AND secondaries, in
+    /// stored order) — the currency of the repair contract.
+    fn ring_state<W: WorldStore + ?Sized>(
+        o: &Overlay<'_, W>,
+    ) -> Vec<(PeerId, Vec<(PeerId, Micros)>, Vec<(PeerId, Micros)>)> {
+        let mut out: Vec<_> = o
+            .members()
+            .iter()
+            .map(|&p| {
+                let rs = o.rings_of(p);
+                (
+                    p,
+                    rs.primaries().map(|m| (m.peer, m.rtt)).collect(),
+                    rs.secondaries().map(|m| (m.peer, m.rtt)).collect(),
+                )
+            })
+            .collect();
+        out.sort_by_key(|(p, _, _)| *p);
+        out
+    }
+
+    #[test]
+    fn repair_is_bit_identical_to_full_rebuild() {
+        let m = cluster_matrix(40, 0.5);
+        let members: Vec<PeerId> = (0..80).map(PeerId).collect();
+        let mut overlay = Overlay::build_threads(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            77,
+            2,
+        );
+        // Three rounds of batched departures, repaired incrementally;
+        // after each round the rings must equal a from-scratch replay
+        // over the survivor set.
+        for round in [vec![5u32, 17, 33], vec![2, 60], vec![61, 62, 63, 40]] {
+            let departed: Vec<PeerId> = round.iter().copied().map(PeerId).collect();
+            let stats = overlay.repair_after_leaves_threads(&departed, 2);
+            assert_eq!(stats.fallback_leaves, 0);
+            assert!(stats.rings_replayed > 0, "dirty rings must be found");
+            assert!(
+                (stats.rings_replayed as usize)
+                    <= overlay.members().len() * departed.len(),
+                "at most |departed| dirty rings per survivor"
+            );
+            let rebuilt = overlay.rebuild_surviving(2);
+            assert_eq!(overlay.members(), rebuilt.members());
+            assert_eq!(
+                ring_state(&overlay),
+                ring_state(&rebuilt),
+                "incremental repair diverged from full survivor rebuild"
+            );
+            for &p in &departed {
+                assert!(!overlay.members().contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn repair_is_thread_count_invariant_and_ignores_strangers() {
+        let m = line_world(60);
+        let members: Vec<PeerId> = (0..60).map(PeerId).collect();
+        let build = || {
+            Overlay::build_threads(
+                &m,
+                members.clone(),
+                MeridianConfig::default(),
+                BuildMode::Omniscient,
+                19,
+                2,
+            )
+        };
+        let departed = [PeerId(3), PeerId(200), PeerId(44), PeerId(3)];
+        let mut serial = build();
+        let s1 = serial.repair_after_leaves_threads(&departed, 1);
+        for threads in [2, 8] {
+            let mut par = build();
+            let sn = par.repair_after_leaves_threads(&departed, threads);
+            assert_eq!(s1, sn, "repair stats diverged at {threads} threads");
+            assert_eq!(ring_state(&serial), ring_state(&par));
+        }
+        // The stranger (200) and the duplicate were ignored: only two
+        // real departures happened.
+        assert_eq!(serial.members().len(), 58);
+    }
+
+    #[test]
+    fn repair_without_origin_falls_back_to_plain_leave() {
+        let m = line_world(48);
+        let members: Vec<PeerId> = (0..48).step_by(2).map(|i| PeerId(i as u32)).collect();
+        let mut overlay = Overlay::build(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Gossip {
+                rounds: 6,
+                fanout: 4,
+            },
+            9,
+        );
+        assert!(overlay.origin().is_none(), "gossip records no origin");
+        let stats = overlay.repair_after_leaves_threads(&[PeerId(4), PeerId(10)], 2);
+        assert_eq!(stats.fallback_leaves, 2);
+        assert_eq!(stats.rings_replayed, 0);
+        assert!(!overlay.members().contains(&PeerId(4)));
+        for &p in overlay.members() {
+            assert!(!overlay
+                .rings_of(p)
+                .primaries()
+                .any(|mm| mm.peer == PeerId(4)));
+        }
+    }
+
+    #[test]
+    fn join_and_leave_forfeit_the_replay_origin() {
+        let m = line_world(32);
+        let members: Vec<PeerId> = (0..32).step_by(2).map(|i| PeerId(i as u32)).collect();
+        let mut overlay = Overlay::build(
+            &m,
+            members,
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            23,
+        );
+        let origin = overlay.origin().expect("omniscient fill records origin");
+        assert_eq!(origin.seed, 23);
+        assert_eq!(origin.roster.len(), 16);
+        assert!(origin.removed.is_empty());
+        let mut rng = rng_from(2);
+        overlay.join(PeerId(5), 4, &mut rng);
+        assert!(overlay.origin().is_none(), "join invalidates the origin");
+        let stats = overlay.repair_after_leaves_threads(&[PeerId(5)], 2);
+        assert_eq!(stats.fallback_leaves, 1);
+    }
+
+    #[test]
+    fn query_routes_around_dead_peers_without_panicking() {
+        use np_metric::FaultPlan;
+        let m = line_world(64);
+        let members: Vec<PeerId> = (0..64).step_by(2).map(|i| PeerId(i as u32)).collect();
+        let overlay = Overlay::build(
+            &m,
+            members.clone(),
+            MeridianConfig::default(),
+            BuildMode::Omniscient,
+            7,
+        );
+        // Heavy loss, tight budget: every query must still terminate
+        // with an overlay member (or the start node) as the answer.
+        for q in 0..24u64 {
+            let target = Target::with_faults(
+                PeerId(33),
+                &m,
+                FaultPlan {
+                    loss: 0.45,
+                    attempts: 2,
+                    seed: q,
+                },
+            );
+            let out = overlay.query_from(PeerId(62), &target);
+            assert!(members.contains(&out.found));
+            assert!(out.probes > 0, "attempts are always counted");
+        }
+        // Total blackout: graceful (start, ∞) outcome.
+        let target = Target::with_faults(
+            PeerId(33),
+            &m,
+            FaultPlan {
+                loss: 1.0,
+                attempts: 3,
+                seed: 1,
+            },
+        );
+        let out = overlay.query_from(PeerId(62), &target);
+        assert_eq!(out.found, PeerId(62));
+        assert_eq!(out.rtt_to_target, Micros::INFINITY);
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.probes, 3, "the budget was spent before giving up");
     }
 
     #[test]

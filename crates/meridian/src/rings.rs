@@ -190,6 +190,31 @@ impl RingSet {
         self.rings.iter().flat_map(|r| r.primary.iter().copied())
     }
 
+    /// All secondary members across rings (replacement candidates —
+    /// part of the structure's state, so repair-equivalence checks
+    /// compare them too).
+    pub fn secondaries(&self) -> impl Iterator<Item = Member> + '_ {
+        self.rings.iter().flat_map(|r| r.secondary.iter().copied())
+    }
+
+    /// Forget every member of ring `r` (primaries and secondaries).
+    /// The incremental repair path clears a dirty ring before
+    /// replaying its survivor arrival sequence into it.
+    pub(crate) fn clear_ring(&mut self, r: usize) {
+        let ring = &mut self.rings[r];
+        let peers: Vec<PeerId> = ring
+            .primary
+            .iter()
+            .chain(ring.secondary.iter())
+            .map(|m| m.peer)
+            .collect();
+        ring.primary.clear();
+        ring.secondary.clear();
+        for p in peers {
+            self.index.remove(&p);
+        }
+    }
+
     /// Primary members with RTT within `[lo, hi]` — the β-annulus query.
     pub fn primaries_in(&self, lo: Micros, hi: Micros) -> Vec<Member> {
         // Only rings overlapping [lo, hi] need scanning.
@@ -223,34 +248,49 @@ impl RingSet {
     /// pairwise RTTs between members, e.g. from the latency matrix), with
     /// the rest demoted to secondaries.
     pub fn manage(&mut self, mut dist: impl FnMut(PeerId, PeerId) -> Micros) {
-        for ring in &mut self.rings {
-            let total = ring.primary.len() + ring.secondary.len();
-            if total <= self.cfg.k || ring.secondary.is_empty() {
-                continue;
+        for r in 0..self.rings.len() {
+            self.manage_ring(r, &mut dist);
+        }
+    }
+
+    /// [`RingSet::manage`] restricted to ring `r`. Management is
+    /// per-ring independent (the selection reads only the ring's own
+    /// candidates), which is what lets incremental repair re-manage
+    /// only the rings it replayed and still match a full rebuild
+    /// bit for bit.
+    pub(crate) fn manage_ring(&mut self, r: usize, mut dist: impl FnMut(PeerId, PeerId) -> Micros) {
+        let ring = &self.rings[r];
+        let total = ring.primary.len() + ring.secondary.len();
+        if total <= self.cfg.k || ring.secondary.is_empty() {
+            return;
+        }
+        let candidates: Vec<Member> = ring
+            .primary
+            .iter()
+            .chain(ring.secondary.iter())
+            .copied()
+            .collect();
+        let selected = hypervolume::select_max_volume(total, self.cfg.k, |i, j| {
+            dist(candidates[i].peer, candidates[j].peer).as_ms()
+        });
+        let mut new_primary = Vec::with_capacity(self.cfg.k);
+        let mut new_secondary = Vec::with_capacity(self.cfg.l);
+        let mut dropped = Vec::new();
+        for (idx, m) in candidates.into_iter().enumerate() {
+            if selected.binary_search(&idx).is_ok() {
+                new_primary.push(m);
+            } else if new_secondary.len() < self.cfg.l {
+                new_secondary.push(m);
+            } else {
+                // Dropped entirely: forget it.
+                dropped.push(m.peer);
             }
-            let candidates: Vec<Member> = ring
-                .primary
-                .iter()
-                .chain(ring.secondary.iter())
-                .copied()
-                .collect();
-            let selected = hypervolume::select_max_volume(total, self.cfg.k, |i, j| {
-                dist(candidates[i].peer, candidates[j].peer).as_ms()
-            });
-            let mut new_primary = Vec::with_capacity(self.cfg.k);
-            let mut new_secondary = Vec::with_capacity(self.cfg.l);
-            for (idx, m) in candidates.into_iter().enumerate() {
-                if selected.binary_search(&idx).is_ok() {
-                    new_primary.push(m);
-                } else if new_secondary.len() < self.cfg.l {
-                    new_secondary.push(m);
-                } else {
-                    // Dropped entirely: forget it.
-                    self.index.remove(&m.peer);
-                }
-            }
-            ring.primary = new_primary;
-            ring.secondary = new_secondary;
+        }
+        let ring = &mut self.rings[r];
+        ring.primary = new_primary;
+        ring.secondary = new_secondary;
+        for p in dropped {
+            self.index.remove(&p);
         }
     }
 }
@@ -344,6 +384,45 @@ mod tests {
         let ids: Vec<u32> = rs.primaries().map(|m| m.peer.0).collect();
         assert_eq!(ids.len(), 3);
         assert!(ids.contains(&4), "far peer must be promoted, got {ids:?}");
+    }
+
+    #[test]
+    fn clear_ring_forgets_members_and_frees_the_index() {
+        let mut rs = RingSet::new(PeerId(0), RingConfig { k: 2, l: 1, ..cfg() });
+        for (i, ms) in [(1u32, 2.1), (2, 2.5), (3, 3.0), (4, 0.5)] {
+            rs.insert(PeerId(i), Micros::from_ms(ms));
+        }
+        let r = cfg().ring_of(Micros::from_ms(2.1));
+        rs.clear_ring(r);
+        let ids: Vec<u32> = rs.primaries().chain(rs.secondaries()).map(|m| m.peer.0).collect();
+        assert_eq!(ids, vec![4], "only the untouched ring survives");
+        // Cleared peers can be re-inserted from scratch.
+        rs.insert(PeerId(1), Micros::from_ms(2.1));
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn manage_equals_per_ring_management() {
+        let dist = |a: PeerId, b: PeerId| {
+            Micros::from_us(100 + 997 * u64::from(a.0.min(b.0)) + 131 * u64::from(a.0.max(b.0)))
+        };
+        let build = || {
+            let mut rs = RingSet::new(PeerId(0), RingConfig { k: 3, l: 2, ..cfg() });
+            for i in 1..40u32 {
+                rs.insert(PeerId(i), Micros::from_us(300 * u64::from(i)));
+            }
+            rs
+        };
+        let mut whole = build();
+        whole.manage(dist);
+        let mut by_ring = build();
+        for r in 0..cfg().n_rings {
+            by_ring.manage_ring(r, dist);
+        }
+        let collect = |rs: &RingSet| -> (Vec<Member>, Vec<Member>) {
+            (rs.primaries().collect(), rs.secondaries().collect())
+        };
+        assert_eq!(collect(&whole), collect(&by_ring));
     }
 
     #[test]

@@ -53,6 +53,53 @@ impl NearestCache {
         self.nearest.get(&target).copied()
     }
 
+    /// Incremental maintenance, eviction side: `peer` left the overlay
+    /// (or its latencies drifted). Targets whose cached answer is
+    /// `peer` rescan over `members` — the *current* membership,
+    /// excluding `peer` after a leave, still including it after a
+    /// drift — through `world` (the current, possibly drifted,
+    /// backend). Targets pointing elsewhere keep an argmin that the
+    /// change cannot have disturbed, so the result is bit-identical to
+    /// a fresh [`NearestCache::build`] over `(world, members)`.
+    ///
+    /// # Panics
+    /// Panics if a rescan finds no candidate (`members` must retain a
+    /// non-target peer).
+    pub fn evict_member<W: WorldStore + ?Sized>(
+        &mut self,
+        world: &W,
+        members: &[PeerId],
+        peer: PeerId,
+    ) {
+        for (&t, best) in self.nearest.iter_mut() {
+            if *best == peer {
+                *best = world
+                    .nearest_within(t, members)
+                    .expect("overlay keeps at least one non-target member");
+            }
+        }
+    }
+
+    /// Incremental maintenance, admission side: `peer` joined the
+    /// overlay (or finished drifting). Each cached answer is compared
+    /// against `peer`'s current distance, with the same lowest-id tie
+    /// break as [`WorldStore::nearest_within`], so the result matches
+    /// a fresh build exactly. For a drift, call
+    /// [`NearestCache::evict_member`] (with `peer` still in `members`)
+    /// first, then this.
+    pub fn admit_member<W: WorldStore + ?Sized>(&mut self, world: &W, peer: PeerId) {
+        for (&t, best) in self.nearest.iter_mut() {
+            if t == peer || *best == peer {
+                continue;
+            }
+            let d = world.rtt(t, peer);
+            let bd = world.rtt(t, *best);
+            if d < bd || (d == bd && peer < *best) {
+                *best = peer;
+            }
+        }
+    }
+
     /// Number of cached targets.
     pub fn len(&self) -> usize {
         self.nearest.len()
@@ -100,6 +147,69 @@ mod tests {
         assert_eq!(cache.nearest(PeerId(6)), None);
         assert_eq!(cache.nearest(PeerId(5)), Some(PeerId(3)));
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn evict_matches_fresh_build_after_leaves() {
+        let m = line_matrix(40);
+        let mut members: Vec<PeerId> = (0..30).map(PeerId).collect();
+        let targets: Vec<PeerId> = (30..40).map(PeerId).collect();
+        let mut cache = NearestCache::build(&m, &members, &targets, 2);
+        // Remove the peers closest to the targets — the worst case for
+        // an incremental rescan.
+        for dead in [29u32, 28, 27] {
+            let p = PeerId(dead);
+            members.retain(|&q| q != p);
+            cache.evict_member(&m, &members, p);
+            let fresh = NearestCache::build(&m, &members, &targets, 1);
+            for &t in &targets {
+                assert_eq!(cache.nearest(t), fresh.nearest(t), "after removing {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn admit_matches_fresh_build_after_joins() {
+        let m = line_matrix(40);
+        let mut members: Vec<PeerId> = (0..25).map(PeerId).collect();
+        let targets: Vec<PeerId> = (30..40).map(PeerId).collect();
+        let mut cache = NearestCache::build(&m, &members, &targets, 1);
+        for newcomer in [29u32, 25, 28] {
+            let p = PeerId(newcomer);
+            members.push(p);
+            members.sort_unstable();
+            cache.admit_member(&m, p);
+            let fresh = NearestCache::build(&m, &members, &targets, 2);
+            for &t in &targets {
+                assert_eq!(cache.nearest(t), fresh.nearest(t), "after admitting {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_refresh_is_evict_then_admit() {
+        use crate::drift::DriftedWorld;
+        let m = line_matrix(20);
+        let members: Vec<PeerId> = (0..15).map(PeerId).collect();
+        let targets: Vec<PeerId> = (15..20).map(PeerId).collect();
+        let mut off = vec![0u64; 20];
+        let mut cache = {
+            let w = DriftedWorld::new(&m, &off);
+            NearestCache::build(&w, &members, &targets, 1)
+        };
+        // Penalise peer 14 (the nearest of target 15) heavily, then
+        // relax it again; the incremental refresh must track the fresh
+        // build at every step.
+        for penalty in [5_000u64, 0, 900] {
+            off[14] = penalty;
+            let w = DriftedWorld::new(&m, &off);
+            cache.evict_member(&w, &members, PeerId(14));
+            cache.admit_member(&w, PeerId(14));
+            let fresh = NearestCache::build(&w, &members, &targets, 2);
+            for &t in &targets {
+                assert_eq!(cache.nearest(t), fresh.nearest(t), "at penalty {penalty}");
+            }
+        }
     }
 
     #[test]

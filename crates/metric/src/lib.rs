@@ -24,6 +24,8 @@
 //! * [`cache`] — precomputed ground-truth nearest-member answers
 //!   ([`cache::NearestCache`]), built in parallel once per scenario so
 //!   the batch query runner checks outcomes in O(1),
+//! * [`drift`] — [`drift::DriftedWorld`], additive per-peer RTT drift
+//!   over any backend (the churn scenarios' time-varying latencies),
 //! * [`world`] — the [`world::WorldStore`] backend trait every consumer
 //!   (targets, caches, overlays, the runner) is written against,
 //! * [`sharded`] — [`sharded::ShardedWorld`], the block-compressed
@@ -34,6 +36,7 @@
 
 pub mod cache;
 pub mod diagnostics;
+pub mod drift;
 pub mod graph;
 pub mod matrix;
 pub mod nearest;
@@ -42,7 +45,8 @@ pub mod sharded;
 pub mod world;
 
 pub use cache::NearestCache;
+pub use drift::DriftedWorld;
 pub use matrix::{LatencyMatrix, PeerId};
-pub use nearest::{NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};
+pub use nearest::{FaultPlan, NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};
 pub use sharded::ShardedWorld;
 pub use world::{ShardView, WorldStore};

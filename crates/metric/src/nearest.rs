@@ -15,9 +15,45 @@
 
 use crate::matrix::{LatencyMatrix, PeerId};
 use crate::world::WorldStore;
+use np_util::rng::splitmix64;
 use np_util::Micros;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seed tag isolating the probe fault stream from every other stream.
+const FAULT_TAG: u64 = 0x464C_5459; // "FLTY"
+
+/// Deterministic probe fault injection: each probe attempt is dropped
+/// with probability `loss`, decided by a pure hash of
+/// `(seed, prober, target, attempt)` — no RNG object, no ordering
+/// dependence — so fault patterns are bit-identical at any thread
+/// count and on every backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Per-attempt drop probability in `[0, 1)`.
+    pub loss: f64,
+    /// Attempts per logical probe before the prober gives up (≥ 1).
+    /// Each attempt is counted by the target's [`ProbeCounter`] — lost
+    /// probes still cost the paper's cost axis.
+    pub attempts: u32,
+    /// The fault stream's seed (callers derive it per query via
+    /// `item_seed`, so queries observe independent loss patterns).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Does attempt `attempt` of a probe from `prober` to `target`
+    /// get dropped? Pure function of the plan and arguments.
+    pub fn dropped(&self, prober: PeerId, target: PeerId, attempt: u32) -> bool {
+        if self.loss <= 0.0 {
+            return false;
+        }
+        let pair = (u64::from(prober.0) << 32) | u64::from(target.0);
+        let h = splitmix64(self.seed ^ splitmix64(FAULT_TAG ^ pair) ^ u64::from(attempt));
+        // Top 53 bits → uniform in [0, 1).
+        ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.loss
+    }
+}
 
 /// Counts latency probes to a query target.
 ///
@@ -56,16 +92,31 @@ pub struct Target<'a> {
     id: PeerId,
     world: &'a dyn WorldStore,
     counter: ProbeCounter,
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> Target<'a> {
     /// Wrap `id` as a probe-counted target over `world` (any latency
-    /// backend; `&LatencyMatrix` coerces).
+    /// backend; `&LatencyMatrix` coerces). Probes never fail.
     pub fn new(id: PeerId, world: &'a dyn WorldStore) -> Target<'a> {
         Target {
             id,
             world,
             counter: ProbeCounter::default(),
+            faults: None,
+        }
+    }
+
+    /// Like [`Target::new`], but probes fail according to `faults`.
+    /// Algorithms that probe through [`Target::try_probe_from`] observe
+    /// the losses; the infallible [`Target::probe_from`] remains exact
+    /// (legacy algorithms keep working, they just don't see faults).
+    pub fn with_faults(id: PeerId, world: &'a dyn WorldStore, faults: FaultPlan) -> Target<'a> {
+        Target {
+            id,
+            world,
+            counter: ProbeCounter::default(),
+            faults: Some(faults),
         }
     }
 
@@ -78,6 +129,26 @@ impl<'a> Target<'a> {
     pub fn probe_from(&self, prober: PeerId) -> Micros {
         self.counter.bump();
         self.world.rtt(prober, self.id)
+    }
+
+    /// Measure the RTT from `prober` to the target through the fault
+    /// plan, retrying up to the plan's attempt budget. Every attempt —
+    /// lost or not — bumps the probe counter. `None` when all attempts
+    /// were dropped (the prober sees a dead peer); without a fault
+    /// plan this is exactly one [`Target::probe_from`].
+    pub fn try_probe_from(&self, prober: PeerId) -> Option<Micros> {
+        match self.faults {
+            None => Some(self.probe_from(prober)),
+            Some(plan) => {
+                for attempt in 0..plan.attempts.max(1) {
+                    self.counter.bump();
+                    if !plan.dropped(prober, self.id, attempt) {
+                        return Some(self.world.rtt(prober, self.id));
+                    }
+                }
+                None
+            }
+        }
     }
 
     /// Probes spent on this target so far.
@@ -188,16 +259,30 @@ impl<W: WorldStore + ?Sized> NearestPeerAlgo for BruteForce<'_, W> {
 
     fn find_nearest(&self, target: &Target<'_>, _rng: &mut StdRng) -> QueryOutcome {
         let mut best: Option<(Micros, PeerId)> = None;
+        let mut fallback: Option<PeerId> = None;
         for &m in &self.members {
             if m == target.id() {
                 continue;
             }
-            let d = target.probe_from(m);
+            fallback.get_or_insert(m);
+            // Dead peers (all probe attempts lost) are skipped, not
+            // fatal: brute force degrades to "best among responders".
+            let Some(d) = target.try_probe_from(m) else {
+                continue;
+            };
             if best.map(|(bd, bp)| (d, m) < (bd, bp)).unwrap_or(true) {
                 best = Some((d, m));
             }
         }
-        let (rtt, found) = best.expect("overlay has at least one other member");
+        let (rtt, found) = best.unwrap_or_else(|| {
+            // Every member unreachable: answer *something* (the first
+            // candidate) with an infinite measured RTT rather than
+            // panicking mid-batch.
+            (
+                Micros::INFINITY,
+                fallback.expect("overlay has at least one other member"),
+            )
+        });
         QueryOutcome {
             found,
             rtt_to_target: rtt,
@@ -239,7 +324,9 @@ impl<W: WorldStore + ?Sized> NearestPeerAlgo for RandomChoice<'_, W> {
                 break m;
             }
         };
-        let rtt = target.probe_from(found);
+        // A dead pick stays the answer (zero intelligence extends to
+        // zero fallback); the measured RTT is just unknown.
+        let rtt = target.try_probe_from(found).unwrap_or(Micros::INFINITY);
         QueryOutcome {
             found,
             rtt_to_target: rtt,
@@ -304,6 +391,94 @@ mod tests {
         let out = algo.find_nearest(&t, &mut rng);
         assert!(members.contains(&out.found));
         assert_eq!(out.probes, 1);
+    }
+
+    #[test]
+    fn faultless_try_probe_equals_probe() {
+        let m = line_matrix(5);
+        let t = Target::new(PeerId(0), &m);
+        assert_eq!(t.try_probe_from(PeerId(3)), Some(Micros::from_ms_u64(3)));
+        assert_eq!(t.probes(), 1, "one attempt, one bump");
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_counts_every_attempt() {
+        let m = line_matrix(8);
+        let plan = FaultPlan {
+            loss: 0.5,
+            attempts: 3,
+            seed: 77,
+        };
+        let a = Target::with_faults(PeerId(0), &m, plan);
+        let b = Target::with_faults(PeerId(0), &m, plan);
+        let mut outcomes = Vec::new();
+        for p in 1..8u32 {
+            let ra = a.try_probe_from(PeerId(p));
+            assert_eq!(ra, b.try_probe_from(PeerId(p)), "probe {p} diverged");
+            outcomes.push(ra);
+        }
+        assert_eq!(a.probes(), b.probes());
+        // At 50% loss over 7 probers some succeed late or fail; the
+        // pure hash must not be degenerate either way.
+        assert!(outcomes.iter().any(|o| o.is_some()), "all probes lost");
+        assert!(
+            a.probes() > 7,
+            "retries must be visible in the probe count: {}",
+            a.probes()
+        );
+        // Successful probes still report the exact matrix RTT.
+        for (i, o) in outcomes.iter().enumerate() {
+            if let Some(d) = o {
+                assert_eq!(*d, Micros::from_ms_u64(i as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn total_loss_yields_none_after_the_attempt_budget() {
+        let m = line_matrix(3);
+        let plan = FaultPlan {
+            loss: 1.0,
+            attempts: 4,
+            seed: 1,
+        };
+        let t = Target::with_faults(PeerId(0), &m, plan);
+        assert_eq!(t.try_probe_from(PeerId(1)), None);
+        assert_eq!(t.probes(), 4, "every attempt was counted");
+    }
+
+    #[test]
+    fn brute_force_skips_dead_peers_and_never_panics() {
+        let m = line_matrix(10);
+        let members: Vec<PeerId> = (1..10).map(PeerId).collect();
+        let algo = BruteForce::new(&m, members.clone());
+        // Moderate loss: the best responder wins, no panic.
+        let t = Target::with_faults(
+            PeerId(0),
+            &m,
+            FaultPlan {
+                loss: 0.4,
+                attempts: 2,
+                seed: 5,
+            },
+        );
+        let out = algo.find_nearest(&t, &mut rng_from(1));
+        assert!(members.contains(&out.found));
+        // Total blackout: the fallback answer is returned with an
+        // infinite RTT instead of aborting the query batch.
+        let dead = Target::with_faults(
+            PeerId(0),
+            &m,
+            FaultPlan {
+                loss: 1.0,
+                attempts: 2,
+                seed: 5,
+            },
+        );
+        let out = algo.find_nearest(&dead, &mut rng_from(1));
+        assert_eq!(out.found, PeerId(1), "first candidate is the fallback");
+        assert_eq!(out.rtt_to_target, Micros::INFINITY);
+        assert_eq!(out.probes, 9 * 2, "two counted attempts per member");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   FIFO tie-breaking, per-run RNG, and message/drop accounting,
 //! * [`link`] — pluggable link models: constant, function-backed (e.g. a
 //!   latency matrix), plus [`link::Lossy`] and [`link::Jittered`]
-//!   decorators in the spirit of smoltcp's fault injection,
+//!   decorators in the spirit of smoltcp's fault injection, and the
+//!   deterministic fault pair [`link::SeededLoss`] (per-link seeded
+//!   drop pattern, independent of global message order) and
+//!   [`link::TimeoutLink`] (slow deliveries become drops),
 //! * [`wire`] — length-prefixed frame encoding over `bytes`, used by the
 //!   protocol crates to round-trip their messages as real byte frames.
 //!

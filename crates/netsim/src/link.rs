@@ -87,6 +87,88 @@ impl<L: LinkModel> LinkModel for Lossy<L> {
     }
 }
 
+/// Drops messages deterministically: message `k` on link `(from, to)`
+/// is lost iff a pure hash of `(seed, from, to, k)` falls below `p`.
+///
+/// Unlike [`Lossy`], which burns the simulation RNG and therefore
+/// entangles every link's fate with global message order, this
+/// decorator keeps one counter per directed link — the drop pattern a
+/// link sees depends only on its own traffic order, never on what other
+/// links carried in between. Rebuilding the decorator with the same
+/// seed replays the same losses.
+pub struct SeededLoss<L: LinkModel> {
+    inner: L,
+    p: f64,
+    seed: u64,
+    sent: std::cell::RefCell<std::collections::HashMap<(NodeAddr, NodeAddr), u64>>,
+}
+
+/// Seed tag isolating link loss from every other stream.
+const LINK_LOSS_TAG: u64 = 0x4C4E_4B4C; // "LNKL"
+
+impl<L: LinkModel> SeededLoss<L> {
+    pub fn new(inner: L, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability");
+        SeededLoss {
+            inner,
+            p,
+            seed,
+            sent: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Whether message `k` on `(from, to)` is dropped — pure, callable
+    /// without sending anything (the tests replay history with it).
+    pub fn drops(&self, from: NodeAddr, to: NodeAddr, k: u64) -> bool {
+        use np_util::rng::{splitmix64, sub_seed};
+        let link = (u64::from(from.0) << 32) | u64::from(to.0);
+        let h = splitmix64(sub_seed(self.seed, LINK_LOSS_TAG) ^ splitmix64(link) ^ k);
+        (h >> 11) as f64 / ((1u64 << 53) as f64) < self.p
+    }
+}
+
+impl<L: LinkModel> LinkModel for SeededLoss<L> {
+    fn delay(&self, from: NodeAddr, to: NodeAddr, rng: &mut StdRng) -> Option<Micros> {
+        let k = {
+            let mut sent = self.sent.borrow_mut();
+            let k = sent.entry((from, to)).or_insert(0);
+            let now = *k;
+            *k += 1;
+            now
+        };
+        if self.drops(from, to, k) {
+            None
+        } else {
+            self.inner.delay(from, to, rng)
+        }
+    }
+}
+
+/// Turns deliveries slower than `limit` into drops — the receiver's
+/// timeout fires before the message lands, which to a probe tool is
+/// indistinguishable from loss.
+pub struct TimeoutLink<L: LinkModel> {
+    inner: L,
+    limit: Micros,
+}
+
+impl<L: LinkModel> TimeoutLink<L> {
+    pub fn new(inner: L, limit: Micros) -> Self {
+        TimeoutLink { inner, limit }
+    }
+}
+
+impl<L: LinkModel> LinkModel for TimeoutLink<L> {
+    fn delay(&self, from: NodeAddr, to: NodeAddr, rng: &mut StdRng) -> Option<Micros> {
+        let d = self.inner.delay(from, to, rng)?;
+        if d > self.limit {
+            None
+        } else {
+            Some(d)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +224,58 @@ mod tests {
         assert!(never.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_some());
         let always = Lossy::new(ConstLink(Micros(1)), 1.0);
         assert!(always.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none());
+    }
+
+    #[test]
+    fn seeded_loss_replays_bit_identically_and_ignores_other_links() {
+        let mut rng = rng_from(6);
+        let l = SeededLoss::new(ConstLink(Micros(1)), 0.3, 42);
+        let a: Vec<bool> = (0..200)
+            .map(|_| l.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none())
+            .collect();
+        assert!(a.iter().any(|&d| d) && !a.iter().all(|&d| d), "p=0.3 drops some, not all");
+        // Same seed, but this time interleave heavy traffic on an
+        // unrelated link: (0, 1) must see the exact same fate sequence.
+        let l2 = SeededLoss::new(ConstLink(Micros(1)), 0.3, 42);
+        let b: Vec<bool> = (0..200)
+            .map(|i| {
+                for _ in 0..(i % 3) {
+                    let _ = l2.delay(NodeAddr(7), NodeAddr(8), &mut rng);
+                }
+                l2.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none()
+            })
+            .collect();
+        assert_eq!(a, b);
+        // And the pure predicate replays history without sending.
+        let c: Vec<bool> = (0..200).map(|k| l.drops(NodeAddr(0), NodeAddr(1), k)).collect();
+        assert_eq!(a, c);
+        // A different seed draws a different pattern.
+        let l3 = SeededLoss::new(ConstLink(Micros(1)), 0.3, 43);
+        let d: Vec<bool> = (0..200)
+            .map(|_| l3.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none())
+            .collect();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn seeded_loss_rate_is_about_p() {
+        let mut rng = rng_from(7);
+        let l = SeededLoss::new(ConstLink(Micros(1)), 0.3, 9);
+        let dropped = (0..10_000)
+            .filter(|_| l.delay(NodeAddr(0), NodeAddr(1), &mut rng).is_none())
+            .count();
+        assert!((2_700..=3_300).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn timeout_turns_slow_deliveries_into_drops() {
+        let mut rng = rng_from(8);
+        let l = TimeoutLink::new(
+            FnLink::new(|a: NodeAddr, b: NodeAddr| Micros((a.0 + b.0) as u64 * 100)),
+            Micros(400),
+        );
+        assert_eq!(l.delay(NodeAddr(1), NodeAddr(2), &mut rng), Some(Micros(300)));
+        assert_eq!(l.delay(NodeAddr(1), NodeAddr(3), &mut rng), Some(Micros(400)));
+        assert_eq!(l.delay(NodeAddr(4), NodeAddr(5), &mut rng), None);
     }
 }

@@ -1,0 +1,161 @@
+//! Deterministic retry/backoff schedules.
+//!
+//! Probe tools retry lost measurements with exponential backoff plus
+//! jitter. Real implementations draw the jitter from a thread-local
+//! RNG, which destroys run-to-run reproducibility the moment two
+//! campaigns interleave differently. Here the whole schedule is a
+//! *pure function* of `(policy, seed, attempt)` — no RNG object, no
+//! shared state — so the same probe retried under the same seed waits
+//! the same microseconds no matter which worker thread issues it or
+//! how many probes ran before it.
+
+use crate::rng::{splitmix64, sub_seed};
+
+/// Seed tag isolating backoff jitter from every other stream.
+const BACKOFF_TAG: u64 = 0x42_4F_46_46; // "BOFF"
+
+/// An exponential-backoff retry policy with bounded deterministic
+/// jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical operation (≥ 1; the first attempt
+    /// waits nothing).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in µs; doubles per retry.
+    pub base_us: u64,
+    /// Ceiling on the un-jittered backoff, in µs.
+    pub max_delay_us: u64,
+    /// Jitter span as a fraction of the capped backoff, in `[0, 1]`;
+    /// the jitter itself is drawn deterministically from the seed.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_us: 50_000,        // 50 ms
+            max_delay_us: 2_000_000, // 2 s
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no waits).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_us: 0,
+            max_delay_us: 0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// The wait before `attempt` (0-based; attempt 0 is the initial
+    /// try and waits nothing), in µs. Pure: same `(self, seed,
+    /// attempt)` ⇒ same delay, on any thread, in any call order.
+    pub fn delay_us(&self, seed: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let shift = (attempt - 1).min(20);
+        let backoff = self
+            .base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_us);
+        let span = (backoff as f64 * self.jitter_frac.clamp(0.0, 1.0)) as u64;
+        if span == 0 {
+            return backoff;
+        }
+        let h = splitmix64(sub_seed(seed, BACKOFF_TAG) ^ u64::from(attempt));
+        backoff + h % (span + 1)
+    }
+
+    /// The full wait schedule for one logical operation: the delay
+    /// before each attempt `0..max_attempts`.
+    pub fn schedule_us(&self, seed: u64) -> Vec<u64> {
+        (0..self.max_attempts.max(1))
+            .map(|a| self.delay_us(seed, a))
+            .collect()
+    }
+
+    /// Total simulated time spent waiting if every attempt is used.
+    pub fn worst_case_wait_us(&self, seed: u64) -> u64 {
+        self.schedule_us(seed).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_is_free_and_backoff_doubles() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_us: 100,
+            max_delay_us: 10_000,
+            jitter_frac: 0.0,
+        };
+        assert_eq!(p.schedule_us(7), vec![0, 100, 200, 400, 800]);
+    }
+
+    #[test]
+    fn cap_bounds_the_backoff() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_us: 1_000,
+            max_delay_us: 2_500,
+            jitter_frac: 0.0,
+        };
+        assert_eq!(p.schedule_us(1), vec![0, 1_000, 2_000, 2_500, 2_500, 2_500]);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_us: 1_000,
+            max_delay_us: 100_000,
+            jitter_frac: 0.5,
+        };
+        for seed in [0u64, 9, 0xDEAD_BEEF] {
+            for attempt in 1..4 {
+                let d = p.delay_us(seed, attempt);
+                let base = 1_000u64 << (attempt - 1);
+                assert!(d >= base, "jitter may only add: {d} < {base}");
+                assert!(d <= base + base / 2, "jitter beyond span: {d}");
+                assert_eq!(d, p.delay_us(seed, attempt), "non-deterministic");
+            }
+        }
+        // Different seeds draw different jitter (overwhelmingly).
+        assert_ne!(p.schedule_us(1), p.schedule_us(2));
+    }
+
+    #[test]
+    fn schedule_is_identical_across_threads() {
+        let p = RetryPolicy::default();
+        let expect = p.schedule_us(42);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(RetryPolicy::default().schedule_us(42), expect);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+    }
+
+    #[test]
+    fn none_never_waits() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.schedule_us(3), vec![0]);
+        assert_eq!(p.worst_case_wait_us(3), 0);
+    }
+}

@@ -395,6 +395,7 @@ fn experiment_pipeline_identical_at_any_thread_count() {
                 queries: 80,
                 quick_queries: None,
                 in_quick: true,
+                churn: None,
                 algos: vec![
                     AlgoSpec::new("random"),
                     AlgoSpec::new("brute-force").with_queries(20),
@@ -421,6 +422,138 @@ fn experiment_pipeline_identical_at_any_thread_count() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The churn-cell registry: brute force (exact truth maintenance
+/// through the dynamic runner's incremental `NearestCache` updates)
+/// plus Meridian (full rebuilds on joins, incremental ring repair on
+/// leaves).
+fn churn_registry() -> np_core::experiment::AlgoRegistry {
+    use np_core::experiment::{AlgoRegistry, BruteForceFactory};
+    let mut registry = AlgoRegistry::new();
+    registry.register(Box::new(BruteForceFactory));
+    registry.register(Box::new(
+        nearest_peer::meridian::MeridianFactory::omniscient(),
+    ));
+    registry
+}
+
+/// One churn cell over the 96-peer determinism world at
+/// `events_per_min` (60 simulated seconds, probe loss + retry on).
+fn churn_spec(
+    backend: np_core::experiment::Backend,
+    events_per_min: f64,
+) -> np_core::experiment::ExperimentSpec {
+    use np_core::experiment::{AlgoSpec, CellSpec, ExperimentSpec, SeedPlan};
+    use np_core::ChurnConfig;
+    ExperimentSpec::query(
+        "churn-determinism",
+        "dynamic pipeline determinism",
+        "n/a",
+        backend,
+        SeedPlan::THREE_RUNS,
+        vec![CellSpec {
+            label: "cell".into(),
+            world: ClusterWorldSpec {
+                clusters: 4,
+                en_per_cluster: 12,
+                peers_per_en: 2,
+                delta: 0.2,
+                mean_hub_ms: (4.0, 6.0),
+                intra_en: Micros::from_us(100),
+                hub_pool: 6,
+            },
+            n_targets: 16,
+            base_seed: 911,
+            queries: 60,
+            quick_queries: None,
+            in_quick: true,
+            churn: Some(ChurnConfig {
+                events_per_min,
+                duration_s: 60.0,
+                drift_max_us: 1_500,
+                offline_frac: 0.1,
+                loss: 0.05,
+                retries: 2,
+            }),
+            algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
+        }],
+    )
+}
+
+/// Tentpole of the churn PR: the event-clocked dynamic pipeline — join
+/// and leave epochs, RTT drift, probe loss with seeded retry, and
+/// Meridian's incremental ring repair — is bit-identical at 1, 2, 4
+/// and 8 threads on both backends, metrics *and* repair accounting.
+#[test]
+fn churn_pipeline_identical_at_any_thread_count() {
+    use np_core::experiment::Backend;
+    let registry = churn_registry();
+    for backend in [Backend::Dense, Backend::Sharded] {
+        let serial =
+            np_core::experiment::Experiment::new(churn_spec(backend, 30.0), &registry)
+                .run_threads(1);
+        let serial_cell = &serial.query_cells().expect("query spec")[0];
+        let stats = serial_cell.rows[1].churn.expect("churn cell carries stats");
+        assert!(
+            stats.leaves > 0 && stats.joins > 0,
+            "30 events/min over 3 seeds must churn ({})",
+            backend.name()
+        );
+        for threads in THREAD_COUNTS {
+            let par = np_core::experiment::Experiment::new(churn_spec(backend, 30.0), &registry)
+                .run_threads(threads);
+            let pc = &par.query_cells().expect("query spec")[0];
+            for (sr, pr) in serial_cell.rows.iter().zip(&pc.rows) {
+                assert_eq!(
+                    sr.runs, pr.runs,
+                    "churned {} diverged at {threads} threads ({})",
+                    sr.label,
+                    backend.name()
+                );
+                assert_eq!(
+                    sr.churn, pr.churn,
+                    "churn accounting for {} diverged at {threads} threads ({})",
+                    sr.label,
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// A zero-event, zero-fault churn cell *is* the static pipeline: the
+/// dynamic wrapper at rate 0 must reproduce the plain experiment's
+/// metrics bit-for-bit (the dynamic-equals-static contract that makes
+/// `ext_churn`'s rate sweep readable against the paper's figures).
+#[test]
+fn null_churn_matches_the_static_pipeline() {
+    use np_core::experiment::{Backend, Experiment, Workload};
+    use np_core::ChurnConfig;
+    let registry = churn_registry();
+    for backend in [Backend::Dense, Backend::Sharded] {
+        let mut dynamic = churn_spec(backend, 0.0);
+        let mut static_ = churn_spec(backend, 0.0);
+        if let Workload::QueryMatrix(cells) = &mut dynamic.workload {
+            cells[0].churn = Some(ChurnConfig::null(60.0));
+        }
+        if let Workload::QueryMatrix(cells) = &mut static_.workload {
+            cells[0].churn = None;
+        }
+        let dyn_report = Experiment::new(dynamic, &registry).run_threads(4);
+        let static_report = Experiment::new(static_, &registry).run_threads(4);
+        let dc = &dyn_report.query_cells().expect("query spec")[0];
+        let sc = &static_report.query_cells().expect("query spec")[0];
+        for (dr, sr) in dc.rows.iter().zip(&sc.rows) {
+            assert_eq!(
+                dr.runs, sr.runs,
+                "null churn diverged from static for {} ({})",
+                dr.label,
+                backend.name()
+            );
+            assert!(dr.churn.is_some() && sr.churn.is_none());
         }
     }
 }
