@@ -57,14 +57,20 @@ impl<'m, W: WorldStore + ?Sized> Tapestry<'m, W> {
             let mut levels = Vec::with_capacity(DIGITS);
             for l in 0..DIGITS {
                 let mut row: Vec<Option<PeerId>> = vec![None; BASE];
-                for (&q, &qid) in &ids {
+                // Iterate members (sorted) rather than the id map: RTT
+                // ties are common in cluster worlds (intra-EN latency is
+                // a constant), and a HashMap-order-dependent tie-break
+                // would make the tables differ between two builds of the
+                // very same overlay.
+                for &q in &members {
+                    let qid = ids[&q];
                     if q == p || !shares_prefix(pid, qid, l) {
                         continue;
                     }
                     let dgt = digit(qid, l);
                     let better = match row[dgt] {
                         None => true,
-                        Some(cur) => matrix.rtt(p, q) < matrix.rtt(p, cur),
+                        Some(cur) => (matrix.rtt(p, q), q) < (matrix.rtt(p, cur), cur),
                     };
                     if better {
                         row[dgt] = Some(q);

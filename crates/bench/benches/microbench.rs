@@ -89,6 +89,44 @@ fn bench_chord_lookup(c: &mut Criterion) {
     });
 }
 
+// The Ext F structured-overlay searchers: `kademlia_lookup_500` costs
+// one iterative XOR-frontier lookup (k=8, alpha=3) over a 500-peer key
+// ring — the per-query price of the `kademlia` registry entry —
+// and `nsw_build_500` costs the seeded greedy NSW graph construction
+// (M=5) that the `nsw` factory amortises across a cell via the shared
+// BuildCache. Both land in BENCH_parallel.json next to `chord_lookup`.
+
+fn bench_kademlia_lookup(c: &mut Criterion) {
+    use std::sync::Arc;
+    let w = world_500();
+    let m = w.to_matrix();
+    let members: Vec<PeerId> = w.peers().skip(10).collect();
+    let ring = Arc::new(np_dht::KademliaRing::build(&members));
+    let lookup = np_dht::KademliaLookup::new(ring, members, np_dht::KademliaConfig::default());
+    c.bench_function("kademlia_lookup_500", |b| {
+        use np_metric::NearestPeerAlgo;
+        let mut rng = rng_from(9);
+        let mut i = 0u32;
+        b.iter(|| {
+            let target = Target::new(PeerId(i % 10), &m);
+            i += 1;
+            criterion::black_box(lookup.find_nearest(&target, &mut rng).probes)
+        })
+    });
+}
+
+fn bench_nsw_build(c: &mut Criterion) {
+    let w = world_500();
+    let m = w.to_matrix();
+    let members: Vec<PeerId> = w.peers().collect();
+    c.bench_function("nsw_build_500", |b| {
+        b.iter(|| {
+            let g = np_dht::NswGraph::build(&m, &members, 5, 7);
+            criterion::black_box(g.edges())
+        })
+    });
+}
+
 fn bench_dijkstra_local(c: &mut Criterion) {
     // A 10k-node random graph with local structure.
     let mut rng = rng_from(5);
@@ -427,7 +465,8 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_matrix_build, bench_meridian_build, bench_meridian_query,
-              bench_chord_lookup, bench_dijkstra_local, bench_vivaldi,
+              bench_chord_lookup, bench_kademlia_lookup, bench_nsw_build,
+              bench_dijkstra_local, bench_vivaldi,
               bench_event_kernel, bench_hypervolume,
               bench_matrix_build_2500_serial, bench_matrix_build_2500_par,
               bench_run_queries_1000_serial, bench_run_queries_1000_par,

@@ -1,0 +1,72 @@
+//! **Ext F** (beyond the paper): structured-overlay searchers — the
+//! Kademlia iterative XOR-metric lookup and the NSW latency-space graph
+//! walk — against brute force and Meridian on the paper's x=125 world.
+//!
+//! Spec + renderer live in `np_bench::specs::ext_dht` (shared with
+//! `np-bench run experiments/ext_dht.toml`). The registry must be the
+//! *full* one: `kademlia`, `nsw` and their parameter variants are
+//! extension entries.
+
+use np_bench::specs::{self, ext_dht};
+use np_bench::{cli, full_registry, Args};
+
+fn main() {
+    let args = Args::parse();
+    let figure = np_bench::figure("ext_dht").expect("ext_dht is catalogued");
+    let report = cli::run_experiment(
+        &args,
+        &full_registry(),
+        specs::spec_for_args(figure, &args),
+        ext_dht::render,
+    );
+    cli::exit_on_failed_cells(&report);
+    // Self-checks on the main path (they also guard --out json runs):
+    // the reference row must stay exact with unit stretch — the new
+    // mean_stretch metric silently reading the wrong RTT pair would
+    // corrupt the whole stretch column — and both searcher families
+    // must actually walk (nonzero hops) and probe (nonzero probes).
+    for cell in report.query_cells().expect("ext_dht is a query spec") {
+        let bf = cell
+            .rows
+            .iter()
+            .find(|r| r.algo == "brute-force")
+            .expect("brute-force row present");
+        for m in &bf.runs {
+            assert_eq!(
+                m.p_correct_closest, 1.0,
+                "brute force must stay exact ({})",
+                cell.label
+            );
+            assert_eq!(
+                m.mean_stretch, 1.0,
+                "exact answers must have unit stretch ({})",
+                cell.label
+            );
+        }
+        for row in &cell.rows {
+            let searcher = row.algo.starts_with("kademlia") || row.algo.starts_with("nsw");
+            for m in &row.runs {
+                assert!(
+                    m.mean_probes > 0.0,
+                    "{}: probes must be counted ({})",
+                    row.algo,
+                    cell.label
+                );
+                assert!(
+                    m.mean_stretch >= 1.0,
+                    "{}: stretch is bounded below by 1 ({})",
+                    row.algo,
+                    cell.label
+                );
+                if searcher {
+                    assert!(
+                        m.mean_hops > 0.0,
+                        "{}: structured searchers must hop ({})",
+                        row.algo,
+                        cell.label
+                    );
+                }
+            }
+        }
+    }
+}

@@ -216,6 +216,17 @@ pub const FIGURES: &[FigureInfo] = &[
         study: None,
         clamp: None,
     },
+    FigureInfo {
+        bin: "ext_dht",
+        spec: "ext_dht",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "structured-overlay searchers: Kademlia and NSW (Ext F)",
+        build: specs::ext_dht::build,
+        render: Some(specs::ext_dht::render),
+        study: None,
+        clamp: None,
+    },
 ];
 
 /// The catalogue entry whose spec name is `name`.
@@ -237,7 +248,7 @@ mod tests {
 
     #[test]
     fn catalogue_is_complete_and_unique() {
-        assert_eq!(FIGURES.len(), 14, "14 figure binaries + all_figures = 15");
+        assert_eq!(FIGURES.len(), 15, "15 figure binaries + all_figures = 16");
         let mut bins: Vec<&str> = FIGURES.iter().map(|f| f.bin).collect();
         bins.sort_unstable();
         bins.dedup();

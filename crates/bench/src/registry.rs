@@ -7,6 +7,7 @@
 use np_baselines::{BeaconingFactory, KargerRuhlFactory, TapestryFactory, TiersFactory};
 use np_coords::CoordWalkFactory;
 use np_core::experiment::{AlgoRegistry, BruteForceFactory, RandomChoiceFactory};
+use np_dht::{KademliaFactory, NswFactory};
 use np_meridian::MeridianFactory;
 use np_remedies::HybridHintFactory;
 
@@ -44,13 +45,14 @@ pub fn standard_registry() -> AlgoRegistry {
     reg
 }
 
-/// [`standard_registry`] plus every extension-figure variant: the Ext D
-/// Meridian ablations (`ablate-*`) and the Ext C hybrid coverage sweep
-/// (`ucl{0,25,50,75,100}+meridian`). This is the registry `np-bench
-/// run` resolves spec files against — a checked-in
-/// `experiments/*.toml` may reference any of these names — and what
-/// the extension binaries themselves use (registering an entry costs
-/// nothing until a cell names it).
+/// [`standard_registry`] plus every extension-figure entry: the Ext D
+/// Meridian ablations (`ablate-*`), the Ext C hybrid coverage sweep
+/// (`ucl{0,25,50,75,100}+meridian`), and the Ext F structured-overlay
+/// searchers (`kademlia`/`nsw` and their parameter variants). This is
+/// the registry `np-bench run` resolves spec files against — a
+/// checked-in `experiments/*.toml` may reference any of these names —
+/// and what the extension binaries themselves use (registering an
+/// entry costs nothing until a cell names it).
 pub fn full_registry() -> AlgoRegistry {
     let mut reg = standard_registry();
     for factory in crate::specs::ext_ablation::variant_factories() {
@@ -58,6 +60,11 @@ pub fn full_registry() -> AlgoRegistry {
     }
     for factory in crate::specs::ext_hybrid::coverage_factories() {
         reg.register(Box::new(factory));
+    }
+    reg.register(Box::new(KademliaFactory::new()));
+    reg.register(Box::new(NswFactory::new()));
+    for factory in crate::specs::ext_dht::variant_factories() {
+        reg.register(factory);
     }
     reg
 }
@@ -94,7 +101,7 @@ mod tests {
     #[test]
     fn full_registry_adds_the_extension_variants() {
         let reg = full_registry();
-        assert_eq!(reg.len(), 10 + 5 + 5);
+        assert_eq!(reg.len(), 10 + 5 + 5 + 2 + 4);
         for expected in [
             "ablate-base",
             "ablate-b25",
@@ -106,6 +113,12 @@ mod tests {
             "ucl50+meridian",
             "ucl75+meridian",
             "ucl100+meridian",
+            "kademlia",
+            "kademlia-a1",
+            "kademlia-k16",
+            "nsw",
+            "nsw-m10",
+            "nsw-s1",
         ] {
             assert!(reg.get(expected).is_some(), "missing {expected}");
         }

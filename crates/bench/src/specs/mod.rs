@@ -23,6 +23,7 @@ pub mod ext_ablation;
 pub mod ext_assumptions;
 pub mod ext_baselines;
 pub mod ext_churn;
+pub mod ext_dht;
 pub mod ext_hybrid;
 pub mod ext_scale;
 pub mod fig10;

@@ -9,10 +9,15 @@ use std::ops::Range;
 /// half-open `Range<usize>`.
 pub trait SizeSpec {
     fn draw(&self, rng: &mut StdRng) -> usize;
+    /// The smallest legal size — shrinking never truncates below it.
+    fn min(&self) -> usize;
 }
 
 impl SizeSpec for usize {
     fn draw(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+    fn min(&self) -> usize {
         *self
     }
 }
@@ -21,6 +26,9 @@ impl SizeSpec for Range<usize> {
     fn draw(&self, rng: &mut StdRng) -> usize {
         assert!(self.start < self.end, "empty vec size range");
         rng.gen_range(self.clone())
+    }
+    fn min(&self) -> usize {
+        self.start
     }
 }
 
@@ -32,9 +40,41 @@ pub struct VecStrategy<S, Z> {
 
 impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
     type Value = Vec<S::Value>;
+
     fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let n = self.size.draw(rng);
         (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Truncation first (big cuts: down to the minimal size, then to
+    /// half), then one-element removals at every index, then
+    /// element-wise shrinks — all respecting the size spec's lower
+    /// bound. Candidates are strictly simpler (shorter, or same length
+    /// with a strictly shrunk element), so descent terminates.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.min();
+        let n = value.len();
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        if n > min {
+            out.push(value[..min].to_vec());
+            let half = min.max(n / 2);
+            if half != min && half != n {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..n {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for (i, e) in value.iter().enumerate() {
+            for cand in self.element.shrink(e) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
     }
 }
 

@@ -1,11 +1,11 @@
-//! Vendored mini `proptest`: deterministic property tests without the
-//! full shrinking machinery.
+//! Vendored mini `proptest`: deterministic property tests with minimal
+//! shrinking.
 //!
 //! Supported surface (exactly what this workspace's tests use):
 //!
 //! * `proptest! { #[test] fn name(x in strategy, ...) { body } }`
 //! * range strategies (`0u64..10_000`, `1u8..=32`, `-1.0f64..1.0`),
-//! * tuple strategies (2- and 3-tuples of strategies),
+//! * tuple strategies (1- to 4-tuples of strategies),
 //! * [`collection::vec`] with a fixed size or a size range,
 //! * [`num::u32::ANY`]-style full-range strategies,
 //! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
@@ -13,9 +13,14 @@
 //! Each test runs [`CASES`] generated cases. Inputs derive from a
 //! ChaCha12 stream seeded with the test's module path, so failures are
 //! reproducible run-over-run and machine-over-machine. On failure the
-//! harness panics with the case's concrete inputs (`Debug`); there is
-//! no shrinking, which for the small input spaces used here is an
-//! acceptable trade for zero dependencies.
+//! harness greedily **shrinks** the failing input — integers halve
+//! toward their range start, vectors drop elements and shrink the
+//! survivors, tuples shrink one component at a time — re-running the
+//! property on each candidate and keeping the simplification while it
+//! still fails, then panics with both the minimal and the original
+//! inputs. This is real proptest's idea without its value-tree
+//! machinery: greedy first-improvement descent, bounded by
+//! [`MAX_SHRINK_STEPS`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +38,12 @@ pub const CASES: usize = 64;
 /// retry with fresh draws up to this multiple of [`CASES`].
 pub const MAX_REJECT_FACTOR: usize = 20;
 
+/// Cap on accepted shrink steps. Each accepted step strictly simplifies
+/// the input (smaller magnitude or shorter vector), so real descents
+/// finish far earlier; the cap is a backstop against a buggy
+/// [`Strategy::shrink`] that returns the value itself.
+pub const MAX_SHRINK_STEPS: usize = 1_000;
+
 /// How a single generated case ended.
 #[derive(Debug)]
 pub enum TestCaseError {
@@ -42,18 +53,56 @@ pub enum TestCaseError {
     Reject,
 }
 
-/// A source of generated values.
+/// A source of generated values, with optional shrinking.
 pub trait Strategy {
-    type Value: std::fmt::Debug;
+    type Value: std::fmt::Debug + Clone;
+
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first, **excluding `value` itself**. The default — no candidates
+    /// — means "already minimal"; the driver stops shrinking there.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
-macro_rules! range_strategy {
+/// Shrink candidates for an integer confined to `lo..`: the range
+/// start (simplest legal value), repeated halvings of the distance back
+/// to `lo`, and the predecessor. Shared by `Range`, `RangeInclusive`
+/// and the full-range `num` strategies (where `lo` is 0).
+macro_rules! int_shrinks {
+    ($t:ty, $lo:expr, $v:expr) => {{
+        let (lo, v): ($t, $t) = ($lo, $v);
+        let mut out: Vec<$t> = Vec::new();
+        if v != lo {
+            out.push(lo);
+            let half = lo + (v - lo) / 2;
+            if half != lo && half != v {
+                out.push(half);
+            }
+            // One step toward `lo` (for full-range signed strategies
+            // `lo` is 0 and `v` may sit below it).
+            #[allow(unused_comparisons)]
+            let pred = if v > lo { v - 1 } else { v + 1 };
+            if pred != lo && pred != half {
+                out.push(pred);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! int_range_strategy {
     ($($t:ty),+ $(,)?) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrinks!($t, self.start, *value)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -61,37 +110,90 @@ macro_rules! range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrinks!($t, *self.start(), *value)
+            }
         }
     )+};
 }
 
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+macro_rules! float_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Toward the range start: the start itself, then the
+                // midpoint. No predecessor notion for floats.
+                let (lo, v) = (self.start, *value);
+                let mut out = Vec::new();
+                if v != lo {
+                    out.push(lo);
+                    let half = lo + (v - lo) / 2.0;
+                    if half != lo && half != v {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (*self.start(), *value);
+                let mut out = Vec::new();
+                if v != lo {
+                    out.push(lo);
+                    let half = lo + (v - lo) / 2.0;
+                    if half != lo && half != v {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+    )+};
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
+float_range_strategy!(f32, f64);
+
+pub(crate) use int_shrinks;
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
-    type Value = (A::Value, B::Value, C::Value, D::Value);
-    fn sample(&self, rng: &mut StdRng) -> Self::Value {
-        (
-            self.0.sample(rng),
-            self.1.sample(rng),
-            self.2.sample(rng),
-            self.3.sample(rng),
-        )
-    }
-}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+);
 
 /// Deterministic per-test seed: FNV-1a over the test's identifying
 /// string (module path + name), so every test owns an independent,
@@ -105,12 +207,39 @@ pub fn seed_for(test_id: &str) -> u64 {
     h
 }
 
-/// Drive one property: draw inputs with `gen`, run `case`, panic on
-/// failure with the concrete inputs. Called by the `proptest!` macro.
-pub fn run_property<V: std::fmt::Debug>(
+/// Greedy first-improvement descent from a failing `value`: try the
+/// strategy's shrink candidates in order, keep the first that still
+/// fails, repeat until no candidate fails (local minimum) or
+/// [`MAX_SHRINK_STEPS`] accepted steps. Returns the minimal failing
+/// value, its failure message, and the accepted step count.
+pub fn minimise<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    case: &impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) -> (S::Value, String, usize) {
+    let mut steps = 0usize;
+    'descend: while steps < MAX_SHRINK_STEPS {
+        for cand in strategy.shrink(&value) {
+            if let Err(TestCaseError::Fail(m)) = case(&cand) {
+                value = cand;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break; // every candidate passed (or was rejected): minimal.
+    }
+    (value, msg, steps)
+}
+
+/// Drive one property: draw inputs from `strategy`, run `case`, and on
+/// failure shrink via [`minimise`] before panicking with the minimal
+/// and original inputs. Called by the `proptest!` macro.
+pub fn run_property<S: Strategy>(
     test_id: &str,
-    gen: impl Fn(&mut StdRng) -> V,
-    case: impl Fn(&V) -> Result<(), TestCaseError>,
+    strategy: S,
+    case: impl Fn(&S::Value) -> Result<(), TestCaseError>,
 ) {
     let mut rng = StdRng::seed_from_u64(seed_for(test_id));
     let mut accepted = 0usize;
@@ -122,12 +251,18 @@ pub fn run_property<V: std::fmt::Debug>(
             "{test_id}: prop_assume! rejected too many cases \
              ({accepted}/{CASES} accepted after {attempts} attempts)"
         );
-        let value = gen(&mut rng);
+        let value = strategy.sample(&mut rng);
         match case(&value) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject) => continue,
             Err(TestCaseError::Fail(msg)) => {
-                panic!("{test_id}: property failed at case {accepted}:\n  {msg}\n  inputs: {value:?}")
+                let original = value.clone();
+                let (minimal, msg, steps) = minimise(&strategy, value, msg, &case);
+                panic!(
+                    "{test_id}: property failed at case {accepted}:\n  {msg}\n  \
+                     inputs: {minimal:?}\n  \
+                     (shrunk {steps} steps from {original:?})"
+                )
             }
         }
     }
@@ -145,7 +280,7 @@ macro_rules! proptest {
             let test_id = concat!(module_path!(), "::", stringify!($name));
             $crate::run_property(
                 test_id,
-                |rng| ($($crate::Strategy::sample(&($strat), rng),)+),
+                ($($strat,)+),
                 |values| {
                     #[allow(unused_parens)]
                     let ($($arg,)+) = values.clone();
@@ -243,7 +378,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "property failed")]
     fn failing_property_panics_with_inputs() {
-        run_property("t", |rng| rng.gen_range(0u32..10), |&v| {
+        run_property("t", (0u32..10,), |&(v,)| {
             if v < 100 {
                 Err(TestCaseError::Fail("always fails".into()))
             } else {
@@ -255,6 +390,107 @@ mod tests {
     #[test]
     #[should_panic(expected = "rejected too many cases")]
     fn over_rejection_panics() {
-        run_property("t2", |_| 0u32, |_| Err(TestCaseError::Reject));
+        run_property("t2", (0u32..1,), |_| Err(TestCaseError::Reject));
+    }
+
+    // --- shrinking ---
+
+    #[test]
+    fn integer_shrinks_halve_toward_the_range_start() {
+        let s = 5u64..100;
+        let c = s.shrink(&70);
+        assert_eq!(c, vec![5, 37, 69], "start, halfway-to-start, pred");
+        assert!(s.shrink(&5).is_empty(), "the range start is minimal");
+        // Inclusive ranges shrink toward their start too.
+        assert_eq!((3u32..=9).shrink(&4), vec![3]);
+        // Signed values shrink toward the start, not toward zero.
+        assert_eq!((-8i32..8).shrink(&6), vec![-8, -1, 5]);
+    }
+
+    #[test]
+    fn full_range_integers_shrink_toward_zero() {
+        let c = num::u64::ANY.shrink(&1000);
+        assert_eq!(c, vec![0, 500, 999]);
+        assert!(num::u32::ANY.shrink(&0).is_empty());
+        assert_eq!(num::i64::ANY.shrink(&-9), vec![0, -4, -8]);
+    }
+
+    #[test]
+    fn float_shrinks_step_toward_the_range_start() {
+        let c = (0.0f64..8.0).shrink(&6.0);
+        assert_eq!(c, vec![0.0, 3.0]);
+        assert!((0.0f64..8.0).shrink(&0.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (0u32..10, 0u32..10);
+        let c = s.shrink(&(4, 0));
+        // Only the first component can shrink; the second is minimal.
+        assert_eq!(c, vec![(0, 0), (2, 0), (3, 0)]);
+        assert!(s.shrink(&(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn minimise_descends_to_the_smallest_failing_input() {
+        // "fails iff v >= 10": greedy descent from any failing draw
+        // must bottom out at exactly 10.
+        let fails_at_10 = |&(v,): &(u64,)| {
+            if v >= 10 {
+                Err(TestCaseError::Fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = minimise(&(0u64..1000,), (700,), "seed".into(), &fails_at_10);
+        assert_eq!(min, (10,));
+        assert_eq!(msg, "10 too big");
+        assert!(steps > 0 && steps < MAX_SHRINK_STEPS);
+    }
+
+    #[test]
+    fn minimise_shrinks_vecs_to_the_guilty_element() {
+        // "fails iff the vec contains a 7": minimal counterexample is
+        // the single-element vec [7], whatever the draw looked like.
+        let s = (collection::vec(0u8..10, 0..8),);
+        let contains_7 = |(v,): &(Vec<u8>,)| {
+            if v.contains(&7) {
+                Err(TestCaseError::Fail("has a 7".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let start = (vec![3u8, 9, 7, 1, 7, 2],);
+        let (min, _, _) = minimise(&s, start, "seed".into(), &contains_7);
+        assert_eq!(min, (vec![7],));
+    }
+
+    #[test]
+    fn minimise_leaves_passing_candidates_alone() {
+        // A property that fails only at the original value: no shrink
+        // candidate reproduces it, so the original is reported.
+        let only_42 = |&(v,): &(u32,)| {
+            if v == 42 {
+                Err(TestCaseError::Fail("the answer".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = minimise(&(0u32..100,), (42,), "m".into(), &only_42);
+        assert_eq!(min, (42,));
+        assert_eq!(msg, "m", "message stays from the original failure");
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: (10,)")]
+    fn failing_property_reports_shrunk_inputs() {
+        run_property("shrunk", (0u64..1000,), |&(v,)| {
+            if v >= 10 {
+                Err(TestCaseError::Fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        });
     }
 }

@@ -16,6 +16,11 @@ macro_rules! any_mod {
                 fn sample(&self, rng: &mut StdRng) -> $t {
                     rng.gen::<$t>()
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    // Full-range values shrink toward zero (halving,
+                    // then a single step), whatever their sign.
+                    crate::int_shrinks!($t, 0, *value)
+                }
             }
 
             pub const ANY: Any = Any;

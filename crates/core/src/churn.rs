@@ -531,9 +531,19 @@ pub fn run_dynamic_threads<'a, W: WorldStore>(
             let nearest = cache.nearest(t).expect("target is cached");
             // Correctness reads the (drifted) world directly — a lossy
             // outcome's ∞ RTT never leaks into the verdict.
-            let exact = out.found == nearest
-                || drifted.rtt(out.found, t) == drifted.rtt(nearest, t);
-            query_record(&scenario.world, out.found, t, exact, out.probes, out.hops)
+            let found_rtt = drifted.rtt(out.found, t);
+            let true_rtt = drifted.rtt(nearest, t);
+            let exact = out.found == nearest || found_rtt == true_rtt;
+            query_record(
+                &scenario.world,
+                out.found,
+                t,
+                exact,
+                found_rtt,
+                true_rtt,
+                out.probes,
+                out.hops,
+            )
         });
         records.extend(epoch_records);
         gidx += ep.queries;

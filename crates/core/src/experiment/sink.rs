@@ -100,6 +100,8 @@ pub fn render_json_lines(report: &ExperimentReport) -> String {
                         row.bands.median_hub_latency_wrong_ms,
                     );
                     line.push(',');
+                    band_fields(&mut line, "mean_stretch", row.bands.mean_stretch);
+                    line.push(',');
                     band_fields(&mut line, "mean_probes", row.bands.mean_probes);
                     line.push(',');
                     band_fields(&mut line, "mean_hops", row.bands.mean_hops);
@@ -240,6 +242,7 @@ mod tests {
             p_correct_cluster: 0.9,
             p_same_en: p,
             median_hub_latency_wrong_ms: 4.5,
+            mean_stretch: 1.2,
             mean_probes: 40.0,
             mean_hops: 1.25,
             queries: 100,

@@ -48,6 +48,13 @@ pub struct PaperMetrics {
     /// correct closest (Figure 9's second axis), in ms. 0 when every
     /// query succeeded.
     pub median_hub_latency_wrong_ms: f64,
+    /// Mean latency stretch of the answer: RTT(found → target) divided
+    /// by RTT(true nearest → target), averaged over queries where both
+    /// RTTs are finite and the truth is nonzero (blackout fallbacks and
+    /// degenerate zero-latency truths contribute nothing). 1.0 means
+    /// every answer was at the optimal latency, even if it was not the
+    /// literal nearest peer.
+    pub mean_stretch: f64,
     /// Mean probes to the target per query.
     pub mean_probes: f64,
     /// Mean overlay hops per query.
@@ -66,6 +73,9 @@ pub(crate) struct QueryRecord {
     pub(crate) same_en: bool,
     /// Hub latency of the found peer when the query was wrong.
     pub(crate) wrong_hub_lat: Option<Micros>,
+    /// RTT(found)/RTT(true nearest) when both are finite and the truth
+    /// is nonzero; `None` excludes the query from the stretch mean.
+    pub(crate) stretch: Option<f64>,
     pub(crate) probes: u64,
     pub(crate) hops: u32,
 }
@@ -79,14 +89,19 @@ pub(crate) fn query_record(
     found: PeerId,
     target: PeerId,
     exact: bool,
+    found_rtt: Micros,
+    true_rtt: Micros,
     probes: u64,
     hops: u32,
 ) -> QueryRecord {
+    let stretch = (!found_rtt.is_infinite() && !true_rtt.is_infinite() && true_rtt > Micros::ZERO)
+        .then(|| found_rtt.as_us() as f64 / true_rtt.as_us() as f64);
     QueryRecord {
         exact,
         cluster_hit: world.same_cluster(found, target),
         same_en: world.same_en(found, target),
         wrong_hub_lat: (!exact).then(|| world.hub_latency(found)),
+        stretch,
         probes,
         hops,
     }
@@ -101,6 +116,8 @@ pub(crate) fn reduce_records(records: &[QueryRecord], n_queries: usize) -> Paper
     let mut cluster_hits = 0usize;
     let mut same_en = 0usize;
     let mut wrong_hub_lat = Vec::new();
+    let mut stretch_sum = 0.0f64;
+    let mut stretch_n = 0usize;
     let mut probes = 0u64;
     let mut hops = 0u64;
     for r in records {
@@ -109,6 +126,10 @@ pub(crate) fn reduce_records(records: &[QueryRecord], n_queries: usize) -> Paper
         }
         if let Some(lat) = r.wrong_hub_lat {
             wrong_hub_lat.push(lat);
+        }
+        if let Some(s) = r.stretch {
+            stretch_sum += s;
+            stretch_n += 1;
         }
         if r.cluster_hit {
             cluster_hits += 1;
@@ -127,6 +148,11 @@ pub(crate) fn reduce_records(records: &[QueryRecord], n_queries: usize) -> Paper
         median_hub_latency_wrong_ms: median_micros(&wrong_hub_lat)
             .map(|m| m.as_ms())
             .unwrap_or(0.0),
+        mean_stretch: if stretch_n == 0 {
+            0.0
+        } else {
+            stretch_sum / stretch_n as f64
+        },
         mean_probes: probes as f64 / n,
         mean_hops: hops as f64 / n,
         queries: n_queries,
@@ -177,9 +203,19 @@ pub fn run_queries_threads<W: WorldStore>(
         let nearest = truth.nearest(t).expect("target is cached");
         // "Correct" = found the true closest member, or at least a member
         // at exactly the true-closest RTT (equidistant ties are as good).
-        let exact = out.found == nearest
-            || scenario.matrix.rtt(out.found, t) == scenario.matrix.rtt(nearest, t);
-        query_record(&scenario.world, out.found, t, exact, out.probes, out.hops)
+        let found_rtt = scenario.matrix.rtt(out.found, t);
+        let true_rtt = scenario.matrix.rtt(nearest, t);
+        let exact = out.found == nearest || found_rtt == true_rtt;
+        query_record(
+            &scenario.world,
+            out.found,
+            t,
+            exact,
+            found_rtt,
+            true_rtt,
+            out.probes,
+            out.hops,
+        )
     });
     // Phase 4: ordered associative reduction.
     reduce_records(&records, n_queries)
@@ -191,6 +227,7 @@ pub struct RunBandMetrics {
     pub p_correct_closest: RunBand,
     pub p_correct_cluster: RunBand,
     pub median_hub_latency_wrong_ms: RunBand,
+    pub mean_stretch: RunBand,
     pub mean_probes: RunBand,
     pub mean_hops: RunBand,
 }
@@ -206,6 +243,7 @@ impl RunBandMetrics {
             p_correct_closest: take(|m| m.p_correct_closest),
             p_correct_cluster: take(|m| m.p_correct_cluster),
             median_hub_latency_wrong_ms: take(|m| m.median_hub_latency_wrong_ms),
+            mean_stretch: take(|m| m.mean_stretch),
             mean_probes: take(|m| m.mean_probes),
             mean_hops: take(|m| m.mean_hops),
         }
@@ -297,6 +335,7 @@ mod tests {
         let algo = BruteForce::new(&s.matrix, s.overlay.clone());
         let m = run_queries(&algo, &s, 50, 2);
         assert_eq!(m.p_correct_closest, 1.0);
+        assert_eq!(m.mean_stretch, 1.0, "exact answers have unit stretch");
         assert_eq!(m.queries, 50);
         assert!(m.mean_probes >= (s.overlay.len() - 1) as f64);
         assert_eq!(m.mean_hops, 0.0);
@@ -310,6 +349,7 @@ mod tests {
         assert!(m.p_correct_closest < 0.3, "random too lucky: {m:?}");
         assert!(m.p_correct_cluster > 0.05, "some cluster hits expected");
         assert!(m.median_hub_latency_wrong_ms > 0.0);
+        assert!(m.mean_stretch > 1.0, "wrong answers stretch: {m:?}");
         assert!((m.mean_probes - 1.0).abs() < f64::EPSILON);
     }
 

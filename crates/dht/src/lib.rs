@@ -26,12 +26,25 @@
 //! * [`proto`] — the iterative lookup protocol run message-by-message on
 //!   the event kernel, every frame passing through the wire codecs.
 
+//! Two structured-overlay *searchers* also live here (the ROADMAP's
+//! "DHT and graph-walk" family), registered as first-class
+//! `AlgoFactory` entries so every figure and world backend applies:
+//!
+//! * [`kademlia`] — iterative XOR-metric lookup with a k-closest
+//!   frontier and α parallel probes per round,
+//! * [`nsw`] — a navigable small-world graph built by greedy seeded
+//!   insertion in latency space, queried by multi-start greedy descent.
+
 pub mod chord;
 pub mod hash;
+pub mod kademlia;
 pub mod kv;
+pub mod nsw;
 pub mod proto;
 pub mod wire;
 
 pub use chord::ChordRing;
 pub use hash::Key;
+pub use kademlia::{KademliaConfig, KademliaFactory, KademliaLookup, KademliaRing};
 pub use kv::{ChordMap, KeyValueMap, PerfectMap};
+pub use nsw::{NswConfig, NswFactory, NswGraph, NswWalk};
