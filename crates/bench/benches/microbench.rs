@@ -444,6 +444,55 @@ fn bench_experiment_pipeline(c: &mut Criterion) {
     });
 }
 
+// --- serving-pipeline microbench ---------------------------------------
+//
+// The np-serve actor pipeline end to end: 10,000 pre-drawn queries
+// replayed flat-out through ingest → batcher → 4 workers → collector
+// over a 500-peer world (Meridian routing). Records what the daemon's
+// machinery — two bounded-queue hops per query, batching, per-worker
+// latency histograms, ordered reduction — costs on top of the raw
+// query work, so queue/batching regressions show up in
+// BENCH_parallel.json as `serve_pipeline_10k`.
+
+fn bench_serve_pipeline_10k(c: &mut Criterion) {
+    use np_metric::NearestCache;
+    use np_serve::{run_schedule, ArrivalSchedule, Pacing, ServeConfig, ServeCtx};
+    let w = world_500();
+    let m = w.to_matrix();
+    let targets: Vec<PeerId> = w.peers().take(20).collect();
+    let members: Vec<PeerId> = w.peers().skip(20).collect();
+    let overlay = Overlay::build(
+        &m,
+        members.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        7,
+    );
+    let truth = NearestCache::build(&m, &members, &targets, 1);
+    let n = 10_000;
+    let schedule = ArrivalSchedule {
+        offsets_ns: vec![0; n],
+        targets: np_core::draw_target_schedule(&targets, n, 7),
+    };
+    let ctx = ServeCtx {
+        store: &m,
+        world: &w,
+        truth: &truth,
+        seed: 7,
+    };
+    let cfg = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    c.bench_function("serve_pipeline_10k", |b| {
+        b.iter(|| {
+            let report = run_schedule(&ctx, &overlay, &cfg, &schedule, Pacing::Replay);
+            assert_eq!(report.stats.completed, n as u64);
+            criterion::black_box(report.metrics.mean_probes)
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -471,7 +520,8 @@ criterion_group! {
               bench_matrix_build_2500_serial, bench_matrix_build_2500_par,
               bench_run_queries_1000_serial, bench_run_queries_1000_par,
               bench_nearest_scan_kernel, bench_nearest_scan_naive,
-              bench_sharded_build_10k, bench_experiment_pipeline
+              bench_sharded_build_10k, bench_experiment_pipeline,
+              bench_serve_pipeline_10k
 }
 criterion_group! {
     name = heavy_benches;

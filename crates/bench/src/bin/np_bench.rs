@@ -9,6 +9,12 @@
 //!   `--quick/--seed/--threads/--seeds/--out/--world` overrides plus
 //!   `--algos a,b,c`; a `[catalogue]` manifest runs every listed spec
 //!   in order. New scenario = a config file, not a recompile.
+//! * `np-bench serve <spec.toml> [flags]` — stand a query-matrix spec
+//!   up as the `np-serve` actor pipeline and offer seeded Poisson load
+//!   (`--rate`/`--duration`), reporting throughput and
+//!   queued/service/total latency quantiles; under the default
+//!   lossless admission every row is cross-checked bit-identical
+//!   against the batch runner.
 //! * `np-bench specs [--check] [--dir DIR]` — regenerate the
 //!   `experiments/` spec files from the figure catalogue; `--check`
 //!   diffs instead (CI's anti-drift gate).
@@ -24,7 +30,7 @@
 //! factory table and fails on any name collision or missing entry.
 
 use np_bench::bench_report::{engine_speedups, parse_bench_json};
-use np_bench::{full_registry, spec_files, FIGURES};
+use np_bench::{full_registry, serve_cmd, spec_files, FIGURES};
 use np_util::table::Table;
 
 fn list() {
@@ -145,11 +151,12 @@ fn main() {
         Some("list") | None => list(),
         Some("speedup") => speedup(&args[1..]),
         Some("run") => spec_files::cmd_run(&args[1..]),
+        Some("serve") => serve_cmd::cmd_serve(&args[1..]),
         Some("specs") => spec_files::cmd_specs(&args[1..]),
         Some(other) => {
             eprintln!(
                 "unknown subcommand {other:?}; try: np-bench list | np-bench run <spec.toml> | \
-                 np-bench specs | np-bench speedup"
+                 np-bench serve <spec.toml> | np-bench specs | np-bench speedup"
             );
             std::process::exit(2);
         }

@@ -227,6 +227,17 @@ pub const FIGURES: &[FigureInfo] = &[
         study: None,
         clamp: None,
     },
+    FigureInfo {
+        bin: "ext_serve",
+        spec: "ext_serve",
+        kind: FigureKind::QueryMatrix,
+        backends: "dense|sharded",
+        title: "query-serving daemon under open-loop load (Ext G)",
+        build: specs::ext_serve::build,
+        render: Some(specs::ext_serve::render),
+        study: None,
+        clamp: None,
+    },
 ];
 
 /// The catalogue entry whose spec name is `name`.
@@ -248,7 +259,7 @@ mod tests {
 
     #[test]
     fn catalogue_is_complete_and_unique() {
-        assert_eq!(FIGURES.len(), 15, "15 figure binaries + all_figures = 16");
+        assert_eq!(FIGURES.len(), 16, "16 figure binaries + all_figures = 17");
         let mut bins: Vec<&str> = FIGURES.iter().map(|f| f.bin).collect();
         bins.sort_unstable();
         bins.dedup();

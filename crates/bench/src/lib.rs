@@ -23,6 +23,7 @@ pub mod bench_report;
 pub mod cli;
 pub mod figures;
 pub mod registry;
+pub mod serve_cmd;
 pub mod spec_files;
 pub mod specs;
 

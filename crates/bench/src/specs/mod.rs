@@ -26,6 +26,7 @@ pub mod ext_churn;
 pub mod ext_dht;
 pub mod ext_hybrid;
 pub mod ext_scale;
+pub mod ext_serve;
 pub mod fig10;
 pub mod fig11;
 pub mod fig3_4;

@@ -48,9 +48,9 @@ fn checked_in_spec_files_match_the_catalogue() {
             path.display()
         );
     }
-    // The manifest (the all_figures equivalent) too — 16 files total.
+    // The manifest (the all_figures equivalent) too — 17 files total.
     let files = all_spec_files();
-    assert_eq!(files.len(), 16);
+    assert_eq!(files.len(), 17);
     let (manifest_name, manifest) = files.last().expect("manifest");
     let on_disk = std::fs::read_to_string(dir.join(manifest_name)).expect("manifest checked in");
     assert_eq!(&on_disk, manifest);

@@ -1,4 +1,5 @@
-//! `--out json` stdout purity through `np-bench run`.
+//! `--out json` stdout purity through `np-bench run` and `np-bench
+//! serve`.
 //!
 //! A JSON consumer pipes stdout straight into a parser, so *everything*
 //! diagnostic — progress chrome, figure-policy warnings, the
@@ -155,4 +156,123 @@ name = "meridian"
     for key in ["churn_epochs", "churn_leaves", "full_rebuilds", "rings_replayed"] {
         assert!(lines[0].contains(&format!("\"{key}\":")), "missing {key}: {stdout}");
     }
+}
+
+/// The same purity for `np-bench serve`: the service-mode header, the
+/// offered-load banner, the record notice and the timing footer are all
+/// chrome — under `--out json` stdout must carry nothing but the
+/// per-row JSON objects (which a load dashboard pipes into a parser).
+#[test]
+fn serve_json_stdout_stays_pure_and_carries_latency_quantiles() {
+    let spec = r#"
+[experiment]
+name = "serve-purity"
+title = "serve json probe"
+paper_shape = "n/a"
+backend = "dense"
+seeds = "single"
+base_seed = 21
+workload = "query"
+
+[[cell]]
+label = "s"
+base_seed = 21
+targets = 4
+queries = 12
+
+[cell.world]
+clusters = 4
+en_per_cluster = 12
+peers_per_en = 2
+delta = 0.2
+mean_hub_ms = [4.0, 6.0]
+intra_en_us = 100
+hub_pool = 4
+
+[[cell.algo]]
+name = "brute-force"
+
+[[cell.algo]]
+name = "random"
+"#;
+    let dir = std::env::temp_dir().join("np_bench_stdout_purity_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("serve.toml");
+    let record = dir.join("serve_record.json");
+    std::fs::write(&path, spec).expect("spec written");
+    let out = Command::new(env!("CARGO_BIN_EXE_np-bench"))
+        .args([
+            "serve",
+            path.to_str().expect("utf-8"),
+            "--out",
+            "json",
+            "--threads",
+            "2",
+            "--rate",
+            "400",
+            "--duration",
+            "0.2",
+            "--pacing",
+            "replay",
+            "--record",
+            record.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}\nstdout: {stdout}");
+    // Chrome went to stderr...
+    assert!(
+        stderr.contains("offered load") && stderr.contains("recorded"),
+        "serve chrome missing from stderr: {stderr}"
+    );
+    // ...and stdout is exactly one JSON object per (cell, algo) row.
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 2, "two algo rows, got: {stdout}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "non-JSON stdout line: {line}"
+        );
+        for key in [
+            "throughput_qps",
+            "total_p50_ns",
+            "total_p99_ns",
+            "total_p999_ns",
+            "queued_p99_ns",
+            "service_p99_ns",
+            "verified",
+        ] {
+            assert!(line.contains(&format!("\"{key}\":")), "missing {key}: {line}");
+        }
+        assert!(line.contains("\"policy\":\"block\""), "{line}");
+        assert!(line.contains("\"verified\":true"), "{line}");
+    }
+    // The --record artifact is the flat BENCH-style map.
+    let recorded = std::fs::read_to_string(&record).expect("record written");
+    assert!(recorded.trim_start().starts_with('{'), "{recorded}");
+    assert!(
+        recorded.contains("\"serve-purity/s/brute-force\"")
+            && recorded.contains("\"serve-purity/s/random\""),
+        "record keys missing: {recorded}"
+    );
+}
+
+/// A serve run against a measurement study must be a clean diagnostic
+/// (exit 2, stderr), never a panic backtrace.
+#[test]
+fn serve_rejects_study_specs_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_np-bench"))
+        .args(["serve", "experiments/fig5.toml", "--quick"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2), "usage-error exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("query-matrix"),
+        "diagnostic names the problem: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no backtrace: {stderr}");
 }

@@ -25,7 +25,7 @@ use crate::experiment::report::{AlgoReport, CellReport, ExperimentReport, Report
 use crate::experiment::spec::{Backend, CellSpec, ExperimentSpec, StudyCtx, Workload};
 use crate::runner::{run_queries_threads, PaperMetrics, RunBandMetrics};
 use crate::scenario::ClusterScenario;
-use np_metric::{LatencyMatrix, NearestPeerAlgo, PeerId, ShardedWorld, WorldStore};
+use np_metric::{LatencyMatrix, NearestCache, NearestPeerAlgo, PeerId, ShardedWorld, WorldStore};
 use np_topology::ClusterWorld;
 use np_util::parallel::{par_map, resolve_threads};
 use std::collections::HashMap;
@@ -78,6 +78,25 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => &s.overlay,
             ScenarioHandle::Sharded(s) => &s.overlay,
+        }
+    }
+
+    /// The target pool queries are drawn from (reused across queries,
+    /// as in the paper).
+    pub fn targets(&self) -> &[PeerId] {
+        match self {
+            ScenarioHandle::Dense(s) => &s.targets,
+            ScenarioHandle::Sharded(s) => &s.targets,
+        }
+    }
+
+    /// Ground-truth nearest-member cache for all targets (computed in
+    /// parallel on first use, then shared — the serving pipeline grades
+    /// answers against the same cache the batch runner uses).
+    pub fn nearest_cache(&self, threads: usize) -> &NearestCache {
+        match self {
+            ScenarioHandle::Dense(s) => s.nearest_cache(threads),
+            ScenarioHandle::Sharded(s) => s.nearest_cache(threads),
         }
     }
 

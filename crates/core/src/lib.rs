@@ -52,7 +52,8 @@ pub use experiment::{
     ExperimentSpec, SeedPlan,
 };
 pub use runner::{
-    run_queries, run_queries_threads, sweep_runs, sweep_runs_threads, sweep_three_runs,
-    sweep_three_runs_threads, PaperMetrics, RunBandMetrics,
+    draw_target_schedule, reduce_records, run_one_query, run_queries, run_queries_threads,
+    sweep_runs, sweep_runs_threads, sweep_three_runs, sweep_three_runs_threads, AnsweredQuery,
+    PaperMetrics, QueryRecord, RunBandMetrics,
 };
 pub use scenario::ClusterScenario;

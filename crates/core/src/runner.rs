@@ -19,7 +19,7 @@
 //! `tests/parallel_determinism.rs`).
 
 use crate::scenario::ClusterScenario;
-use np_metric::{NearestPeerAlgo, PeerId, Target, WorldStore};
+use np_metric::{NearestCache, NearestPeerAlgo, PeerId, Target, WorldStore};
 use np_util::parallel::{item_seed, par_map, resolve_threads};
 use np_util::rng::{rng_for, rng_from, sub_seed, three_runs};
 use np_util::stats::{median_micros, RunBand};
@@ -65,26 +65,29 @@ pub struct PaperMetrics {
 
 /// What one query contributes to the reduction. Kept tiny so the
 /// parallel map's per-item traffic is a few words. Shared with the
-/// churn runner (`crate::churn`) so static and dynamic batches reduce
-/// through the exact same code.
-pub(crate) struct QueryRecord {
-    pub(crate) exact: bool,
-    pub(crate) cluster_hit: bool,
-    pub(crate) same_en: bool,
+/// churn runner (`crate::churn`) and the serving pipeline (`np-serve`)
+/// so batch, dynamic, and served queries all reduce through the exact
+/// same code.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRecord {
+    pub exact: bool,
+    pub cluster_hit: bool,
+    pub same_en: bool,
     /// Hub latency of the found peer when the query was wrong.
-    pub(crate) wrong_hub_lat: Option<Micros>,
+    pub wrong_hub_lat: Option<Micros>,
     /// RTT(found)/RTT(true nearest) when both are finite and the truth
     /// is nonzero; `None` excludes the query from the stretch mean.
-    pub(crate) stretch: Option<f64>,
-    pub(crate) probes: u64,
-    pub(crate) hops: u32,
+    pub stretch: Option<f64>,
+    pub probes: u64,
+    pub hops: u32,
 }
 
 /// Build one query's record from its outcome. `exact` is the caller's
 /// correctness verdict (it depends on which world — static or drifted —
 /// the query ran against); the topology verdicts come from the cluster
 /// world's metadata.
-pub(crate) fn query_record(
+#[allow(clippy::too_many_arguments)]
+pub fn query_record(
     world: &np_topology::ClusterWorld,
     found: PeerId,
     target: PeerId,
@@ -111,7 +114,7 @@ pub(crate) fn query_record(
 /// metrics (counts and integer sums commute; the median's input vector
 /// is in query order, so float accumulation never depends on
 /// scheduling).
-pub(crate) fn reduce_records(records: &[QueryRecord], n_queries: usize) -> PaperMetrics {
+pub fn reduce_records(records: &[QueryRecord], n_queries: usize) -> PaperMetrics {
     let mut correct = 0usize;
     let mut cluster_hits = 0usize;
     let mut same_en = 0usize;
@@ -159,6 +162,63 @@ pub(crate) fn reduce_records(records: &[QueryRecord], n_queries: usize) -> Paper
     }
 }
 
+/// Draw the target schedule for a batch of `n_queries` queries: which
+/// target each query hits, drawn up front from the dedicated master
+/// stream (`RUN_TAG`). The schedule is a pure function of
+/// `(targets, n_queries, seed)` — never of the algorithm under test,
+/// the thread count, or (for the serving pipeline) the arrival times —
+/// which is exactly what lets the service path reproduce the batch
+/// path's answers bit-for-bit.
+pub fn draw_target_schedule(targets: &[PeerId], n_queries: usize, seed: u64) -> Vec<PeerId> {
+    assert!(!targets.is_empty(), "no targets");
+    let mut master = rng_for(seed, RUN_TAG);
+    (0..n_queries)
+        .map(|_| *targets.choose(&mut master).expect("non-empty"))
+        .collect()
+}
+
+/// One answered query: the peer the algorithm returned plus its
+/// contribution to the metrics reduction. What the serving pipeline's
+/// collector accumulates per query.
+#[derive(Debug, Clone, Copy)]
+pub struct AnsweredQuery {
+    /// The peer the algorithm nominated as nearest.
+    pub found: PeerId,
+    pub record: QueryRecord,
+}
+
+/// Answer the `idx`-th query of a batch: run `algo` for `target` under
+/// the query's own RNG stream (`(seed, QUERY_TAG, idx)`) and grade the
+/// outcome against `truth`. This is the one query path shared by the
+/// batch runner and the `np-serve` pipeline — a served query is
+/// bit-identical to a batch query because it *is* the same code, keyed
+/// only by `(idx, target, seed)`.
+pub fn run_one_query(
+    algo: &dyn NearestPeerAlgo,
+    store: &dyn WorldStore,
+    world: &np_topology::ClusterWorld,
+    truth: &NearestCache,
+    idx: usize,
+    target: PeerId,
+    seed: u64,
+) -> AnsweredQuery {
+    let mut rng = rng_from(item_seed(seed, QUERY_TAG, idx as u64));
+    let t = Target::new(target, store);
+    let out = algo.find_nearest(&t, &mut rng);
+    let nearest = truth.nearest(target).expect("target is cached");
+    // "Correct" = found the true closest member, or at least a member
+    // at exactly the true-closest RTT (equidistant ties are as good).
+    let found_rtt = store.rtt(out.found, target);
+    let true_rtt = store.rtt(nearest, target);
+    let exact = out.found == nearest || found_rtt == true_rtt;
+    AnsweredQuery {
+        found: out.found,
+        record: query_record(
+            world, out.found, target, exact, found_rtt, true_rtt, out.probes, out.hops,
+        ),
+    }
+}
+
 /// Run `n_queries` queries of `algo` against random targets of the
 /// scenario (targets are reused, as in the paper), on the ambient
 /// thread count ([`resolve_threads`] with no explicit override — i.e.
@@ -184,38 +244,17 @@ pub fn run_queries_threads<W: WorldStore>(
     seed: u64,
     threads: usize,
 ) -> PaperMetrics {
-    assert!(!scenario.targets.is_empty(), "no targets");
     // Phase 1: the target schedule, from its own master stream.
     // Drawing it up front (rather than inside the query loop) is what
     // frees every query to own an independent RNG stream.
-    let mut master = rng_for(seed, RUN_TAG);
-    let schedule: Vec<PeerId> = (0..n_queries)
-        .map(|_| *scenario.targets.choose(&mut master).expect("non-empty"))
-        .collect();
+    let schedule = draw_target_schedule(&scenario.targets, n_queries, seed);
     // Phase 2: ground truth for all targets — computed in parallel on
     // first use, then shared by every batch over this scenario.
     let truth = scenario.nearest_cache(threads);
-    // Phase 3: the queries themselves — the hot loop.
+    // Phase 3: the queries themselves — the hot loop, one call to the
+    // shared per-query path per schedule slot.
     let records = par_map(threads, &schedule, |idx, &t| {
-        let mut rng = rng_from(item_seed(seed, QUERY_TAG, idx as u64));
-        let target = Target::new(t, &scenario.matrix);
-        let out = algo.find_nearest(&target, &mut rng);
-        let nearest = truth.nearest(t).expect("target is cached");
-        // "Correct" = found the true closest member, or at least a member
-        // at exactly the true-closest RTT (equidistant ties are as good).
-        let found_rtt = scenario.matrix.rtt(out.found, t);
-        let true_rtt = scenario.matrix.rtt(nearest, t);
-        let exact = out.found == nearest || found_rtt == true_rtt;
-        query_record(
-            &scenario.world,
-            out.found,
-            t,
-            exact,
-            found_rtt,
-            true_rtt,
-            out.probes,
-            out.hops,
-        )
+        run_one_query(algo, &scenario.matrix, &scenario.world, truth, idx, t, seed).record
     });
     // Phase 4: ordered associative reduction.
     reduce_records(&records, n_queries)

@@ -1,0 +1,305 @@
+//! Log-bucketed latency histograms.
+//!
+//! The serving pipeline (`np-serve`) accounts tail latency — p50, p99,
+//! p999, max — over millions of samples without keeping them. The
+//! classic structure is an HDR-style histogram: exact unit buckets
+//! below one sub-bucket span, then [`SUB_BUCKETS`] linear sub-buckets
+//! per power of two, so the relative quantization error is bounded by
+//! `1/SUB_BUCKETS` (≈3%) at any magnitude. Values past the top octave
+//! saturate into the final bucket (the histogram never loses a sample,
+//! it only loses resolution there), and the true observed min/max are
+//! tracked exactly so `quantile(0.0)`/`quantile(1.0)` are never
+//! approximations.
+//!
+//! Histograms are **mergeable**: per-worker histograms recorded on
+//! independent threads combine by bucket-wise addition into the same
+//! result a single recorder would have produced (addition is
+//! commutative, so merge order never matters).
+
+/// Linear sub-buckets per power of two (2^5 — see module docs).
+const SUB_BITS: u32 = 5;
+/// Sub-bucket count: bounded relative error of any quantile estimate.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Highest non-saturating octave: values up to 2^(MAX_OCTAVE+1) ns
+/// (~26 days) resolve normally; anything larger shares the top bucket.
+const MAX_OCTAVE: u32 = 50;
+/// Total bucket count (exact unit buckets + 46 octaves × 32 + top).
+const BUCKETS: usize = ((MAX_OCTAVE - SUB_BITS + 1) as usize + 1) * SUB_BUCKETS as usize;
+
+/// The bucket index of `v`. Continuous at the unit/log boundary:
+/// values below [`SUB_BUCKETS`] map to their own unit bucket, and the
+/// first log octave continues the unit indexing exactly.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let b = 63 - v.leading_zeros(); // MSB position, >= SUB_BITS
+    if b > MAX_OCTAVE {
+        return BUCKETS - 1; // saturating top bucket
+    }
+    let sub = (v >> (b - SUB_BITS)) & (SUB_BUCKETS - 1);
+    ((b - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// The inclusive upper bound of bucket `index` (the conservative
+/// representative value a quantile reports).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        return u64::MAX; // the saturating top bucket is open-ended
+    }
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let b = (index / SUB_BUCKETS as usize) as u32 + SUB_BITS - 1;
+    let sub = (index % SUB_BUCKETS as usize) as u64;
+    (1u64 << b) + ((sub + 1) << (b - SUB_BITS)) - 1
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples (the workspace
+/// records latencies in nanoseconds, but the structure is unit-blind).
+#[derive(Clone, Debug)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    count: u64,
+    min: u64,
+    max: u64,
+    /// Saturating sum, for the mean (at 2^64 ns ≈ 584 years of summed
+    /// latency, saturation is a rounding error, not a bug class).
+    sum: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> LatencyHist {
+        LatencyHist::new()
+    }
+}
+
+impl LatencyHist {
+    pub fn new() -> LatencyHist {
+        LatencyHist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition — order never
+    /// matters, so per-worker histograms merge in any join order).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples (saturating sum / count).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the smallest
+    /// bucket upper bound such that at least `ceil(q · count)` samples
+    /// are at or below it, clamped into the exact `[min, max]` range.
+    /// `q = 0` is the exact min, `q = 1` the exact max; `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max) // unreachable: counts sum to self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = LatencyHist::new();
+        h.record(12_345);
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(12_345), "q={q}");
+        }
+        assert_eq!(h.min(), Some(12_345));
+        assert_eq!(h.max(), Some(12_345));
+        assert_eq!(h.mean(), Some(12_345.0));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        // Unit buckets below SUB_BUCKETS: quantiles are exact.
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(SUB_BUCKETS - 1));
+        let mid = h.quantile(0.5).expect("non-empty");
+        assert_eq!(mid, SUB_BUCKETS / 2 - 1);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        // Deterministic pseudo-random samples over five decades; every
+        // quantile estimate must land within 1/SUB_BUCKETS of the exact
+        // order statistic.
+        let mut h = LatencyHist::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 100_000_000; // 0 .. 1e8 ns
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+            let truth = exact[rank - 1] as f64;
+            let est = h.quantile(q).expect("non-empty") as f64;
+            assert!(est >= truth, "quantile must not under-report: q={q}");
+            let rel = (est - truth) / truth.max(1.0);
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "q={q}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let mut all = LatencyHist::new();
+        let mut parts = [LatencyHist::new(), LatencyHist::new(), LatencyHist::new()];
+        let mut x = 7u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let v = x >> 40;
+            all.record(v);
+            parts[(i % 3) as usize].record(v);
+        }
+        let mut merged = LatencyHist::new();
+        // Merge in "wrong" order on purpose: order must not matter.
+        merged.merge(&parts[2]);
+        merged.merge(&parts[0]);
+        merged.merge(&parts[1]);
+        assert_eq!(merged.count(), all.count());
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), all.quantile(q), "q={q}");
+        }
+        // Merging an empty histogram is the identity.
+        let before = merged.quantile(0.5);
+        merged.merge(&LatencyHist::new());
+        assert_eq!(merged.quantile(0.5), before);
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_losing_samples() {
+        let mut h = LatencyHist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 60);
+        h.record(100);
+        assert_eq!(h.count(), 4);
+        // The exact max survives saturation; quantiles clamp into the
+        // observed range instead of reporting a bucket bound past it.
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        // 100 sits in a log bucket; the estimate is bounded above by
+        // the bucket's upper bound (within 1/SUB_BUCKETS).
+        let low = h.quantile(0.1).expect("non-empty");
+        assert!((100..=103).contains(&low), "{low}");
+        assert!(h.quantile(0.6).expect("non-empty") >= 1 << 60);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LatencyHist::new();
+        let mut x = 3u64;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> 45);
+        }
+        let mut last = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).expect("non-empty");
+            assert!(v >= last, "quantile regressed at q={q}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn bucket_indexing_is_continuous_and_ordered() {
+        // The unit→log boundary has no gap or overlap…
+        assert_eq!(bucket_of(SUB_BUCKETS - 1) + 1, bucket_of(SUB_BUCKETS));
+        // …and bucket index is monotone in the value.
+        let mut last = 0usize;
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order broke at 2^{shift}");
+            last = b;
+            assert!(bucket_upper(b) >= v, "upper bound below member at 2^{shift}");
+        }
+    }
+}

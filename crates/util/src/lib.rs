@@ -24,6 +24,10 @@
 //!   determinism contract (ordered [`parallel::par_map`], per-item
 //!   seeding via [`parallel::item_seed`], `--threads`/`NP_THREADS`
 //!   resolution) used by the matrix builders and the query runner,
+//! * [`hist`] — mergeable log-bucketed latency histograms (p50/p99/p999
+//!   accounting for the serving pipeline's tail-latency reports),
+//! * [`queue`] — hand-rolled bounded MPMC queues (block or shed on
+//!   overload, drain-on-close) wiring the `np-serve` actor stages,
 //! * [`binned`] — "binned scatter plots": per-bin percentile summaries as
 //!   used by Figures 4 and 10 of the paper,
 //! * [`ascii`] — terminal rendering of CDFs/series so the experiment
@@ -35,7 +39,9 @@ pub mod backoff;
 pub mod binned;
 pub mod cdf;
 pub mod dist;
+pub mod hist;
 pub mod parallel;
+pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -43,5 +49,6 @@ mod units;
 
 pub use binned::BinnedScatter;
 pub use cdf::Cdf;
+pub use hist::LatencyHist;
 pub use stats::Summary;
 pub use units::Micros;
