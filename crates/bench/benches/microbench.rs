@@ -398,6 +398,87 @@ fn bench_meridian_omniscient_fill_10k(c: &mut Criterion) {
     });
 }
 
+// --- hierarchical (two-level) backend benches --------------------------
+//
+// `hierarchical_build_200k` records the structural build of the
+// two-level store at 200k peers (2,000 shards grouped under ~45
+// super-hubs): shard grouping, medoid scans and both summary levels —
+// everything *except* the lazily materialised blocks, which is the
+// point (the sharded build at this size would fill 2,000 dense blocks
+// up front). The cache pair records the per-lookup price of an
+// intra-shard RTT when the shard's block is resident
+// (`hierarchical_block_cache_hit`) versus when a 1-byte budget forces
+// an evict-and-rematerialise round trip on every alternation
+// (`hierarchical_block_cache_miss`).
+
+fn hierarchical_world_10k() -> ClusterWorld {
+    ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 200,
+            en_per_cluster: 25,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 200,
+        },
+        7,
+    )
+}
+
+fn bench_hierarchical_build_200k(c: &mut Criterion) {
+    let w = ClusterWorld::generate(
+        ClusterWorldSpec {
+            clusters: 2_000,
+            en_per_cluster: 50,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 2_000,
+        },
+        7,
+    );
+    c.bench_function("hierarchical_build_200k", |b| {
+        b.iter(|| {
+            use np_metric::WorldStore;
+            criterion::black_box(w.to_hierarchical(45, 256 << 20).len())
+        })
+    });
+}
+
+fn bench_hierarchical_block_cache_hit(c: &mut Criterion) {
+    use np_metric::WorldStore;
+    let w = hierarchical_world_10k();
+    let h = w.to_hierarchical(14, 256 << 20);
+    // Warm shard 0's block once; every iteration after is a pure hit.
+    criterion::black_box(h.rtt(PeerId(0), PeerId(1)));
+    c.bench_function("hierarchical_block_cache_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 49;
+            criterion::black_box(h.rtt(PeerId(i), PeerId(i + 1)))
+        })
+    });
+}
+
+fn bench_hierarchical_block_cache_miss(c: &mut Criterion) {
+    use np_metric::WorldStore;
+    let w = hierarchical_world_10k();
+    // A 1-byte budget keeps at most one block resident, so alternating
+    // intra-shard lookups between two shards miss (evict + refill) on
+    // every single iteration.
+    let h = w.to_hierarchical(14, 1);
+    c.bench_function("hierarchical_block_cache_miss", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let base = if flip { 0 } else { 50 }; // shard 0 vs shard 1
+            criterion::black_box(h.rtt(PeerId(base), PeerId(base + 1)))
+        })
+    });
+}
+
 // --- experiment-pipeline microbench -----------------------------------
 //
 // The declarative layer end to end: spec construction, registry lookup,
@@ -435,6 +516,8 @@ fn bench_experiment_pipeline(c: &mut Criterion) {
                     quick_queries: None,
                     in_quick: true,
                     churn: None,
+                    super_shards: None,
+                    block_cache_mb: None,
                     algos: vec![AlgoSpec::new("meridian")],
                 }],
             );
@@ -521,11 +604,13 @@ criterion_group! {
               bench_run_queries_1000_serial, bench_run_queries_1000_par,
               bench_nearest_scan_kernel, bench_nearest_scan_naive,
               bench_sharded_build_10k, bench_experiment_pipeline,
-              bench_serve_pipeline_10k
+              bench_serve_pipeline_10k,
+              bench_hierarchical_block_cache_hit, bench_hierarchical_block_cache_miss
 }
 criterion_group! {
     name = heavy_benches;
     config = heavy_config();
-    targets = bench_meridian_shard_fill, bench_meridian_omniscient_fill_10k
+    targets = bench_meridian_shard_fill, bench_meridian_omniscient_fill_10k,
+              bench_hierarchical_build_200k
 }
 criterion_main!(benches, heavy_benches);

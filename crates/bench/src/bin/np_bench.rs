@@ -57,8 +57,9 @@ fn list() {
     }
     println!("{}", algos.render());
     println!(
-        "common flags: --quick --seed N --threads N --world dense|sharded --shards N \
-         --seeds N --out table|json --csv --max-rss-mb N"
+        "common flags: --quick --seed N --threads N --world dense|sharded|hierarchical \
+         --shards N --super-shards N --block-cache-mb N --seeds N --out table|json --csv \
+         --max-rss-mb N"
     );
     println!("spec files: np-bench run experiments/<name>.toml  (np-bench specs regenerates them)");
 }

@@ -6,9 +6,15 @@
 //! * `--seed N` — base seed (default [`DEFAULT_SEED`]);
 //! * `--threads N` — worker threads; precedence `--threads` >
 //!   `$NP_THREADS` > all cores (results identical at any value);
-//! * `--world dense|sharded` — latency backend for cluster-world
-//!   experiments (measurement-pipeline figures accept and note it);
+//! * `--world dense|sharded|hierarchical` — latency backend for
+//!   cluster-world experiments (measurement-pipeline figures accept and
+//!   note it); an unknown name prints the backend catalogue plus a
+//!   nearest-name hint and exits 2;
 //! * `--shards N` — shard-count override for sharded worlds;
+//! * `--super-shards N` — super-shard (shard-group) count for
+//!   hierarchical worlds (default: 1 for small worlds, √S above);
+//! * `--block-cache-mb N` — resident block-cache budget for
+//!   hierarchical worlds (default 256 MiB);
 //! * `--seeds N` — sweep width override (N runs per cell instead of
 //!   the figure's default seed plan);
 //! * `--out table|json` — human tables (default) or JSON lines;
@@ -50,12 +56,20 @@ pub struct Args {
     /// Explicit `--threads N`, if given. Use [`Args::threads`] for the
     /// resolved count.
     pub threads: Option<usize>,
-    /// `--world dense|sharded` — latency backend, if given (binaries
-    /// that support both default to their historical backend).
+    /// `--world dense|sharded|hierarchical` — latency backend, if
+    /// given (binaries that support several default to their
+    /// historical backend).
     pub world: Option<Backend>,
     /// `--shards N` — shard-count override for sharded worlds (the
     /// scale binaries derive cluster counts from it).
     pub shards: Option<usize>,
+    /// `--super-shards N` — super-shard count for hierarchical worlds
+    /// (`None` = runner default: 1 up to 128 shards, √S above).
+    pub super_shards: Option<usize>,
+    /// `--block-cache-mb N` — hierarchical block-cache budget in MiB
+    /// (`None` = runner default,
+    /// [`np_core::experiment::DEFAULT_BLOCK_CACHE_MB`]).
+    pub block_cache_mb: Option<usize>,
     /// `--seeds N` — runs per cell, overriding the figure's default
     /// seed plan.
     pub seeds: Option<usize>,
@@ -78,6 +92,8 @@ impl Default for Args {
             threads: None,
             world: None,
             shards: None,
+            super_shards: None,
+            block_cache_mb: None,
             seeds: None,
             out: OutFormat::Table,
             max_rss_mb: None,
@@ -87,8 +103,9 @@ impl Default for Args {
 }
 
 /// The shared flag synopsis every binary quotes on a parse error.
-pub const USAGE: &str = "usage: [--quick] [--seed N] [--threads N] [--world dense|sharded] \
-[--shards N] [--seeds N] [--out table|json] [--csv] [--max-rss-mb N]";
+pub const USAGE: &str = "usage: [--quick] [--seed N] [--threads N] \
+[--world dense|sharded|hierarchical] [--shards N] [--super-shards N] [--block-cache-mb N] \
+[--seeds N] [--out table|json] [--csv] [--max-rss-mb N]";
 
 impl Args {
     /// Parse from `std::env::args()`; malformed values print the error
@@ -140,15 +157,11 @@ impl Args {
                 }
                 "--world" => {
                     let v = value(&mut it, "--world")?;
-                    out.world = Some(match v.as_str() {
-                        "dense" => Backend::Dense,
-                        "sharded" => Backend::Sharded,
-                        other => {
-                            return Err(format!(
-                                "--world must be 'dense' or 'sharded', got {other:?}"
-                            ))
-                        }
-                    });
+                    // On a miss, Backend::parse renders the full
+                    // catalogue plus a nearest-name hint (the same
+                    // diagnostic shape as an unknown algorithm).
+                    out.world =
+                        Some(Backend::parse(&v).map_err(|e| format!("--world: {e}"))?);
                 }
                 "--out" => {
                     let v = value(&mut it, "--out")?;
@@ -163,6 +176,14 @@ impl Args {
                 "--shards" => {
                     let v = value(&mut it, "--shards")?;
                     out.shards = Some(positive(&v, "--shards")?);
+                }
+                "--super-shards" => {
+                    let v = value(&mut it, "--super-shards")?;
+                    out.super_shards = Some(positive(&v, "--super-shards")?);
+                }
+                "--block-cache-mb" => {
+                    let v = value(&mut it, "--block-cache-mb")?;
+                    out.block_cache_mb = Some(positive(&v, "--block-cache-mb")?);
                 }
                 "--max-rss-mb" => {
                     let v = value(&mut it, "--max-rss-mb")?;
@@ -444,6 +465,11 @@ pub fn run_experiment(
     chrome(args, &header_block(&spec.title, &spec.paper_shape, args));
     if spec.backend == Backend::Sharded {
         chrome(args, "backend: sharded (block-compressed latency store)\n");
+    } else if spec.backend == Backend::Hierarchical {
+        chrome(
+            args,
+            "backend: hierarchical (two-level hub summary, budget-bounded block cache)\n",
+        );
     }
     let timer = Report::start(args);
     let report = Experiment::new(spec, registry).run_threads(args.threads());
@@ -504,9 +530,17 @@ mod tests {
         assert_eq!(a.world, Some(Backend::Sharded));
         assert_eq!(a.shards, Some(32));
         assert_eq!(a.max_rss_mb, Some(1024));
+        let h = parse(&[
+            "--world", "hierarchical", "--super-shards", "50", "--block-cache-mb", "512",
+        ]);
+        assert_eq!(h.world, Some(Backend::Hierarchical));
+        assert_eq!(h.super_shards, Some(50));
+        assert_eq!(h.block_cache_mb, Some(512));
         let d = parse(&[]);
         assert_eq!(d.world, None);
         assert_eq!(d.shards, None);
+        assert_eq!(d.super_shards, None);
+        assert_eq!(d.block_cache_mb, None);
         assert_eq!(d.max_rss_mb, None);
     }
 
@@ -564,14 +598,34 @@ mod tests {
         assert_eq!(err(&["--threads", "0"]), "--threads must be at least 1");
         assert_eq!(err(&["--seeds", "0"]), "--seeds must be at least 1");
         assert_eq!(
-            err(&["--world", "cubic"]),
-            "--world must be 'dense' or 'sharded', got \"cubic\""
+            err(&["--super-shards", "0"]),
+            "--super-shards must be at least 1"
+        );
+        assert_eq!(
+            err(&["--block-cache-mb", "x"]),
+            "--block-cache-mb must be a positive integer"
         );
         assert_eq!(
             err(&["--out", "xml"]),
             "--out must be 'table' or 'json', got \"xml\""
         );
         assert_eq!(err(&["--max-rss-mb", "-1"]), "--max-rss-mb must be a u64");
+    }
+
+    #[test]
+    fn unknown_world_prints_the_catalogue_and_a_hint() {
+        let err = |args: &[&str]| {
+            Args::try_from_iter(args.iter().map(|s| s.to_string())).unwrap_err()
+        };
+        // A far miss: catalogue only.
+        let msg = err(&["--world", "cubic"]);
+        assert!(msg.starts_with("--world: no world backend \"cubic\""), "{msg}");
+        for b in Backend::ALL {
+            assert!(msg.contains(b.name()), "catalogue misses {}: {msg}", b.name());
+        }
+        // A near miss earns a nearest-name hint.
+        let msg = err(&["--world", "heirarchical"]);
+        assert!(msg.contains("did you mean \"hierarchical\"?"), "{msg}");
     }
 
     #[test]
@@ -592,14 +646,14 @@ mod tests {
         };
         assert_eq!(err(&["--seed"]), "--seed requires a value");
         assert_eq!(err(&["--threads", "0"]), "--threads must be at least 1");
-        assert!(err(&["--world", "cubic"]).starts_with("--world must be"));
+        assert!(err(&["--world", "cubic"]).starts_with("--world: no world backend"));
     }
 
     #[test]
     fn usage_names_every_flag() {
         for flag in [
-            "--quick", "--seed", "--threads", "--world", "--shards", "--seeds", "--out",
-            "--csv", "--max-rss-mb",
+            "--quick", "--seed", "--threads", "--world", "--shards", "--super-shards",
+            "--block-cache-mb", "--seeds", "--out", "--csv", "--max-rss-mb",
         ] {
             assert!(USAGE.contains(flag), "{flag} missing from USAGE");
         }

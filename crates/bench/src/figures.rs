@@ -198,8 +198,8 @@ pub const FIGURES: &[FigureInfo] = &[
         bin: "ext_scale",
         spec: "ext_scale",
         kind: FigureKind::QueryMatrix,
-        backends: "dense|sharded",
-        title: "sharded worlds beyond the 2.5k-peer dense wall",
+        backends: "dense|sharded|hierarchical",
+        title: "hierarchical worlds from the 2.5k-peer dense wall to a million peers",
         build: specs::ext_scale::build,
         render: Some(specs::ext_scale::render),
         study: None,

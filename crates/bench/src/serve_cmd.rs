@@ -421,6 +421,14 @@ pub fn cmd_serve(argv: &[String]) -> ! {
         Err(e) => cli::exit_error(&format!("{}: {e}", path.display())),
     };
     spec.backend = args.backend(spec.backend);
+    if args.super_shards.is_some() || args.block_cache_mb.is_some() {
+        if let Workload::QueryMatrix(cells) = &mut spec.workload {
+            for cell in cells {
+                cell.super_shards = args.super_shards.or(cell.super_shards);
+                cell.block_cache_mb = args.block_cache_mb.or(cell.block_cache_mb);
+            }
+        }
+    }
     let spec = spec.resolve_quick(args.quick);
     let registry = crate::registry::full_registry();
     let threads = args.threads();
@@ -435,6 +443,11 @@ pub fn cmd_serve(argv: &[String]) -> ! {
     );
     if spec.backend == Backend::Sharded {
         cli::chrome(&args, "backend: sharded (block-compressed latency store)\n");
+    } else if spec.backend == Backend::Hierarchical {
+        cli::chrome(
+            &args,
+            "backend: hierarchical (two-level hub summary, budget-bounded block cache)\n",
+        );
     }
     cli::chrome(
         &args,

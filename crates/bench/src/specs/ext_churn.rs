@@ -73,6 +73,8 @@ pub fn build(seed: u64) -> ExperimentSpec {
             quick_queries: Some(100),
             in_quick: true,
             churn: Some(fault_model(rate)),
+            super_shards: None,
+            block_cache_mb: None,
             algos: vec![
                 AlgoSpec::new("brute-force"),
                 AlgoSpec::new("meridian"),

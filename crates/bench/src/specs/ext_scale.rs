@@ -1,8 +1,10 @@
 //! **Extension — scale** spec: cluster worlds past the dense matrix's
-//! ~2.5 k-peer wall on the block-compressed sharded backend, with a
-//! brute-force reference column and a Meridian column built through
-//! the shard-local ring fill. The binary adds the dense cross-check
-//! and the exactness self-checks on top of this spec.
+//! ~2.5 k-peer wall, up to a million peers on the two-level
+//! hierarchical backend, with a brute-force reference column, a
+//! Kademlia column (cheap at any size), and a Meridian column built
+//! through the shard-local ring fill at the sizes where its O(n²)
+//! shard-local fill is affordable. The binary adds the dense
+//! cross-check and the exactness self-checks on top of this spec.
 
 use crate::cli::{Args, Rendered};
 use np_core::experiment::{
@@ -13,25 +15,38 @@ use np_util::table::Table;
 use np_util::Micros;
 
 /// Sweep sizes (requested peers; worlds round to whole clusters).
-pub const SIZES: &[usize] = &[2_500, 10_000, 25_000, 50_000];
-/// Sizes that also run under `--quick`.
-pub const QUICK_SIZES: &[usize] = &[2_500, 10_000];
+pub const SIZES: &[usize] = &[2_500, 10_000, 25_000, 50_000, 200_000, 1_000_000];
+/// Sizes that also run under `--quick` (the 200k cell is CI's
+/// hierarchical smoke; the 1M cell is paper-scale only).
+pub const QUICK_SIZES: &[usize] = &[2_500, 10_000, 200_000];
 
 /// Dense is quadratic: past this size a single matrix outgrows the CI
 /// memory budget this binary is asserted under.
 pub const DENSE_LIMIT: usize = 12_000;
 
-/// Cross-check sharded-vs-dense only at paper scale: the point of the
+/// Cross-check against dense only at paper scale: the point of the
 /// larger sizes is the memory ceiling, and materialising a dense
 /// 10k×10k cross-check matrix (400 MB) would dominate the peak-RSS
 /// number the CI job asserts on.
 pub const CROSS_CHECK_LIMIT: usize = 4_000;
 
+/// Meridian's shard-local ring fill probes every same-shard pair —
+/// O(n²) total across shards — so its column stops here; brute force
+/// (one linear scan per query) and Kademlia (binary-search buckets,
+/// O(log n) rounds) continue to the million-peer cells.
+pub const MERIDIAN_LIMIT: usize = 50_000;
+
+/// Past this many clusters the generator's hub matrix (quadratic in
+/// the hub pool) would dominate the build; bigger worlds grow the
+/// cluster *size* instead, which is exactly what the hierarchical
+/// backend's per-shard blocks are budgeted for.
+pub const MAX_CLUSTERS: usize = 2_500;
+
 /// The cluster-world spec for `peers` total peers: the paper's shape
 /// (2 peers per end-network, 25 end-networks per cluster) unless
 /// `shards` overrides the cluster count.
 pub fn world_for(peers: usize, shards: Option<usize>) -> ClusterWorldSpec {
-    let clusters = shards.unwrap_or_else(|| (peers / 50).max(1));
+    let clusters = shards.unwrap_or_else(|| (peers / 50).max(1).min(MAX_CLUSTERS));
     let en_per_cluster = (peers / (clusters * 2)).max(1);
     ClusterWorldSpec {
         clusters,
@@ -55,7 +70,11 @@ pub fn build_with(seed: u64, shards: Option<usize>) -> ExperimentSpec {
             // With a --shards override the spec rounds to whole
             // clusters; label the world actually built.
             let peers = world.total_peers();
-            let cell = CellSpec {
+            let mut algos = vec![AlgoSpec::new("brute-force"), AlgoSpec::new("kademlia")];
+            if peers <= MERIDIAN_LIMIT {
+                algos.insert(1, AlgoSpec::new("meridian"));
+            }
+            CellSpec {
                 label: format!("{peers} peers"),
                 world,
                 n_targets: 100,
@@ -64,16 +83,17 @@ pub fn build_with(seed: u64, shards: Option<usize>) -> ExperimentSpec {
                 quick_queries: Some(250),
                 in_quick: QUICK_SIZES.contains(&requested),
                 churn: None,
-                algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
-            };
-            cell
+                super_shards: None,
+                block_cache_mb: None,
+                algos,
+            }
         })
         .collect();
     let mut spec = ExperimentSpec::query(
         "ext_scale",
-        "Extension — sharded worlds beyond the 2.5k-peer dense wall",
-        "memory stays tens of MB while peers grow 20x; dense and sharded metrics agree bit-for-bit at paper scale",
-        Backend::Sharded,
+        "Extension — hierarchical worlds from the 2.5k-peer dense wall to a million peers",
+        "memory stays block-cache-bounded while peers grow 400x; dense, sharded and hierarchical metrics agree bit-for-bit at paper scale",
+        Backend::Hierarchical,
         SeedPlan::Single,
         cells,
     );
@@ -107,7 +127,10 @@ pub fn drop_oversized_dense_cells(spec: &mut ExperimentSpec) -> Vec<String> {
 }
 
 /// The scale sweep table renderer: store footprint, build and batch
-/// timings, and the brute-force + Meridian accuracy columns.
+/// timings, and the brute-force / Meridian / Kademlia accuracy
+/// columns. Rows are matched by registry name, never by position, so
+/// the sizes past [`MERIDIAN_LIMIT`] (and any `--algos` override)
+/// simply render `-` in the columns they skip.
 pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
     let cells = report.query_cells().unwrap_or_default();
     let n_queries = cells
@@ -126,25 +149,25 @@ pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
         &batch_header,
         "bf queries/s",
         "P(bf)",
-        "bf probes",
         "P(meridian)",
         "mer probes",
-        "mer hops",
+        "P(kademlia)",
+        "kad probes",
+        "kad hops",
     ]);
     for cell in cells {
         // A failed cell is marked; a successful cell renders whatever
-        // rows it has — matched by registry name, not position, so an
-        // `--algos` override never puts one algorithm's numbers under
-        // another's columns.
+        // rows it has.
         if cell.rows.is_empty() {
             let why = cell.error.as_deref().unwrap_or("no rows");
             let mut row = vec![cell.label.clone(), format!("FAILED: {why}")];
-            row.resize(12, "-".into());
+            row.resize(13, "-".into());
             table.row(&row);
             continue;
         }
         let bf = cell.rows.iter().find(|r| r.algo == "brute-force");
         let mer = cell.rows.iter().find(|r| r.algo == "meridian");
+        let kad = cell.rows.iter().find(|r| r.algo == "kademlia");
         let bf_cols = match bf {
             Some(bf) => {
                 let b = &bf.bands;
@@ -154,10 +177,9 @@ pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
                     format!("{query_s:.2}"),
                     format!("{:.0}", total_queries as f64 / query_s.max(1e-9)),
                     format!("{:.3}", b.p_correct_closest.median),
-                    format!("{:.0}", b.mean_probes.median),
                 ]
             }
-            None => ["-".into(), "-".into(), "-".into(), "-".into()],
+            None => ["-".into(), "-".into(), "-".into()],
         };
         let mer_cols = match mer {
             Some(mer) => {
@@ -165,7 +187,17 @@ pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
                 [
                     format!("{:.3}", m.p_correct_closest.median),
                     format!("{:.0}", m.mean_probes.median),
-                    format!("{:.2}", m.mean_hops.median),
+                ]
+            }
+            None => ["-".into(), "-".into()],
+        };
+        let kad_cols = match kad {
+            Some(kad) => {
+                let k = &kad.bands;
+                [
+                    format!("{:.3}", k.p_correct_closest.median),
+                    format!("{:.0}", k.mean_probes.median),
+                    format!("{:.2}", k.mean_hops.median),
                 ]
             }
             None => ["-".into(), "-".into(), "-".into()],
@@ -179,10 +211,11 @@ pub fn render(report: &ExperimentReport, _args: &Args) -> Rendered {
             bf_cols[0].clone(),
             bf_cols[1].clone(),
             bf_cols[2].clone(),
-            bf_cols[3].clone(),
             mer_cols[0].clone(),
             mer_cols[1].clone(),
-            mer_cols[2].clone(),
+            kad_cols[0].clone(),
+            kad_cols[1].clone(),
+            kad_cols[2].clone(),
         ]);
     }
     Rendered {

@@ -38,13 +38,14 @@ pub mod ucl_discovery;
 
 use crate::cli::Args;
 use crate::figures::FigureInfo;
-use np_core::experiment::ExperimentSpec;
+use np_core::experiment::{ExperimentSpec, Workload};
 
 /// Apply the shared CLI overrides to a figure's dual-budget spec:
-/// `--world` picks the backend, `--seeds` the sweep width, leftover
-/// flags pass through to study stages, and `--quick` resolves the
-/// quick/paper budget pair. The result is exactly the spec the
-/// pre-refactor binary would have built inline.
+/// `--world` picks the backend, `--super-shards`/`--block-cache-mb`
+/// pin the hierarchical knobs on every cell, `--seeds` the sweep
+/// width, leftover flags pass through to study stages, and `--quick`
+/// resolves the quick/paper budget pair. The result is exactly the
+/// spec the pre-refactor binary would have built inline.
 pub fn spec_for_args(figure: &FigureInfo, args: &Args) -> ExperimentSpec {
     with_args((figure.build)(args.seed), args)
 }
@@ -53,6 +54,14 @@ pub fn spec_for_args(figure: &FigureInfo, args: &Args) -> ExperimentSpec {
 /// binaries with extra build inputs use this half directly).
 pub fn with_args(mut spec: ExperimentSpec, args: &Args) -> ExperimentSpec {
     spec.backend = args.backend(spec.backend);
+    if args.super_shards.is_some() || args.block_cache_mb.is_some() {
+        if let Workload::QueryMatrix(cells) = &mut spec.workload {
+            for cell in cells {
+                cell.super_shards = args.super_shards.or(cell.super_shards);
+                cell.block_cache_mb = args.block_cache_mb.or(cell.block_cache_mb);
+            }
+        }
+    }
     spec.seeds = args.seed_plan(spec.seeds);
     spec.flags.extend(args.rest.iter().cloned());
     spec.resolve_quick(args.quick)

@@ -29,7 +29,17 @@ fn fig8_malformed_flags_exit_2_with_usage() {
     let bin = env!("CARGO_BIN_EXE_fig8");
     assert_usage_error(bin, &["--seed", "banana"], "--seed must be a u64");
     assert_usage_error(bin, &["--threads"], "--threads requires a value");
-    assert_usage_error(bin, &["--world", "cubic"], "--world must be");
+    // An unknown backend exits 2 with the catalogue and, when a name
+    // is close, a nearest-name hint — the unknown-algorithm shape.
+    let (_, stderr) = run(bin, &["--world", "cubic"]);
+    assert!(stderr.contains("no world backend \"cubic\""), "{stderr}");
+    assert!(stderr.contains("hierarchical"), "catalogue missing: {stderr}");
+    assert_usage_error(bin, &["--world", "cubic"], "--world: no world backend");
+    assert_usage_error(
+        bin,
+        &["--world", "shraded"],
+        "did you mean \"sharded\"?",
+    );
 }
 
 #[test]

@@ -58,6 +58,8 @@
 //!         quick_queries: None,
 //!         in_quick: true,
 //!         churn: None,
+//!         super_shards: None,
+//!         block_cache_mb: None,
 //!         algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("random")],
 //!     }],
 //! );
@@ -79,9 +81,9 @@ pub use registry::{
     UnknownAlgo,
 };
 pub use report::{AlgoReport, CellReport, ExperimentReport, ReportBody};
-pub use run::{Experiment, ScenarioHandle};
+pub use run::{hierarchical_knobs, Experiment, ScenarioHandle, DEFAULT_BLOCK_CACHE_MB};
 pub use spec::{
     AlgoSpec, Backend, CellSpec, ExperimentSpec, SeedPlan, StudyCtx, StudyOutput, StudyStage,
-    Workload,
+    UnknownBackend, Workload,
 };
 pub use spec_toml::SpecError;

@@ -224,8 +224,9 @@ impl std::fmt::Display for UnknownAlgo {
 
 impl std::error::Error for UnknownAlgo {}
 
-/// Levenshtein distance (for the unknown-algorithm nearest-name hint).
-fn edit_distance(a: &str, b: &str) -> usize {
+/// Levenshtein distance (for the unknown-algorithm and unknown-backend
+/// nearest-name hints).
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     let mut prev: Vec<usize> = (0..=b.len()).collect();

@@ -25,7 +25,10 @@ use crate::experiment::report::{AlgoReport, CellReport, ExperimentReport, Report
 use crate::experiment::spec::{Backend, CellSpec, ExperimentSpec, StudyCtx, Workload};
 use crate::runner::{run_queries_threads, PaperMetrics, RunBandMetrics};
 use crate::scenario::ClusterScenario;
-use np_metric::{LatencyMatrix, NearestCache, NearestPeerAlgo, PeerId, ShardedWorld, WorldStore};
+use np_metric::{
+    HierarchicalWorld, LatencyMatrix, NearestCache, NearestPeerAlgo, PeerId, ShardedWorld,
+    WorldStore,
+};
 use np_topology::ClusterWorld;
 use np_util::parallel::{par_map, resolve_threads};
 use std::collections::HashMap;
@@ -37,6 +40,27 @@ use std::time::{Duration, Instant};
 pub enum ScenarioHandle {
     Dense(ClusterScenario<LatencyMatrix>),
     Sharded(ClusterScenario<ShardedWorld>),
+    Hierarchical(ClusterScenario<HierarchicalWorld>),
+}
+
+/// Default block-cache budget for hierarchical cells that don't pin one.
+pub const DEFAULT_BLOCK_CACHE_MB: usize = 256;
+
+/// Resolve a cell's hierarchical knobs to concrete values:
+/// `(super_shards, cache_budget_bytes)`. Unpinned super-shard counts
+/// default to one group while the shard count is small (≤128 — the flat
+/// summary is still cheap there, and one group is the exact,
+/// bit-identical-to-sharded configuration) and ~√S beyond, which keeps
+/// the two-level summary at `O(S^1.5)` entries. Pure in the cell, so
+/// the same spec always resolves identically.
+pub fn hierarchical_knobs(cell: &CellSpec) -> (usize, usize) {
+    let s = cell.world.clusters.max(1);
+    let groups = cell
+        .super_shards
+        .unwrap_or(if s <= 128 { 1 } else { (s as f64).sqrt().round() as usize })
+        .clamp(1, s);
+    let budget = cell.block_cache_mb.unwrap_or(DEFAULT_BLOCK_CACHE_MB) << 20;
+    (groups, budget)
 }
 
 impl ScenarioHandle {
@@ -54,6 +78,16 @@ impl ScenarioHandle {
                 seed,
                 threads,
             )),
+            Backend::Hierarchical => {
+                let (groups, budget) = hierarchical_knobs(cell);
+                ScenarioHandle::Hierarchical(ClusterScenario::build_hierarchical(
+                    cell.world.clone(),
+                    cell.n_targets,
+                    seed,
+                    groups,
+                    budget,
+                ))
+            }
         }
     }
 
@@ -62,6 +96,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => &s.matrix,
             ScenarioHandle::Sharded(s) => &s.matrix,
+            ScenarioHandle::Hierarchical(s) => &s.matrix,
         }
     }
 
@@ -70,6 +105,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => &s.world,
             ScenarioHandle::Sharded(s) => &s.world,
+            ScenarioHandle::Hierarchical(s) => &s.world,
         }
     }
 
@@ -78,6 +114,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => &s.overlay,
             ScenarioHandle::Sharded(s) => &s.overlay,
+            ScenarioHandle::Hierarchical(s) => &s.overlay,
         }
     }
 
@@ -87,6 +124,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => &s.targets,
             ScenarioHandle::Sharded(s) => &s.targets,
+            ScenarioHandle::Hierarchical(s) => &s.targets,
         }
     }
 
@@ -97,6 +135,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => s.nearest_cache(threads),
             ScenarioHandle::Sharded(s) => s.nearest_cache(threads),
+            ScenarioHandle::Hierarchical(s) => s.nearest_cache(threads),
         }
     }
 
@@ -116,6 +155,9 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Dense(s) => run_queries_threads(algo, s, n_queries, seed, threads),
             ScenarioHandle::Sharded(s) => run_queries_threads(algo, s, n_queries, seed, threads),
+            ScenarioHandle::Hierarchical(s) => {
+                run_queries_threads(algo, s, n_queries, seed, threads)
+            }
         }
     }
 
@@ -156,6 +198,16 @@ impl ScenarioHandle {
                 seed,
                 threads,
             ),
+            ScenarioHandle::Hierarchical(s) => run_dynamic_threads(
+                algo.as_mut(),
+                s,
+                schedule,
+                caches,
+                cfg,
+                n_queries,
+                seed,
+                threads,
+            ),
         }
     }
 }
@@ -182,11 +234,16 @@ fn lock_cache(cache: &ScenarioCache) -> std::sync::MutexGuard<'_, HashMap<String
 }
 
 fn cache_key(cell: &CellSpec, backend: Backend, seed: u64) -> String {
+    // The hierarchical knobs are part of the key: two cells over the
+    // same world but different super-shard counts or cache budgets are
+    // different stores and must not share a memoised scenario.
     format!(
-        "{:?}|targets={}|seed={seed}|{}",
+        "{:?}|targets={}|seed={seed}|{}|super={:?}|cache={:?}",
         cell.world,
         cell.n_targets,
-        backend.name()
+        backend.name(),
+        cell.super_shards,
+        cell.block_cache_mb
     )
 }
 
@@ -464,6 +521,8 @@ mod tests {
                 quick_queries: None,
                 in_quick: true,
                 churn: None,
+                super_shards: None,
+                block_cache_mb: None,
                 algos: vec![
                     AlgoSpec::new("brute-force").with_queries(20),
                     AlgoSpec::new("random"),
@@ -522,6 +581,46 @@ mod tests {
             }
         }
         assert!(sharded.query_cells().expect("query spec")[0].store_bytes > 0);
+    }
+
+    #[test]
+    fn hierarchical_backend_agrees_and_resolves_knobs() {
+        // At 4 clusters the auto heuristic picks one super-shard, which
+        // is the exact configuration — metrics must be bit-identical to
+        // both other backends through the whole pipeline.
+        let reg = registry();
+        let dense =
+            Experiment::new(spec(SeedPlan::Single, Backend::Dense), &reg).run_threads(2);
+        let hier =
+            Experiment::new(spec(SeedPlan::Single, Backend::Hierarchical), &reg).run_threads(2);
+        for (a, b) in dense
+            .query_cells()
+            .expect("query spec")
+            .iter()
+            .zip(hier.query_cells().expect("query spec"))
+        {
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ra.runs, rb.runs);
+            }
+        }
+        // Knob resolution: auto G, default budget; pins honoured and
+        // clamped; distinct knobs get distinct scenario-cache keys.
+        let cells = match &spec(SeedPlan::Single, Backend::Hierarchical).workload {
+            Workload::QueryMatrix(cells) => cells.clone(),
+            _ => unreachable!(),
+        };
+        let auto = &cells[0];
+        assert_eq!(hierarchical_knobs(auto), (1, DEFAULT_BLOCK_CACHE_MB << 20));
+        let pinned = auto.clone().with_super_shards(64).with_block_cache_mb(8);
+        assert_eq!(hierarchical_knobs(&pinned), (4, 8 << 20), "clamped to 4 shards");
+        assert_ne!(
+            cache_key(auto, Backend::Hierarchical, 1),
+            cache_key(&pinned, Backend::Hierarchical, 1)
+        );
+        // A big shard count goes ~√S.
+        let mut wide = auto.clone();
+        wide.world.clusters = 400;
+        assert_eq!(hierarchical_knobs(&wide).0, 20);
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub enum Backend {
     /// The block-compressed sharded store — per-cluster dense blocks
     /// plus a hub summary; what scales past ~2.5 k peers.
     Sharded,
+    /// The two-level store — shards of shards with a super-hub summary
+    /// and lazily materialised blocks under a byte budget; what scales
+    /// to 10⁶ peers with bounded RSS. Knobs: [`CellSpec::super_shards`]
+    /// and [`CellSpec::block_cache_mb`].
+    Hierarchical,
 }
 
 impl Backend {
@@ -34,9 +39,79 @@ impl Backend {
         match self {
             Backend::Dense => "dense",
             Backend::Sharded => "sharded",
+            Backend::Hierarchical => "hierarchical",
+        }
+    }
+
+    /// Every backend, in catalogue order (diagnostics and the
+    /// `--world` nearest-name hint enumerate this).
+    pub const ALL: [Backend; 3] = [Backend::Dense, Backend::Sharded, Backend::Hierarchical];
+
+    /// One-line description for the `--world` catalogue diagnostic.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Backend::Dense => "the paper's exact n×n matrix (quadratic; ~2.5k peers)",
+            Backend::Sharded => "block-compressed per-cluster blocks + hub summary (~50k peers)",
+            Backend::Hierarchical => {
+                "two-level hub summary + budget-bounded lazy blocks (~1M peers)"
+            }
+        }
+    }
+
+    /// Parse a `--world` / `backend =` name, with a diagnostic-quality
+    /// error on a miss: the full backend catalogue plus (when a name is
+    /// close) a nearest-name hint — the same shape as
+    /// [`crate::experiment::UnknownAlgo`]. CLI layers print this and
+    /// exit 2.
+    pub fn parse(name: &str) -> Result<Backend, UnknownBackend> {
+        Backend::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| UnknownBackend::new(name))
+    }
+}
+
+/// A `--world` value no backend answers to: the name, the catalogue,
+/// and — when plausible — the typo the caller meant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend {
+    pub name: String,
+    /// Closest backend name by edit distance, if close enough.
+    pub hint: Option<String>,
+}
+
+impl UnknownBackend {
+    fn new(name: &str) -> UnknownBackend {
+        let budget = (name.chars().count() / 3).max(2);
+        let hint = Backend::ALL
+            .iter()
+            .map(|b| (crate::experiment::registry::edit_distance(name, b.name()), b.name()))
+            .filter(|&(d, _)| d <= budget)
+            .min_by_key(|&(d, k)| (d, k))
+            .map(|(_, k)| k.to_string());
+        UnknownBackend {
+            name: name.to_string(),
+            hint,
         }
     }
 }
+
+impl std::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no world backend {:?}", self.name)?;
+        if let Some(hint) = &self.hint {
+            write!(f, " (did you mean {hint:?}?)")?;
+        }
+        write!(f, "; backends:")?;
+        for b in Backend::ALL {
+            write!(f, "\n  {:<13} {}", b.name(), b.describe())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
 
 /// How many runs a cell aggregates, and how their seeds derive from
 /// the cell's base seed.
@@ -157,6 +232,15 @@ pub struct CellSpec {
     /// instead of the static one; `None` (the default everywhere) keeps
     /// the cell static.
     pub churn: Option<ChurnConfig>,
+    /// Super-shard count for the hierarchical backend: `None` (the
+    /// default) lets the runner choose — 1 group when the shard count
+    /// is small enough that the flat summary is cheap, else ~√S.
+    /// Inert on the dense and sharded backends.
+    pub super_shards: Option<usize>,
+    /// Block-cache budget in MB for the hierarchical backend's lazily
+    /// materialised per-shard blocks; `None` uses the runner default
+    /// (256 MB). Inert on the dense and sharded backends.
+    pub block_cache_mb: Option<usize>,
     /// Algorithms to run, in report order.
     pub algos: Vec<AlgoSpec>,
 }
@@ -180,6 +264,8 @@ impl CellSpec {
             quick_queries: None,
             in_quick: true,
             churn: None,
+            super_shards: None,
+            block_cache_mb: None,
             algos,
         }
     }
@@ -193,6 +279,18 @@ impl CellSpec {
     /// Run this cell as a dynamic world under `churn`.
     pub fn with_churn(mut self, churn: ChurnConfig) -> CellSpec {
         self.churn = Some(churn);
+        self
+    }
+
+    /// Pin the hierarchical backend's super-shard count.
+    pub fn with_super_shards(mut self, groups: usize) -> CellSpec {
+        self.super_shards = Some(groups);
+        self
+    }
+
+    /// Pin the hierarchical backend's block-cache budget (MB).
+    pub fn with_block_cache_mb(mut self, mb: usize) -> CellSpec {
+        self.block_cache_mb = Some(mb);
         self
     }
 
@@ -429,5 +527,31 @@ mod tests {
     fn backend_names() {
         assert_eq!(Backend::Dense.name(), "dense");
         assert_eq!(Backend::Sharded.name(), "sharded");
+        assert_eq!(Backend::Hierarchical.name(), "hierarchical");
+        // The catalogue covers every variant exactly once.
+        let mut names: Vec<&str> = Backend::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Backend::ALL.len());
+    }
+
+    #[test]
+    fn backend_parse_round_trips_and_diagnoses_typos() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Ok(b));
+        }
+        // A near-miss earns a nearest-name hint plus the catalogue.
+        let err = Backend::parse("shraded").unwrap_err();
+        assert_eq!(err.hint.as_deref(), Some("sharded"));
+        let text = err.to_string();
+        assert!(text.contains("no world backend \"shraded\""), "{text}");
+        assert!(text.contains("(did you mean \"sharded\"?)"), "{text}");
+        for b in Backend::ALL {
+            assert!(text.contains(b.name()), "catalogue misses {}: {text}", b.name());
+        }
+        // A far miss keeps the catalogue but drops the hint.
+        let err = Backend::parse("cubic").unwrap_err();
+        assert_eq!(err.hint, None);
+        assert!(!err.to_string().contains("did you mean"));
     }
 }

@@ -8,7 +8,7 @@
 //! name = "fig8"
 //! title = "Figure 8 — Meridian accuracy vs cluster size"
 //! paper_shape = "closest-peer curve peaks near x=25 then collapses"
-//! backend = "dense"          # or "sharded"
+//! backend = "dense"          # or "sharded" / "hierarchical"
 //! seeds = 3                  # "single", or an n-run sweep width
 //! base_seed = 32253960       # the seed the file was generated at
 //! workload = "query"         # or "study"
@@ -20,6 +20,8 @@
 //! queries = 5000
 //! quick_queries = 400        # optional --quick budget
 //! # quick = false            # optional: drop the cell under --quick
+//! # super_shards = 50        # optional: hierarchical group count (default: auto)
+//! # block_cache_mb = 256     # optional: hierarchical block-cache budget
 //!
 //! [cell.world]
 //! clusters = 250
@@ -300,6 +302,12 @@ fn cell_table(c: &CellSpec) -> toml::Table {
     if !c.in_quick {
         t.insert("quick", toml::Value::Bool(false));
     }
+    if let Some(g) = c.super_shards {
+        t.insert("super_shards", toml::Value::Int(g as i64));
+    }
+    if let Some(mb) = c.block_cache_mb {
+        t.insert("block_cache_mb", toml::Value::Int(mb as i64));
+    }
     if let Some(churn) = &c.churn {
         t.insert("churn", toml::Value::Table(churn_table(churn)));
     }
@@ -317,7 +325,17 @@ const EXPERIMENT_KEYS: &[&str] = &[
     "name", "title", "paper_shape", "backend", "seeds", "base_seed", "workload", "flags",
 ];
 const CELL_KEYS: &[&str] = &[
-    "label", "base_seed", "targets", "queries", "quick_queries", "quick", "churn", "world", "algo",
+    "label",
+    "base_seed",
+    "targets",
+    "queries",
+    "quick_queries",
+    "quick",
+    "super_shards",
+    "block_cache_mb",
+    "churn",
+    "world",
+    "algo",
 ];
 const CHURN_KEYS: &[&str] = &[
     "events_per_min", "duration_s", "drift_max_us", "offline_frac", "loss", "retries",
@@ -406,7 +424,14 @@ impl ExperimentSpec {
         let backend = match exp.str("backend")? {
             "dense" => Backend::Dense,
             "sharded" => Backend::Sharded,
-            other => return Err(invalid("experiment.backend", "\"dense\" or \"sharded\"", format!("{other:?}"))),
+            "hierarchical" => Backend::Hierarchical,
+            other => {
+                return Err(invalid(
+                    "experiment.backend",
+                    "\"dense\", \"sharded\" or \"hierarchical\"",
+                    format!("{other:?}"),
+                ))
+            }
         };
         let seeds = match exp.req("seeds")? {
             toml::Value::Str(s) if s == "single" => SeedPlan::Single,
@@ -545,6 +570,12 @@ impl ExperimentSpec {
             if c.quick_queries == Some(0) {
                 return Err(invalid(key("quick_queries"), "at least 1 query", 0));
             }
+            if c.super_shards == Some(0) {
+                return Err(invalid(key("super_shards"), "at least 1 super-shard", 0));
+            }
+            if c.block_cache_mb == Some(0) {
+                return Err(invalid(key("block_cache_mb"), "a block-cache budget >= 1 MB", 0));
+            }
             if let Some(churn) = &c.churn {
                 if !(churn.events_per_min >= 0.0 && churn.events_per_min.is_finite()) {
                     return Err(invalid(
@@ -679,6 +710,8 @@ fn parse_cell(t: &toml::Table, idx: usize) -> Result<CellSpec, SpecError> {
         quick_queries: cell.opt_usize("quick_queries")?,
         in_quick: cell.opt_bool("quick", true)?,
         churn,
+        super_shards: cell.opt_usize("super_shards")?,
+        block_cache_mb: cell.opt_usize("block_cache_mb")?,
         algos,
     })
 }
@@ -719,7 +752,9 @@ mod tests {
                         AlgoSpec::new("brute-force").with_queries(200).with_quick_queries(30),
                     ],
                 )
-                .paper_scale_only(),
+                .paper_scale_only()
+                .with_super_shards(16)
+                .with_block_cache_mb(64),
             ],
         );
         spec.base_seed = 100;
@@ -827,6 +862,9 @@ mod tests {
         case("hub_pool = 250", "hub_pool = 1", "hub pool");
         case("seeds = 3", "seeds = 0", "experiment.seeds");
         case("backend = \"sharded\"", "backend = \"cubic\"", "experiment.backend");
+        // Hierarchical knobs: zero is degenerate for both.
+        case("super_shards = 16", "super_shards = 0", "at least 1 super-shard");
+        case("block_cache_mb = 64", "block_cache_mb = 0", "block-cache budget");
         // Churn knobs validate too.
         case("duration_s = 60.0", "duration_s = 0.0", "churn.duration_s");
         case("events_per_min = 6.0", "events_per_min = -1.0", "churn.events_per_min");
@@ -894,6 +932,16 @@ mod tests {
                                 loss: (rng.gen_range(0..100u32) as f64) / 101.0,
                                 retries: 1 + rng.gen_range(0..5u32),
                             })
+                        } else {
+                            None
+                        },
+                        super_shards: if rng.gen_range(0..2u32) == 0 {
+                            Some(1 + rng.gen_range(0..100usize))
+                        } else {
+                            None
+                        },
+                        block_cache_mb: if rng.gen_range(0..2u32) == 0 {
+                            Some(1 + rng.gen_range(0..512usize))
                         } else {
                             None
                         },

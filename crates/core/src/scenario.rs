@@ -6,7 +6,7 @@
 //! > as target nodes [...] 5000 Meridian closest-neighbor queries are
 //! > launched to find the closest peer to randomly chosen target nodes."
 
-use np_metric::{LatencyMatrix, NearestCache, PeerId, ShardedWorld, WorldStore};
+use np_metric::{HierarchicalWorld, LatencyMatrix, NearestCache, PeerId, ShardedWorld, WorldStore};
 use np_topology::{ClusterWorld, ClusterWorldSpec};
 use np_util::parallel::resolve_threads;
 use np_util::rng::rng_for;
@@ -74,6 +74,26 @@ impl ClusterScenario<ShardedWorld> {
         threads: usize,
     ) -> ClusterScenario<ShardedWorld> {
         ClusterScenario::build_with(spec, n_targets, seed, |w| w.to_sharded_threads(threads))
+    }
+}
+
+impl ClusterScenario<HierarchicalWorld> {
+    /// [`ClusterScenario::build`] over the two-level backend
+    /// (`ClusterWorld::to_hierarchical`): same seed ⇒ the same
+    /// overlay/target split as the dense and sharded builds. There is
+    /// no thread parameter — blocks are materialised lazily and every
+    /// block is a pure function of the world, so the store is
+    /// bit-identical at any thread count and any cache temperature.
+    pub fn build_hierarchical(
+        spec: ClusterWorldSpec,
+        n_targets: usize,
+        seed: u64,
+        super_shards: usize,
+        cache_budget_bytes: usize,
+    ) -> ClusterScenario<HierarchicalWorld> {
+        ClusterScenario::build_with(spec, n_targets, seed, |w| {
+            w.to_hierarchical(super_shards, cache_budget_bytes)
+        })
     }
 }
 

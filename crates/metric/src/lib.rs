@@ -31,6 +31,10 @@
 //! * [`sharded`] — [`sharded::ShardedWorld`], the block-compressed
 //!   backend (dense per-cluster blocks + hub summary) that takes worlds
 //!   past the dense matrix's ~2.5 k-peer memory wall,
+//! * [`hierarchical`] — [`hierarchical::HierarchicalWorld`], the
+//!   two-level backend (shards of shards, super-hub summary, lazily
+//!   materialised blocks under a byte budget) that takes worlds to
+//!   10⁶ peers with bounded RSS,
 //! * [`scan`] — the shared SIMD-friendly nearest-scan kernel both
 //!   backends' ground-truth queries run on.
 
@@ -38,6 +42,7 @@ pub mod cache;
 pub mod diagnostics;
 pub mod drift;
 pub mod graph;
+pub mod hierarchical;
 pub mod matrix;
 pub mod nearest;
 pub mod scan;
@@ -46,6 +51,7 @@ pub mod world;
 
 pub use cache::NearestCache;
 pub use drift::DriftedWorld;
+pub use hierarchical::{CacheStats, HierarchicalWorld};
 pub use matrix::{LatencyMatrix, PeerId};
 pub use nearest::{FaultPlan, NearestPeerAlgo, ProbeCounter, QueryOutcome, Target};
 pub use sharded::ShardedWorld;

@@ -149,6 +149,45 @@ pub trait ShardView: WorldStore {
     /// `ShardedWorld::compress` this is the medoid itself (offset 0);
     /// `None` for an empty shard.
     fn hub_peer(&self, shard: usize) -> Option<PeerId>;
+
+    // ---- Level 2: super-shard structure -------------------------------
+    //
+    // Two-level backends (`crate::HierarchicalWorld`) group shards into
+    // super-shards and reassemble *hub-to-hub* distances for shards in
+    // different groups as
+    //
+    //   hub_rtt_us(a, b) == super_offset_us(a)
+    //                     + super_rtt_us(super_of(a), super_of(b))
+    //                     + super_offset_us(b)
+    //
+    // **exactly**, as a `u64` microsecond sum. Because the composition
+    // happens *inside* `hub_rtt_us`, level-1 consumers (the shard-local
+    // Meridian fill, the spill-detour analysis) keep working verbatim —
+    // they never need to know a second level exists. One-level backends
+    // are, by these defaults, a single super-shard containing every
+    // shard, with all level-2 components zero.
+
+    /// Number of super-shards. One-level backends are one big group.
+    fn n_super_shards(&self) -> usize {
+        1
+    }
+
+    /// The super-shard a shard belongs to.
+    fn super_of(&self, _shard: usize) -> usize {
+        0
+    }
+
+    /// Shard hub → its super-hub latency in whole µs (the stored
+    /// level-2 component; zero for a one-level backend).
+    fn super_offset_us(&self, _shard: usize) -> u64 {
+        0
+    }
+
+    /// Super-hub-to-super-hub latency in whole µs (zero diagonal; zero
+    /// everywhere for a one-level backend).
+    fn super_rtt_us(&self, _a: usize, _b: usize) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -18,10 +18,11 @@
 //! synthetic [`HubMatrix`] standing in for the Meridian dataset.
 
 use crate::hub::HubMatrix;
-use np_metric::{LatencyMatrix, PeerId, ShardedWorld};
+use np_metric::{HierarchicalWorld, LatencyMatrix, PeerId, ShardedWorld};
 use np_util::dist;
 use np_util::rng::rng_for;
 use np_util::Micros;
+use std::sync::Arc;
 
 /// Parameters of the §4 world.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,14 +73,19 @@ impl ClusterWorldSpec {
 }
 
 /// The generated world: peer labels plus the latency rule.
+///
+/// Shared state (`hubs`, `en_hub_lat`) sits behind `Arc` so a clone is
+/// O(1) — the hierarchical backend retains a clone inside its lazy
+/// block generator, and at 2,500 clusters the hub matrix alone is
+/// ~25 MB that must not be duplicated.
 #[derive(Debug, Clone)]
 pub struct ClusterWorld {
     spec: ClusterWorldSpec,
-    hubs: HubMatrix,
+    hubs: Arc<HubMatrix>,
     /// Hub index (into `hubs`) of each cluster.
-    cluster_hub: Vec<usize>,
+    cluster_hub: Arc<Vec<usize>>,
     /// Hub latency of each end-network, indexed `cluster * en_per_cluster + en`.
-    en_hub_lat: Vec<Micros>,
+    en_hub_lat: Arc<Vec<Micros>>,
 }
 
 impl ClusterWorld {
@@ -114,9 +120,9 @@ impl ClusterWorld {
         }
         ClusterWorld {
             spec,
-            hubs,
-            cluster_hub,
-            en_hub_lat,
+            hubs: Arc::new(hubs),
+            cluster_hub: Arc::new(cluster_hub),
+            en_hub_lat: Arc::new(en_hub_lat),
         }
     }
 
@@ -240,6 +246,48 @@ impl ClusterWorld {
             .map(|i| self.hub_latency(PeerId(i)).as_us() as f32)
             .collect();
         ShardedWorld::build_par(&shard_of, hub_rtt, offset, threads, |a, b| self.rtt(a, b))
+    }
+
+    /// Materialise the two-level [`HierarchicalWorld`] backend:
+    /// clusters become shards as in [`ClusterWorld::to_sharded`], the
+    /// level-1 hub summary is read straight from the generator (so at
+    /// `super_shards == 1` the store is bit-identical to the sharded
+    /// backend — the collapse law `tests/world_equivalence.rs` pins),
+    /// and per-cluster blocks are materialised lazily from a retained
+    /// O(1) clone of this world, resident only up to
+    /// `cache_budget_bytes`.
+    ///
+    /// With more than one super-shard, shards are grouped contiguously
+    /// and cross-group hub distances detour through each group's
+    /// medoid hub — the only approximation the second level adds on
+    /// these worlds.
+    pub fn to_hierarchical(
+        &self,
+        super_shards: usize,
+        cache_budget_bytes: usize,
+    ) -> HierarchicalWorld {
+        let n = self.len();
+        let shard_of: Vec<u32> = (0..n as u32)
+            .map(|i| self.cluster_of(PeerId(i)) as u32)
+            .collect();
+        let offset: Vec<f32> = (0..n as u32)
+            .map(|i| self.hub_latency(PeerId(i)).as_us() as f32)
+            .collect();
+        let gen = self.clone();
+        HierarchicalWorld::build_lazy(
+            &shard_of,
+            super_shards,
+            offset,
+            |a, b| {
+                if a == b {
+                    0
+                } else {
+                    self.hubs.rtt(self.cluster_hub[a], self.cluster_hub[b]).as_us()
+                }
+            },
+            cache_budget_bytes,
+            move |a, b| gen.rtt(a, b),
+        )
     }
 
     /// The peer in the same end-network as `p` (its exact-closest peer),
@@ -398,6 +446,29 @@ mod tests {
         // And it really is compressed relative to the dense bytes.
         let dense = w.to_matrix();
         assert!(sharded.approx_bytes() < WorldStore::approx_bytes(&dense));
+    }
+
+    #[test]
+    fn hierarchical_backend_collapses_to_sharded_and_stays_exact_within_groups() {
+        use np_metric::WorldStore;
+        let w = small();
+        let sharded = w.to_sharded_threads(2);
+        // One super-shard: bit-identical to the sharded store.
+        let one = w.to_hierarchical(1, usize::MAX);
+        for a in w.peers() {
+            for b in w.peers() {
+                assert_eq!(one.rtt(a, b), sharded.rtt(a, b), "G=1 rtt({a},{b})");
+            }
+        }
+        // Two super-shards under a starved cache: still exact on this
+        // generator within groups, never an underestimate across.
+        let two = w.to_hierarchical(2, 1);
+        for a in w.peers() {
+            for b in w.peers() {
+                assert!(two.rtt(a, b) >= w.rtt(a, b), "underestimate rtt({a},{b})");
+            }
+        }
+        assert!(two.cache_stats().evictions > 0);
     }
 
     #[test]

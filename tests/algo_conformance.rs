@@ -7,9 +7,12 @@
 //! 1. **Thread invariance** — same seed ⇒ bit-identical [`PaperMetrics`]
 //!    at 1, 2, 4 and 8 threads (exact float equality; the registry's
 //!    promise that `AlgoContext::threads` never affects results).
-//! 2. **Backend invariance** — the dense matrix and the block-compressed
-//!    sharded store describe the same world, so metrics must agree
-//!    bit-for-bit across backends.
+//! 2. **Backend invariance** — the dense matrix, the block-compressed
+//!    sharded store, and the two-level hierarchical store at one
+//!    super-shard describe the same world, so metrics must agree
+//!    bit-for-bit across backends; at two super-shards under a starved
+//!    block cache the store approximates, but every name must still be
+//!    thread-invariant and rerun-stable over it.
 //! 3. **Probe accounting** — every algorithm pays for its answers
 //!    (nonzero mean probes) and a rebuilt algorithm over a fresh build
 //!    cache reproduces the run exactly (no hidden global state).
@@ -25,7 +28,7 @@ use nearest_peer::prelude::*;
 use np_bench::full_registry;
 use np_core::experiment::{AlgoContext, BuildCache};
 use np_core::{run_queries_threads, PaperMetrics};
-use np_metric::{ShardedWorld, WorldStore};
+use np_metric::{HierarchicalWorld, ShardedWorld, WorldStore};
 
 const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 const QUERIES: usize = 40;
@@ -52,6 +55,14 @@ fn dense(seed: u64) -> ClusterScenario {
 
 fn sharded(seed: u64) -> ClusterScenario<ShardedWorld> {
     ClusterScenario::build_sharded_threads(world_spec(), 12, seed, 1)
+}
+
+fn hierarchical(
+    seed: u64,
+    super_shards: usize,
+    cache_budget_bytes: usize,
+) -> ClusterScenario<HierarchicalWorld> {
+    ClusterScenario::build_hierarchical(world_spec(), 12, seed, super_shards, cache_budget_bytes)
 }
 
 /// Build `name` from the registry over `scenario` (fresh [`BuildCache`],
@@ -93,22 +104,60 @@ fn every_registry_algo_is_thread_invariant() {
     }
 }
 
-/// Contract 2: dense and sharded backends agree bit-for-bit, every name.
+/// Contract 2: dense, sharded and one-super-shard hierarchical backends
+/// agree bit-for-bit, every name.
 #[test]
 fn every_registry_algo_is_backend_invariant() {
     let d = dense(1301);
     let s = sharded(1301);
+    let h = hierarchical(1301, 1, usize::MAX);
     assert_eq!(d.overlay, s.overlay, "backends drew different splits");
     assert_eq!(d.targets, s.targets);
+    assert_eq!(d.overlay, h.overlay, "hierarchical drew a different split");
+    assert_eq!(d.targets, h.targets);
     for name in full_registry().names() {
         for threads in [1, 4] {
+            let dm = run_algo(&d, name, 1301, threads, QUERIES);
             assert_eq!(
-                run_algo(&d, name, 1301, threads, QUERIES),
+                dm,
                 run_algo(&s, name, 1301, threads, QUERIES),
-                "{name} diverged across backends at {threads} threads"
+                "{name} diverged across dense/sharded at {threads} threads"
+            );
+            assert_eq!(
+                dm,
+                run_algo(&h, name, 1301, threads, QUERIES),
+                "{name} diverged across dense/hierarchical at {threads} threads"
             );
         }
     }
+}
+
+/// Contract 2b, registry-wide over the two-level store proper: at two
+/// super-shards with a deliberately starved (1-byte) block cache, every
+/// name must still be thread-invariant and rerun-stable — eviction and
+/// lazy re-materialisation are timing, never results.
+#[test]
+fn every_registry_algo_is_stable_on_the_two_level_store() {
+    let h = hierarchical(1501, 2, 1);
+    for name in full_registry().names() {
+        let serial = run_algo(&h, name, 1501, 1, QUERIES);
+        assert_eq!(serial.queries, QUERIES, "{name} dropped queries");
+        // Warm rerun over the same store: cache temperature must be
+        // unobservable.
+        let warm = run_algo(&h, name, 1501, 1, QUERIES);
+        assert_eq!(serial, warm, "{name} leaked cache temperature");
+        for threads in THREAD_COUNTS {
+            let par = run_algo(&h, name, 1501, threads, QUERIES);
+            assert_eq!(
+                serial, par,
+                "{name} diverged at {threads} threads on the two-level store"
+            );
+        }
+    }
+    assert!(
+        h.matrix.cache_stats().evictions > 0,
+        "a 1-byte budget must actually evict blocks"
+    );
 }
 
 /// Contract 3: probes are counted (no free answers) and a rebuilt

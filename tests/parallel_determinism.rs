@@ -12,7 +12,7 @@
 use nearest_peer::prelude::*;
 use np_core::{run_queries_threads, sweep_three_runs_threads, RunBandMetrics};
 use np_metric::nearest::BruteForce;
-use np_metric::{NearestCache, ShardedWorld, WorldStore};
+use np_metric::{HierarchicalWorld, NearestCache, ShardedWorld, WorldStore};
 
 const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
 
@@ -243,6 +243,109 @@ fn sharded_scenario_metrics_match_dense_scenario() {
     }
 }
 
+/// The hierarchical scenario's twin of [`sharded_scenario`]: the same
+/// 96-peer world behind the two-level backend, with `super_shards`
+/// groups and a block cache of `cache_budget_bytes`.
+fn hierarchical_scenario(
+    seed: u64,
+    super_shards: usize,
+    cache_budget_bytes: usize,
+) -> np_core::ClusterScenario<HierarchicalWorld> {
+    np_core::ClusterScenario::build_hierarchical(
+        ClusterWorldSpec {
+            clusters: 4,
+            en_per_cluster: 12,
+            peers_per_en: 2,
+            delta: 0.2,
+            mean_hub_ms: (4.0, 6.0),
+            intra_en: Micros::from_us(100),
+            hub_pool: 6,
+        },
+        16,
+        seed,
+        super_shards,
+        cache_budget_bytes,
+    )
+}
+
+/// Query batches over a hierarchical scenario under a deliberately
+/// starved block cache: the metric set must be bit-identical at any
+/// thread count AND at any cache temperature — a cold run that
+/// materialises (and evicts) every block on demand, a warm re-run over
+/// the same store, and fresh cold stores at 2/4/8 threads all agree to
+/// the last bit. Eviction and re-materialisation are timing, never
+/// results.
+#[test]
+fn hierarchical_batch_metrics_identical_at_any_thread_count() {
+    let starved = hierarchical_scenario(404, 2, 1);
+    let algo = BruteForce::new(&starved.matrix, starved.overlay.clone());
+    let cold = run_queries_threads(&algo, &starved, 120, 13, 1);
+    assert_eq!(cold.p_correct_closest, 1.0, "brute force is exact");
+    assert!(
+        starved.matrix.cache_stats().evictions > 0,
+        "a 1-byte budget must actually evict blocks"
+    );
+    // Warm re-run over the very same (now partially resident) store.
+    let warm = run_queries_threads(&algo, &starved, 120, 13, 1);
+    assert_eq!(cold, warm, "cache temperature leaked into the metrics");
+    for threads in THREAD_COUNTS {
+        // Warm store, N threads.
+        let par = run_queries_threads(&algo, &starved, 120, 13, threads);
+        assert_eq!(cold, par, "hierarchical batch diverged at {threads} threads");
+        // Fresh store (cold cache), N threads.
+        let fresh = hierarchical_scenario(404, 2, 1);
+        let fresh_algo = BruteForce::new(&fresh.matrix, fresh.overlay.clone());
+        let fresh_par = run_queries_threads(&fresh_algo, &fresh, 120, 13, threads);
+        assert_eq!(
+            cold, fresh_par,
+            "cold-cache hierarchical batch diverged at {threads} threads"
+        );
+    }
+}
+
+/// Multi-seed sweep bands over hierarchical scenarios (outer per-seed
+/// parallelism composed with inner query parallelism and lazy block
+/// materialisation).
+#[test]
+fn hierarchical_sweep_bands_identical_at_any_thread_count() {
+    let run_with = |threads: usize| {
+        sweep_three_runs_threads(55, threads, |seed| {
+            let s = hierarchical_scenario(seed, 2, 1 << 12);
+            let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+            run_queries_threads(&algo, &s, 60, seed, threads)
+        })
+    };
+    let serial = run_with(1);
+    for threads in [2, 4, 8] {
+        assert_bands_identical(&serial, &run_with(threads));
+    }
+}
+
+/// At one super-shard the hierarchical store is bit-identical to the
+/// sharded one, so the three backends must see the very same
+/// experiment: same seed ⇒ same split, same ground truth, same
+/// metrics. With more super-shards the split and targets still agree
+/// (they are drawn before any backend exists).
+#[test]
+fn hierarchical_scenario_metrics_match_sharded_scenario() {
+    let sharded = sharded_scenario(505);
+    let hier = hierarchical_scenario(505, 1, usize::MAX);
+    assert_eq!(sharded.overlay, hier.overlay);
+    assert_eq!(sharded.targets, hier.targets);
+    let sa = BruteForce::new(&sharded.matrix, sharded.overlay.clone());
+    let ha = BruteForce::new(&hier.matrix, hier.overlay.clone());
+    for threads in [1, 4] {
+        assert_eq!(
+            run_queries_threads(&sa, &sharded, 100, 17, threads),
+            run_queries_threads(&ha, &hier, 100, 17, threads),
+            "backends diverged at {threads} threads"
+        );
+    }
+    let grouped = hierarchical_scenario(505, 3, 1 << 12);
+    assert_eq!(sharded.overlay, grouped.overlay);
+    assert_eq!(sharded.targets, grouped.targets);
+}
+
 /// The ground-truth cache must agree with direct scans regardless of
 /// how many workers precomputed it.
 #[test]
@@ -396,6 +499,8 @@ fn experiment_pipeline_identical_at_any_thread_count() {
                 quick_queries: None,
                 in_quick: true,
                 churn: None,
+                super_shards: None,
+                block_cache_mb: None,
                 algos: vec![
                     AlgoSpec::new("random"),
                     AlgoSpec::new("brute-force").with_queries(20),
@@ -403,7 +508,7 @@ fn experiment_pipeline_identical_at_any_thread_count() {
             }],
         )
     };
-    for backend in [Backend::Dense, Backend::Sharded] {
+    for backend in [Backend::Dense, Backend::Sharded, Backend::Hierarchical] {
         let serial = Experiment::new(spec(backend), &registry).run_threads(1);
         for threads in THREAD_COUNTS {
             let par = Experiment::new(spec(backend), &registry).run_threads(threads);
@@ -478,6 +583,8 @@ fn churn_spec(
                 loss: 0.05,
                 retries: 2,
             }),
+            super_shards: None,
+            block_cache_mb: None,
             algos: vec![AlgoSpec::new("brute-force"), AlgoSpec::new("meridian")],
         }],
     )
@@ -491,7 +598,7 @@ fn churn_spec(
 fn churn_pipeline_identical_at_any_thread_count() {
     use np_core::experiment::Backend;
     let registry = churn_registry();
-    for backend in [Backend::Dense, Backend::Sharded] {
+    for backend in [Backend::Dense, Backend::Sharded, Backend::Hierarchical] {
         let serial =
             np_core::experiment::Experiment::new(churn_spec(backend, 30.0), &registry)
                 .run_threads(1);
@@ -533,7 +640,7 @@ fn null_churn_matches_the_static_pipeline() {
     use np_core::experiment::{Backend, Experiment, Workload};
     use np_core::ChurnConfig;
     let registry = churn_registry();
-    for backend in [Backend::Dense, Backend::Sharded] {
+    for backend in [Backend::Dense, Backend::Sharded, Backend::Hierarchical] {
         let mut dynamic = churn_spec(backend, 0.0);
         let mut static_ = churn_spec(backend, 0.0);
         if let Workload::QueryMatrix(cells) = &mut dynamic.workload {

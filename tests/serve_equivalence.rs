@@ -146,6 +146,50 @@ fn brute_force_service_equals_batch_sharded() {
     }
 }
 
+/// Brute force on the hierarchical backend, both at one super-shard
+/// (where the store is bit-identical to `ShardedWorld`, so the served
+/// answers must equal the sharded run's, slot for slot) and at two
+/// super-shards under a deliberately starved block cache (where the
+/// serve≡batch contract must hold regardless — eviction and
+/// re-materialisation are timing, not results).
+#[test]
+fn brute_force_service_equals_batch_hierarchical() {
+    let s = sharded_scenario(202);
+    let n = 120;
+    let sharded_answers = {
+        let algo = BruteForce::new(&s.matrix, s.overlay.clone());
+        let truth = NearestCache::build(&s.matrix, &s.overlay, &s.targets, 1);
+        serve_batch(&s, &algo, &truth, n, 11, 1, 8).answers
+    };
+    for (super_shards, budget) in [(1, usize::MAX), (2, 1)] {
+        let h = np_core::ClusterScenario::build_hierarchical(
+            world_spec(),
+            16,
+            202,
+            super_shards,
+            budget,
+        );
+        let algo = BruteForce::new(&h.matrix, h.overlay.clone());
+        let batch = run_queries_threads(&algo, &h, n, 11, 1);
+        let truth = NearestCache::build(&h.matrix, &h.overlay, &h.targets, 1);
+        for workers in WORKER_COUNTS {
+            let report = serve_batch(&h, &algo, &truth, n, 11, workers, 8);
+            assert_report_matches_batch(
+                &report,
+                &batch,
+                n,
+                &format!("brute @{workers}w hierarchical G={super_shards}"),
+            );
+            if super_shards == 1 {
+                assert_eq!(
+                    report.answers, sharded_answers,
+                    "one super-shard must serve the sharded backend's exact answers"
+                );
+            }
+        }
+    }
+}
+
 /// The contract is batch-size independent too: coalescing 1, 3 or 64
 /// queries per admission batch must be unobservable in the results.
 #[test]

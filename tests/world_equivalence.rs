@@ -14,12 +14,30 @@
 //!    *inter*-cluster RTTs are exact — the paper-figure cross-checks in
 //!    `ext_scale` rest on this.
 //!
+//! The two-level backend earns its place the same way, by collapse
+//! laws pinned below the property block:
+//!
+//! 4. **One super-shard** makes [`HierarchicalWorld`] bit-identical to
+//!    `ShardedWorld` — RTTs, `nearest_within`, `NearestCache`, and the
+//!    Meridian shard-local rings built over either store.
+//! 5. **All-singleton shards** (every peer its own shard, zero
+//!    offsets, the dense matrix as the hub summary) make it
+//!    bit-identical to the dense matrix.
+//! 6. The shard-local Meridian fill stays a fast path, not an
+//!    approximation, at two levels: identical rings to the omniscient
+//!    fill over the same hierarchical store, even under a starved
+//!    block cache.
+//!
 //! Worlds are random ≤512-peer cluster worlds from the vendored
 //! proptest harness; assertions are exact equality, never tolerances.
 
-use np_metric::{NearestCache, PeerId, ShardedWorld, WorldStore};
+use nearest_peer::prelude::{BuildMode, MeridianConfig, Overlay};
+use np_metric::{
+    HierarchicalWorld, NearestCache, NearestPeerAlgo, PeerId, ShardedWorld, WorldStore,
+};
 use np_topology::{ClusterWorld, ClusterWorldSpec};
 use np_util::Micros;
+use std::sync::Arc;
 
 /// A random-shape world: `clusters × en_per_cluster × 2` peers, ≤512.
 fn world(clusters: usize, en_per_cluster: usize, delta_pct: u64, seed: u64) -> ClusterWorld {
@@ -153,4 +171,152 @@ proptest::proptest! {
             );
         }
     }
+}
+
+/// Ring-for-ring, member-for-member equality of two overlays over
+/// possibly different store types (the `tests/shard_local_fill.rs`
+/// idiom, generalised across backends).
+fn assert_identical_rings<W: WorldStore + ?Sized, V: WorldStore + ?Sized>(
+    a: &Overlay<'_, W>,
+    b: &Overlay<'_, V>,
+) {
+    assert_eq!(a.members(), b.members());
+    assert_eq!(a.total_ring_entries(), b.total_ring_entries());
+    for &p in a.members() {
+        let ra: Vec<(PeerId, Micros)> = a.rings_of(p).primaries().map(|m| (m.peer, m.rtt)).collect();
+        let rb: Vec<(PeerId, Micros)> = b.rings_of(p).primaries().map(|m| (m.peer, m.rtt)).collect();
+        assert_eq!(ra, rb, "rings of {p} diverged");
+    }
+}
+
+/// Collapse law 4: one super-shard makes the hierarchical store
+/// bit-identical to the sharded one — every RTT, every `nearest_within`
+/// over arbitrary member subsets, every `NearestCache` answer, and the
+/// Meridian shard-local rings built over either store.
+#[test]
+fn one_super_shard_collapses_to_the_sharded_world() {
+    for seed in [3u64, 41] {
+        let w = world(5, 6, 20, seed); // 60 peers, 5 shards
+        let n = w.len();
+        let sharded = w.to_sharded_threads(2);
+        let hier = w.to_hierarchical(1, 1 << 20);
+        hier.validate().expect("valid hierarchical store");
+        assert_eq!(hier.n_super_shards(), 1);
+        assert_eq!(hier.n_shards(), sharded.n_shards());
+        for a in (0..n as u32).map(PeerId) {
+            for b in (0..n as u32).map(PeerId) {
+                assert_eq!(
+                    WorldStore::rtt(&hier, a, b),
+                    WorldStore::rtt(&sharded, a, b),
+                    "rtt({a},{b}) diverged at seed {seed}"
+                );
+            }
+        }
+        let all: Vec<PeerId> = (0..n as u32).map(PeerId).collect();
+        let strided: Vec<PeerId> = all.iter().copied().step_by(3).collect();
+        let tail: Vec<PeerId> = all[n - 2..].to_vec();
+        for members in [&all, &strided, &tail] {
+            for &t in &all {
+                assert_eq!(
+                    hier.nearest_within(t, members),
+                    sharded.nearest_within(t, members),
+                    "nearest_within({t}) diverged on {} members",
+                    members.len()
+                );
+            }
+        }
+        let split = n - n / 4;
+        let (overlay, targets) = all.split_at(split);
+        let cs = NearestCache::build(&sharded, overlay, targets, 2);
+        let ch = NearestCache::build(&hier, overlay, targets, 2);
+        for &t in targets {
+            assert_eq!(cs.nearest(t), ch.nearest(t), "cache diverged for {t}");
+        }
+        let os = Overlay::build_shard_local_threads(
+            &sharded,
+            overlay.to_vec(),
+            MeridianConfig::default(),
+            seed,
+            2,
+        );
+        let oh = Overlay::build_shard_local_threads(
+            &hier,
+            overlay.to_vec(),
+            MeridianConfig::default(),
+            seed,
+            2,
+        );
+        assert_identical_rings(&os, &oh);
+    }
+}
+
+/// Collapse law 5: every peer its own shard, zero hub offsets, and the
+/// dense matrix itself as the hub summary make the hierarchical store
+/// bit-identical to the dense matrix — the lazy blocks degenerate to
+/// 1×1 diagonals and every cross-shard path *is* the dense entry.
+#[test]
+fn all_singleton_shards_collapse_to_the_dense_matrix() {
+    let w = world(3, 6, 30, 7); // 36 peers
+    let n = w.len();
+    let dense = Arc::new(w.to_matrix_threads(1));
+    let shard_of: Vec<u32> = (0..n as u32).collect();
+    let hub = Arc::clone(&dense);
+    let fill = Arc::clone(&dense);
+    let hier = HierarchicalWorld::build_lazy(
+        &shard_of,
+        1,
+        vec![0.0; n],
+        move |a, b| hub.rtt(PeerId(a as u32), PeerId(b as u32)).as_us(),
+        1 << 16,
+        move |a, b| fill.rtt(a, b),
+    );
+    hier.validate().expect("valid hierarchical store");
+    assert_eq!(hier.n_shards(), n);
+    let all: Vec<PeerId> = (0..n as u32).map(PeerId).collect();
+    for &a in &all {
+        for &b in &all {
+            assert_eq!(
+                WorldStore::rtt(&hier, a, b),
+                dense.rtt(a, b),
+                "rtt({a},{b}) diverged"
+            );
+        }
+    }
+    let strided: Vec<PeerId> = all.iter().copied().step_by(5).collect();
+    for members in [&all, &strided] {
+        for &t in &all {
+            assert_eq!(
+                hier.nearest_within(t, members),
+                dense.nearest_within(t, members),
+                "nearest_within({t}) diverged on {} members",
+                members.len()
+            );
+        }
+    }
+}
+
+/// Collapse law 6: the shard-local Meridian fill is a fast path at two
+/// levels too — bit-identical rings to the omniscient fill over the
+/// same hierarchical store, with a deliberately starved block cache so
+/// blocks evict and re-materialise mid-fill.
+#[test]
+fn shard_local_fill_matches_omniscient_at_two_levels() {
+    let w = world(6, 4, 20, 11); // 48 peers, 6 shards
+    let hier = w.to_hierarchical(3, 1 << 12);
+    assert_eq!(hier.n_super_shards(), 3);
+    let members: Vec<PeerId> = (0..w.len() as u32)
+        .filter(|i| i % 7 != 0)
+        .map(PeerId)
+        .collect();
+    let omniscient = Overlay::build_threads(
+        &hier,
+        members.clone(),
+        MeridianConfig::default(),
+        BuildMode::Omniscient,
+        13,
+        2,
+    );
+    let local =
+        Overlay::build_shard_local_threads(&hier, members, MeridianConfig::default(), 13, 2);
+    assert_identical_rings(&omniscient, &local);
 }
