@@ -122,6 +122,7 @@ impl NearestPeerAlgo for Beaconing {
             }
         }
         let mut ranked: Vec<(usize, PeerId)> =
+            // np-lint: allow(D1) — sorted by (Reverse(count), peer) on the next line; order cannot reach results
             score.into_iter().map(|(p, s)| (s, p)).collect();
         ranked.sort_by_key(|&(s, p)| (std::cmp::Reverse(s), p));
         // 3. Probe the budgeted prefix (ties shuffled for fairness).

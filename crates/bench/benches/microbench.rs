@@ -576,6 +576,21 @@ fn bench_serve_pipeline_10k(c: &mut Criterion) {
     });
 }
 
+/// The full `np-lint` pass over this workspace's own sources: walk,
+/// lex, rule passes, aggregation. Tracks the cost of the CI gate (and
+/// of the lexer — by far the hot loop) as the codebase grows.
+fn bench_np_lint_workspace(c: &mut Criterion) {
+    let root = np_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs from inside the workspace");
+    c.bench_function("np_lint_workspace", |b| {
+        b.iter(|| {
+            let report = np_lint::lint_workspace(&root).expect("workspace walk");
+            assert!(report.is_clean());
+            criterion::black_box(report.files)
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -605,7 +620,8 @@ criterion_group! {
               bench_nearest_scan_kernel, bench_nearest_scan_naive,
               bench_sharded_build_10k, bench_experiment_pipeline,
               bench_serve_pipeline_10k,
-              bench_hierarchical_block_cache_hit, bench_hierarchical_block_cache_miss
+              bench_hierarchical_block_cache_hit, bench_hierarchical_block_cache_miss,
+              bench_np_lint_workspace
 }
 criterion_group! {
     name = heavy_benches;

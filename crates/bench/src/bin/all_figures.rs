@@ -24,7 +24,7 @@ fn main() {
     if let Err(e) = Args::try_from_iter(args.clone()) {
         cli::exit_usage(&e);
     }
-    let wall = Instant::now();
+    let wall = Instant::now(); // np-lint: allow(D2) — suite wall-clock telemetry only; never feeds PaperMetrics
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();

@@ -18,6 +18,12 @@
 //! * `np-bench specs [--check] [--dir DIR]` — regenerate the
 //!   `experiments/` spec files from the figure catalogue; `--check`
 //!   diffs instead (CI's anti-drift gate).
+//! * `np-bench lint [tags] [--check]` — the workspace determinism &
+//!   concurrency static-analysis pass (same engine as the standalone
+//!   `np-lint` binary): map-iteration on result paths, ambient clocks,
+//!   RNG stream-tag collisions, undocumented `unsafe`, and BlockCache
+//!   lock order. `--check` exits nonzero on any unsuppressed finding;
+//!   `tags` dumps the stream-tag registry.
 //! * `np-bench speedup [--min X] [--json PATH]` — read
 //!   `BENCH_parallel.json`, report every `_serial`/`_par` engine pair's
 //!   measured speedup (plus notable single benches like
@@ -62,6 +68,10 @@ fn list() {
          --max-rss-mb N"
     );
     println!("spec files: np-bench run experiments/<name>.toml  (np-bench specs regenerates them)");
+    println!(
+        "lint: np-bench lint [tags] [--check]  (determinism & concurrency static analysis — \
+         see README \"Determinism contract\")"
+    );
 }
 
 fn speedup(args: &[String]) {
@@ -154,10 +164,11 @@ fn main() {
         Some("run") => spec_files::cmd_run(&args[1..]),
         Some("serve") => serve_cmd::cmd_serve(&args[1..]),
         Some("specs") => spec_files::cmd_specs(&args[1..]),
+        Some("lint") => std::process::exit(np_lint::run_cli(&args[1..])),
         Some(other) => {
             eprintln!(
                 "unknown subcommand {other:?}; try: np-bench list | np-bench run <spec.toml> | \
-                 np-bench serve <spec.toml> | np-bench specs | np-bench speedup"
+                 np-bench serve <spec.toml> | np-bench specs | np-bench speedup | np-bench lint"
             );
             std::process::exit(2);
         }

@@ -357,7 +357,7 @@ impl Report {
     /// Begin timing a figure run.
     pub fn start(args: &Args) -> Report {
         Report {
-            wall_start: Instant::now(),
+            wall_start: Instant::now(), // np-lint: allow(D2) — figure-run wall-clock telemetry only; never feeds PaperMetrics
             busy_start: busy_time(),
             threads: args.threads(),
         }

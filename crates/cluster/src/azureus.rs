@@ -196,6 +196,7 @@ pub fn run(world: &InternetModel, limit: Option<usize>, seed: u64) -> AzureusStu
         by_hub.entry(s.hub).or_default().push((s.host, s.hub_to_peer));
     }
     let mut unpruned: Vec<Cluster> = by_hub
+        // np-lint: allow(D1) — members sorted per cluster and clusters sorted by (Reverse(len), hub) below; order cannot reach results
         .into_iter()
         .map(|(hub, mut members)| {
             members.sort_by_key(|&(h, l)| (l, h));

@@ -187,6 +187,7 @@ pub fn run(world: &InternetModel, cfg: DnsStudyConfig, seed: u64) -> DnsStudy {
     for (&h, info) in &infos {
         clusters.entry(info.pop_key).or_default().push(h);
     }
+    // np-lint: allow(D1) — independent per-bucket in-place sort; visit order cannot reach results
     for v in clusters.values_mut() {
         v.sort_unstable(); // determinism before shuffling
     }
@@ -194,6 +195,7 @@ pub fn run(world: &InternetModel, cfg: DnsStudyConfig, seed: u64) -> DnsStudy {
     // Draw pairs: each server picks pairs_per_server/2 partners.
     // Iterate clusters in sorted key order — HashMap order would leak
     // into the RNG stream and break run-to-run determinism.
+    // np-lint: allow(D1) — sorted by (as_id, city_id) on the next line; order cannot reach results
     let mut keys: Vec<Annotation> = clusters.keys().copied().collect();
     keys.sort_by_key(|a| (a.as_id, a.city_id));
     let mut rng = rng_for(seed, 0x444E_5350); // "DNSP"

@@ -64,7 +64,15 @@ impl TraceGraph {
                 tg.ingest(&trace, peer, peer_lat, &mut edges);
             }
         }
-        for ((a, b), w) in edges {
+        // Materialise in sorted key order: adjacency-list contents
+        // become a pure function of the trace set, not of HashMap
+        // bucket order, so any future consumer that walks
+        // `Graph::neighbours` inherits determinism for free.
+        let mut edge_list: Vec<((NodeId, NodeId), Micros)> = edges
+            .into_iter() // np-lint: allow(D1) — collected then sorted by (a, b) below; order cannot reach results
+            .collect();
+        edge_list.sort_unstable_by_key(|&(k, _)| k);
+        for ((a, b), w) in edge_list {
             tg.graph.add_edge(a, b, w);
         }
         tg

@@ -281,7 +281,7 @@ impl<'r> Experiment<'r> {
     /// Run with an explicit worker count. Metrics are bit-identical at
     /// any value (see module docs); only wall-clock changes.
     pub fn run_threads(&self, threads: usize) -> ExperimentReport {
-        let start = Instant::now();
+        let start = Instant::now(); // np-lint: allow(D2) — wall-clock telemetry only; never feeds PaperMetrics
         let body = match &self.spec.workload {
             Workload::QueryMatrix(cells) => {
                 let cache: ScenarioCache = Mutex::new(HashMap::new());
@@ -352,6 +352,7 @@ impl<'r> Experiment<'r> {
             let (scenario, build_wall) = match cached {
                 Some(s) => (s, Duration::ZERO),
                 None => {
+                    // np-lint: allow(D2) — build wall-clock telemetry only; never feeds PaperMetrics
                     let t = Instant::now();
                     let built = Arc::new(ScenarioHandle::build(cell, backend, seed, threads));
                     let wall = t.elapsed();
@@ -379,7 +380,7 @@ impl<'r> Experiment<'r> {
                     .map(|(spec, factory)| {
                         let algo = factory.build(&ctx);
                         let n_queries = spec.queries.unwrap_or(cell.queries);
-                        let t = Instant::now();
+                        let t = Instant::now(); // np-lint: allow(D2) — per-algo wall-clock telemetry only; never feeds PaperMetrics
                         let metrics =
                             scenario.run_queries(algo.as_ref(), n_queries, seed, threads);
                         (metrics, t.elapsed(), None)
@@ -404,6 +405,7 @@ impl<'r> Experiment<'r> {
                             )
                         });
                     }
+                    // np-lint: allow(D1) — epoch count depends only on (churn, overlay, seed), so every value agrees; which one is read cannot reach results
                     let n_epochs = schedules.values().next().expect("non-empty").epochs.len();
                     let caches: Vec<BuildCache> =
                         (0..n_epochs).map(|_| BuildCache::new()).collect();
@@ -413,7 +415,7 @@ impl<'r> Experiment<'r> {
                         .map(|(spec, factory)| {
                             let n_queries = spec.queries.unwrap_or(cell.queries);
                             let schedule = &schedules[&n_queries];
-                            let t = Instant::now();
+                            let t = Instant::now(); // np-lint: allow(D2) — per-algo wall-clock telemetry only; never feeds PaperMetrics
                             let (metrics, stats) = scenario.run_dynamic(
                                 *factory, &ctx, schedule, &caches, &churn, n_queries, seed,
                                 threads,

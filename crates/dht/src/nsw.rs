@@ -103,6 +103,7 @@ impl NswGraph {
                 }
                 // Link u to the m nearest evaluated nodes (ties by
                 // index — deterministic).
+                // np-lint: allow(D1) — sorted by (distance, index) on the next line; order cannot reach results
                 let mut cand: Vec<(Micros, u32)> = seen.into_iter().map(|(i, d)| (d, i)).collect();
                 cand.sort_unstable();
                 for &(_, v) in cand.iter().take(m) {

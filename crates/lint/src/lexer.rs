@@ -1,0 +1,398 @@
+//! A hand-rolled Rust token scanner — the lexing layer of `np-lint`.
+//!
+//! The lint rules (see [`crate::rules`]) pattern-match over token
+//! streams, so the scanner's one job is to be *reliably wrong-proof*
+//! about the three things that break naive `grep`-style linting:
+//!
+//! * **strings** — `"…"`, raw strings `r#"…"#`, byte strings `b"…"`:
+//!   a `HashMap` or `unsafe` inside a string literal is not code;
+//! * **comments** — `//`, `///`, `//!` and (nested) `/* … */`: prose
+//!   mentioning `Instant::now` must not fire a finding, but comments
+//!   are *kept* as tokens because two rules read them (`// SAFETY:`
+//!   for D4, `// np-lint: allow(..)` suppressions);
+//! * **char literals vs lifetimes** — `'a'` is a char, `'a` is a
+//!   lifetime; the scanner disambiguates so a `'m'` literal cannot eat
+//!   the rest of the file.
+//!
+//! Everything else is deliberately coarse: identifiers (keywords
+//! included), numeric literals (raw text retained — the D3 tag
+//! registry parses values out of them), and single-character
+//! punctuation (`::` is two `:` tokens; rules match the pair).
+//! The scanner never fails: unexpected bytes lex as punctuation.
+
+/// What a token is. `text` is retained for identifiers, numbers and
+/// comments — the only kinds the rules inspect by content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unsafe`, …).
+    Ident,
+    /// Integer or float literal, raw text kept (`0x4D46_494C`).
+    Number,
+    /// String / raw string / byte-string literal (content dropped).
+    Str,
+    /// Char or byte-char literal (content dropped).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Line or block comment, full text kept (D4 / allow parsing).
+    Comment,
+    /// Single punctuation character, in `text`.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lex `src` into tokens. Never fails; see the module docs for the
+/// (deliberate) coarseness.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested, as in Rust).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, br#"…"#, r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            // Determine a possible raw-string prefix run: r, br, rb? (rb
+            // is not Rust; accept r and br), followed by zero or more
+            // '#' then '"'.
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 2;
+            } else if b[j] == 'r' {
+                j += 1;
+            } else {
+                j = usize::MAX;
+            }
+            if j != usize::MAX {
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    // Raw string: scan to `"` followed by `hashes` #'s.
+                    let start_line = line;
+                    k += 1;
+                    'scan: while k < n {
+                        if b[k] == '\n' {
+                            line += 1;
+                        }
+                        if b[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && b[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        k += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && k < n && (b[k].is_alphabetic() || b[k] == '_') {
+                    // Raw identifier r#type: lex as the identifier.
+                    let start = k;
+                    let mut e = k;
+                    while e < n && (b[e].is_alphanumeric() || b[e] == '_') {
+                        e += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Ident,
+                        text: b[start..e].iter().collect(),
+                        line,
+                    });
+                    i = e;
+                    continue;
+                }
+            }
+        }
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            i += if c == 'b' { 2 } else { 1 };
+            while i < n {
+                match b[i] {
+                    // An escape may be a `\` line-continuation: the
+                    // skipped char can be a newline and must still
+                    // count, or every line after the literal drifts.
+                    '\\' => {
+                        if i + 1 < n && b[i + 1] == '\n' {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime. `'` then:
+        //  * `\` → escaped char literal;
+        //  * X followed by `'` → char literal;
+        //  * ident-start not followed by closing quote → lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char: consume to closing quote.
+                let mut k = i + 2;
+                while k < n && b[k] != '\'' {
+                    k += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = (k + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let start = i + 1;
+                let mut e = start;
+                while e < n && (b[e].is_alphanumeric() || b[e] == '_') {
+                    e += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: b[start..e].iter().collect(),
+                    line,
+                });
+                i = e;
+                continue;
+            }
+            // Bare quote (malformed) — punctuation.
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Identifier / keyword (b"…" handled above; a lone `b` lands here).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number: digits, then alnum/underscore (hex, suffixes), one
+        // fractional part if the dot is followed by a digit (so `0..n`
+        // stays two tokens and a range).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Number,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation char.
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_identifiers() {
+        let toks = kinds(r#"let s = "HashMap inside a string";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; let x = HashMap::new();"##);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn comments_are_kept_with_text() {
+        let toks = lex("// SAFETY: fine\nunsafe { }");
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[0].text.contains("SAFETY:"));
+        assert_eq!(toks[0].line, 1);
+        assert!(toks[1].is_ident("unsafe"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let toks = lex("/* a /* b */ c\nstill comment */\nfoo");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[1].is_ident("foo"));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn numbers_keep_raw_text_and_ranges_split() {
+        let toks = kinds("const T: u64 = 0x4D46_494C; for i in 0..n {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Number && t == "0x4D46_494C"));
+        // `0..n` is Number('0') '.' '.' Ident(n).
+        let zero = toks.iter().position(|(k, t)| *k == TokKind::Number && t == "0").unwrap();
+        assert_eq!(toks[zero + 1].1, ".");
+        assert_eq!(toks[zero + 2].1, ".");
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let toks = lex("let s = \"a \\\n   b \\\n   c\";\nfoo");
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!(foo.line, 4, "continuation newlines must be counted");
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts() {
+        let toks = lex("Instant::now()");
+        assert!(toks[0].is_ident("Instant"));
+        assert!(toks[1].is_punct(':'));
+        assert!(toks[2].is_punct(':'));
+        assert!(toks[3].is_ident("now"));
+    }
+}

@@ -1,0 +1,26 @@
+// np-lint fixture: the allow grammar. One properly suppressed D1, one
+// trailing-form suppression, one allow with no justification (fires
+// A0), one allow naming an unknown rule (fires A0).
+use std::collections::HashMap;
+
+fn suppressed(scores: HashMap<u32, u64>) -> u64 {
+    let mut v: Vec<u64> =
+        // np-lint: allow(D1) — collected then summed; addition is commutative (fixture)
+        scores.values().copied().collect();
+    v.sort_unstable();
+    v.iter().sum()
+}
+
+fn suppressed_trailing(scores: HashMap<u32, u64>) -> usize {
+    scores.keys().count() // np-lint: allow(D1) — commutative count (fixture)
+}
+
+fn unjustified(scores: HashMap<u32, u64>) -> u64 {
+    // np-lint: allow(D1)
+    scores.values().sum()
+}
+
+fn unknown_rule(scores: HashMap<u32, u64>) -> u64 {
+    // np-lint: allow(D9) — there is no rule D9
+    scores.values().sum()
+}

@@ -1,0 +1,12 @@
+// np-lint fixture, "crate A" of the cross-crate D3 collision pair:
+// its tag value deliberately equals crate_b.rs's. The collision is
+// only visible when both files are linted as one set — per-file
+// passes see nothing wrong.
+pub const FILL_TAG: u64 = 0x4649_4C4C; // "FILL"
+pub const PROBE_TAG: u64 = 0x5052_4F42; // "PROB" — unique, must not fire
+
+#[cfg(test)]
+mod tests {
+    // Test-side tags never join the workspace registry.
+    const SCRATCH_TAG: u64 = 0xDEAD_BEEF;
+}

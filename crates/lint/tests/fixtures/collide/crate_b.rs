@@ -1,0 +1,9 @@
+// np-lint fixture, "crate B" of the cross-crate D3 collision pair.
+pub const REFILL_TAG: u64 = 0x4649_4C4C; // same value as crate A's FILL_TAG — fires
+pub const WALK_TAG: u64 = 0x57_414C4B; // "WALK" — unique, must not fire
+
+#[cfg(test)]
+mod tests {
+    // Collides with crate A's test tag — but test tags are exempt.
+    const SCRATCH_TAG: u64 = 0xDEAD_BEEF;
+}

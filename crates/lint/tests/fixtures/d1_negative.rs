@@ -1,0 +1,45 @@
+// np-lint fixture: nothing in this file may fire. Every construct is
+// a near-miss of D1 that the heuristics must see through.
+use std::collections::{BTreeMap, HashMap};
+
+struct Pack {
+    rows: Vec<u32>,
+}
+
+fn vec_iteration(rows: Vec<u32>) -> u32 {
+    rows.iter().sum() // Vec iteration is index-ordered
+}
+
+fn btree_is_ordered(sorted: BTreeMap<u32, u32>) -> u32 {
+    sorted.values().sum() // BTreeMap iterates in key order
+}
+
+fn lookup_not_iteration(map: HashMap<u32, Vec<u32>>, k: u32) -> u32 {
+    let mut total = 0;
+    // Indexing yields a *value* of the map; iterating the Vec value is
+    // order-safe even though the receiver chain starts at the map.
+    for &x in &map[&k] {
+        total += x;
+    }
+    total + map[&k].iter().sum::<u32>()
+}
+
+fn lookup_only(lut: HashMap<u32, u32>) -> u32 {
+    // `get` is not an iteration method.
+    *lut.get(&3).unwrap_or(&0)
+}
+
+impl Pack {
+    fn field_vec(&self) -> usize {
+        self.rows.iter().count() // Vec field, same name discipline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_test_module(scores: HashMap<u32, u64>) -> u64 {
+        scores.values().sum() // exempt: result paths never run here
+    }
+}

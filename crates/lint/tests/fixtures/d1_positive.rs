@@ -1,0 +1,32 @@
+// np-lint fixture: every construct in this file must fire D1.
+// (The fixtures/ directory is excluded from the workspace walk; these
+// sources are linted only by the self-tests, via `lint_files`.)
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    index: HashMap<u32, Vec<u32>>,
+}
+
+fn method_iteration(scores: HashMap<u32, u64>) -> u64 {
+    scores.values().sum() // fires: .values() on a map-typed local
+}
+
+fn for_loop_iteration(seen: HashSet<u32>) -> u32 {
+    let mut best = 0;
+    for x in &seen {
+        // fires: for … in over a map-typed binding
+        best = best.max(*x);
+    }
+    best
+}
+
+fn drain_and_retain(mut pending: HashMap<u32, u32>) {
+    pending.retain(|_, v| *v > 0); // fires: retain visits in map order
+    for (_k, _v) in pending.drain() {} // fires: drain consumes in map order
+}
+
+impl Table {
+    fn field_iteration(&self) -> usize {
+        self.index.keys().count() // fires: .keys() on a map-typed field
+    }
+}

@@ -1,0 +1,25 @@
+// np-lint fixture: both clock reads must fire D2 under a normal path
+// and be exempt when the same source is presented under an
+// allowlisted path (the self-test passes this file twice). Paths stay
+// fully qualified: D2 matches the `SystemTime` ident anywhere, so an
+// import line would itself (correctly) fire and muddy the line count.
+
+fn wall_clock() -> u128 {
+    let t0 = std::time::Instant::now(); // fires: ambient clock
+    t0.elapsed().as_nanos()
+}
+
+fn epoch() -> std::time::Duration {
+    let now = std::time::SystemTime::now(); // fires: SystemTime in any position
+    now.duration_since(std::time::UNIX_EPOCH).unwrap_or_default()
+}
+
+fn not_a_clock(a: std::time::Duration, b: std::time::Duration) -> std::time::Duration {
+    a + b // Duration arithmetic is pure — must not fire
+}
+
+fn mention_in_string() -> &'static str {
+    "Instant::now() in a string must not fire"
+}
+
+// A comment mentioning Instant::now() or SystemTime must not fire either.

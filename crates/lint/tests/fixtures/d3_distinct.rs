@@ -1,0 +1,9 @@
+// np-lint fixture: a healthy tag registry — all values distinct, all
+// parse forms covered (hex with separators, decimal, suffixed).
+pub const ALPHA_TAG: u64 = 0x414C_5048;
+pub const BETA_TAG: u64 = 1_000_003;
+pub const GAMMA_TAG: u64 = 7u64;
+
+// Not tags: wrong type, wrong name shape — must not enter the registry.
+pub const NOT_A_TAG: u32 = 0x414C_5048;
+pub const TAGGED: u64 = 0x414C_5048;

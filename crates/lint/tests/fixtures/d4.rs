@@ -1,0 +1,37 @@
+// np-lint fixture: the undocumented unsafe blocks must fire D4; the
+// documented forms (comment block above, trailing same-line, doc
+// block with interleaved plain comments) must not.
+
+unsafe fn raw(p: *mut u8) -> u8 {
+    // fires: unsafe fn without a SAFETY comment
+    *p
+}
+
+fn undocumented(p: *mut u8) -> u8 {
+    unsafe { *p } // fires: no SAFETY comment anywhere near
+}
+
+fn documented_above(p: *mut u8) -> u8 {
+    // SAFETY: caller contract (fixture) — p is valid for reads.
+    unsafe { *p }
+}
+
+fn documented_multiline(p: *mut u8) -> u8 {
+    // The comment block directly above may mix prose lines,
+    // SAFETY: as long as one of them carries the marker.
+    // (trailing prose is fine too)
+    unsafe { *p }
+}
+
+fn documented_trailing(p: *mut u8) -> u8 {
+    unsafe { *p } // SAFETY: trailing form (fixture).
+}
+
+// D4 applies in test code too — a wrong SAFETY story in a test is
+// still undefined behaviour.
+#[cfg(test)]
+mod tests {
+    fn in_tests(p: *mut u8) -> u8 {
+        unsafe { *p } // fires: tests get no D4 exemption
+    }
+}

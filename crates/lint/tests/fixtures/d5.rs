@@ -1,0 +1,31 @@
+// np-lint fixture: D5 lock-order. The documented order is the
+// accounting mutex (`resident`) before any slot lock (`slots[…]`);
+// the inverted function must fire, the conforming ones must not.
+use std::sync::{Arc, Mutex, RwLock};
+
+struct Cache {
+    slots: Vec<RwLock<Option<Arc<Vec<f32>>>>>,
+    resident: Mutex<(usize, usize)>,
+}
+
+impl Cache {
+    fn inverted(&self, s: usize) {
+        let _slot = self.slots[s].write().unwrap(); // slot first …
+        let _acc = self.resident.lock().unwrap(); // fires: … mutex second
+    }
+
+    fn conforming(&self, s: usize) {
+        let _acc = self.resident.lock().unwrap();
+        let _slot = self.slots[s].write().unwrap();
+    }
+
+    fn reader_only(&self, s: usize) -> bool {
+        // A slot read with no accounting touch is the hot get() path —
+        // must not fire (the order constrains pairs, not singletons).
+        self.slots[s].read().unwrap().is_some()
+    }
+
+    fn accounting_only(&self) -> usize {
+        self.resident.lock().unwrap().0
+    }
+}

@@ -504,6 +504,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
 
     /// Total primary ring entries across the overlay (capacity telemetry).
     pub fn total_ring_entries(&self) -> usize {
+        // np-lint: allow(D1) — commutative usize sum; order cannot reach results
         self.rings.values().map(|r| r.len()).sum()
     }
 
@@ -627,6 +628,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
         if let Ok(pos) = self.members.binary_search(&p) {
             self.members.remove(pos);
         }
+        // np-lint: allow(D1) — independent per-ring removal of one peer; visit order cannot reach results
         for rs in self.rings.values_mut() {
             rs.remove(p);
         }
@@ -693,7 +695,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             "repair would empty the overlay"
         );
         origin.removed.extend_from_slice(&going);
-        let removed: HashSet<PeerId> = origin.removed.iter().copied().collect();
+        let removed_set: HashSet<PeerId> = origin.removed.iter().copied().collect();
         let origin = self.origin.clone().expect("origin checked above");
         // Drop the departed themselves.
         for &p in &going {
@@ -734,7 +736,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             order.shuffle(&mut order_rng);
             let mut inserts = 0u64;
             for &q in &order {
-                if q == p || removed.contains(&q) {
+                if q == p || removed_set.contains(&q) {
                     continue;
                 }
                 let d = world.rtt(p, q);
@@ -776,13 +778,13 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             .origin
             .clone()
             .expect("rebuild_surviving needs a recorded fill origin");
-        let removed: HashSet<PeerId> = origin.removed.iter().copied().collect();
+        let removed_set: HashSet<PeerId> = origin.removed.iter().copied().collect();
         let (world, cfg) = (self.world, self.cfg);
         let survivors: Vec<(u64, PeerId)> = origin
             .roster
             .iter()
             .enumerate()
-            .filter(|(_, p)| !removed.contains(p))
+            .filter(|(_, p)| !removed_set.contains(p))
             .map(|(i, &p)| (i as u64, p))
             .collect();
         let filled = par_map(threads, &survivors, |_, &(stream, p)| {
@@ -791,7 +793,7 @@ impl<'m, W: WorldStore + ?Sized> Overlay<'m, W> {
             order.shuffle(&mut order_rng);
             let mut rs = RingSet::new(p, cfg.rings);
             for &q in &order {
-                if q != p && !removed.contains(&q) {
+                if q != p && !removed_set.contains(&q) {
                     rs.insert(q, world.rtt(p, q));
                 }
             }

@@ -71,6 +71,7 @@ impl NearestCache {
         members: &[PeerId],
         peer: PeerId,
     ) {
+        // np-lint: allow(D1) — independent per-entry argmin rescan; visit order cannot reach results
         for (&t, best) in self.nearest.iter_mut() {
             if *best == peer {
                 *best = world
@@ -88,6 +89,7 @@ impl NearestCache {
     /// [`NearestCache::evict_member`] (with `peer` still in `members`)
     /// first, then this.
     pub fn admit_member<W: WorldStore + ?Sized>(&mut self, world: &W, peer: PeerId) {
+        // np-lint: allow(D1) — independent per-entry argmin update; visit order cannot reach results
         for (&t, best) in self.nearest.iter_mut() {
             if t == peer || *best == peer {
                 continue;

@@ -122,16 +122,18 @@ impl Graph {
     /// the runtime there.
     ///
     /// Returns `(node, dist, hops)` for every node within `radius`
-    /// (excluding the source), unordered.
+    /// (excluding the source), sorted by node id — callers aggregate
+    /// into `PaperMetrics`, so the order is part of the determinism
+    /// contract.
     pub fn dijkstra_local(&self, src: NodeId, radius: Micros) -> Vec<(NodeId, Micros, u32)> {
         use std::collections::hash_map::Entry;
         use std::collections::HashMap;
-        let mut dist: HashMap<NodeId, (Micros, u32)> = HashMap::new();
+        let mut best: HashMap<NodeId, (Micros, u32)> = HashMap::new();
         let mut heap: BinaryHeap<Reverse<(Micros, u32, NodeId)>> = BinaryHeap::new();
-        dist.insert(src, (Micros::ZERO, 0));
+        best.insert(src, (Micros::ZERO, 0));
         heap.push(Reverse((Micros::ZERO, 0, src)));
         while let Some(Reverse((d, h, u))) = heap.pop() {
-            match dist.get(&u) {
+            match best.get(&u) {
                 Some(&(bd, _)) if d > bd => continue, // stale
                 _ => {}
             }
@@ -141,7 +143,7 @@ impl Graph {
                     continue;
                 }
                 let nh = h + 1;
-                match dist.entry(v) {
+                match best.entry(v) {
                     Entry::Occupied(mut o) => {
                         if nd < o.get().0 {
                             o.insert((nd, nh));
@@ -155,10 +157,13 @@ impl Graph {
                 }
             }
         }
-        dist.into_iter()
+        let mut out: Vec<(NodeId, Micros, u32)> = best
+            .into_iter() // np-lint: allow(D1) — collected then sorted by NodeId below; order cannot reach results
             .filter(|&(n, _)| n != src)
             .map(|(n, (d, h))| (n, d, h))
-            .collect()
+            .collect();
+        out.sort_unstable_by_key(|&(n, _, _)| n);
+        out
     }
 
     /// Shortest-path distance between two nodes (unbounded Dijkstra,

@@ -1,0 +1,161 @@
+//! Exhaustive interleaving suite for `HierarchicalWorld`'s block
+//! cache: the **cold ≡ warm identity** under every schedule.
+//!
+//! The cache's contract (see `hierarchical.rs`) is that eviction
+//! *policy* may be scheduling-dependent — recency stamps are racy
+//! atomics, two racing threads may both materialise a block — but
+//! block *contents* never are: a block is a pure function of
+//! `(rtt_fn, shard)`, so an evict-then-rematerialise round trip is
+//! invisible to `rtt`. The runtime tests sample that claim with real
+//! threads; this suite enumerates every operation-level order of two
+//! query threads over a one-block budget (maximum thrash: every
+//! cross-shard switch evicts) with [`np_util::interleave`], checking
+//! each completed schedule's observed latencies against the generator
+//! — the value a cold, never-evicted world would return.
+//!
+//! Operation granularity is the right level here: a same-shard `rtt`
+//! is one `get`-or-`insert` round against the cache, and the
+//! accounting invariants it must preserve (`resident` mutex vs. slot
+//! contents) are re-checked after every schedule via `cache_stats`.
+
+use np_metric::{HierarchicalWorld, PeerId, WorldStore};
+use np_util::interleave::{Interleaver, Op, OpStep};
+use np_util::Micros;
+
+/// The star fixture of `hierarchical.rs`'s unit tests: shard = id/4,
+/// per-peer hub offset `1 + id%4` ms, hub-to-hub `10·|sa−sb|` ms.
+/// Same-shard pairs are *exact* under the two-level model, so for
+/// them the generator doubles as the cold-reference oracle.
+fn star_rtt(a: PeerId, b: PeerId) -> Micros {
+    if a == b {
+        return Micros::ZERO;
+    }
+    let (sa, sb) = (a.0 / 4, b.0 / 4);
+    let off = |p: PeerId| Micros::from_ms_u64(1 + (p.0 % 4) as u64);
+    if sa == sb {
+        off(a) + off(b)
+    } else {
+        off(a) + Micros::from_ms_u64(10 * (sa as i64 - sb as i64).unsigned_abs()) + off(b)
+    }
+}
+
+fn star_hub_us(a: usize, b: usize) -> u64 {
+    10_000 * (a as i64 - b as i64).unsigned_abs()
+}
+
+/// 3 shards × 4 peers with a one-block byte budget: each shard's
+/// block is `4·4·4 = 64` bytes, so any query against a non-resident
+/// shard evicts the current resident.
+fn one_block_world() -> HierarchicalWorld {
+    let shard_of: Vec<u32> = (0..12u32).map(|i| i / 4).collect();
+    let offset: Vec<f32> = (0..12u32).map(|i| (1_000 + 1_000 * (i % 4)) as f32).collect();
+    HierarchicalWorld::build_lazy(&shard_of, 1, offset, star_hub_us, 64, star_rtt)
+}
+
+struct St {
+    world: HierarchicalWorld,
+    /// Every observation: (a, b, rtt-as-returned).
+    seen: Vec<(PeerId, PeerId, Micros)>,
+}
+
+fn query_op(a: u32, b: u32) -> Op<St> {
+    Box::new(move |s: &mut St| {
+        let (a, b) = (PeerId(a), PeerId(b));
+        let d = s.world.rtt(a, b);
+        s.seen.push((a, b, d));
+        OpStep::Ran
+    })
+}
+
+#[test]
+fn every_schedule_is_cold_identical_under_eviction_thrash() {
+    // Two threads, three same-shard queries each, shards arranged so
+    // every consecutive pair of ops in *some* schedule crosses shards
+    // (= evicts under the one-block budget). Thread 0 revisits shard 0
+    // after its block was necessarily evicted — the warm-vs-rebuilt
+    // read the identity is named for.
+    let threads = || {
+        vec![
+            vec![query_op(0, 1), query_op(4, 5), query_op(0, 2)],
+            vec![query_op(8, 9), query_op(0, 3), query_op(4, 6)],
+        ]
+    };
+    let r = Interleaver::default()
+        .explore(
+            || St {
+                world: one_block_world(),
+                seen: Vec::new(),
+            },
+            threads(),
+            |s, sched| {
+                // Cold ≡ warm: every observation equals the generator
+                // (exact for same-shard pairs), no matter where the
+                // evictions landed in this schedule.
+                for &(a, b, got) in &s.seen {
+                    let want = star_rtt(a, b);
+                    if got != want {
+                        return Err(format!(
+                            "rtt({a}, {b}) = {got} != cold {want} (schedule {sched:?})"
+                        ));
+                    }
+                }
+                // Accounting invariants survive the schedule: the
+                // budget admits exactly one 64-byte block at rest, and
+                // every same-shard query did one cache round.
+                let stats = s.world.cache_stats();
+                if stats.resident_blocks != 1 || stats.resident_bytes != 64 {
+                    return Err(format!(
+                        "accounting drifted: {stats:?} (schedule {sched:?})"
+                    ));
+                }
+                if stats.hits + stats.misses != s.seen.len() as u64 {
+                    return Err(format!(
+                        "lookups ({} + {}) != queries ({}) (schedule {sched:?})",
+                        stats.hits,
+                        stats.misses,
+                        s.seen.len()
+                    ));
+                }
+                Ok(())
+            },
+        )
+        .expect("cold≡warm identity must hold under every schedule");
+    assert!(!r.truncated);
+    assert_eq!(r.schedules, 20, "C(6,3) interleavings of 3+3 ops");
+}
+
+#[test]
+fn hot_shard_pinned_by_recency_still_serves_exactly() {
+    // A skewed workload: thread 0 hammers shard 0, thread 1 sweeps all
+    // three shards. Recency keeps shard 0 mostly resident (policy —
+    // unchecked, it is scheduling-dependent); the *values* must be
+    // schedule-independent regardless.
+    let threads = || {
+        vec![
+            vec![query_op(0, 1), query_op(1, 2), query_op(2, 3), query_op(0, 3)],
+            vec![query_op(4, 5), query_op(8, 9), query_op(4, 7)],
+        ]
+    };
+    let r = Interleaver::default()
+        .explore(
+            || St {
+                world: one_block_world(),
+                seen: Vec::new(),
+            },
+            threads(),
+            |s, sched| {
+                for &(a, b, got) in &s.seen {
+                    let want = star_rtt(a, b);
+                    if got != want {
+                        return Err(format!(
+                            "rtt({a}, {b}) = {got} != cold {want} (schedule {sched:?})"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        )
+        .expect("values must be schedule-independent");
+    assert!(!r.truncated);
+    assert_eq!(r.schedules, 35, "C(7,3) interleavings of 4+3 ops");
+}

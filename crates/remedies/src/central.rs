@@ -57,20 +57,21 @@ impl<'w> CentralRegistry<'w> {
     /// Number of networks that meet the deployment threshold.
     pub fn deployed_servers(&self) -> usize {
         self.members
-            .values()
+            .values() // np-lint: allow(D1) — commutative count; order cannot reach results
             .filter(|v| v.len() >= self.deploy_threshold)
             .count()
     }
 
     /// Fraction of registered peers covered by a deployed server.
     pub fn coverage(&self) -> f64 {
+        // np-lint: allow(D1) — commutative usize sum; order cannot reach results
         let total: usize = self.members.values().map(|v| v.len()).sum();
         if total == 0 {
             return 0.0;
         }
         let covered: usize = self
             .members
-            .values()
+            .values() // np-lint: allow(D1) — commutative usize sum; order cannot reach results
             .filter(|v| v.len() >= self.deploy_threshold)
             .map(|v| v.len())
             .sum();

@@ -48,6 +48,7 @@ impl EnRegistry {
 
     /// Number of registered peers.
     pub fn registered(&self) -> usize {
+        // np-lint: allow(D1) — commutative usize sum; order cannot reach results
         self.by_en.values().map(Vec::len).sum()
     }
 }

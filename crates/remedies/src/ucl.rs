@@ -90,6 +90,7 @@ impl<'w, M: KeyValueMap> UclRegistry<'w, M> {
                     .or_insert(est);
             }
         }
+        // np-lint: allow(D1) — sorted by (estimate, host) on the next line; order cannot reach results
         let mut out: Vec<(HostId, Micros)> = best.into_iter().collect();
         out.sort_by_key(|&(h, est)| (est, h));
         out

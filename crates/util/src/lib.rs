@@ -40,6 +40,7 @@ pub mod binned;
 pub mod cdf;
 pub mod dist;
 pub mod hist;
+pub mod interleave;
 pub mod parallel;
 pub mod queue;
 pub mod rng;

@@ -226,9 +226,15 @@ where
 /// `data`, on `threads` workers.
 ///
 /// The mutable-slice analogue of [`par_map`] for row-blocked array
-/// fills (e.g. latency matrix construction): each worker claims whole
-/// rows off a shared list, so the borrow checker sees disjoint `&mut`
-/// row slices with no `unsafe`.
+/// fills (e.g. latency matrix construction): workers claim row indices
+/// off a shared atomic counter and carve disjoint `&mut` row slices
+/// out of the raw base pointer. The claim is one `fetch_add` instead
+/// of a mutex round-trip over a shared `chunks_mut` iterator, so short
+/// rows no longer serialize on the lock.
+///
+/// Determinism is unaffected: which worker computes a row is racy, but
+/// `f(i, row)` writes only to row `i` and every index is claimed
+/// exactly once, so the filled buffer is a pure function of `f`.
 ///
 /// # Panics
 /// Panics if `data.len()` is not a multiple of `row_len`, and
@@ -253,15 +259,41 @@ where
         });
         return;
     }
+
+    /// Raw base pointer of the row buffer, shared by reference across
+    /// the scoped workers.
+    struct RowBase(*mut f32);
+    // SAFETY: `RowBase` is only ever used inside `par_for_rows`'s
+    // thread scope, where each worker derives row slices at indices it
+    // exclusively claimed from the atomic counter; the pointed-to
+    // buffer outlives the scope (it is a `&mut` argument of the
+    // enclosing call). Sharing the *pointer value* is therefore sound.
+    unsafe impl Sync for RowBase {}
+
     region_span(|| {
-        let rows = std::sync::Mutex::new(data.chunks_mut(row_len).enumerate());
+        let next = AtomicUsize::new(0);
+        let base = RowBase(data.as_mut_ptr());
+        // Capture the wrapper, not the bare pointer: 2021 closures
+        // capture used *fields*, and `base.0` alone is not `Sync`.
+        let base = &base;
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     worker_span(|| loop {
-                        // Claim under the lock, compute outside it.
-                        let claimed = rows.lock().expect("row iterator lock").next();
-                        let Some((i, row)) = claimed else { break };
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_rows {
+                            break;
+                        }
+                        // SAFETY: `fetch_add` hands index `i` to
+                        // exactly one worker, rows are disjoint
+                        // `row_len`-sized windows of a buffer whose
+                        // length is asserted to be `n_rows * row_len`
+                        // above, and `data` is exclusively borrowed by
+                        // this call for the whole scope — so this is
+                        // the only live reference to those elements.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(base.0.add(i * row_len), row_len)
+                        };
                         f(i, row);
                     })
                 });

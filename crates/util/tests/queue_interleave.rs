@@ -1,0 +1,345 @@
+//! Exhaustive interleaving suite for [`np_util::queue::BoundedQueue`].
+//!
+//! The queue's own unit tests sample real-thread schedules; this suite
+//! *enumerates* them with [`np_util::interleave`] at operation
+//! granularity — which is exact for this primitive, because every
+//! public queue operation is a single critical section (one lock
+//! acquisition per call). Blocking calls are modelled by their
+//! non-blocking probes, per the scenario contract:
+//!
+//! * blocking `push` ⇒ `try_push`, with `Full` ⇒ `Blocked` (the real
+//!   call would wait on `not_full`) and `Closed` ⇒ a completed call
+//!   that hands the item back;
+//! * blocking `pop` ⇒ `try_pop`, with empty-and-open ⇒ `Blocked` (the
+//!   real call would wait on `not_empty`) and empty-and-closed ⇒ a
+//!   completed call returning `None`.
+//!
+//! The checked property is the close-then-drain contract the serve
+//! pipeline's graceful shutdown rests on: under **every** schedule of
+//! producers, consumer and closer — close racing pushes, close racing
+//! pops, saturation stalls — no accepted item is lost or duplicated,
+//! FIFO order holds, and a consumer sees exhaustion (`None`) only
+//! after the queue is both closed and drained.
+
+use np_util::interleave::{Interleaver, Op, OpStep, ViolationKind};
+use np_util::queue::{BoundedQueue, TryPushError};
+
+/// Shared scenario state: the queue under test plus observation logs.
+struct St {
+    q: BoundedQueue<u32>,
+    /// Items accepted by the queue, in acceptance order.
+    pushed: Vec<u32>,
+    /// Items refused because the queue was already closed.
+    rejected: Vec<u32>,
+    /// Items the consumer received, in order.
+    popped: Vec<u32>,
+    /// The consumer observed `None` (closed + drained).
+    exhausted: bool,
+}
+
+impl St {
+    fn new(cap: usize) -> St {
+        St {
+            q: BoundedQueue::new(cap),
+            pushed: Vec::new(),
+            rejected: Vec::new(),
+            popped: Vec::new(),
+            exhausted: false,
+        }
+    }
+}
+
+/// One blocking-push call, modelled non-blockingly.
+fn push_op(x: u32) -> Op<St> {
+    Box::new(move |s: &mut St| match s.q.try_push(x) {
+        Ok(()) => {
+            s.pushed.push(x);
+            OpStep::Ran
+        }
+        Err(TryPushError::Full(_)) => OpStep::Blocked,
+        Err(TryPushError::Closed(_)) => {
+            s.rejected.push(x);
+            OpStep::Ran
+        }
+    })
+}
+
+/// One blocking-pop call, modelled non-blockingly.
+fn pop_op() -> Op<St> {
+    Box::new(|s: &mut St| match s.q.try_pop() {
+        Some(x) => {
+            s.popped.push(x);
+            OpStep::Ran
+        }
+        None if s.q.is_closed() => {
+            s.exhausted = true;
+            OpStep::Ran
+        }
+        None => OpStep::Blocked,
+    })
+}
+
+fn close_op() -> Op<St> {
+    Box::new(|s: &mut St| {
+        s.q.close();
+        OpStep::Ran
+    })
+}
+
+/// The close-then-drain contract, judged on a completed schedule.
+fn check_drain(s: &St, sched: &[usize]) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("{msg} (schedule {sched:?})"));
+    // Whatever the consumer did not take must still be buffered.
+    let mut remaining = Vec::new();
+    while let Some(x) = s.q.try_pop() {
+        remaining.push(x);
+    }
+    // Every scripted item was either accepted or refused-as-closed,
+    // exactly once.
+    let mut seen: Vec<u32> = s.pushed.iter().chain(&s.rejected).copied().collect();
+    seen.sort_unstable();
+    let mut dup = seen.clone();
+    dup.dedup();
+    if dup.len() != seen.len() {
+        return fail(format!("item duplicated: pushed {:?} rejected {:?}", s.pushed, s.rejected));
+    }
+    // FIFO + no loss: the consumer saw a prefix of the acceptance
+    // order and the suffix is still buffered.
+    let expect: Vec<u32> = s.popped.iter().chain(&remaining).copied().collect();
+    if expect != s.pushed {
+        return fail(format!(
+            "loss or reorder: accepted {:?} but popped {:?} + remaining {:?}",
+            s.pushed, s.popped, remaining
+        ));
+    }
+    // Exhaustion is only legal once closed *and* drained: anything
+    // still buffered when the consumer saw `None` was lost.
+    if s.exhausted && !remaining.is_empty() {
+        return fail(format!(
+            "drain violated: consumer saw None with {remaining:?} still buffered"
+        ));
+    }
+    if s.exhausted && !s.q.is_closed() {
+        return fail("consumer saw None on an open queue".to_string());
+    }
+    Ok(())
+}
+
+#[test]
+fn close_races_pushes_and_pops_cap1() {
+    // Two producers (2 + 1 items), one consumer (4 attempts), one
+    // closer, over a capacity-1 queue: saturation blocks producers,
+    // emptiness blocks the consumer, and close lands at every
+    // possible point in between.
+    let r = Interleaver::default()
+        .explore(
+            || St::new(1),
+            vec![
+                vec![push_op(10), push_op(11)],
+                vec![push_op(20)],
+                vec![pop_op(), pop_op(), pop_op(), pop_op()],
+                vec![close_op()],
+            ],
+            check_drain,
+        )
+        .expect("close-then-drain must hold under every schedule");
+    assert!(!r.truncated);
+    // The space must be non-trivial for the suite to mean anything.
+    assert!(r.schedules > 100, "only {} schedules explored", r.schedules);
+}
+
+#[test]
+fn close_races_a_saturated_queue_cap2() {
+    let r = Interleaver::default()
+        .explore(
+            || St::new(2),
+            vec![
+                vec![push_op(1), push_op(2), push_op(3)],
+                vec![pop_op(), pop_op(), pop_op(), pop_op()],
+                vec![close_op()],
+            ],
+            check_drain,
+        )
+        .expect("close-then-drain must hold under every schedule");
+    assert!(!r.truncated);
+    assert!(r.schedules > 50, "only {} schedules explored", r.schedules);
+}
+
+#[test]
+fn two_consumers_split_the_stream_without_loss() {
+    // MPMC: two consumers race over one producer's stream. Per-
+    // consumer order is not asserted (pops interleave), only global
+    // conservation: the union of both consumers' items plus the
+    // leftovers equals the accepted set.
+    struct St2 {
+        q: BoundedQueue<u32>,
+        pushed: Vec<u32>,
+        popped: Vec<u32>,
+    }
+    let push = |x: u32| -> Op<St2> {
+        Box::new(move |s: &mut St2| match s.q.try_push(x) {
+            Ok(()) => {
+                s.pushed.push(x);
+                OpStep::Ran
+            }
+            Err(TryPushError::Full(_)) => OpStep::Blocked,
+            Err(TryPushError::Closed(_)) => OpStep::Ran,
+        })
+    };
+    let pop = || -> Op<St2> {
+        Box::new(|s: &mut St2| match s.q.try_pop() {
+            Some(x) => {
+                s.popped.push(x);
+                OpStep::Ran
+            }
+            None if s.q.is_closed() => OpStep::Ran,
+            None => OpStep::Blocked,
+        })
+    };
+    let r = Interleaver::default()
+        .explore(
+            || St2 {
+                q: BoundedQueue::new(1),
+                pushed: Vec::new(),
+                popped: Vec::new(),
+            },
+            vec![
+                vec![push(1), push(2)],
+                vec![pop(), pop()],
+                vec![pop(), pop()],
+                vec![Box::new(|s: &mut St2| {
+                    s.q.close();
+                    OpStep::Ran
+                }) as Op<St2>],
+            ],
+            |s, sched| {
+                let mut remaining = Vec::new();
+                while let Some(x) = s.q.try_pop() {
+                    remaining.push(x);
+                }
+                let mut got: Vec<u32> = s.popped.iter().chain(&remaining).copied().collect();
+                got.sort_unstable();
+                let mut want = s.pushed.clone();
+                want.sort_unstable();
+                if got == want {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "conservation violated: accepted {want:?}, accounted {got:?} \
+                         (schedule {sched:?})"
+                    ))
+                }
+            },
+        )
+        .expect("MPMC conservation must hold under every schedule");
+    assert!(!r.truncated);
+    assert!(r.schedules > 100, "only {} schedules explored", r.schedules);
+}
+
+// ---------------------------------------------------------------------------
+// Checker power: a queue with a deliberately broken close path must be
+// caught. This is the suite's own positive control — if the explorer
+// ever stops finding this bug, the suite above proves nothing.
+// ---------------------------------------------------------------------------
+
+/// A toy queue with the classic shutdown bug: `close` marks the queue
+/// closed and `pop` checks `closed` *before* draining, so items
+/// buffered at close time are dropped on the floor.
+#[derive(Default)]
+struct BuggyQueue {
+    items: Vec<u32>,
+    closed: bool,
+}
+
+impl BuggyQueue {
+    fn push(&mut self, x: u32) -> bool {
+        if self.closed {
+            return false;
+        }
+        self.items.push(x);
+        true
+    }
+
+    /// BUG: reports exhaustion as soon as `closed`, even with items
+    /// still buffered (a correct queue drains first).
+    fn pop(&mut self) -> Option<u32> {
+        if self.closed {
+            return None;
+        }
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+}
+
+#[test]
+fn the_explorer_catches_a_lossy_close() {
+    struct St {
+        q: BuggyQueue,
+        pushed: Vec<u32>,
+        popped: Vec<u32>,
+        exhausted: bool,
+    }
+    let push = |x: u32| -> Op<St> {
+        Box::new(move |s: &mut St| {
+            if s.q.push(x) {
+                s.pushed.push(x);
+            }
+            OpStep::Ran
+        })
+    };
+    let pop = || -> Op<St> {
+        Box::new(|s: &mut St| match s.q.pop() {
+            Some(x) => {
+                s.popped.push(x);
+                OpStep::Ran
+            }
+            None if s.q.closed => {
+                s.exhausted = true;
+                OpStep::Ran
+            }
+            None => OpStep::Blocked,
+        })
+    };
+    let v = Interleaver::default()
+        .explore(
+            || St {
+                q: BuggyQueue::default(),
+                pushed: Vec::new(),
+                popped: Vec::new(),
+                exhausted: false,
+            },
+            vec![
+                vec![push(1)],
+                vec![pop()],
+                vec![Box::new(|s: &mut St| {
+                    s.q.closed = true;
+                    OpStep::Ran
+                }) as Op<St>],
+            ],
+            |s, sched| {
+                if s.exhausted && s.popped.len() < s.pushed.len() {
+                    Err(format!(
+                        "lost {} item(s) on close (schedule {sched:?})",
+                        s.pushed.len() - s.popped.len()
+                    ))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .expect_err("the lossy close must be caught");
+    // The witness must put close between the push and the pop.
+    match &v.kind {
+        ViolationKind::Check(msg) => assert!(msg.contains("lost 1 item"), "got: {msg}"),
+        other => panic!("expected a check violation, got {other:?}"),
+    }
+    let pos = |t: usize| v.schedule.iter().position(|&x| x == t).unwrap();
+    assert!(
+        pos(0) < pos(2) && pos(2) < pos(1),
+        "witness {:?} should order push < close < pop",
+        v.schedule
+    );
+}
